@@ -1,0 +1,193 @@
+package gps
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each iteration regenerates the corresponding experiment at
+// reduced trace length (the rendered rows match EXPERIMENTS.md's shapes;
+// `go run ./cmd/gpsbench -all` produces the full-length versions). Derived
+// headline metrics are attached via ReportMetric so `go test -bench .`
+// output doubles as a results summary:
+//
+//	gps_mean_x      mean 4-GPU GPS speedup        (paper: 3.0x)
+//	opportunity_pct share of the infinite-BW bound (paper: 93.7%)
+//	vs_next_best_x  GPS over the next paradigm     (paper: 2.3x)
+
+import (
+	"testing"
+
+	"gps/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Iterations: 2, Quick: true}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure3().Rows() != 5 {
+			b.Fatal("bad platform table")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.Figure8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpsMean, frac, vsNext := experiments.Claims71(tb)
+		b.ReportMetric(gpsMean, "gps_mean_x")
+		b.ReportMetric(frac*100, "opportunity_pct")
+		b.ReportMetric(vsNext, "vs_next_best_x")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.Figure12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpsMean, frac := experiments.Claims73(tb)
+		b.ReportMetric(gpsMean, "gps16_mean_x")
+		b.ReportMetric(frac*100, "opportunity16_pct")
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure14(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivityGPSTLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SensitivityGPSTLB(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivityPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.SensitivityPageSize(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((tb.Value(0, 0)-1)*100, "slowdown4KB_pct")
+		b.ReportMetric((tb.Value(2, 0)-1)*100, "slowdown2MB_pct")
+	}
+}
+
+func BenchmarkAblationWatermark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWatermark(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPIRun measures an end-to-end run of a user program
+// recorded through the public API.
+func BenchmarkPublicAPIRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(Config{GPUs: 4, Interconnect: PCIe4, Paradigm: ParadigmGPS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := sys.MallocGPS("grid", 4<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.TrackingStart(); err != nil {
+			b.Fatal(err)
+		}
+		per := uint64(1 << 20)
+		for it := 0; it < 3; it++ {
+			var ks []*KernelBuilder
+			for dev := 0; dev < 4; dev++ {
+				ks = append(ks, sys.NewKernel(dev, "k").
+					Load(buf, uint64(dev)*per, per).
+					Store(buf, uint64(dev)*per, per).
+					Compute(1e7))
+			}
+			if err := sys.Launch(ks...); err != nil {
+				b.Fatal(err)
+			}
+			if it == 0 {
+				if err := sys.TrackingStop(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command gpsbench regenerates the tables and figures of the GPS paper's
+// evaluation (Section 7) from the simulator.
+//
+// Usage:
+//
+//	gpsbench -all                 # every figure and table (slow)
+//	gpsbench -fig 8               # one figure (1,3,4,8,9,10,11,12,13,14)
+//	gpsbench -table 1             # Table 1 or 2
+//	gpsbench -sens tlb|pagesize|watermark
+//	gpsbench -iters 4 -scale 1    # workload sizing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gps/internal/experiments"
+	"gps/internal/stats"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure number to regenerate (1,2,3,4,8,9,10,11,12,13,14)")
+		table  = flag.Int("table", 0, "table number to regenerate (1,2)")
+		sens   = flag.String("sens", "", "sensitivity study: tlb, pagesize, watermark, l2, profilingmode, control, pipelined, fabrics, fabricmodel")
+		all    = flag.Bool("all", false, "regenerate everything")
+		iters  = flag.Int("iters", 4, "execution iterations per application")
+		scale  = flag.Int("scale", 1, "problem size multiplier")
+		csv    = flag.Bool("csv", false, "emit tables as CSV instead of text")
+		report = flag.String("report", "", "write a full markdown report to this file")
+		chart  = flag.Bool("chart", false, "also render line-chart views of figures 13 and 14")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Iterations: *iters, Scale: *scale}
+	start := time.Now()
+	ran := false
+
+	show := func(tb *stats.Table, err error, extra ...string) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb)
+		}
+		for _, e := range extra {
+			fmt.Println(e)
+		}
+		fmt.Println()
+		ran = true
+	}
+
+	want := func(n int) bool { return *all || *fig == n }
+
+	if *all || *table == 1 {
+		fmt.Println(experiments.Table1())
+		ran = true
+	}
+	if *all || *table == 2 {
+		fmt.Println(experiments.Table2())
+		ran = true
+	}
+	if want(1) {
+		tb, err := experiments.Figure1(opt)
+		show(tb, err)
+	}
+	if want(2) {
+		tb, err := experiments.Figure2(opt)
+		show(tb, err)
+	}
+	if want(3) {
+		show(experiments.Figure3(), nil)
+	}
+	if want(4) {
+		tb, err := experiments.Figure4(opt)
+		show(tb, err)
+	}
+	if want(8) {
+		tb, err := experiments.Figure8(opt)
+		if err == nil {
+			g, f, n := experiments.Claims71(tb)
+			show(tb, nil, fmt.Sprintf(
+				"Section 7.1 claims: GPS mean %.2fx (paper: 3.0x), %.1f%% of opportunity (paper: 93.7%%), %.2fx over next best (paper: 2.3x)",
+				g, f*100, n))
+		} else {
+			show(tb, err)
+		}
+	}
+	if want(9) {
+		tb, err := experiments.Figure9(opt)
+		show(tb, err)
+	}
+	if want(10) {
+		tb, err := experiments.Figure10(opt)
+		show(tb, err)
+	}
+	if want(11) {
+		tb, err := experiments.Figure11(opt)
+		show(tb, err)
+	}
+	if want(12) {
+		tb, err := experiments.Figure12(opt)
+		if err == nil {
+			g, f := experiments.Claims73(tb)
+			show(tb, nil, fmt.Sprintf(
+				"Section 7.3 claims: GPS mean %.2fx (paper: 7.9x), %.1f%% of opportunity (paper: >80%%)",
+				g, f*100))
+		} else {
+			show(tb, err)
+		}
+	}
+	if want(13) {
+		tb, err := experiments.Figure13(opt)
+		if err == nil && *chart {
+			show(tb, nil, tb.LineChart(12))
+		} else {
+			show(tb, err)
+		}
+	}
+	if want(14) {
+		tb, err := experiments.Figure14(opt)
+		if err == nil && *chart {
+			show(tb, nil, tb.LineChart(12))
+		} else {
+			show(tb, err)
+		}
+	}
+	if *all || *sens == "tlb" {
+		tb, err := experiments.SensitivityGPSTLB(opt)
+		show(tb, err)
+	}
+	if *all || *sens == "pagesize" {
+		tb, err := experiments.SensitivityPageSize(opt)
+		show(tb, err)
+	}
+	if *all || *sens == "watermark" {
+		tb, err := experiments.AblationWatermark(opt)
+		show(tb, err)
+	}
+	if *all || *sens == "l2" {
+		tb, err := experiments.ValidateL2(opt)
+		show(tb, err)
+	}
+	if *all || *sens == "profilingmode" {
+		tb, err := experiments.AblationProfilingMode(opt)
+		show(tb, err)
+	}
+	if *all || *sens == "control" {
+		tb, err := experiments.ControlApps(opt)
+		show(tb, err)
+	}
+	if *all || *sens == "pipelined" {
+		tb, err := experiments.AblationPipelinedMemcpy(opt)
+		show(tb, err)
+	}
+	if *all || *sens == "fabrics" {
+		tb, err := experiments.ExtendedFabrics(opt)
+		show(tb, err)
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteReport(f, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote", *report)
+		ran = true
+	}
+	if *all || *sens == "fabricmodel" {
+		tb, err := experiments.ValidateFabricModel(50)
+		show(tb, err)
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,171 @@
+// Command gpsim runs one application under one memory-management paradigm
+// on one interconnect and prints the simulated execution report.
+//
+// Usage:
+//
+//	gpsim -app jacobi -paradigm GPS -gpus 4 -interconnect pcie4
+//	gpsim -app als -paradigm UM -gpus 16 -interconnect pcie6 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gps/internal/engine"
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/timing"
+	"gps/internal/trace"
+	"gps/internal/workload"
+)
+
+func fabric(name string, gpus int) (*interconnect.Fabric, error) {
+	switch strings.ToLower(name) {
+	case "pcie3":
+		return interconnect.PCIeTree(gpus, interconnect.PCIe3), nil
+	case "pcie4":
+		return interconnect.PCIeTree(gpus, interconnect.PCIe4), nil
+	case "pcie5":
+		return interconnect.PCIeTree(gpus, interconnect.PCIe5), nil
+	case "pcie6":
+		return interconnect.PCIeTree(gpus, interconnect.PCIe6), nil
+	case "nvswitch":
+		return interconnect.NVSwitch(gpus, interconnect.NVLink2Bandwidth), nil
+	case "infinite":
+		return interconnect.Infinite(gpus), nil
+	}
+	return nil, fmt.Errorf("unknown interconnect %q (pcie3..pcie6, nvswitch, infinite)", name)
+}
+
+func kind(name string) (paradigm.Kind, error) {
+	for _, k := range []paradigm.Kind{
+		paradigm.KindUM, paradigm.KindUMHints, paradigm.KindRDL,
+		paradigm.KindMemcpy, paradigm.KindGPS, paradigm.KindGPSNoSub,
+		paradigm.KindInfinite,
+	} {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown paradigm %q (UM, UM+hints, RDL, memcpy, GPS, GPS-nosub, infiniteBW)", name)
+}
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "run a saved binary trace instead of generating one")
+		app       = flag.String("app", "jacobi", "application: "+strings.Join(workload.Names(), ", "))
+		par       = flag.String("paradigm", "GPS", "memory management paradigm")
+		gpus      = flag.Int("gpus", 4, "GPU count")
+		ic        = flag.String("interconnect", "pcie4", "fabric: pcie3..pcie6, nvswitch, infinite")
+		iters     = flag.Int("iters", 4, "execution iterations")
+		scale     = flag.Int("scale", 1, "problem size multiplier")
+		verbose   = flag.Bool("v", false, "per-phase breakdown and bottleneck links")
+		packet    = flag.Bool("packet", false, "use the packet-level fabric engine instead of the fluid model")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "gpsim:", err)
+		os.Exit(1)
+	}
+
+	var prog trace.Program
+	var pattern string
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			die(err)
+		}
+		rec, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		prog = rec
+		*gpus = rec.M.NumGPUs
+		*app = rec.M.Name
+		pattern = "(from trace file)"
+	}
+	fab, err := fabric(*ic, *gpus)
+	if err != nil {
+		die(err)
+	}
+	k, err := kind(*par)
+	if err != nil {
+		die(err)
+	}
+	var spec workload.Spec
+	if prog == nil {
+		spec, err = workload.ByName(*app)
+		if err != nil {
+			die(err)
+		}
+		pattern = spec.Pattern
+		cfg := workload.Config{NumGPUs: *gpus, Iterations: *iters, Scale: *scale, Seed: 1}
+		prog = spec.Build(cfg)
+	}
+	model, err := paradigm.New(k, prog, paradigm.DefaultConfig())
+	if err != nil {
+		die(err)
+	}
+	res := engine.Run(prog, model)
+	tcfg := timing.DefaultConfig(fab)
+	tcfg.UsePacketSim = *packet
+	rep := timing.Simulate(res, tcfg)
+
+	engineName := "fluid max-min"
+	if *packet {
+		engineName = "packet-level"
+	}
+	fmt.Printf("%s under %s on %s (%s fabric engine)\n", *app, k, fab.Name(), engineName)
+	fmt.Printf("  pattern:            %s\n", pattern)
+	fmt.Printf("  total time:         %.3f ms\n", rep.Total*1e3)
+	fmt.Printf("  steady-state time:  %.3f ms\n", rep.SteadyTotal()*1e3)
+	if *traceFile == "" {
+		// Single-GPU reference for the speedup (only meaningful when the
+		// trace can be regenerated at 1 GPU).
+		baseProg := spec.Build(workload.Config{NumGPUs: 1, Iterations: *iters, Scale: *scale, Seed: 1})
+		baseModel, err := paradigm.New(paradigm.KindInfinite, baseProg, paradigm.DefaultConfig())
+		if err != nil {
+			die(err)
+		}
+		baseRep := timing.Simulate(engine.Run(baseProg, baseModel),
+			timing.DefaultConfig(interconnect.Infinite(1)))
+		fmt.Printf("  1-GPU steady time:  %.3f ms\n", baseRep.SteadyTotal()*1e3)
+		fmt.Printf("  speedup over 1 GPU: %.2fx\n", baseRep.SteadyTotal()/rep.SteadyTotal())
+	}
+	fmt.Printf("  interconnect bytes: %.2f MB (steady state)\n",
+		float64(res.InterconnectBytes(res.Meta.ProfilePhases))/1e6)
+	fmt.Printf("  page faults:        %d\n", res.TotalFaults())
+	if res.SubscriberHist != nil {
+		fmt.Printf("  subscriber histogram: %v\n", res.SubscriberHist)
+		var wq, tlb float64
+		for g := 0; g < *gpus; g++ {
+			wq += res.WriteQueueHitRate[g]
+			tlb += res.GPSTLBHitRate[g]
+		}
+		fmt.Printf("  write queue hit rate: %.1f%%\n", wq/float64(*gpus)*100)
+		fmt.Printf("  GPS-TLB hit rate:     %.1f%%\n", tlb/float64(*gpus)*100)
+	}
+	fmt.Printf("  time attribution: kernel %.3f ms, stalls %.3f ms, push wait %.3f ms, bulk %.3f ms, overhead %.3f ms\n",
+		rep.ComputeBound*1e3, rep.StallTime*1e3, rep.PushWait*1e3, rep.BulkTime*1e3, rep.Overhead*1e3)
+
+	if *verbose {
+		fmt.Println("  phases:")
+		for _, pt := range rep.Phases {
+			fmt.Printf("    %3d: %.3f ms (kernel %.3f, push-wait %.3f, bulk %.3f)\n",
+				pt.Index, pt.Duration*1e3, pt.KernelSpan*1e3, pt.PushDrainSpan*1e3, pt.BulkSpan*1e3)
+		}
+		if len(rep.LinkTraffic) > 0 {
+			fmt.Println("  busiest links:")
+			for i, l := range rep.LinkTraffic {
+				if i == 6 {
+					break
+				}
+				fmt.Printf("    %-12s %10.2f MB\n", l.Name, l.Bytes/1e6)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command gpstrace generates, converts and inspects application traces —
+// the stand-ins for the NVBit SASS traces that drive the simulator.
+//
+// Usage:
+//
+//	gpstrace -app jacobi -gpus 4 -o jacobi.trace        # generate binary
+//	gpstrace -app jacobi -gpus 4 -json -o jacobi.json   # generate JSON
+//	gpstrace -inspect jacobi.trace                      # summarize a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gps/internal/trace"
+	"gps/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application to generate")
+		custom  = flag.String("custom", "", "JSON custom workload spec to generate (see workload.CustomSpec)")
+		gpus    = flag.Int("gpus", 4, "GPU count")
+		iters   = flag.Int("iters", 4, "execution iterations")
+		scale   = flag.Int("scale", 1, "problem size multiplier")
+		out     = flag.String("o", "", "output file (default stdout summary only)")
+		asJSON  = flag.Bool("json", false, "write JSON instead of the binary format")
+		inspect = flag.String("inspect", "", "trace file to summarize")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "gpstrace:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *custom != "":
+		f, err := os.Open(*custom)
+		if err != nil {
+			die(err)
+		}
+		spec, err := workload.ParseCustomSpec(f)
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		prog, err := spec.Build(workload.Config{NumGPUs: *gpus, Iterations: *iters, Scale: *scale, Seed: 1})
+		if err != nil {
+			die(err)
+		}
+		summarize(prog)
+		if *out != "" {
+			writeTrace(prog, *out, *asJSON, die)
+		}
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		prog, err := trace.Decode(f)
+		if err != nil {
+			die(err)
+		}
+		summarize(prog)
+	case *app != "":
+		spec, err := workload.ByName(*app)
+		if err != nil {
+			die(err)
+		}
+		prog := spec.Build(workload.Config{NumGPUs: *gpus, Iterations: *iters, Scale: *scale, Seed: 1})
+		summarize(prog)
+		if *out != "" {
+			writeTrace(prog, *out, *asJSON, die)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeTrace(prog trace.Program, path string, asJSON bool, die func(error)) {
+	f, err := os.Create(path)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	if asJSON {
+		err = trace.EncodeJSON(f, prog)
+	} else {
+		err = trace.Encode(f, prog)
+	}
+	if err != nil {
+		die(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("wrote %s (%d bytes)\n", path, info.Size())
+}
+
+func summarize(prog trace.Program) {
+	meta := prog.Meta()
+	s := trace.Summarize(prog)
+	fmt.Printf("trace %q: %d GPUs, %d regions, %d profiling phases\n",
+		meta.Name, meta.NumGPUs, len(meta.Regions), meta.ProfilePhases)
+	for _, r := range meta.Regions {
+		kind := "shared"
+		if r.Kind == trace.RegionPrivate {
+			kind = "private"
+		}
+		fmt.Printf("  region %-16s %8.2f MB  %s\n", r.Name, float64(r.Size)/1e6, kind)
+	}
+	fmt.Printf("  phases %d, kernels %d, accesses %d (%d loads, %d stores, %d atomics, %d fences)\n",
+		s.Phases, s.Kernels, s.Accesses, s.Loads, s.Stores, s.Atomics, s.Fences)
+	fmt.Printf("  instruction bytes: %.2f MB, sys-scoped ops: %d\n", float64(s.Bytes)/1e6, s.SysScoped)
+}

@@ -1,0 +1,113 @@
+// Jacobi: a 2D stencil with halo exchange — the canonical peer-to-peer
+// workload of the paper's Table 2 — compared across every memory
+// management paradigm on one interconnect. Interior pages end up with a
+// single subscriber; only the halo pages are replicated, so GPS moves a
+// tiny fraction of the data the bulk-synchronous memcpy paradigm
+// broadcasts.
+//
+//	go run ./examples/jacobi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gps"
+)
+
+const (
+	gpus     = 4
+	rowBytes = 16 << 10 // one row block
+	rows     = 1024     // 16 MB per array
+	arrBytes = rows * rowBytes
+	haloRows = 4
+	iters    = 6
+)
+
+func buildProgram() *gps.System {
+	sys, err := gps.NewSystem(gps.Config{
+		GPUs:         gpus,
+		Interconnect: gps.PCIe4,
+		Paradigm:     gps.ParadigmGPS,
+		L2:           gps.L2Model{BaseHit: 0.35, SlopePerDoubling: 0.02, MaxHit: 0.55},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sys.MallocGPS("gridA", arrBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.MallocGPS("gridB", arrBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrackingStart(); err != nil {
+		log.Fatal(err)
+	}
+
+	rowsPer := uint64(rows / gpus)
+	for iter := 0; iter < iters; iter++ {
+		src, dst := a, b
+		if iter%2 == 1 {
+			src, dst = b, a
+		}
+		var kernels []*gps.KernelBuilder
+		for dev := 0; dev < gpus; dev++ {
+			lo := uint64(dev) * rowsPer * rowBytes
+			size := rowsPer * rowBytes
+			readLo, readSize := lo, size
+			if dev > 0 {
+				readLo -= haloRows * rowBytes
+				readSize += haloRows * rowBytes
+			}
+			if dev < gpus-1 {
+				readSize += haloRows * rowBytes
+			}
+			k := sys.NewKernel(dev, "jacobi.sweep").
+				Load(src, readLo, readSize). // own slab + neighbor halos
+				Store(dst, lo, size).        // own slab of the output
+				Compute(uint64(120 * size)). // 5-point stencil work
+				LocalStream(4 * size)        // temporaries
+			kernels = append(kernels, k)
+		}
+		if err := sys.Launch(kernels...); err != nil {
+			log.Fatal(err)
+		}
+		if iter == 0 {
+			if err := sys.TrackingStop(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return sys
+}
+
+func main() {
+	sys := buildProgram()
+
+	fmt.Printf("%-12s %12s %14s %10s\n", "paradigm", "steady (ms)", "traffic (MB)", "faults")
+	times := map[gps.Paradigm]float64{}
+	for _, p := range []gps.Paradigm{
+		gps.ParadigmUM, gps.ParadigmUMHints, gps.ParadigmRDL,
+		gps.ParadigmMemcpy, gps.ParadigmGPS, gps.ParadigmInfinite,
+	} {
+		ic := gps.PCIe4
+		if p == gps.ParadigmInfinite {
+			ic = gps.InfiniteBW
+		}
+		res, err := sys.RunWith(p, ic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12.3f %14.2f %10d\n", p,
+			res.SteadyTime*1e3, float64(res.InterconnectBytes)/1e6, res.PageFaults)
+		times[p] = res.SteadyTime
+	}
+	fmt.Printf("\nGPS vs memcpy: %.2fx faster (fine-grained pushes overlap; broadcasts do not)\n",
+		times[gps.ParadigmMemcpy]/times[gps.ParadigmGPS])
+	fmt.Printf("GPS vs UM:     %.2fx faster (no fault serialization)\n",
+		times[gps.ParadigmUM]/times[gps.ParadigmGPS])
+	fmt.Printf("GPS captures %.0f%% of the infinite-bandwidth bound\n",
+		times[gps.ParadigmInfinite]/times[gps.ParadigmGPS]*100)
+}

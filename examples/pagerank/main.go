@@ -1,0 +1,134 @@
+// Pagerank: an irregular graph workload whose shared writes are atomic
+// accumulations — the access class the GPS write queue cannot coalesce
+// (Section 7.4's 0% hit rate). This example also demonstrates manual
+// subscription management: the programmer knows each GPU's scatters only
+// reach neighboring partitions, so the contribution array is allocated
+// with explicit subscriber lists instead of relying on profiling.
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gps"
+)
+
+const (
+	gpus      = 4
+	vertices  = 1 << 20
+	elem      = 4
+	rankBytes = vertices * elem // 4 MB per vertex array
+	edgeBytes = 4 << 20         // per-GPU edge partition
+	iters     = 5
+)
+
+func main() {
+	sys, err := gps.NewSystem(gps.Config{
+		GPUs:         gpus,
+		Interconnect: gps.PCIe4,
+		Paradigm:     gps.ParadigmGPS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ranks, err := sys.MallocGPS("ranks", rankBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The contribution array is manually managed: every partition's page
+	// range is subscribed by its owner and immediate neighbors only, the
+	// bandwidth-saving insight the paper's automatic profiling would have
+	// to discover on its own.
+	contrib, err := sys.MallocGPSManual("contrib", rankBytes, 0, 1, 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var edges [gpus]*gps.Buffer
+	for dev := 0; dev < gpus; dev++ {
+		e, err := sys.Malloc(fmt.Sprintf("edges%d", dev), edgeBytes, dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		edges[dev] = e
+	}
+
+	if err := sys.TrackingStart(); err != nil {
+		log.Fatal(err)
+	}
+
+	per := uint64(rankBytes / gpus)
+	for iter := 0; iter < iters; iter++ {
+		// Phase 1 — scatter: stream edges, gather ranks from the
+		// neighborhood, atomically accumulate contributions.
+		var scatter []*gps.KernelBuilder
+		for dev := 0; dev < gpus; dev++ {
+			winLo := uint64(max(0, dev-1)) * per
+			winHi := uint64(min(gpus, dev+2)) * per
+			k := sys.NewKernel(dev, "pagerank.scatter").
+				Load(edges[dev], 0, edgeBytes).
+				LoadScatter(ranks, winLo, winHi-winLo, 400, uint32(iter*131+dev)).
+				AtomicScatter(contrib, winLo, winHi-winLo, 300, uint32(iter*173+dev)).
+				Compute(700 * edgeBytes / 128 * 32)
+			scatter = append(scatter, k)
+		}
+		if err := sys.Launch(scatter...); err != nil {
+			log.Fatal(err)
+		}
+
+		// Phase 2 — apply: fold owned contributions into owned ranks.
+		var apply []*gps.KernelBuilder
+		for dev := 0; dev < gpus; dev++ {
+			off := uint64(dev) * per
+			k := sys.NewKernel(dev, "pagerank.apply").
+				Load(contrib, off, per).
+				Store(ranks, off, per).
+				Compute(40 * per)
+			apply = append(apply, k)
+		}
+		if err := sys.Launch(apply...); err != nil {
+			log.Fatal(err)
+		}
+
+		if iter == 0 {
+			if err := sys.TrackingStop(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("GPS:", res)
+	fmt.Printf("write queue hit rate: %.1f%% (atomics cannot coalesce)\n",
+		res.WriteQueueHitRate*100)
+	fmt.Printf("GPS-TLB hit rate:     %.1f%%\n", res.GPSTLBHitRate*100)
+
+	rdl, err := sys.RunWith(gps.ParadigmRDL, gps.PCIe4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RDL:", rdl)
+	fmt.Printf("GPS vs RDL: %.2fx faster (demand loads stall; pushed atomics overlap)\n",
+		rdl.SteadyTime/res.SteadyTime)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+// Scale16: strong scaling of one program from 1 to 16 GPUs under GPS and
+// the conventional paradigms — a public-API miniature of the paper's
+// Figure 12 study. The same total problem is partitioned across more GPUs
+// on a projected PCIe 6.0 interconnect.
+//
+//	go run ./examples/scale16
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gps"
+)
+
+const (
+	arrBytes = 16 << 20 // 16 MB grid
+	rowBytes = 16 << 10
+	haloRows = 8
+	iters    = 5
+)
+
+// buildAt records the halo-exchange program partitioned across `gpus`.
+func buildAt(gpus int) *gps.System {
+	sys, err := gps.NewSystem(gps.Config{
+		GPUs:         gpus,
+		Interconnect: gps.PCIe6,
+		Paradigm:     gps.ParadigmGPS,
+		L2:           gps.L2Model{BaseHit: 0.4, SlopePerDoubling: 0.03, MaxHit: 0.6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sys.MallocGPS("gridA", arrBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.MallocGPS("gridB", arrBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrackingStart(); err != nil {
+		log.Fatal(err)
+	}
+	rows := uint64(arrBytes / rowBytes)
+	rowsPer := rows / uint64(gpus)
+	for iter := 0; iter < iters; iter++ {
+		src, dst := a, b
+		if iter%2 == 1 {
+			src, dst = b, a
+		}
+		var kernels []*gps.KernelBuilder
+		for dev := 0; dev < gpus; dev++ {
+			lo := uint64(dev) * rowsPer * rowBytes
+			size := rowsPer * rowBytes
+			if dev == gpus-1 {
+				size = uint64(arrBytes) - lo
+			}
+			readLo, readSize := lo, size
+			if dev > 0 {
+				readLo -= haloRows * rowBytes
+				readSize += haloRows * rowBytes
+			}
+			if dev < gpus-1 {
+				readSize += haloRows * rowBytes
+			}
+			k := sys.NewKernel(dev, "sweep").
+				Load(src, readLo, readSize).
+				Store(dst, lo, size).
+				Compute(120 * size).
+				LocalStream(4 * size)
+			kernels = append(kernels, k)
+		}
+		if err := sys.Launch(kernels...); err != nil {
+			log.Fatal(err)
+		}
+		if iter == 0 {
+			if err := sys.TrackingStop(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return sys
+}
+
+func main() {
+	counts := []int{1, 2, 4, 8, 16}
+	paradigms := []gps.Paradigm{gps.ParadigmUM, gps.ParadigmMemcpy, gps.ParadigmGPS, gps.ParadigmInfinite}
+
+	// Single-GPU reference time.
+	ref, err := buildAt(1).RunWith(gps.ParadigmInfinite, gps.InfiniteBW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := ref.SteadyTime
+
+	fmt.Printf("%-6s", "GPUs")
+	for _, p := range paradigms {
+		fmt.Printf("%14s", p)
+	}
+	fmt.Println("   (speedup over 1 GPU)")
+	for _, n := range counts {
+		sys := buildAt(n)
+		fmt.Printf("%-6d", n)
+		for _, p := range paradigms {
+			ic := gps.PCIe6
+			if p == gps.ParadigmInfinite {
+				ic = gps.InfiniteBW
+			}
+			res, err := sys.RunWith(p, ic)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%13.2fx", base/res.SteadyTime)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nGPS keeps scaling where fault-driven UM collapses and bulk-synchronous")
+	fmt.Println("memcpy saturates — the paper's Figure 12 in miniature.")
+}

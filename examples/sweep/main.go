@@ -1,0 +1,107 @@
+// Sweep: one program measured across every interconnect generation and
+// paradigm — a miniature of the paper's Figure 13 sensitivity study, built
+// entirely on the public API. It shows the paper's central observation:
+// conventional paradigms stay interconnect-bound across PCIe generations,
+// while GPS converts added bandwidth into scaling.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gps"
+)
+
+const (
+	gpus     = 4
+	arrBytes = 8 << 20
+	iters    = 5
+)
+
+// buildWave records a two-field wave propagation with deep halos and
+// double-pass writes (the EQWP-like pattern the write queue coalesces).
+func buildWave() *gps.System {
+	sys, err := gps.NewSystem(gps.Config{
+		GPUs:         gpus,
+		Interconnect: gps.PCIe4,
+		Paradigm:     gps.ParadigmGPS,
+		L2:           gps.L2Model{BaseHit: 0.55, SlopePerDoubling: 0.065, MaxHit: 0.75},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fields [2][2]*gps.Buffer // [field][parity]
+	for f := 0; f < 2; f++ {
+		for par := 0; par < 2; par++ {
+			b, err := sys.MallocGPS(fmt.Sprintf("f%d.%d", f, par), arrBytes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fields[f][par] = b
+		}
+	}
+	if err := sys.TrackingStart(); err != nil {
+		log.Fatal(err)
+	}
+
+	per := uint64(arrBytes / gpus)
+	halo := uint64(256 << 10)
+	for iter := 0; iter < iters; iter++ {
+		src, dst := iter%2, 1-iter%2
+		var kernels []*gps.KernelBuilder
+		for dev := 0; dev < gpus; dev++ {
+			lo := uint64(dev) * per
+			k := sys.NewKernel(dev, "wave.step").Compute(uint64(30 * 2 * 2 * per))
+			for f := 0; f < 2; f++ {
+				readLo, readSize := lo, per
+				if dev > 0 {
+					readLo -= halo
+					readSize += halo
+				}
+				if dev < gpus-1 {
+					readSize += halo
+				}
+				k = k.Load(fields[f][src], readLo, readSize).
+					StoreMultiPass(fields[f][dst], lo, per, 2, 288).
+					LocalStream(50 * per)
+			}
+			kernels = append(kernels, k)
+		}
+		if err := sys.Launch(kernels...); err != nil {
+			log.Fatal(err)
+		}
+		if iter == 0 {
+			if err := sys.TrackingStop(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return sys
+}
+
+func main() {
+	sys := buildWave()
+	paradigms := []gps.Paradigm{gps.ParadigmUM, gps.ParadigmRDL, gps.ParadigmMemcpy, gps.ParadigmGPS}
+	fabrics := []gps.Interconnect{gps.PCIe3, gps.PCIe4, gps.PCIe5, gps.PCIe6, gps.InfiniteBW}
+
+	fmt.Printf("%-22s", "steady time (ms)")
+	for _, p := range paradigms {
+		fmt.Printf("%12s", p)
+	}
+	fmt.Println()
+	for _, ic := range fabrics {
+		fmt.Printf("%-22s", ic)
+		for _, p := range paradigms {
+			res, err := sys.RunWith(p, ic)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%12.3f", res.SteadyTime*1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nGPS approaches the infinite-bandwidth bound as the fabric speeds up;")
+	fmt.Println("memcpy stays serialized at barriers and UM stays fault-bound.")
+}

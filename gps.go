@@ -1,0 +1,362 @@
+// Package gps is a library-level reproduction of "GPS: A Global
+// Publish-Subscribe Model for Multi-GPU Memory Management" (MICRO 2021). It
+// simulates multi-GPU systems executing memory-access workloads under seven
+// memory-management paradigms — fault-based Unified Memory, Unified Memory
+// with expert hints, remote demand loads, bulk-synchronous memcpy
+// mirroring, GPS with and without automatic subscription tracking, and an
+// infinite-bandwidth upper bound — over PCIe and NVLink-class interconnect
+// models.
+//
+// The programming interface mirrors the paper's Section 4 API: allocate
+// buffers in the GPS address space (MallocGPS, the cudaMallocGPS analogue),
+// optionally manage subscriptions manually (MallocGPSManual /
+// Subscribe / Unsubscribe, the CU_MEM_ADVISE_GPS_* hints), bracket a
+// profiling iteration with TrackingStart/TrackingStop
+// (cuGPSTrackingStart/Stop), launch kernels phase by phase, and Run the
+// whole program through the structural and timing simulators.
+//
+//	sys, _ := gps.NewSystem(gps.Config{GPUs: 4, Interconnect: gps.PCIe4, Paradigm: gps.ParadigmGPS})
+//	buf, _ := sys.MallocGPS("grid", 8<<20)
+//	sys.TrackingStart()
+//	... build + Launch the first iteration's kernels ...
+//	sys.TrackingStop()
+//	... launch more iterations ...
+//	res, _ := sys.Run()
+package gps
+
+import (
+	"fmt"
+
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/trace"
+)
+
+// Paradigm selects the memory-management technique a Run simulates.
+type Paradigm int
+
+// The paradigms of the paper's Section 6.
+const (
+	// ParadigmGPS is the paper's proposal with automatic subscription
+	// tracking (the default).
+	ParadigmGPS Paradigm = iota
+	// ParadigmGPSNoSub is GPS with subscription management disabled:
+	// all-to-all replication (the Figure 11 ablation).
+	ParadigmGPSNoSub
+	// ParadigmUM is baseline Unified Memory with fault-based migration.
+	ParadigmUM
+	// ParadigmUMHints is Unified Memory with expert placement, accessed-by
+	// and prefetch hints.
+	ParadigmUMHints
+	// ParadigmRDL issues stores locally and loads to the page's last writer.
+	ParadigmRDL
+	// ParadigmMemcpy mirrors shared data everywhere with bulk-synchronous
+	// broadcasts at barriers.
+	ParadigmMemcpy
+	// ParadigmInfinite elides all transfer costs (upper bound).
+	ParadigmInfinite
+	// ParadigmGPSUnsubDefault is GPS with unsubscribed-by-default profiling
+	// (the Section 3.2 alternative): GPUs subscribe on first read, paying
+	// page-population stalls during the profiling window.
+	ParadigmGPSUnsubDefault
+	// ParadigmMemcpyAsync is the expert pipelined cudaMemcpy baseline of
+	// Section 2.1: the same broadcasts as ParadigmMemcpy, double-buffered to
+	// overlap with compute.
+	ParadigmMemcpyAsync
+)
+
+func (p Paradigm) kind() (paradigm.Kind, error) {
+	switch p {
+	case ParadigmGPS:
+		return paradigm.KindGPS, nil
+	case ParadigmGPSNoSub:
+		return paradigm.KindGPSNoSub, nil
+	case ParadigmUM:
+		return paradigm.KindUM, nil
+	case ParadigmUMHints:
+		return paradigm.KindUMHints, nil
+	case ParadigmRDL:
+		return paradigm.KindRDL, nil
+	case ParadigmMemcpy:
+		return paradigm.KindMemcpy, nil
+	case ParadigmInfinite:
+		return paradigm.KindInfinite, nil
+	case ParadigmGPSUnsubDefault:
+		return paradigm.KindGPSUnsubDefault, nil
+	case ParadigmMemcpyAsync:
+		return paradigm.KindMemcpyAsync, nil
+	}
+	return 0, fmt.Errorf("gps: unknown paradigm %d", int(p))
+}
+
+// String names the paradigm as the paper's figures do.
+func (p Paradigm) String() string {
+	if k, err := p.kind(); err == nil {
+		return k.String()
+	}
+	return fmt.Sprintf("Paradigm(%d)", int(p))
+}
+
+// Paradigms lists every selectable paradigm in figure order.
+func Paradigms() []Paradigm {
+	return []Paradigm{ParadigmUM, ParadigmUMHints, ParadigmRDL, ParadigmMemcpy,
+		ParadigmMemcpyAsync, ParadigmGPS, ParadigmGPSNoSub, ParadigmGPSUnsubDefault,
+		ParadigmInfinite}
+}
+
+// Interconnect selects the inter-GPU fabric.
+type Interconnect int
+
+// Fabrics evaluated in the paper.
+const (
+	// PCIe3 through PCIe6 are x16 PCIe trees at 16/32/64/128 GB/s per
+	// direction per GPU (PCIe 6.0 is the paper's projection).
+	PCIe3 Interconnect = iota
+	PCIe4
+	PCIe5
+	PCIe6
+	// NVLinkSwitch is a non-blocking NVSwitch crossbar at NVLink 2 rates.
+	NVLinkSwitch
+	// InfiniteBW is the ideal fabric: transfers are free.
+	InfiniteBW
+)
+
+func (i Interconnect) build(gpus int) (*interconnect.Fabric, error) {
+	switch i {
+	case PCIe3:
+		return interconnect.PCIeTree(gpus, interconnect.PCIe3), nil
+	case PCIe4:
+		return interconnect.PCIeTree(gpus, interconnect.PCIe4), nil
+	case PCIe5:
+		return interconnect.PCIeTree(gpus, interconnect.PCIe5), nil
+	case PCIe6:
+		return interconnect.PCIeTree(gpus, interconnect.PCIe6), nil
+	case NVLinkSwitch:
+		return interconnect.NVSwitch(gpus, interconnect.NVLink2Bandwidth), nil
+	case InfiniteBW:
+		return interconnect.Infinite(gpus), nil
+	}
+	return nil, fmt.Errorf("gps: unknown interconnect %d", int(i))
+}
+
+// String names the fabric.
+func (i Interconnect) String() string {
+	switch i {
+	case PCIe3:
+		return "PCIe 3.0"
+	case PCIe4:
+		return "PCIe 4.0"
+	case PCIe5:
+		return "PCIe 5.0"
+	case PCIe6:
+		return "PCIe 6.0 (projected)"
+	case NVLinkSwitch:
+		return "NVLink+NVSwitch"
+	case InfiniteBW:
+		return "infinite bandwidth"
+	}
+	return fmt.Sprintf("Interconnect(%d)", int(i))
+}
+
+// L2Model re-exports the analytic cache model (per-application scaling of
+// the L2 hit rate with GPU count).
+type L2Model = trace.L2Model
+
+// Config describes the simulated system.
+type Config struct {
+	// GPUs is the number of GPUs (1..64). Required.
+	GPUs int
+	// Interconnect selects the fabric (default PCIe4).
+	Interconnect Interconnect
+	// Paradigm selects the memory management technique (default GPS).
+	Paradigm Paradigm
+	// PageBytes overrides the 64 KB translation granularity.
+	PageBytes uint64
+	// WriteQueueEntries overrides the 512-entry GPS remote write queue.
+	WriteQueueEntries int
+	// GPSTLBEntries overrides the 32-entry GPS-TLB.
+	GPSTLBEntries int
+	// L2 sets the application's cache model (optional).
+	L2 L2Model
+}
+
+// System accumulates a program — allocations, subscriptions, kernel
+// launches — and runs it through the simulator.
+type System struct {
+	cfg        Config
+	phases     []trace.Phase
+	profileEnd int // phases recorded before TrackingStop; -1 = not tracking
+	tracking   bool
+	nextSlot   int
+	buffers    map[string]*Buffer
+	finished   bool
+}
+
+// NewSystem validates cfg and returns an empty System.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.GPUs < 1 || cfg.GPUs > 64 {
+		return nil, fmt.Errorf("gps: GPU count %d out of range 1..64", cfg.GPUs)
+	}
+	if _, err := cfg.Paradigm.kind(); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.Interconnect.build(cfg.GPUs); err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:        cfg,
+		profileEnd: -1,
+		buffers:    map[string]*Buffer{},
+	}, nil
+}
+
+// GPUs returns the configured GPU count.
+func (s *System) GPUs() int { return s.cfg.GPUs }
+
+// Buffer is one allocation in the simulated address space.
+type Buffer struct {
+	name   string
+	base   uint64
+	size   uint64
+	shared bool
+	manual []int // manual subscriber list, nil for automatic
+	device int   // owner for pinned buffers
+}
+
+// Name returns the buffer's label.
+func (b *Buffer) Name() string { return b.name }
+
+// Size returns the allocation size in bytes.
+func (b *Buffer) Size() uint64 { return b.size }
+
+func (s *System) alloc(name string, size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("gps: zero-size allocation %q", name)
+	}
+	if size > 1<<33 {
+		return 0, fmt.Errorf("gps: allocation %q exceeds 8 GB", name)
+	}
+	if _, dup := s.buffers[name]; dup {
+		return 0, fmt.Errorf("gps: buffer %q already allocated", name)
+	}
+	s.nextSlot++
+	return uint64(s.nextSlot) << 33, nil
+}
+
+// MallocGPS allocates a buffer in the GPS address space with automatic
+// subscription management (cudaMallocGPS): all GPUs are tentatively
+// subscribed; profiling unsubscribes non-consumers.
+func (s *System) MallocGPS(name string, size uint64) (*Buffer, error) {
+	base, err := s.alloc(name, size)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{name: name, base: base, size: size, shared: true}
+	s.buffers[name] = b
+	return b, nil
+}
+
+// MallocGPSManual allocates a GPS buffer whose subscriptions are managed
+// explicitly (the optional manual parameter of cudaMallocGPS). Profiling
+// never unsubscribes it; adjust the set with Subscribe/Unsubscribe before
+// launching kernels.
+func (s *System) MallocGPSManual(name string, size uint64, subscribers ...int) (*Buffer, error) {
+	if len(subscribers) == 0 {
+		return nil, fmt.Errorf("gps: manual buffer %q needs at least one subscriber", name)
+	}
+	for _, g := range subscribers {
+		if g < 0 || g >= s.cfg.GPUs {
+			return nil, fmt.Errorf("gps: subscriber GPU %d out of range", g)
+		}
+	}
+	base, err := s.alloc(name, size)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{name: name, base: base, size: size, shared: true,
+		manual: append([]int{}, subscribers...)}
+	s.buffers[name] = b
+	return b, nil
+}
+
+// Malloc allocates GPU-pinned memory on device (cudaMalloc): never
+// replicated or migrated by any paradigm.
+func (s *System) Malloc(name string, size uint64, device int) (*Buffer, error) {
+	if device < 0 || device >= s.cfg.GPUs {
+		return nil, fmt.Errorf("gps: device %d out of range", device)
+	}
+	base, err := s.alloc(name, size)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{name: name, base: base, size: size, device: device}
+	s.buffers[name] = b
+	return b, nil
+}
+
+// Subscribe adds device to a manual buffer's subscriber set
+// (cuMemAdvise with CU_MEM_ADVISE_GPS_SUBSCRIBE).
+func (s *System) Subscribe(b *Buffer, device int) error {
+	if b.manual == nil {
+		return fmt.Errorf("gps: buffer %q uses automatic subscription", b.name)
+	}
+	if device < 0 || device >= s.cfg.GPUs {
+		return fmt.Errorf("gps: device %d out of range", device)
+	}
+	for _, g := range b.manual {
+		if g == device {
+			return nil
+		}
+	}
+	b.manual = append(b.manual, device)
+	return nil
+}
+
+// Unsubscribe removes device from a manual buffer's subscriber set
+// (cuMemAdvise with CU_MEM_ADVISE_GPS_UNSUBSCRIBE). Removing the last
+// subscriber fails, as in the paper.
+func (s *System) Unsubscribe(b *Buffer, device int) error {
+	if b.manual == nil {
+		return fmt.Errorf("gps: buffer %q uses automatic subscription", b.name)
+	}
+	if len(b.manual) == 1 && b.manual[0] == device {
+		return fmt.Errorf("gps: cannot unsubscribe the last subscriber of %q", b.name)
+	}
+	for i, g := range b.manual {
+		if g == device {
+			b.manual = append(b.manual[:i], b.manual[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("gps: device %d is not subscribed to %q", device, b.name)
+}
+
+// TrackingStart begins the GPS profiling window (cuGPSTrackingStart). Call
+// before launching the first iteration's kernels.
+func (s *System) TrackingStart() error {
+	if s.tracking {
+		return fmt.Errorf("gps: tracking already active")
+	}
+	if s.profileEnd >= 0 {
+		return fmt.Errorf("gps: tracking window already closed")
+	}
+	if len(s.phases) != 0 {
+		return fmt.Errorf("gps: TrackingStart must precede the first launch")
+	}
+	s.tracking = true
+	return nil
+}
+
+// TrackingStop ends the profiling window (cuGPSTrackingStop): every GPS
+// page keeps only the subscribers that touched it during the window.
+func (s *System) TrackingStop() error {
+	if !s.tracking {
+		return fmt.Errorf("gps: tracking not active")
+	}
+	if len(s.phases) == 0 {
+		return fmt.Errorf("gps: empty tracking window")
+	}
+	s.tracking = false
+	s.profileEnd = len(s.phases)
+	return nil
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gps/internal/memsys"
+)
+
+// ManagerStats counts driver-level subscription activity.
+type ManagerStats struct {
+	GPSPages      int    // pages currently replicated (GPS bit set, >1 subscriber)
+	PinnedPages   int    // conventional pages
+	Unsubscribes  uint64 // page unsubscriptions performed
+	Downgrades    uint64 // GPS pages demoted to conventional (single subscriber)
+	Collapses     uint64 // sys-scope collapses (Section 5.3)
+	ReplicaFrames uint64 // physical frames currently backing replicas
+}
+
+// pageState is the driver's canonical view of one allocated page.
+type pageState struct {
+	gpsRegion  bool // allocated through AllocGPS
+	downgraded bool // GPS page demoted to a single-copy conventional page
+	owner      int  // for conventional/downgraded pages: the hosting GPU
+}
+
+// Manager is the GPS driver's memory manager: it owns every GPU's
+// conventional page table, the shared GPS page table, and the physical frame
+// allocators, and implements allocation, manual and automatic subscription,
+// profiling-driven unsubscription, downgrade of single-subscriber pages, and
+// sys-scope collapse.
+type Manager struct {
+	geom    memsys.Geometry
+	numGPUs int
+	conv    []*memsys.PageTable
+	phys    []*memsys.PhysMem
+	gpsPT   *memsys.GPSPageTable
+	pages   map[memsys.VPN]*pageState
+	stats   ManagerStats
+
+	// onRemap, when set, is invoked for every page whose translation
+	// changed, so the engine can shoot down conventional and GPS TLBs.
+	onRemap func(vpn memsys.VPN)
+}
+
+// NewManager builds a manager for numGPUs GPUs each with memPerGPU bytes of
+// physical memory.
+func NewManager(geom memsys.Geometry, numGPUs int, memPerGPU uint64) (*Manager, error) {
+	if numGPUs < 1 || numGPUs > memsys.MaxGPUs {
+		return nil, fmt.Errorf("core: GPU count %d out of range", numGPUs)
+	}
+	m := &Manager{
+		geom:    geom,
+		numGPUs: numGPUs,
+		gpsPT:   memsys.NewGPSPageTable(geom, numGPUs),
+		pages:   map[memsys.VPN]*pageState{},
+	}
+	for g := 0; g < numGPUs; g++ {
+		pm, err := memsys.NewPhysMem(g, memPerGPU, geom.PageBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.phys = append(m.phys, pm)
+		m.conv = append(m.conv, memsys.NewPageTable(geom))
+	}
+	return m, nil
+}
+
+// SetRemapHook installs a callback fired for every page whose translation
+// changes (for TLB shootdown modeling).
+func (m *Manager) SetRemapHook(fn func(vpn memsys.VPN)) { m.onRemap = fn }
+
+// NumGPUs returns the system's GPU count.
+func (m *Manager) NumGPUs() int { return m.numGPUs }
+
+// Geometry returns the translation geometry.
+func (m *Manager) Geometry() memsys.Geometry { return m.geom }
+
+// GPSPageTable exposes the shared wide page table for the translation units.
+func (m *Manager) GPSPageTable() *memsys.GPSPageTable { return m.gpsPT }
+
+// PageTable returns gpu's conventional page table.
+func (m *Manager) PageTable(gpu int) *memsys.PageTable { return m.conv[gpu] }
+
+// PhysMem returns gpu's physical allocator.
+func (m *Manager) PhysMem(gpu int) *memsys.PhysMem { return m.phys[gpu] }
+
+func (m *Manager) remapped(vpn memsys.VPN) {
+	if m.onRemap != nil {
+		m.onRemap(vpn)
+	}
+}
+
+// AllocPinned allocates [base, base+size) as conventional pages resident on
+// gpu (cudaMalloc semantics with peer mappings in every GPU's page table).
+func (m *Manager) AllocPinned(base memsys.VAddr, size uint64, gpu int) error {
+	if gpu < 0 || gpu >= m.numGPUs {
+		return fmt.Errorf("core: GPU %d out of range", gpu)
+	}
+	for _, vpn := range m.geom.PagesIn(base, size) {
+		if _, exists := m.pages[vpn]; exists {
+			return fmt.Errorf("core: page %#x already allocated", uint64(vpn))
+		}
+		ppn, err := m.phys[gpu].Alloc()
+		if err != nil {
+			return err
+		}
+		for g := 0; g < m.numGPUs; g++ {
+			m.conv[g].Map(vpn, memsys.PTE{Valid: true, PPN: ppn, Owner: gpu})
+		}
+		m.pages[vpn] = &pageState{owner: gpu}
+		m.stats.PinnedPages++
+		m.stats.ReplicaFrames++
+	}
+	return nil
+}
+
+// AllocGPS allocates [base, base+size) in the GPS address space with the
+// given initial subscribers (cudaMallocGPS; automatic mode starts with all
+// GPUs subscribed). Every subscriber receives a local replica; GPUs outside
+// the set receive a remote mapping to the first subscriber.
+func (m *Manager) AllocGPS(base memsys.VAddr, size uint64, subs memsys.SubscriberSet) error {
+	if subs.Empty() {
+		return errors.New("core: GPS allocation needs at least one subscriber")
+	}
+	if subs.First() >= m.numGPUs || subs != subs.Intersect(memsys.AllGPUs(m.numGPUs)) {
+		return fmt.Errorf("core: subscriber set %v exceeds %d GPUs", subs, m.numGPUs)
+	}
+	for _, vpn := range m.geom.PagesIn(base, size) {
+		if _, exists := m.pages[vpn]; exists {
+			return fmt.Errorf("core: page %#x already allocated", uint64(vpn))
+		}
+		var allocErr error
+		subs.ForEach(func(g int) {
+			if allocErr != nil {
+				return
+			}
+			ppn, err := m.phys[g].Alloc()
+			if err != nil {
+				allocErr = err
+				return
+			}
+			m.gpsPT.Subscribe(vpn, g, ppn)
+			m.conv[g].Map(vpn, memsys.PTE{Valid: true, GPS: true, PPN: ppn, Owner: g})
+			m.stats.ReplicaFrames++
+		})
+		if allocErr != nil {
+			return allocErr
+		}
+		host := subs.First()
+		hostPPN := m.gpsPT.Lookup(vpn).ReplicaOn(host)
+		for g := 0; g < m.numGPUs; g++ {
+			if !subs.Has(g) {
+				m.conv[g].Map(vpn, memsys.PTE{Valid: true, GPS: true, PPN: hostPPN, Owner: host})
+			}
+		}
+		m.pages[vpn] = &pageState{gpsRegion: true}
+		m.stats.GPSPages++
+	}
+	return nil
+}
+
+// Subscribers returns the current subscriber set of a page: the GPS page
+// table's set while replicated, or the single owner after downgrade.
+func (m *Manager) Subscribers(vpn memsys.VPN) memsys.SubscriberSet {
+	if e := m.gpsPT.Lookup(vpn); e != nil {
+		return e.Subscribers
+	}
+	if st, ok := m.pages[vpn]; ok {
+		return memsys.SetOf(st.owner)
+	}
+	return 0
+}
+
+// IsGPSPage reports whether stores to vpn fork to the GPS unit (the GPS bit
+// as seen by gpu's conventional TLB).
+func (m *Manager) IsGPSPage(gpu int, vpn memsys.VPN) bool {
+	pte := m.conv[gpu].Lookup(vpn)
+	return pte != nil && pte.GPS
+}
+
+// Subscribe adds gpu as a subscriber to every page of [base, base+size),
+// allocating local replicas (CU_MEM_ADVISE_GPS_SUBSCRIBE). Subscribing to a
+// downgraded page re-promotes it to a replicated GPS page.
+func (m *Manager) Subscribe(gpu int, base memsys.VAddr, size uint64) error {
+	if gpu < 0 || gpu >= m.numGPUs {
+		return fmt.Errorf("core: GPU %d out of range", gpu)
+	}
+	for _, vpn := range m.geom.PagesIn(base, size) {
+		st, ok := m.pages[vpn]
+		if !ok || !st.gpsRegion {
+			return fmt.Errorf("core: page %#x is not a GPS page", uint64(vpn))
+		}
+		if st.downgraded {
+			// Re-promote: the current owner becomes a subscriber again.
+			ownerPTE := m.conv[st.owner].Lookup(vpn)
+			m.gpsPT.Subscribe(vpn, st.owner, ownerPTE.PPN)
+			ownerPTE.GPS = true
+			st.downgraded = false
+			m.stats.Downgrades-- // promotion cancels a downgrade in the census
+			m.stats.GPSPages++
+			m.stats.PinnedPages--
+		}
+		e := m.gpsPT.Lookup(vpn)
+		if e.Subscribers.Has(gpu) {
+			continue
+		}
+		ppn, err := m.phys[gpu].Alloc()
+		if err != nil {
+			return err
+		}
+		m.gpsPT.Subscribe(vpn, gpu, ppn)
+		m.conv[gpu].Map(vpn, memsys.PTE{Valid: true, GPS: true, PPN: ppn, Owner: gpu})
+		m.stats.ReplicaFrames++
+		m.remapped(vpn)
+	}
+	return nil
+}
+
+// Unsubscribe removes gpu from every page of [base, base+size), freeing its
+// replicas (CU_MEM_ADVISE_GPS_UNSUBSCRIBE). Removing the last subscriber
+// fails with memsys.ErrLastSubscriber and leaves the allocation in place.
+// Pages that end up with a single subscriber are downgraded to conventional
+// pages (Section 5.2: duplication of writes is wasted effort with one
+// subscriber).
+func (m *Manager) Unsubscribe(gpu int, base memsys.VAddr, size uint64) error {
+	for _, vpn := range m.geom.PagesIn(base, size) {
+		if err := m.unsubscribePage(gpu, vpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) unsubscribePage(gpu int, vpn memsys.VPN) error {
+	st, ok := m.pages[vpn]
+	if !ok || !st.gpsRegion || st.downgraded {
+		return fmt.Errorf("core: page %#x is not a replicated GPS page", uint64(vpn))
+	}
+	ppn, err := m.gpsPT.Unsubscribe(vpn, gpu)
+	if err != nil {
+		return err
+	}
+	m.phys[gpu].Free(ppn)
+	m.stats.ReplicaFrames--
+	m.stats.Unsubscribes++
+	e := m.gpsPT.Lookup(vpn)
+	host := e.Subscribers.First()
+	hostPPN := e.ReplicaOn(host)
+	// The leaver now maps the page remotely; the GPS bit stays set so its
+	// (unexpected) stores still replicate to real subscribers.
+	m.conv[gpu].Map(vpn, memsys.PTE{Valid: true, GPS: true, PPN: hostPPN, Owner: host})
+	m.remapped(vpn)
+	if e.Subscribers.Count() == 1 {
+		m.downgrade(vpn, host)
+	}
+	return nil
+}
+
+// downgrade demotes a single-subscriber GPS page to a conventional page
+// hosted by owner.
+func (m *Manager) downgrade(vpn memsys.VPN, owner int) {
+	e := m.gpsPT.Lookup(vpn)
+	ppn := e.ReplicaOn(owner)
+	m.gpsPT.Drop(vpn)
+	for g := 0; g < m.numGPUs; g++ {
+		m.conv[g].Map(vpn, memsys.PTE{Valid: true, PPN: ppn, Owner: owner})
+	}
+	st := m.pages[vpn]
+	st.downgraded = true
+	st.owner = owner
+	m.stats.Downgrades++
+	m.stats.GPSPages--
+	m.stats.PinnedPages++
+	m.remapped(vpn)
+}
+
+// ApplyProfile performs the cuGPSTrackingStop() unsubscription sweep: every
+// GPS page loses the subscribers that did not touch it during profiling. A
+// page nobody touched keeps its first subscriber (at least one replica must
+// remain). Pages for which skip returns true (manually managed
+// subscriptions) are left untouched; a nil skip considers every page. It
+// returns the number of unsubscriptions performed.
+func (m *Manager) ApplyProfile(t *AccessTracker, skip func(memsys.VPN) bool) int {
+	type cut struct {
+		vpn memsys.VPN
+		gpu int
+	}
+	var cuts []cut
+	m.gpsPT.ForEach(func(vpn memsys.VPN, e *memsys.GPSPTE) {
+		if skip != nil && skip(vpn) {
+			return
+		}
+		touched := t.TouchedBy(vpn).Intersect(e.Subscribers)
+		keepOne := touched.Empty()
+		e.Subscribers.ForEach(func(g int) {
+			if touched.Has(g) {
+				return
+			}
+			if keepOne && g == e.Subscribers.First() {
+				return
+			}
+			cuts = append(cuts, cut{vpn, g})
+		})
+	})
+	for _, c := range cuts {
+		// Unsubscribe can still fail on the last subscriber when every
+		// subscriber was untouched; the guard above keeps the first.
+		if err := m.unsubscribePage(c.gpu, c.vpn); err != nil {
+			panic(fmt.Sprintf("core: profile unsubscribe: %v", err))
+		}
+	}
+	return len(cuts)
+}
+
+// CollapseSysScoped handles a sys-scoped store to a GPS page (Section 5.3):
+// the page collapses to a single copy on the writing GPU, is demoted to a
+// conventional page, and all other replicas are freed.
+func (m *Manager) CollapseSysScoped(writer int, vpn memsys.VPN) error {
+	st, ok := m.pages[vpn]
+	if !ok || !st.gpsRegion {
+		return fmt.Errorf("core: page %#x is not a GPS page", uint64(vpn))
+	}
+	if st.downgraded {
+		return nil // already a single copy
+	}
+	e := m.gpsPT.Lookup(vpn)
+	host := writer
+	if !e.Subscribers.Has(writer) {
+		// The writer holds no replica: collapse to the first subscriber.
+		host = e.Subscribers.First()
+	}
+	hostPPN := e.ReplicaOn(host)
+	e.Subscribers.ForEach(func(g int) {
+		if g == host {
+			return
+		}
+		m.phys[g].Free(e.ReplicaOn(g))
+		m.stats.ReplicaFrames--
+	})
+	m.gpsPT.Drop(vpn)
+	for g := 0; g < m.numGPUs; g++ {
+		m.conv[g].Map(vpn, memsys.PTE{Valid: true, PPN: hostPPN, Owner: host})
+	}
+	st.downgraded = true
+	st.owner = host
+	m.stats.Collapses++
+	m.stats.GPSPages--
+	m.stats.PinnedPages++
+	m.remapped(vpn)
+	return nil
+}
+
+// EvictSubscriber handles memory oversubscription (Section 5.3): the
+// driver swaps gpu's replica of vpn out, unsubscribing it, so gpu accesses
+// the page remotely from now on. It is Unsubscribe with oversubscription
+// semantics: evicting down to the final copy is refused (the last replica
+// is never swapped).
+func (m *Manager) EvictSubscriber(gpu int, vpn memsys.VPN) error {
+	return m.unsubscribePage(gpu, vpn)
+}
+
+// Free releases every page of [base, base+size), GPS or conventional.
+func (m *Manager) Free(base memsys.VAddr, size uint64) error {
+	for _, vpn := range m.geom.PagesIn(base, size) {
+		st, ok := m.pages[vpn]
+		if !ok {
+			return fmt.Errorf("core: freeing unallocated page %#x", uint64(vpn))
+		}
+		if e := m.gpsPT.Lookup(vpn); e != nil {
+			e.Subscribers.ForEach(func(g int) {
+				m.phys[g].Free(e.ReplicaOn(g))
+				m.stats.ReplicaFrames--
+			})
+			m.gpsPT.Drop(vpn)
+			m.stats.GPSPages--
+		} else {
+			m.phys[st.owner].Free(m.conv[st.owner].Lookup(vpn).PPN)
+			m.stats.ReplicaFrames--
+			m.stats.PinnedPages--
+		}
+		for g := 0; g < m.numGPUs; g++ {
+			m.conv[g].Unmap(vpn)
+		}
+		delete(m.pages, vpn)
+		m.remapped(vpn)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of manager activity.
+func (m *Manager) Stats() ManagerStats { return m.stats }
+
+// SubscriberHistogram returns, for GPS-region pages currently replicated,
+// how many pages have each subscriber count — the data behind Figure 9.
+func (m *Manager) SubscriberHistogram() map[int]int {
+	h := map[int]int{}
+	m.gpsPT.ForEach(func(vpn memsys.VPN, e *memsys.GPSPTE) {
+		h[e.Subscribers.Count()]++
+	})
+	// Downgraded GPS pages count as single-subscriber pages.
+	for _, st := range m.pages {
+		if st.gpsRegion && st.downgraded {
+			h[1]++
+		}
+	}
+	return h
+}

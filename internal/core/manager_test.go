@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gps/internal/memsys"
+)
+
+func newTestManager(t *testing.T, gpus int) *Manager {
+	t.Helper()
+	m, err := NewManager(testGeom(), gpus, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const page = 64 << 10
+
+func TestAllocGPSCreatesReplicasEverywhere(t *testing.T) {
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, 2*page, memsys.AllGPUs(4)); err != nil {
+		t.Fatal(err)
+	}
+	for vpn := memsys.VPN(0); vpn < 2; vpn++ {
+		if got := m.Subscribers(vpn); got != memsys.AllGPUs(4) {
+			t.Fatalf("page %d subscribers = %v", vpn, got)
+		}
+		for g := 0; g < 4; g++ {
+			pte := m.PageTable(g).Lookup(vpn)
+			if pte == nil || !pte.GPS || pte.Owner != g {
+				t.Fatalf("GPU %d PTE for page %d = %+v", g, vpn, pte)
+			}
+		}
+	}
+	if m.Stats().ReplicaFrames != 8 {
+		t.Fatalf("replica frames = %d, want 8", m.Stats().ReplicaFrames)
+	}
+	if used := m.PhysMem(0).UsedBytes(); used != 2*page {
+		t.Fatalf("GPU0 used = %d, want two pages", used)
+	}
+}
+
+func TestAllocGPSPartialSubscribers(t *testing.T) {
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, page, memsys.SetOf(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Non-subscribers map remotely to the first subscriber.
+	pte := m.PageTable(0).Lookup(0)
+	if pte == nil || !pte.GPS || pte.Owner != 1 {
+		t.Fatalf("non-subscriber PTE = %+v, want remote to GPU1", pte)
+	}
+	if m.PhysMem(0).UsedBytes() != 0 || m.PhysMem(3).UsedBytes() != 0 {
+		t.Fatal("non-subscribers must not hold replicas")
+	}
+}
+
+func TestAllocPinned(t *testing.T) {
+	m := newTestManager(t, 2)
+	if err := m.AllocPinned(0, page, 1); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		pte := m.PageTable(g).Lookup(0)
+		if pte == nil || pte.GPS || pte.Owner != 1 {
+			t.Fatalf("GPU %d pinned PTE = %+v", g, pte)
+		}
+	}
+	if m.IsGPSPage(0, 0) {
+		t.Fatal("pinned page must not be GPS")
+	}
+}
+
+func TestDoubleAllocFails(t *testing.T) {
+	m := newTestManager(t, 2)
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(2)); err == nil {
+		t.Fatal("double alloc accepted")
+	}
+	if err := m.AllocPinned(0, page, 0); err == nil {
+		t.Fatal("pinned over GPS accepted")
+	}
+}
+
+func TestUnsubscribeFreesAndRemapsRemote(t *testing.T) {
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unsubscribe(3, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Subscribers(0); got != memsys.SetOf(0, 1, 2) {
+		t.Fatalf("subscribers = %v", got)
+	}
+	if m.PhysMem(3).UsedBytes() != 0 {
+		t.Fatal("unsubscribed replica not freed")
+	}
+	pte := m.PageTable(3).Lookup(0)
+	if pte == nil || !pte.GPS || pte.Owner != 0 {
+		t.Fatalf("leaver PTE = %+v, want remote with GPS bit", pte)
+	}
+	if m.Stats().Unsubscribes != 1 {
+		t.Fatalf("unsubscribes = %d", m.Stats().Unsubscribes)
+	}
+}
+
+func TestUnsubscribeLastFails(t *testing.T) {
+	m := newTestManager(t, 2)
+	if err := m.AllocGPS(0, page, memsys.SetOf(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unsubscribe(0, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	// Page downgraded to conventional on GPU1; unsubscribing it now fails.
+	if err := m.Unsubscribe(1, 0, page); err == nil {
+		t.Fatal("unsubscribing the last copy should fail")
+	}
+}
+
+func TestDowngradeOnSingleSubscriber(t *testing.T) {
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, page, memsys.SetOf(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unsubscribe(0, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	// One subscriber left: the page must be downgraded to conventional.
+	if m.GPSPageTable().Lookup(0) != nil {
+		t.Fatal("downgraded page still in GPS page table")
+	}
+	for g := 0; g < 4; g++ {
+		pte := m.PageTable(g).Lookup(0)
+		if pte == nil || pte.GPS || pte.Owner != 1 {
+			t.Fatalf("GPU %d PTE after downgrade = %+v", g, pte)
+		}
+	}
+	if m.Stats().Downgrades != 1 {
+		t.Fatalf("downgrades = %d", m.Stats().Downgrades)
+	}
+	if got := m.Subscribers(0); got != memsys.SetOf(1) {
+		t.Fatalf("post-downgrade subscribers = %v", got)
+	}
+}
+
+func TestSubscribeRepromotesDowngradedPage(t *testing.T) {
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, page, memsys.SetOf(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unsubscribe(0, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Subscribe(2, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Subscribers(0); got != memsys.SetOf(1, 2) {
+		t.Fatalf("subscribers = %v", got)
+	}
+	if !m.IsGPSPage(1, 0) || !m.IsGPSPage(2, 0) {
+		t.Fatal("re-promoted page should carry the GPS bit")
+	}
+}
+
+func TestSubscribeIsIdempotent(t *testing.T) {
+	m := newTestManager(t, 2)
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(2)); err != nil {
+		t.Fatal(err)
+	}
+	before := m.PhysMem(0).UsedBytes()
+	if err := m.Subscribe(0, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if m.PhysMem(0).UsedBytes() != before {
+		t.Fatal("re-subscribing allocated a second replica")
+	}
+}
+
+func TestApplyProfileUnsubscribesUntouched(t *testing.T) {
+	m := newTestManager(t, 4)
+	geom := m.Geometry()
+	if err := m.AllocGPS(0, 3*page, memsys.AllGPUs(4)); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewAccessTracker(geom, 0, 3*page, 4)
+	tr.Start()
+	// Page 0: touched by 0,1. Page 1: touched by all. Page 2: untouched.
+	tr.RecordTLBMiss(0, 0)
+	tr.RecordTLBMiss(1, 0)
+	for g := 0; g < 4; g++ {
+		tr.RecordTLBMiss(g, 1)
+	}
+	tr.Stop()
+
+	cuts := m.ApplyProfile(tr, nil)
+	if cuts == 0 {
+		t.Fatal("no unsubscriptions performed")
+	}
+	if got := m.Subscribers(0); got != memsys.SetOf(0, 1) {
+		t.Fatalf("page 0 subscribers = %v, want {0,1}", got)
+	}
+	if got := m.Subscribers(1); got != memsys.AllGPUs(4) {
+		t.Fatalf("page 1 subscribers = %v, want all", got)
+	}
+	// Untouched page keeps exactly one subscriber (downgraded).
+	if got := m.Subscribers(2); got.Count() != 1 {
+		t.Fatalf("page 2 subscribers = %v, want one", got)
+	}
+}
+
+func TestCollapseSysScoped(t *testing.T) {
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CollapseSysScoped(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.GPSPageTable().Lookup(0) != nil {
+		t.Fatal("collapsed page still replicated")
+	}
+	for g := 0; g < 4; g++ {
+		pte := m.PageTable(g).Lookup(0)
+		if pte == nil || pte.GPS || pte.Owner != 2 {
+			t.Fatalf("GPU %d PTE after collapse = %+v, want conventional on 2", g, pte)
+		}
+	}
+	// Only the writer's frame remains.
+	for g := 0; g < 4; g++ {
+		want := uint64(0)
+		if g == 2 {
+			want = page
+		}
+		if m.PhysMem(g).UsedBytes() != want {
+			t.Fatalf("GPU %d used = %d, want %d", g, m.PhysMem(g).UsedBytes(), want)
+		}
+	}
+	if m.Stats().Collapses != 1 {
+		t.Fatal("collapse not counted")
+	}
+	// Idempotent on an already-collapsed page.
+	if err := m.CollapseSysScoped(1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeReleasesEverything(t *testing.T) {
+	m := newTestManager(t, 2)
+	if err := m.AllocGPS(0, 2*page, memsys.AllGPUs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocPinned(1<<30, page, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(0, 2*page); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(1<<30, page); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		if m.PhysMem(g).UsedBytes() != 0 {
+			t.Fatalf("GPU %d leaked memory", g)
+		}
+		if m.PageTable(g).Entries() != 0 {
+			t.Fatalf("GPU %d page table not empty", g)
+		}
+	}
+	if err := m.Free(0, page); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if m.Stats().ReplicaFrames != 0 {
+		t.Fatalf("replica frames = %d after free", m.Stats().ReplicaFrames)
+	}
+}
+
+func TestSubscriberHistogram(t *testing.T) {
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocGPS(page, page, memsys.SetOf(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocGPS(2*page, page, memsys.SetOf(0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	h := m.SubscriberHistogram()
+	if h[4] != 1 || h[2] != 1 || h[3] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestManagerErrors(t *testing.T) {
+	m := newTestManager(t, 2)
+	if err := m.AllocGPS(0, page, 0); err == nil {
+		t.Error("empty subscriber set accepted")
+	}
+	if err := m.AllocGPS(0, page, memsys.SetOf(5)); err == nil {
+		t.Error("out-of-range subscriber accepted")
+	}
+	if err := m.AllocPinned(0, page, 9); err == nil {
+		t.Error("out-of-range GPU accepted")
+	}
+	if err := m.Subscribe(0, 1<<40, page); err == nil {
+		t.Error("subscribing unallocated page accepted")
+	}
+	if err := m.Unsubscribe(0, 1<<40, page); err == nil {
+		t.Error("unsubscribing unallocated page accepted")
+	}
+	if err := m.CollapseSysScoped(0, 1<<30); err == nil {
+		t.Error("collapsing unallocated page accepted")
+	}
+	if _, err := NewManager(testGeom(), 0, 1<<30); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+}
+
+func TestAllocGPSOutOfMemory(t *testing.T) {
+	geom := testGeom()
+	m, err := NewManager(geom, 2, 2*page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocGPS(0, 2*page, memsys.AllGPUs(2)); err != nil {
+		t.Fatal(err)
+	}
+	err = m.AllocGPS(1<<30, page, memsys.AllGPUs(2))
+	if !errors.Is(err, memsys.ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestRemapHookFires(t *testing.T) {
+	m := newTestManager(t, 2)
+	var remaps []memsys.VPN
+	m.SetRemapHook(func(vpn memsys.VPN) { remaps = append(remaps, vpn) })
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unsubscribe(0, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if len(remaps) == 0 {
+		t.Fatal("remap hook never fired for unsubscribe/downgrade")
+	}
+}
+
+func TestEvictSubscriberOnOversubscription(t *testing.T) {
+	// Section 5.3: "If the GPU driver swaps out a page from a subscriber due
+	// to oversubscription, that GPU will be unsubscribed and will access
+	// that page remotely."
+	m := newTestManager(t, 4)
+	if err := m.AllocGPS(0, page, memsys.AllGPUs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EvictSubscriber(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Subscribers(0); got != memsys.SetOf(0, 1, 3) {
+		t.Fatalf("subscribers after eviction = %v", got)
+	}
+	if m.PhysMem(2).UsedBytes() != 0 {
+		t.Fatal("evicted replica not freed")
+	}
+	// The evicted GPU now maps the page remotely with the GPS bit intact.
+	pte := m.PageTable(2).Lookup(0)
+	if pte == nil || !pte.GPS || pte.Owner == 2 {
+		t.Fatalf("evicted PTE = %+v", pte)
+	}
+	// Evicting down to the last copy is refused.
+	if err := m.EvictSubscriber(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EvictSubscriber(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One subscriber remains (page downgraded); eviction must refuse.
+	if err := m.EvictSubscriber(3, 0); err == nil {
+		t.Fatal("evicted the final copy")
+	}
+}

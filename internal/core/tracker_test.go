@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"gps/internal/memsys"
+)
+
+func TestTrackerRecordsOnlyWhileActive(t *testing.T) {
+	tr := NewAccessTracker(testGeom(), 0, 1<<24, 4)
+	tr.RecordTLBMiss(0, 1)
+	if tr.Touched(0, 1) {
+		t.Fatal("recorded while inactive")
+	}
+	tr.Start()
+	tr.RecordTLBMiss(0, 1)
+	tr.Stop()
+	tr.RecordTLBMiss(0, 2)
+	if !tr.Touched(0, 1) {
+		t.Fatal("active record lost")
+	}
+	if tr.Touched(0, 2) {
+		t.Fatal("recorded after Stop")
+	}
+}
+
+func TestTrackerPerGPUIsolation(t *testing.T) {
+	tr := NewAccessTracker(testGeom(), 0, 1<<24, 4)
+	tr.Start()
+	tr.RecordTLBMiss(1, 5)
+	tr.RecordTLBMiss(3, 5)
+	tr.RecordTLBMiss(1, 6)
+	if got := tr.TouchedBy(5); got != memsys.SetOf(1, 3) {
+		t.Fatalf("TouchedBy(5) = %v", got)
+	}
+	if got := tr.TouchedBy(6); got != memsys.SetOf(1) {
+		t.Fatalf("TouchedBy(6) = %v", got)
+	}
+	if got := tr.TouchedBy(7); !got.Empty() {
+		t.Fatalf("TouchedBy(7) = %v, want empty", got)
+	}
+}
+
+func TestTrackerIgnoresOutOfRange(t *testing.T) {
+	geom := testGeom()
+	base := memsys.VAddr(10 * geom.PageBytes)
+	tr := NewAccessTracker(geom, base, 4*geom.PageBytes, 2)
+	tr.Start()
+	tr.RecordTLBMiss(0, 9)  // below range
+	tr.RecordTLBMiss(0, 14) // above range
+	tr.RecordTLBMiss(0, 12) // inside
+	if tr.Touched(0, 9) || tr.Touched(0, 14) {
+		t.Fatal("out-of-range miss recorded")
+	}
+	if !tr.Touched(0, 12) {
+		t.Fatal("in-range miss not recorded")
+	}
+}
+
+func TestTrackerStartClears(t *testing.T) {
+	tr := NewAccessTracker(testGeom(), 0, 1<<24, 2)
+	tr.Start()
+	tr.RecordTLBMiss(0, 3)
+	tr.Start()
+	if tr.Touched(0, 3) {
+		t.Fatal("Start did not clear the bitmap")
+	}
+}
+
+func TestTrackerBitmapFootprintMatchesPaper(t *testing.T) {
+	// "Tracking a 32GB virtual address range, the bitmap requires only 64KB
+	// of DRAM" at 64 KB pages.
+	tr := NewAccessTracker(testGeom(), 0, 32<<30, 4)
+	if got := tr.BitmapBytes(); got != 64<<10 {
+		t.Fatalf("bitmap = %d bytes, want 64 KB", got)
+	}
+}
+
+func TestTrackerRecordedDeduplicates(t *testing.T) {
+	tr := NewAccessTracker(testGeom(), 0, 1<<24, 2)
+	tr.Start()
+	for i := 0; i < 10; i++ {
+		tr.RecordTLBMiss(0, 4)
+	}
+	if tr.Recorded() != 1 {
+		t.Fatalf("Recorded = %d, want 1 (bitmap writes are idempotent)", tr.Recorded())
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"gps/internal/memsys"
+)
+
+// Packet is one cache block worth of replicated store traffic headed to a
+// remote subscriber over the interconnect.
+type Packet struct {
+	SrcGPU int
+	DstGPU int
+	LineVA memsys.VAddr
+	DstPPN memsys.PPN
+	Atomic bool
+}
+
+// TranslationStats counts GPS address translation unit activity.
+type TranslationStats struct {
+	Lookups    uint64
+	TLBHits    uint64
+	TLBMisses  uint64
+	WalkVisits uint64 // page-table node visits performed by misses
+	Packets    uint64 // replicated packets emitted
+	Unmapped   uint64 // drained blocks whose page is no longer GPS (raced collapse)
+}
+
+// HitRate returns the GPS-TLB hit rate (the §7.4 GPS-TLB metric).
+func (s TranslationStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.TLBHits) / float64(s.Lookups)
+}
+
+// TranslationUnit is the per-GPU GPS address translation unit (Section 5.2):
+// drained write-queue blocks look up the wide GPS-PTE in a small GPS-TLB,
+// falling back to a hardware walk of the shared GPS page table, then fan out
+// one packet per remote subscriber.
+type TranslationUnit struct {
+	gpu   int
+	geom  memsys.Geometry
+	tlb   *memsys.TLB[*memsys.GPSPTE]
+	table *memsys.GPSPageTable
+	emit  func(Packet)
+	stats TranslationStats
+}
+
+// NewTranslationUnit builds the unit. emit receives one packet per remote
+// subscriber per drained block.
+func NewTranslationUnit(gpu int, geom memsys.Geometry, tlbEntries, tlbWays int,
+	table *memsys.GPSPageTable, emit func(Packet)) *TranslationUnit {
+	if emit == nil {
+		panic("core: translation unit needs an emit sink")
+	}
+	return &TranslationUnit{
+		gpu:   gpu,
+		geom:  geom,
+		tlb:   memsys.NewTLB[*memsys.GPSPTE](tlbEntries, tlbWays),
+		table: table,
+		emit:  emit,
+	}
+}
+
+// Stats returns a snapshot of the unit's counters.
+func (u *TranslationUnit) Stats() TranslationStats { return u.stats }
+
+// ResetStats zeroes the counters.
+func (u *TranslationUnit) ResetStats() { u.stats = TranslationStats{} }
+
+// InvalidateTLB removes a page's cached wide PTE, e.g. after unsubscription
+// or collapse rewrites the GPS page table.
+func (u *TranslationUnit) InvalidateTLB(vpn memsys.VPN) { u.tlb.Invalidate(vpn) }
+
+// FlushTLB empties the GPS-TLB.
+func (u *TranslationUnit) FlushTLB() { u.tlb.Flush() }
+
+// Process translates one drained block and emits packets to every remote
+// subscriber. The source GPU's own replica was already updated on the store
+// path (W3 in Figure 7), so it is excluded here.
+func (u *TranslationUnit) Process(d Drained) {
+	u.stats.Lookups++
+	vpn := u.geom.VPNOf(d.LineVA)
+	pte, hit := u.tlb.Lookup(vpn)
+	if hit {
+		u.stats.TLBHits++
+	} else {
+		u.stats.TLBMisses++
+		var visits int
+		pte, visits = u.table.Walk(vpn)
+		u.stats.WalkVisits += uint64(visits)
+		if pte != nil {
+			u.tlb.Fill(vpn, pte)
+		}
+	}
+	if pte == nil {
+		// The page was collapsed or unsubscribed while the block sat in the
+		// queue; there is nothing to replicate.
+		u.stats.Unmapped++
+		return
+	}
+	pte.Subscribers.ForEach(func(dst int) {
+		if dst == u.gpu {
+			return
+		}
+		u.stats.Packets++
+		u.emit(Packet{
+			SrcGPU: u.gpu,
+			DstGPU: dst,
+			LineVA: d.LineVA,
+			DstPPN: pte.ReplicaOn(dst),
+			Atomic: d.Atomic,
+		})
+	})
+}

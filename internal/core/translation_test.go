@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"gps/internal/memsys"
+)
+
+func newTransUnit(t *testing.T, gpu int, table *memsys.GPSPageTable, sink *[]Packet) *TranslationUnit {
+	t.Helper()
+	return NewTranslationUnit(gpu, testGeom(), 32, 8, table, func(p Packet) {
+		*sink = append(*sink, p)
+	})
+}
+
+func TestTranslationFansOutToRemoteSubscribersOnly(t *testing.T) {
+	geom := testGeom()
+	table := memsys.NewGPSPageTable(geom, 4)
+	table.Subscribe(0, 0, 10)
+	table.Subscribe(0, 1, 11)
+	table.Subscribe(0, 3, 13)
+
+	var pkts []Packet
+	u := newTransUnit(t, 0, table, &pkts)
+	u.Process(Drained{LineVA: 128, Writes: 2, SrcGPU: 0})
+
+	if len(pkts) != 2 {
+		t.Fatalf("packets = %d, want 2 (GPUs 1 and 3)", len(pkts))
+	}
+	want := map[int]memsys.PPN{1: 11, 3: 13}
+	for _, p := range pkts {
+		if p.SrcGPU != 0 || p.LineVA != 128 {
+			t.Fatalf("packet = %+v", p)
+		}
+		ppn, ok := want[p.DstGPU]
+		if !ok || p.DstPPN != ppn {
+			t.Fatalf("unexpected destination %+v", p)
+		}
+		delete(want, p.DstGPU)
+	}
+}
+
+func TestTranslationTLBCaching(t *testing.T) {
+	geom := testGeom()
+	table := memsys.NewGPSPageTable(geom, 2)
+	table.Subscribe(0, 0, 1)
+	table.Subscribe(0, 1, 2)
+
+	var pkts []Packet
+	u := newTransUnit(t, 0, table, &pkts)
+	u.Process(Drained{LineVA: 0})
+	u.Process(Drained{LineVA: 128}) // same page
+	u.Process(Drained{LineVA: 256})
+
+	s := u.Stats()
+	if s.TLBMisses != 1 || s.TLBHits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", s.TLBHits, s.TLBMisses)
+	}
+	if s.WalkVisits == 0 {
+		t.Fatal("miss should charge walk visits")
+	}
+	if got := s.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("HitRate = %v", got)
+	}
+}
+
+func TestTranslationUnmappedPageDropsBlock(t *testing.T) {
+	table := memsys.NewGPSPageTable(testGeom(), 2)
+	var pkts []Packet
+	u := newTransUnit(t, 0, table, &pkts)
+	u.Process(Drained{LineVA: 0})
+	if len(pkts) != 0 {
+		t.Fatal("unmapped page should emit nothing")
+	}
+	if u.Stats().Unmapped != 1 {
+		t.Fatalf("Unmapped = %d, want 1", u.Stats().Unmapped)
+	}
+}
+
+func TestTranslationInvalidate(t *testing.T) {
+	geom := testGeom()
+	table := memsys.NewGPSPageTable(geom, 2)
+	table.Subscribe(0, 0, 1)
+	table.Subscribe(0, 1, 2)
+	var pkts []Packet
+	u := newTransUnit(t, 0, table, &pkts)
+	u.Process(Drained{LineVA: 0})
+
+	// Rewrite the table: GPU1 unsubscribes, page collapses away.
+	table.Drop(0)
+	u.InvalidateTLB(0)
+	u.Process(Drained{LineVA: 0})
+	if u.Stats().Unmapped != 1 {
+		t.Fatal("stale TLB served after invalidate")
+	}
+}
+
+func TestTranslationAtomicPacketTagged(t *testing.T) {
+	geom := testGeom()
+	table := memsys.NewGPSPageTable(geom, 2)
+	table.Subscribe(0, 0, 1)
+	table.Subscribe(0, 1, 2)
+	var pkts []Packet
+	u := newTransUnit(t, 0, table, &pkts)
+	u.Process(Drained{LineVA: 0, Atomic: true, Reason: DrainPassThrough})
+	if len(pkts) != 1 || !pkts[0].Atomic {
+		t.Fatalf("packets = %+v, want one atomic", pkts)
+	}
+}
+
+func TestTranslationGPSTLBSmallButSufficient(t *testing.T) {
+	// Section 7.4: the GPS-TLB hit rate approaches 100% at just 32 entries
+	// because it only services GPS-heap stores. Emulate a working set of 16
+	// hot pages revisited in streaming order.
+	geom := testGeom()
+	table := memsys.NewGPSPageTable(geom, 2)
+	for vpn := memsys.VPN(0); vpn < 16; vpn++ {
+		table.Subscribe(vpn, 0, memsys.PPN(vpn))
+		table.Subscribe(vpn, 1, memsys.PPN(vpn+100))
+	}
+	var pkts []Packet
+	u := newTransUnit(t, 0, table, &pkts)
+	pageBytes := geom.PageBytes
+	for rep := 0; rep < 100; rep++ {
+		for vpn := uint64(0); vpn < 16; vpn++ {
+			u.Process(Drained{LineVA: memsys.VAddr(vpn*pageBytes + uint64(rep%512)*128)})
+		}
+	}
+	if hr := u.Stats().HitRate(); hr < 0.98 {
+		t.Fatalf("32-entry GPS-TLB hit rate = %v, want ~1.0", hr)
+	}
+}

@@ -1,0 +1,207 @@
+// Package core implements the GPS hardware proposal of Sections 3 and 5 of
+// the paper: the remote write queue that coalesces weak stores at cache-block
+// granularity, the GPS address translation unit with its small GPS-TLB
+// backed by the wide GPS page table, the access tracking unit that profiles
+// page touches via last-level TLB misses, and the subscription manager that
+// ties them to the conventional and GPS page tables.
+package core
+
+import (
+	"fmt"
+
+	"gps/internal/memsys"
+)
+
+// DrainReason records why an entry left the write queue, for statistics and
+// the timing model (watermark drains overlap compute; flush drains gate
+// synchronization).
+type DrainReason uint8
+
+// Drain reasons.
+const (
+	// DrainWatermark: occupancy reached the high watermark and the least
+	// recently added entry was pushed out to make room.
+	DrainWatermark DrainReason = iota
+	// DrainFlush: a sys-scoped synchronization (fence or implicit grid-end
+	// release) forced the whole queue out.
+	DrainFlush
+	// DrainPassThrough: the operation is not coalescable (an atomic) and
+	// moved straight through the queue.
+	DrainPassThrough
+)
+
+// Drained is one cache block leaving the write queue toward the GPS address
+// translation unit.
+type Drained struct {
+	LineVA memsys.VAddr // line-aligned virtual address
+	Writes int          // stores merged into this block while queued
+	Reason DrainReason
+	SrcGPU int
+	Atomic bool
+}
+
+// WriteQueueStats counts queue activity.
+type WriteQueueStats struct {
+	Stores     uint64 // total coalescable stores offered
+	Hits       uint64 // stores merged into a resident block
+	Misses     uint64 // stores that allocated a new block
+	Atomics    uint64 // pass-through operations
+	Drains     uint64 // blocks drained at the watermark
+	Flushes    uint64 // blocks drained by synchronization
+	FlushCalls uint64 // number of Flush invocations
+}
+
+// HitRate returns the fraction of coalescable stores that merged into a
+// resident block (Figure 14's metric). Atomics count as offered stores that
+// can never hit, matching the paper's observation that atomic-dominated
+// workloads exhibit 0% hit rate.
+func (s WriteQueueStats) HitRate() float64 {
+	total := s.Stores + s.Atomics
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// WriteQueue is the GPS remote write queue (Section 5.2): a fully
+// associative, virtually addressed buffer of cache blocks awaiting
+// replication to remote subscribers. Weak stores to the same block coalesce;
+// when occupancy reaches the high watermark, the least recently added block
+// drains; sys-scoped synchronization flushes everything.
+type WriteQueue struct {
+	gpu       int
+	geom      memsys.Geometry
+	capacity  int
+	watermark int
+
+	resident map[memsys.VAddr]*wqEntry
+	fifo     []*wqEntry // insertion order; head = least recently added
+	head     int        // index of queue front within fifo
+
+	drain func(Drained)
+	stats WriteQueueStats
+}
+
+type wqEntry struct {
+	lineVA memsys.VAddr
+	writes int
+}
+
+// NewWriteQueue builds a write queue for one GPU. drain receives every block
+// leaving the queue, in order; it must not re-enter the queue.
+func NewWriteQueue(gpu int, geom memsys.Geometry, capacity, watermark int, drain func(Drained)) *WriteQueue {
+	if capacity <= 0 {
+		panic("core: write queue capacity must be positive")
+	}
+	if watermark <= 0 || watermark > capacity {
+		panic(fmt.Sprintf("core: watermark %d out of range (1..%d)", watermark, capacity))
+	}
+	if drain == nil {
+		panic("core: write queue needs a drain sink")
+	}
+	return &WriteQueue{
+		gpu:       gpu,
+		geom:      geom,
+		capacity:  capacity,
+		watermark: watermark,
+		resident:  make(map[memsys.VAddr]*wqEntry, capacity),
+		drain:     drain,
+	}
+}
+
+// Len returns the current occupancy in blocks.
+func (q *WriteQueue) Len() int { return len(q.resident) }
+
+// Contains reports whether the block holding va is resident in the queue.
+// GPS uses this on the load path of non-subscribers: a load may forward its
+// value from the remote write queue instead of issuing remotely
+// (Section 5.1).
+func (q *WriteQueue) Contains(va memsys.VAddr) bool {
+	_, ok := q.resident[q.geom.LineBase(va)]
+	return ok
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *WriteQueue) Stats() WriteQueueStats { return q.stats }
+
+// ResetStats zeroes the counters without disturbing queue contents.
+func (q *WriteQueue) ResetStats() { q.stats = WriteQueueStats{} }
+
+// PushStore offers a weak (non-sys-scoped, non-atomic) store to the queue
+// and reports whether it coalesced into a resident block. Reaching the high
+// watermark drains the least recently added block.
+func (q *WriteQueue) PushStore(va memsys.VAddr) (coalesced bool) {
+	line := q.geom.LineBase(va)
+	q.stats.Stores++
+	if e, ok := q.resident[line]; ok {
+		e.writes++
+		q.stats.Hits++
+		return true
+	}
+	q.stats.Misses++
+	e := &wqEntry{lineVA: line, writes: 1}
+	q.resident[line] = e
+	q.fifo = append(q.fifo, e)
+	if len(q.resident) >= q.watermark {
+		q.drainOldest(DrainWatermark)
+	}
+	return false
+}
+
+// PushAtomic offers an atomic RMW. The GPS write queue does not support
+// coalescing atomics (Section 7.4), so the operation passes straight through
+// to the drain sink.
+func (q *WriteQueue) PushAtomic(va memsys.VAddr) {
+	q.stats.Atomics++
+	q.drain(Drained{
+		LineVA: q.geom.LineBase(va),
+		Writes: 1,
+		Reason: DrainPassThrough,
+		SrcGPU: q.gpu,
+		Atomic: true,
+	})
+}
+
+// Flush drains every resident block in insertion order. It models the
+// mandatory full drain at sys-scoped synchronization points, including the
+// implicit release at the end of every grid (Section 3.3).
+func (q *WriteQueue) Flush() {
+	q.stats.FlushCalls++
+	for len(q.resident) > 0 {
+		q.drainOldest(DrainFlush)
+	}
+	q.fifo = q.fifo[:0]
+	q.head = 0
+}
+
+func (q *WriteQueue) drainOldest(reason DrainReason) {
+	// Skip any holes left by compaction (none today, but keeps the walk
+	// safe if eviction policies are extended).
+	for q.head < len(q.fifo) {
+		e := q.fifo[q.head]
+		q.head++
+		if _, ok := q.resident[e.lineVA]; !ok || q.resident[e.lineVA] != e {
+			continue
+		}
+		delete(q.resident, e.lineVA)
+		switch reason {
+		case DrainWatermark:
+			q.stats.Drains++
+		case DrainFlush:
+			q.stats.Flushes++
+		}
+		q.drain(Drained{LineVA: e.lineVA, Writes: e.writes, Reason: reason, SrcGPU: q.gpu})
+		q.compact()
+		return
+	}
+	panic("core: drainOldest on empty queue")
+}
+
+// compact reclaims fifo storage once the consumed prefix dominates.
+func (q *WriteQueue) compact() {
+	if q.head > q.capacity && q.head*2 >= len(q.fifo) {
+		n := copy(q.fifo, q.fifo[q.head:])
+		q.fifo = q.fifo[:n]
+		q.head = 0
+	}
+}

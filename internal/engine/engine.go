@@ -1,0 +1,293 @@
+// Package engine is the structural (functional, per-access) half of the
+// simulator: it replays every warp instruction of a trace through a memory
+// management paradigm's machinery and produces, for each (phase, GPU), a
+// traffic profile the timing simulator (internal/timing) prices.
+//
+// The engine deliberately separates *what moves* from *how long it takes*,
+// the same split trace-driven simulators like NVAS use between functional
+// replay and timing models.
+package engine
+
+import (
+	"fmt"
+
+	"gps/internal/trace"
+)
+
+// Profile is the traffic and event profile of one GPU during one phase.
+// All byte counts are cache-line granular (transfers happen at cache-block
+// granularity on real GPUs, Section 7.5).
+type Profile struct {
+	GPU        int
+	ComputeOps uint64
+
+	// LocalBytes is traffic served by the GPU's own DRAM (through its L2).
+	LocalBytes uint64
+
+	// RemoteRead[p] is demand-read traffic pulled from peer p during the
+	// kernel: it stalls execution (subject to latency hiding).
+	RemoteRead []uint64
+	// RemoteReadLines counts individual demand-read transactions, for the
+	// latency-bound regime of the timing model.
+	RemoteReadLines uint64
+
+	// Push[p] is proactive store traffic sent to peer p during the kernel:
+	// it overlaps with compute and must only complete by the barrier.
+	Push []uint64
+
+	// Bulk[p] is barrier-window traffic sent to peer p (cudaMemcpy
+	// broadcasts, UM prefetches): serialized with compute.
+	Bulk []uint64
+
+	// Faults counts page faults taken by this GPU this phase; each
+	// serializes for the fault cost.
+	Faults int
+	// Shootdowns counts TLB shootdowns (page collapses) this GPU triggered.
+	Shootdowns int
+}
+
+// NewProfile returns an empty profile for gpu in an n-GPU system.
+func NewProfile(gpu, n int) Profile {
+	return Profile{
+		GPU:        gpu,
+		RemoteRead: make([]uint64, n),
+		Push:       make([]uint64, n),
+		Bulk:       make([]uint64, n),
+	}
+}
+
+// RemoteBytes returns all interconnect bytes this profile moves.
+func (p *Profile) RemoteBytes() uint64 {
+	var t uint64
+	for i := range p.RemoteRead {
+		t += p.RemoteRead[i] + p.Push[i] + p.Bulk[i]
+	}
+	return t
+}
+
+// PhaseRecord is the per-GPU profile vector for one phase.
+type PhaseRecord struct {
+	Index    int
+	Profiles []Profile // indexed by GPU
+}
+
+// Result is everything the structural pass learned about one run.
+type Result struct {
+	Meta     trace.Meta
+	Paradigm string
+	Phases   []PhaseRecord
+
+	// SubscriberHist is the GPS page subscriber-count distribution captured
+	// right after the profiling phase (Figure 9); nil for non-GPS paradigms.
+	SubscriberHist map[int]int
+
+	// WriteQueueHitRate is the per-GPU GPS write queue hit rate (Figure 14);
+	// nil for non-GPS paradigms.
+	WriteQueueHitRate []float64
+	// GPSTLBHitRate is the per-GPU GPS-TLB hit rate (Section 7.4).
+	GPSTLBHitRate []float64
+	// ConvTLBHitRate is the conventional last-level TLB hit rate.
+	ConvTLBHitRate []float64
+	// ForwardedLoads counts non-subscriber loads served by value forwarding
+	// from the local remote write queue (Section 5.1).
+	ForwardedLoads uint64
+}
+
+// InterconnectBytes sums all traffic over the fabric in phases
+// [from, len): use from = Meta.ProfilePhases to measure the steady state.
+func (r *Result) InterconnectBytes(from int) uint64 {
+	var t uint64
+	for _, ph := range r.Phases {
+		if ph.Index < from {
+			continue
+		}
+		for i := range ph.Profiles {
+			t += ph.Profiles[i].RemoteBytes()
+		}
+	}
+	return t
+}
+
+// TotalFaults sums page faults across the whole run.
+func (r *Result) TotalFaults() int {
+	n := 0
+	for _, ph := range r.Phases {
+		for i := range ph.Profiles {
+			n += ph.Profiles[i].Faults
+		}
+	}
+	return n
+}
+
+// Model is one memory-management paradigm's per-access machinery.
+type Model interface {
+	// Name identifies the paradigm ("GPS", "UM", ...).
+	Name() string
+	// BeginPhase announces the next phase; profiles is the output vector
+	// (one per GPU) the model accumulates traffic into.
+	BeginPhase(index int, profiles []Profile)
+	// Access processes one warp instruction by gpu whose SM coalescer
+	// produced the given line-aligned addresses.
+	Access(gpu int, a trace.Access, lines []uint64)
+	// EndPhase is the global synchronization barrier ending the phase
+	// (implicit sys-scoped release of every grid).
+	EndPhase(index int)
+	// Finish lets the model deposit its end-of-run statistics.
+	Finish(res *Result)
+}
+
+// chunk is the number of consecutive warp instructions one GPU executes
+// before the replay rotates to the next GPU's kernel, approximating the
+// concurrent interleaving of kernels that ran simultaneously on real
+// hardware. UM page thrashing in particular depends on this interleaving.
+const chunk = 64
+
+// Run replays prog through m and collects the result.
+func Run(prog trace.Program, m Model) *Result {
+	meta := prog.Meta()
+	n := meta.NumGPUs
+	res := &Result{Meta: meta, Paradigm: m.Name()}
+	exp := NewExpander(LineBytes)
+
+	prog.Phases(func(ph *trace.Phase) bool {
+		profiles := make([]Profile, n)
+		for g := 0; g < n; g++ {
+			profiles[g] = NewProfile(g, n)
+		}
+		for _, k := range ph.Kernels {
+			profiles[k.GPU].ComputeOps += k.ComputeOps
+			profiles[k.GPU].LocalBytes += k.LocalStreamBytes
+		}
+		m.BeginPhase(ph.Index, profiles)
+
+		// Round-robin the kernels' instruction streams in chunks.
+		cursors := make([]int, len(ph.Kernels))
+		remaining := len(ph.Kernels)
+		for remaining > 0 {
+			for ki := range ph.Kernels {
+				k := &ph.Kernels[ki]
+				if cursors[ki] >= len(k.Accesses) {
+					continue
+				}
+				end := cursors[ki] + chunk
+				if end >= len(k.Accesses) {
+					end = len(k.Accesses)
+					remaining--
+				}
+				for _, a := range k.Accesses[cursors[ki]:end] {
+					m.Access(k.GPU, a, exp.Expand(a))
+				}
+				cursors[ki] = end
+			}
+		}
+
+		m.EndPhase(ph.Index)
+		res.Phases = append(res.Phases, PhaseRecord{Index: ph.Index, Profiles: profiles})
+		return true
+	})
+	m.Finish(res)
+	return res
+}
+
+// LineBytes is the cache block size of the modeled GPU (Table 1).
+const LineBytes = 128
+
+// Sharing summarizes which GPUs touch one page, gathered by ScanSharing.
+type Sharing struct {
+	Readers uint64 // bitmask of reading GPUs
+	Writers uint64 // bitmask of writing GPUs
+	// WriteCount[g] counts line-writes by GPU g, to pick the dominant
+	// writer for placement decisions.
+	WriteCount map[int]uint64
+}
+
+// DominantWriter returns the GPU writing the page most, or -1.
+func (s *Sharing) DominantWriter() int {
+	best, bestCount := -1, uint64(0)
+	for g, c := range s.WriteCount {
+		if c > bestCount || (c == bestCount && (best == -1 || g < best)) {
+			best, bestCount = g, c
+		}
+	}
+	return best
+}
+
+// ScanSharing replays the first `phases` phases and reports per-page
+// sharing for pages of shared regions. The UM-with-hints paradigm uses it
+// as the stand-in for the expert programmer's knowledge of the access
+// pattern (the paper hand-tuned each application's hints).
+func ScanSharing(prog trace.Program, phases int, pageBytes uint64) map[uint64]*Sharing {
+	meta := prog.Meta()
+	shared := NewRegionTable(meta.Regions)
+	out := map[uint64]*Sharing{}
+	exp := NewExpander(LineBytes)
+	prog.Phases(func(ph *trace.Phase) bool {
+		if ph.Index >= phases {
+			return false
+		}
+		for _, k := range ph.Kernels {
+			for _, a := range k.Accesses {
+				if a.Op == trace.OpFence {
+					continue
+				}
+				for _, line := range exp.Expand(a) {
+					r := shared.Lookup(line)
+					if r == nil || r.Kind != trace.RegionShared {
+						continue
+					}
+					vpn := line / pageBytes
+					s := out[vpn]
+					if s == nil {
+						s = &Sharing{WriteCount: map[int]uint64{}}
+						out[vpn] = s
+					}
+					if a.IsWrite() {
+						s.Writers |= 1 << k.GPU
+						s.WriteCount[k.GPU]++
+					} else {
+						s.Readers |= 1 << k.GPU
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// RegionTable resolves addresses to regions in O(1) by exploiting the
+// workload generators' 8 GB region alignment.
+type RegionTable struct {
+	byIndex map[uint64]*trace.Region
+}
+
+// NewRegionTable indexes the given regions. Regions must start at distinct
+// multiples of 8 GB (the workload layout invariant) and must not span an
+// 8 GB boundary... larger regions are rejected loudly.
+func NewRegionTable(regions []trace.Region) *RegionTable {
+	t := &RegionTable{byIndex: map[uint64]*trace.Region{}}
+	for i := range regions {
+		r := &regions[i]
+		slot := r.Base >> 33
+		if r.Base&((1<<33)-1) != 0 {
+			panic(fmt.Sprintf("engine: region %q not 8GB aligned", r.Name))
+		}
+		if r.Size > 1<<33 {
+			panic(fmt.Sprintf("engine: region %q spans slots", r.Name))
+		}
+		if _, dup := t.byIndex[slot]; dup {
+			panic(fmt.Sprintf("engine: region %q collides in slot %d", r.Name, slot))
+		}
+		t.byIndex[slot] = r
+	}
+	return t
+}
+
+// Lookup returns the region containing va, or nil.
+func (t *RegionTable) Lookup(va uint64) *trace.Region {
+	r := t.byIndex[va>>33]
+	if r == nil || va < r.Base || va-r.Base >= r.Size {
+		return nil
+	}
+	return r
+}

@@ -1,0 +1,72 @@
+package engine
+
+import "gps/internal/trace"
+
+// Expander models the SM-level memory coalescer: it turns one warp
+// instruction into the set of distinct cache lines the memory system sees.
+// Lanes of one instruction that fall in the same cache block merge — this is
+// why well-behaved stencil codes like Jacobi present each line exactly once
+// to the GPS write queue and see a 0% queue hit rate (Section 7.4: "all
+// spatial locality is fully captured in the coalescer internal to the SM").
+type Expander struct {
+	lineBytes uint64
+	buf       []uint64
+}
+
+// NewExpander builds an expander for the given cache block size.
+func NewExpander(lineBytes uint64) *Expander {
+	return &Expander{lineBytes: lineBytes, buf: make([]uint64, 0, 32)}
+}
+
+// Expand returns the line-aligned addresses the instruction touches, after
+// intra-warp coalescing. The returned slice is reused by the next call.
+func (e *Expander) Expand(a trace.Access) []uint64 {
+	e.buf = e.buf[:0]
+	if a.Op == trace.OpFence {
+		return e.buf
+	}
+	switch a.Pattern {
+	case trace.PatContiguous:
+		span := uint64(a.Threads) * uint64(a.ElemBytes)
+		first := a.Addr &^ (e.lineBytes - 1)
+		last := (a.Addr + span - 1) &^ (e.lineBytes - 1)
+		for line := first; line <= last; line += e.lineBytes {
+			e.buf = append(e.buf, line)
+		}
+	case trace.PatStrided:
+		for lane := 0; lane < int(a.Threads); lane++ {
+			va := a.Addr + uint64(lane)*uint64(a.Stride)
+			e.push(va &^ (e.lineBytes - 1))
+		}
+	case trace.PatScattered:
+		window := uint64(a.Stride)
+		for lane := 0; lane < int(a.Threads); lane++ {
+			h := splitmix32(a.Seed + uint32(lane)*0x9e3779b9)
+			lineIdx := uint64(h) % window
+			e.push(a.Addr&^(e.lineBytes-1) + lineIdx*e.lineBytes)
+		}
+	}
+	return e.buf
+}
+
+// push appends a line if the coalescer has not already emitted it for this
+// instruction (linear scan: at most 32 entries).
+func (e *Expander) push(line uint64) {
+	for _, l := range e.buf {
+		if l == line {
+			return
+		}
+	}
+	e.buf = append(e.buf, line)
+}
+
+// splitmix32 is a tiny deterministic mixer for scattered lane addresses.
+func splitmix32(x uint32) uint32 {
+	x += 0x9e3779b9
+	x ^= x >> 16
+	x *= 0x21f0aaad
+	x ^= x >> 15
+	x *= 0x735a2d97
+	x ^= x >> 15
+	return x
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gps/internal/trace"
+)
+
+func TestExpandContiguousSingleLine(t *testing.T) {
+	e := NewExpander(128)
+	// 32 lanes x 4 B starting line-aligned: exactly one line.
+	lines := e.Expand(trace.Access{Op: trace.OpLoad, Pattern: trace.PatContiguous,
+		Threads: 32, ElemBytes: 4, Addr: 256})
+	if len(lines) != 1 || lines[0] != 256 {
+		t.Fatalf("lines = %v, want [256]", lines)
+	}
+}
+
+func TestExpandContiguousStraddle(t *testing.T) {
+	e := NewExpander(128)
+	// Misaligned base straddles two lines.
+	lines := e.Expand(trace.Access{Op: trace.OpLoad, Pattern: trace.PatContiguous,
+		Threads: 32, ElemBytes: 4, Addr: 64})
+	if len(lines) != 2 || lines[0] != 0 || lines[1] != 128 {
+		t.Fatalf("lines = %v, want [0 128]", lines)
+	}
+	// 32 lanes x 8 B = 256 B aligned: two lines.
+	lines = e.Expand(trace.Access{Op: trace.OpLoad, Pattern: trace.PatContiguous,
+		Threads: 32, ElemBytes: 8, Addr: 0})
+	if len(lines) != 2 {
+		t.Fatalf("wide access lines = %v", lines)
+	}
+}
+
+func TestExpandStrided(t *testing.T) {
+	e := NewExpander(128)
+	// Stride 256: every lane on its own line.
+	lines := e.Expand(trace.Access{Op: trace.OpLoad, Pattern: trace.PatStrided,
+		Threads: 8, ElemBytes: 4, Stride: 256, Addr: 0})
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8", len(lines))
+	}
+	// Stride 32: four lanes share each line.
+	lines = e.Expand(trace.Access{Op: trace.OpLoad, Pattern: trace.PatStrided,
+		Threads: 8, ElemBytes: 4, Stride: 32, Addr: 0})
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (coalesced)", len(lines))
+	}
+}
+
+func TestExpandScatteredDeterministicAndBounded(t *testing.T) {
+	e := NewExpander(128)
+	a := trace.Access{Op: trace.OpAtomic, Pattern: trace.PatScattered,
+		Threads: 32, ElemBytes: 4, Stride: 1000, Seed: 42, Addr: 128 * 4096}
+	first := append([]uint64{}, e.Expand(a)...)
+	second := e.Expand(a)
+	if len(first) != len(second) {
+		t.Fatal("scatter not deterministic")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("scatter not deterministic")
+		}
+	}
+	if len(first) == 0 || len(first) > 32 {
+		t.Fatalf("scatter produced %d lines", len(first))
+	}
+	for _, l := range first {
+		if l%128 != 0 {
+			t.Fatalf("line %d not aligned", l)
+		}
+		idx := (l - 128*4096) / 128
+		if idx >= 1000 {
+			t.Fatalf("line index %d outside window", idx)
+		}
+	}
+}
+
+func TestExpandScatteredNoDuplicates(t *testing.T) {
+	e := NewExpander(128)
+	lines := e.Expand(trace.Access{Op: trace.OpStore, Pattern: trace.PatScattered,
+		Threads: 32, ElemBytes: 4, Stride: 4, Seed: 9, Addr: 0})
+	// Window of 4 lines with 32 lanes: after coalescing at most 4 lines.
+	if len(lines) > 4 {
+		t.Fatalf("duplicates survived coalescing: %v", lines)
+	}
+	seen := map[uint64]bool{}
+	for _, l := range lines {
+		if seen[l] {
+			t.Fatalf("duplicate line %d", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestExpandFence(t *testing.T) {
+	e := NewExpander(128)
+	if lines := e.Expand(trace.Access{Op: trace.OpFence, Scope: trace.ScopeSys}); len(lines) != 0 {
+		t.Fatal("fence should touch no lines")
+	}
+}
+
+// Property: every expanded line is line-aligned, unique, and within the
+// instruction's reachable footprint.
+func TestExpandProperty(t *testing.T) {
+	e := NewExpander(128)
+	f := func(op uint8, pat uint8, threads uint8, stride uint32, seed uint32, addr uint64) bool {
+		a := trace.Access{
+			Op:      trace.Op(op % 3),
+			Pattern: trace.Pattern(pat % 3),
+			Threads: threads%32 + 1, ElemBytes: 4,
+			Stride: stride%8192 + 1, Seed: seed,
+			Addr: addr % (1 << 40),
+		}
+		lines := e.Expand(a)
+		if len(lines) == 0 || len(lines) > 64 {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, l := range lines {
+			if l%128 != 0 || seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionTableLookup(t *testing.T) {
+	regions := []trace.Region{
+		{Name: "a", Base: 1 << 33, Size: 1 << 20},
+		{Name: "b", Base: 2 << 33, Size: 1 << 22},
+	}
+	rt := NewRegionTable(regions)
+	if r := rt.Lookup(1<<33 + 100); r == nil || r.Name != "a" {
+		t.Fatalf("Lookup a = %v", r)
+	}
+	if r := rt.Lookup(2<<33 + (1<<22 - 1)); r == nil || r.Name != "b" {
+		t.Fatalf("Lookup b end = %v", r)
+	}
+	if r := rt.Lookup(2<<33 + 1<<22); r != nil {
+		t.Fatal("Lookup past region end should be nil")
+	}
+	if r := rt.Lookup(5 << 33); r != nil {
+		t.Fatal("Lookup empty slot should be nil")
+	}
+}
+
+func TestRegionTableRejectsMisaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned region accepted")
+		}
+	}()
+	NewRegionTable([]trace.Region{{Name: "x", Base: 100, Size: 10}})
+}
+
+func BenchmarkExpandContiguous(b *testing.B) {
+	e := NewExpander(128)
+	a := trace.Access{Op: trace.OpLoad, Pattern: trace.PatContiguous, Threads: 32, ElemBytes: 4, Addr: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Addr = uint64(i%4096) * 128
+		e.Expand(a)
+	}
+}
+
+func BenchmarkExpandScattered(b *testing.B) {
+	e := NewExpander(128)
+	a := trace.Access{Op: trace.OpAtomic, Pattern: trace.PatScattered, Threads: 32, ElemBytes: 4, Stride: 4096, Addr: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Seed = uint32(i)
+		e.Expand(a)
+	}
+}

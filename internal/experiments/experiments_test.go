@@ -1,0 +1,599 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gps/internal/stats"
+)
+
+// quick returns reduced-iteration options for tests; the shapes asserted
+// here are robust to iteration count.
+func quick() Options { return Options{Iterations: 2, Quick: true} }
+
+func TestFigure3Static(t *testing.T) {
+	tb := Figure3()
+	if tb.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5 platforms", tb.Rows())
+	}
+	out := tb.String()
+	for _, want := range []string{"DGX-A100", "PCIe 3.0", "NVLink"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1ContainsSettings(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"128 bytes", "16 GB", "80", "6 MB", "512 entries", "135 bytes", "32 entries", "49 bits", "47 bits"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2ListsAllApps(t *testing.T) {
+	out := Table2()
+	for _, app := range []string{"jacobi", "pagerank", "sssp", "als", "ct", "eqwp", "diffusion", "hit"} {
+		if !strings.Contains(out, app) {
+			t.Fatalf("Table 2 missing %q", app)
+		}
+	}
+	if !strings.Contains(out, "All-to-all") || !strings.Contains(out, "Peer-to-peer") {
+		t.Fatal("Table 2 missing communication patterns")
+	}
+}
+
+func TestFigure8HeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paradigm sweep")
+	}
+	tb, err := Figure8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpsMean, opportunity, vsNext := Claims71(tb)
+	// Paper Section 7.1: GPS ~3.0x, 93.7% of the opportunity, 2.3x over the
+	// next best paradigm. Accept the surrounding band.
+	if gpsMean < 2.6 || gpsMean > 3.6 {
+		t.Errorf("GPS mean = %.2f, want ~3.0", gpsMean)
+	}
+	if opportunity < 0.85 || opportunity > 1.0 {
+		t.Errorf("opportunity captured = %.1f%%, want ~93.7%%", opportunity*100)
+	}
+	if vsNext < 1.7 || vsNext > 2.9 {
+		t.Errorf("vs next best = %.2fx, want ~2.3x", vsNext)
+	}
+	// Qualitative orderings of Section 7.1.
+	meanRow := tb.Rows() - 1
+	get := func(col string) float64 {
+		for c, name := range tb.Cols {
+			if name == col {
+				return tb.Value(meanRow, c)
+			}
+		}
+		t.Fatalf("missing column %s", col)
+		return 0
+	}
+	if get("UM") >= 1 {
+		t.Error("UM mean should be below 1x (ineffective)")
+	}
+	if get("memcpy") < 0.7 || get("memcpy") > 1.7 {
+		t.Errorf("memcpy mean = %.2f, want ~1x (no improvement on average)", get("memcpy"))
+	}
+	if get("UM+hints") <= get("UM") {
+		t.Error("hints should beat baseline UM")
+	}
+	// EQWP exceeds 4x under GPS (aggregate L2 capacity).
+	for r := 0; r < tb.Rows(); r++ {
+		if tb.RowLabel(r) == "eqwp" {
+			for c, name := range tb.Cols {
+				if name == "GPS" && tb.Value(r, c) < 4 {
+					t.Errorf("EQWP GPS speedup = %.2f, want > 4", tb.Value(r, c))
+				}
+			}
+		}
+	}
+	// GPS wins on every application.
+	for r := 0; r < tb.Rows()-1; r++ {
+		var gpsV, best float64
+		for c, name := range tb.Cols {
+			v := tb.Value(r, c)
+			switch name {
+			case "GPS":
+				gpsV = v
+			case "infiniteBW":
+			default:
+				if v > best {
+					best = v
+				}
+			}
+		}
+		if gpsV < best {
+			t.Errorf("%s: GPS %.2f below best baseline %.2f", tb.RowLabel(r), gpsV, best)
+		}
+	}
+}
+
+func TestFigure9SubscriberShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GPS sweep")
+	}
+	tb, err := Figure9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]float64{}
+	for r := 0; r < tb.Rows(); r++ {
+		rows[tb.RowLabel(r)] = []float64{tb.Value(r, 0), tb.Value(r, 1), tb.Value(r, 2)}
+	}
+	// Jacobi: overwhelmingly 2-subscriber halo pages.
+	if rows["jacobi"][0] < 90 {
+		t.Errorf("jacobi 2-subscriber share = %.1f%%, want ~100%%", rows["jacobi"][0])
+	}
+	// ALS and CT: all-to-all.
+	for _, app := range []string{"als", "ct"} {
+		if rows[app][2] < 90 {
+			t.Errorf("%s 4-subscriber share = %.1f%%, want ~100%%", app, rows[app][2])
+		}
+	}
+	// SSSP: many-to-many mix.
+	if rows["sssp"][1] == 0 && rows["sssp"][2] == 0 {
+		t.Error("sssp should mix 3- and 4-subscriber pages")
+	}
+}
+
+func TestFigure10TrafficShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paradigm sweep")
+	}
+	tb, err := Figure10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := func(name string) map[string]float64 {
+		out := map[string]float64{}
+		vals := tb.Column(name)
+		for r := 0; r < tb.Rows(); r++ {
+			out[tb.RowLabel(r)] = vals[r]
+		}
+		return out
+	}
+	um, hints, rdl, gpsCol := col("UM"), col("UM+hints"), col("RDL"), col("GPS")
+	// Section 7.2: UM exceeds memcpy except for Jacobi and CT.
+	for _, app := range []string{"pagerank", "sssp", "als"} {
+		if um[app] <= 1 {
+			t.Errorf("%s: UM traffic %.2f should exceed memcpy", app, um[app])
+		}
+	}
+	for _, app := range []string{"jacobi", "ct"} {
+		if um[app] >= 1 {
+			t.Errorf("%s: UM traffic %.2f should undercut memcpy (exception)", app, um[app])
+		}
+	}
+	// Hints reduce traffic vs UM everywhere except diffusion.
+	for app := range um {
+		if app == "diffusion" {
+			if hints[app] <= um[app] {
+				t.Errorf("diffusion: hints %.2f should over-fetch beyond UM %.2f", hints[app], um[app])
+			}
+			continue
+		}
+		if hints[app] > um[app]*1.05 {
+			t.Errorf("%s: hints %.2f should not exceed UM %.2f", app, hints[app], um[app])
+		}
+	}
+	// RDL moves less than memcpy except ALS (re-fetches).
+	for app, v := range rdl {
+		if app == "als" {
+			if v <= 1 {
+				t.Errorf("als: RDL traffic %.2f should exceed memcpy", v)
+			}
+			continue
+		}
+		if v >= 1 {
+			t.Errorf("%s: RDL traffic %.2f should undercut memcpy", app, v)
+		}
+	}
+	// GPS never exceeds ~memcpy by much and crushes it for peer-to-peer apps.
+	for _, app := range []string{"jacobi", "eqwp", "diffusion", "hit"} {
+		if gpsCol[app] > 0.3 {
+			t.Errorf("%s: GPS traffic %.2f should be far below memcpy", app, gpsCol[app])
+		}
+	}
+}
+
+func TestFigure11SubscriptionMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GPS sweep")
+	}
+	tb, err := Figure11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		app := tb.RowLabel(r)
+		noSub, withSub := tb.Value(r, 0), tb.Value(r, 1)
+		if withSub < noSub-0.01 {
+			t.Errorf("%s: subscription hurt (%.2f -> %.2f)", app, noSub, withSub)
+		}
+		switch app {
+		case "als", "ct":
+			// The Figure 11 exceptions: all-to-all sharing, no savings.
+			if withSub > noSub*1.1 {
+				t.Errorf("%s: subscription should barely help (%.2f -> %.2f)", app, noSub, withSub)
+			}
+		case "jacobi", "eqwp", "diffusion":
+			if withSub < noSub*1.5 {
+				t.Errorf("%s: subscription should be the primary factor (%.2f -> %.2f)", app, noSub, withSub)
+			}
+		}
+	}
+}
+
+func TestFigure14QueueCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("queue size sweep")
+	}
+	tb, err := Figure14(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(Figure14Sizes) - 1
+	for r := 0; r < tb.Rows(); r++ {
+		app := tb.RowLabel(r)
+		switch app {
+		case "jacobi", "pagerank", "sssp", "als":
+			for c := range Figure14Sizes {
+				if tb.Value(r, c) > 1 {
+					t.Errorf("%s: hit rate %.1f%% at size %d, want 0", app, tb.Value(r, c), Figure14Sizes[c])
+				}
+			}
+		default: // ct, eqwp, diffusion, hit
+			if tb.Value(r, last) < 20 {
+				t.Errorf("%s: hit rate %.1f%% at %d entries, want substantial", app, tb.Value(r, last), Figure14Sizes[last])
+			}
+			// Monotone nondecreasing in queue size.
+			for c := 1; c <= last; c++ {
+				if tb.Value(r, c) < tb.Value(r, c-1)-0.5 {
+					t.Errorf("%s: hit rate dropped from %.1f to %.1f at size %d",
+						app, tb.Value(r, c-1), tb.Value(r, c), Figure14Sizes[c])
+				}
+			}
+			// At 512 entries the curve has saturated (Section 7.4: "with 512
+			// buffer entries all applications achieve near peak").
+			i512 := indexOf(Figure14Sizes, 512)
+			if tb.Value(r, last)-tb.Value(r, i512) > 2 {
+				t.Errorf("%s: still climbing past 512 entries", app)
+			}
+		}
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSensitivityGPSTLBSaturatesAt32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TLB sweep")
+	}
+	tb, err := SensitivityGPSTLB(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i32 := indexOf(GPSTLBSizes, 32)
+	for r := 0; r < tb.Rows(); r++ {
+		if tb.Value(r, i32) < 95 {
+			t.Errorf("%s: GPS-TLB hit rate %.1f%% at 32 entries, want ~100%%",
+				tb.RowLabel(r), tb.Value(r, i32))
+		}
+	}
+}
+
+func TestFigure4TransferPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paradigm sweep")
+	}
+	tb, err := Figure4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][3]float64{}
+	for r := 0; r < tb.Rows(); r++ {
+		vals[tb.RowLabel(r)] = [3]float64{tb.Value(r, 0), tb.Value(r, 1), tb.Value(r, 2)}
+	}
+	if v := vals["memcpy"]; v[0] != 0 || v[1] != 0 || v[2] == 0 {
+		t.Errorf("memcpy should move data only at barriers: %v", v)
+	}
+	if v := vals["GPS"]; v[1] == 0 || v[2] != 0 {
+		t.Errorf("GPS should move data proactively during kernels: %v", v)
+	}
+	if v := vals["RDL"]; v[0] == 0 {
+		t.Errorf("RDL should move data on demand: %v", v)
+	}
+}
+
+func TestValidateL2Trend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache simulation sweep")
+	}
+	tb, err := ValidateL2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		app := tb.RowLabel(r)
+		sim1, sim4 := tb.Value(r, 0), tb.Value(r, 1)
+		switch app {
+		case "eqwp":
+			// The paper's aggregate-L2 effect must emerge structurally.
+			if sim4 < sim1+15 {
+				t.Errorf("eqwp: structural hit rate %.1f%% -> %.1f%%, want a large rise", sim1, sim4)
+			}
+		case "jacobi", "ct", "diffusion", "hit":
+			if sim4 <= sim1 {
+				t.Errorf("%s: structural hit rate should rise with split (%.1f%% -> %.1f%%)", app, sim1, sim4)
+			}
+		}
+	}
+}
+
+func TestClaims71Math(t *testing.T) {
+	tb := stats.NewTable("", "app", "UM", "GPS", "infiniteBW")
+	tb.AddRow("a", 1, 3, 3.2)
+	tb.AddRow("mean", 1, 3, 3.2)
+	g, f, n := Claims71(tb)
+	if g != 3 || f != 3/3.2 || n != 3 {
+		t.Fatalf("Claims71 = %v %v %v", g, f, n)
+	}
+}
+
+func TestControlAppsCoincide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paradigm sweep")
+	}
+	// Section 6: for applications not bound by inter-GPU communication,
+	// GPS matches the native version (and the infinite-bandwidth bound).
+	tb, err := ControlApps(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		mc, gpsV, inf := tb.Value(r, 0), tb.Value(r, 1), tb.Value(r, 2)
+		if gpsV < mc*0.95 || gpsV > inf*1.01 {
+			t.Errorf("%s: GPS %.2f should coincide with native %.2f and bound %.2f",
+				tb.RowLabel(r), gpsV, mc, inf)
+		}
+		if gpsV < 3.5 {
+			t.Errorf("%s: compute-bound app should scale nearly linearly, got %.2f", tb.RowLabel(r), gpsV)
+		}
+	}
+}
+
+func TestProfilingModeAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paradigm sweep")
+	}
+	tb, err := AblationProfilingMode(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		subDef, unsubDef, steadyRatio := tb.Value(r, 0), tb.Value(r, 1), tb.Value(r, 2)
+		// Section 3.2/5.2: unsubscribed-by-default "is more expensive"
+		// during profiling...
+		if unsubDef <= subDef {
+			t.Errorf("%s: unsubscribed-by-default (%.3f ms) should cost more than subscribed-by-default (%.3f ms)",
+				tb.RowLabel(r), unsubDef, subDef)
+		}
+		// ...but both converge to the same steady state.
+		if steadyRatio < 0.9 || steadyRatio > 1.1 {
+			t.Errorf("%s: steady states diverge (ratio %.3f)", tb.RowLabel(r), steadyRatio)
+		}
+	}
+}
+
+func TestPipelinedMemcpyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paradigm sweep")
+	}
+	tb, err := AblationPipelinedMemcpy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		mc, async, gpsV := tb.Value(r, 0), tb.Value(r, 1), tb.Value(r, 2)
+		if async < mc-0.01 {
+			t.Errorf("%s: pipelining made memcpy slower (%.2f -> %.2f)", tb.RowLabel(r), mc, async)
+		}
+		if gpsV < async-0.01 {
+			t.Errorf("%s: GPS (%.2f) must still match or beat pipelined memcpy (%.2f)",
+				tb.RowLabel(r), gpsV, async)
+		}
+	}
+}
+
+func TestExtendedFabricsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fabric sweep")
+	}
+	tb, err := ExtendedFabrics(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpsCol := tb.Column("GPS")
+	inf := tb.Column("infiniteBW")
+	// GPS improves with richer fabrics and approaches the bound on the
+	// crossbar.
+	if !(gpsCol[0] <= gpsCol[1]+0.05 && gpsCol[1] <= gpsCol[2]+0.05) {
+		t.Errorf("GPS should improve with fabric richness: %v", gpsCol)
+	}
+	if gpsCol[2] < inf[2]*0.9 {
+		t.Errorf("GPS on NVSwitch = %.2f, want near the bound %.2f", gpsCol[2], inf[2])
+	}
+}
+
+func TestValidateFabricModelAgreement(t *testing.T) {
+	tb, err := ValidateFabricModel(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) float64 {
+		for r := 0; r < tb.Rows(); r++ {
+			if tb.RowLabel(r) == label {
+				return tb.Value(r, 0)
+			}
+		}
+		t.Fatalf("missing row %q", label)
+		return 0
+	}
+	if get("trials") < 10 {
+		t.Fatal("too few valid trials")
+	}
+	mean := get("mean ratio")
+	if mean < 0.95 || mean > 1.15 {
+		t.Fatalf("mean packet/fluid ratio = %.3f, want ~1", mean)
+	}
+	if get("worst |error| %") > 30 {
+		t.Fatalf("worst error %.1f%% too large", get("worst |error| %"))
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report sweep")
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, quick()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# GPS reproduction report",
+		"## Table 1",
+		"## Figure 8",
+		"Claims: GPS mean",
+		"## Figure 14",
+		"## L2 model validation",
+		"## Fabric model validation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Fatal("report contains a formatting error")
+	}
+}
+
+func TestFigure1MotivationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paradigm sweep")
+	}
+	tb, err := Figure1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanRow := tb.Rows() - 1
+	pcie3, pcie6, inf := tb.Value(meanRow, 0), tb.Value(meanRow, 1), tb.Value(meanRow, 2)
+	// Paper Figure 1: PCIe 3.0 below 1x on average, PCIe 6.0 ~2x, infinite ~3x.
+	if pcie3 >= 1.1 {
+		t.Errorf("PCIe 3.0 mean = %.2f, want < ~1 (poor strong scaling)", pcie3)
+	}
+	if pcie6 < 1.6 || pcie6 > 2.8 {
+		t.Errorf("PCIe 6.0 mean = %.2f, want ~2", pcie6)
+	}
+	if inf < 2.8 || inf > 4 {
+		t.Errorf("infinite mean = %.2f, want ~3", inf)
+	}
+	if !(pcie3 < pcie6 && pcie6 < inf) {
+		t.Error("bandwidth ordering violated")
+	}
+}
+
+func TestFigure12SixteenGPUClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-GPU sweep")
+	}
+	tb, err := Figure12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpsMean, frac := Claims73(tb)
+	// Paper: 7.9x mean, over 80% of the opportunity.
+	if gpsMean < 6.5 || gpsMean > 9 {
+		t.Errorf("16-GPU GPS mean = %.2f, want ~7.9", gpsMean)
+	}
+	if frac < 0.8 {
+		t.Errorf("opportunity captured = %.1f%%, want > 80%%", frac*100)
+	}
+}
+
+func TestFigure13BandwidthSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fabric sweep")
+	}
+	tb, err := Figure13(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpsCol := tb.Column("GPS")
+	infCol := tb.Column("infiniteBW")
+	mcCol := tb.Column("memcpy")
+	// GPS improves monotonically with bandwidth and approaches the bound.
+	for i := 1; i < len(gpsCol); i++ {
+		if gpsCol[i] < gpsCol[i-1]-0.01 {
+			t.Errorf("GPS regressed with more bandwidth: %v", gpsCol)
+		}
+	}
+	if gpsCol[len(gpsCol)-1] < infCol[len(infCol)-1]*0.95 {
+		t.Errorf("GPS at PCIe 6.0 = %.2f, want near the %.2f bound",
+			gpsCol[len(gpsCol)-1], infCol[len(infCol)-1])
+	}
+	// memcpy improves too but stays short of GPS everywhere.
+	for i := range mcCol {
+		if mcCol[i] >= gpsCol[i] {
+			t.Errorf("row %d: memcpy %.2f should trail GPS %.2f", i, mcCol[i], gpsCol[i])
+		}
+	}
+	// The infinite bound is fabric-independent.
+	for i := 1; i < len(infCol); i++ {
+		if math.Abs(infCol[i]-infCol[0]) > 0.01 {
+			t.Errorf("infinite bound varies with fabric: %v", infCol)
+		}
+	}
+}
+
+func TestFigure2LoadStorePaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paradigm sweep")
+	}
+	tb, err := Figure2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		gpsDemand, gpsPush := tb.Value(r, 0), tb.Value(r, 1)
+		rdlDemand := tb.Value(r, 2)
+		// Figure 2: GPS loads resolve locally — its fabric traffic is
+		// (almost) entirely proactive store pushes.
+		if gpsDemand > 5 {
+			t.Errorf("%s: GPS demand traffic %.1f%%, want ~0 (loads are local)", tb.RowLabel(r), gpsDemand)
+		}
+		if gpsPush < 95 {
+			t.Errorf("%s: GPS push traffic %.1f%%, want ~100", tb.RowLabel(r), gpsPush)
+		}
+		// RDL is the converse: loads cross on demand.
+		if rdlDemand < 95 {
+			t.Errorf("%s: RDL demand traffic %.1f%%, want ~100", tb.RowLabel(r), rdlDemand)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gps/internal/engine"
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/stats"
+	"gps/internal/workload"
+)
+
+// Figure1 reproduces the motivation figure: 4-GPU strong scaling of the
+// conventional bulk-synchronous (memcpy) paradigm under PCIe 3.0, projected
+// PCIe 6.0 and an infinite-bandwidth interconnect. Insufficient inter-GPU
+// bandwidth leaves most applications below 1x on PCIe 3.0 while the same
+// code reaches ~3x with free transfers.
+func Figure1(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Figure 1: 4-GPU strong scaling of the conventional paradigm vs interconnect",
+		"app", "PCIe3.0", "PCIe6.0", "InfiniteBW")
+	sums := [3]float64{}
+	for _, app := range workload.Names() {
+		base, err := baseline(app, opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		row := [3]float64{}
+		configs := []struct {
+			kind paradigm.Kind
+			fab  *interconnect.Fabric
+		}{
+			{paradigm.KindMemcpy, interconnect.PCIeTree(4, interconnect.PCIe3)},
+			{paradigm.KindMemcpy, interconnect.PCIeTree(4, interconnect.PCIe6)},
+			{paradigm.KindInfinite, interconnect.Infinite(4)},
+		}
+		for i, c := range configs {
+			rep, _, err := runOne(app, c.kind, 4, c.fab, opt, paradigm.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			row[i] = stats.Speedup(base, rep.SteadyTotal())
+			sums[i] += row[i]
+		}
+		tb.AddRow(app, row[0], row[1], row[2])
+	}
+	n := float64(len(workload.Names()))
+	tb.AddRow("mean", sums[0]/n, sums[1]/n, sums[2]/n)
+	return tb, nil
+}
+
+// Figure3 reproduces the local vs remote bandwidth comparison across five
+// GPU platform generations.
+func Figure3() *stats.Table {
+	tb := stats.NewTable(
+		"Figure 3: local and remote bandwidths across GPU platforms (GB/s)",
+		"platform", "local", "remote", "gap")
+	for _, p := range interconnect.Platforms() {
+		tb.AddRow(fmt.Sprintf("%s/%s/%s", p.Name, p.GPUArch, p.Fabric),
+			p.LocalBW/1e9, p.RemoteBW/1e9, p.Gap())
+	}
+	return tb
+}
+
+// Figure4 reproduces the qualitative transfer-pattern comparison: how much
+// of each paradigm's interconnect traffic moves during the compute window
+// (overlapped) versus the barrier window (serialized), measured on Jacobi.
+// Demand paradigms (RDL/UM) transfer on demand during kernels but stall;
+// memcpy transfers bulk-synchronously at barriers; GPS pushes fine-grained
+// updates proactively during the kernels.
+func Figure4(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Figure 4: transfer placement per paradigm (jacobi, bytes by window)",
+		"paradigm", "demand(MB)", "proactive(MB)", "barrier(MB)")
+	for _, kind := range []paradigm.Kind{paradigm.KindUM, paradigm.KindRDL, paradigm.KindMemcpy, paradigm.KindGPS} {
+		_, res, err := runOne("jacobi", kind, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		var demand, push, bulk float64
+		for _, ph := range res.Phases {
+			if ph.Index < res.Meta.ProfilePhases {
+				continue
+			}
+			for i := range ph.Profiles {
+				p := &ph.Profiles[i]
+				for _, b := range p.RemoteRead {
+					demand += float64(b)
+				}
+				for _, b := range p.Push {
+					push += float64(b)
+				}
+				for _, b := range p.Bulk {
+					bulk += float64(b)
+				}
+			}
+		}
+		tb.AddRow(kind.String(), demand/1e6, push/1e6, bulk/1e6)
+	}
+	return tb, nil
+}
+
+// Figure9 reproduces the subscriber distribution of shared pages: among
+// GPS pages that retain more than one subscriber after profiling, the
+// percentage with 2, 3 and 4 subscribers.
+func Figure9(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Figure 9: subscriber distribution for shared application pages (%)",
+		"app", "2 subs", "3 subs", "4 subs")
+	for _, app := range workload.Names() {
+		_, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		h := stats.Histogram{}
+		for k, c := range res.SubscriberHist {
+			if k >= 2 {
+				h[k] = c
+			}
+		}
+		tb.AddRow(app, h.Fraction(2)*100, h.Fraction(3)*100, h.Fraction(4)*100)
+	}
+	return tb, nil
+}
+
+// Figure10 reproduces the interconnect traffic comparison: total data moved
+// over the fabric in the steady state, normalized to the memcpy paradigm
+// (which copies all written shared data to every GPU exactly once per
+// barrier). Lower is better.
+func Figure10(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	kinds := []paradigm.Kind{paradigm.KindUM, paradigm.KindUMHints, paradigm.KindRDL, paradigm.KindGPS}
+	cols := make([]string, len(kinds))
+	for i, k := range kinds {
+		cols[i] = k.String()
+	}
+	tb := stats.NewTable(
+		"Figure 10: interconnect data moved, normalized to memcpy (lower is better)",
+		"app", cols...)
+	for _, app := range workload.Names() {
+		_, mem, err := runOne(app, paradigm.KindMemcpy, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		memBytes := mem.InterconnectBytes(mem.Meta.ProfilePhases)
+		if memBytes == 0 {
+			return nil, fmt.Errorf("experiments: %s memcpy moved no data", app)
+		}
+		row := make([]float64, len(kinds))
+		for i, k := range kinds {
+			_, res, err := runOne(app, k, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			row[i] = float64(res.InterconnectBytes(res.Meta.ProfilePhases)) / float64(memBytes)
+		}
+		tb.AddRow(app, row...)
+	}
+	return tb, nil
+}
+
+// Figure11 reproduces the subscription ablation: GPS speedup with and
+// without automatic subscription tracking (all-to-all replication).
+func Figure11(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Figure 11: performance sensitivity to subscription (4-GPU speedup)",
+		"app", "GPS w/o subscription", "GPS with subscription")
+	for _, app := range workload.Names() {
+		base, err := baseline(app, opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		noSub, _, err := runOne(app, paradigm.KindGPSNoSub, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		withSub, _, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(app,
+			stats.Speedup(base, noSub.SteadyTotal()),
+			stats.Speedup(base, withSub.SteadyTotal()))
+	}
+	return tb, nil
+}
+
+// Render renders a table plus optional derived claim lines.
+func Render(tb *stats.Table, extra ...string) string {
+	var b strings.Builder
+	b.WriteString(tb.String())
+	for _, e := range extra {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// steadyBytes is a helper for tests: steady-state interconnect bytes.
+func steadyBytes(res *engine.Result) uint64 {
+	return res.InterconnectBytes(res.Meta.ProfilePhases)
+}
+
+// Figure2 reproduces the load/store path census behind the paper's Figure 2
+// schematic: under GPS, loads to GPS pages resolve from local memory while
+// stores broadcast to the subscribers' replicas; under the conventional
+// demand paradigm (RDL), loads to shared data cross the interconnect. The
+// table reports, per application in the steady state, the fraction of
+// interconnect traffic that is demand loads versus proactive store pushes.
+func Figure2(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Figure 2: where traffic crosses the fabric (steady state, % of bytes)",
+		"app", "GPS demand%", "GPS push%", "RDL demand%", "RDL push%")
+	tb.Fmt = "%6.1f"
+	for _, app := range workload.Names() {
+		row := make([]float64, 0, 4)
+		for _, kind := range []paradigm.Kind{paradigm.KindGPS, paradigm.KindRDL} {
+			_, res, err := runOne(app, kind, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			var demand, push float64
+			for _, ph := range res.Phases {
+				if ph.Index < res.Meta.ProfilePhases {
+					continue
+				}
+				for i := range ph.Profiles {
+					p := &ph.Profiles[i]
+					for _, b := range p.RemoteRead {
+						demand += float64(b)
+					}
+					for _, b := range p.Push {
+						push += float64(b)
+					}
+					for _, b := range p.Bulk {
+						push += float64(b)
+					}
+				}
+			}
+			total := demand + push
+			if total == 0 {
+				total = 1
+			}
+			row = append(row, demand/total*100, push/total*100)
+		}
+		tb.AddRow(app, row...)
+	}
+	return tb, nil
+}

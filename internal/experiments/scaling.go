@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/stats"
+	"gps/internal/workload"
+)
+
+// Figure12 reproduces the 16-GPU study: per-application speedup over one
+// GPU for every paradigm on a projected PCIe 6.0 interconnect (128 GB/s).
+func Figure12(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	kinds := paradigm.Figure8Kinds()
+	cols := make([]string, len(kinds))
+	for i, k := range kinds {
+		cols[i] = k.String()
+	}
+	tb := stats.NewTable(
+		"Figure 12: 16-GPU performance on projected PCIe 6.0 (speedup over 1 GPU)",
+		"app", cols...)
+	sums := make([]float64, len(kinds))
+	for _, app := range workload.Names() {
+		base, err := baseline(app, opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(kinds))
+		for i, k := range kinds {
+			fab := interconnect.PCIeTree(16, interconnect.PCIe6)
+			if k == paradigm.KindInfinite {
+				fab = interconnect.Infinite(16)
+			}
+			rep, _, err := runOne(app, k, 16, fab, opt, paradigm.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			row[i] = stats.Speedup(base, rep.SteadyTotal())
+			sums[i] += row[i]
+		}
+		tb.AddRow(app, row...)
+	}
+	mean := make([]float64, len(kinds))
+	for i := range sums {
+		mean[i] = sums[i] / float64(len(workload.Names()))
+	}
+	tb.AddRow("mean", mean...)
+	return tb, nil
+}
+
+// Claims73 derives the Section 7.3 claims from a Figure 12 table: GPS's
+// mean 16-GPU speedup and the fraction of the infinite-bandwidth
+// opportunity it captures (the paper reports 7.9x and over 80%).
+func Claims73(tb *stats.Table) (gpsMean, opportunityFrac float64) {
+	meanRow := tb.Rows() - 1
+	var gps, inf float64
+	for c, name := range tb.Cols {
+		switch name {
+		case "GPS":
+			gps = tb.Value(meanRow, c)
+		case "infiniteBW":
+			inf = tb.Value(meanRow, c)
+		}
+	}
+	return gps, gps / inf
+}
+
+// Figure13 reproduces the interconnect-bandwidth sensitivity: geometric
+// mean 4-GPU speedup of each paradigm across PCIe generations 3.0-6.0.
+func Figure13(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	kinds := paradigm.Figure8Kinds()
+	cols := make([]string, len(kinds))
+	for i, k := range kinds {
+		cols[i] = k.String()
+	}
+	tb := stats.NewTable(
+		"Figure 13: sensitivity to interconnect bandwidth (geomean 4-GPU speedup)",
+		"interconnect", cols...)
+
+	gens := []interconnect.PCIeGen{interconnect.PCIe3, interconnect.PCIe4, interconnect.PCIe5, interconnect.PCIe6}
+	bases := map[string]float64{}
+	for _, app := range workload.Names() {
+		b, err := baseline(app, opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		bases[app] = b
+	}
+	for _, gen := range gens {
+		row := make([]float64, len(kinds))
+		for i, k := range kinds {
+			var speedups []float64
+			for _, app := range workload.Names() {
+				fab := interconnect.PCIeTree(4, gen)
+				if k == paradigm.KindInfinite {
+					fab = interconnect.Infinite(4)
+				}
+				rep, _, err := runOne(app, k, 4, fab, opt, paradigm.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				speedups = append(speedups, stats.Speedup(bases[app], rep.SteadyTotal()))
+			}
+			row[i] = stats.GeoMean(speedups)
+		}
+		label := gen.String()
+		if gen == interconnect.PCIe6 {
+			label += " (projected)"
+		}
+		tb.AddRow(label, row...)
+	}
+	return tb, nil
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gps/internal/gpuconf"
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/stats"
+	"gps/internal/workload"
+)
+
+// Figure14Sizes are the remote write queue capacities swept in Figure 14.
+var Figure14Sizes = []int{16, 32, 64, 128, 256, 384, 512, 768, 1024}
+
+// Figure14 reproduces the write-queue size sensitivity: the queue hit rate
+// (percentage of coalescable stores that merged) per application and queue
+// capacity. Jacobi, Pagerank, SSSP and ALS sit at 0% (SM-coalesced
+// streaming writes or atomics); CT, EQWP, Diffusion and HIT climb as the
+// queue covers their revisit distance, saturating near 512 entries.
+func Figure14(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	cols := make([]string, len(Figure14Sizes))
+	for i, s := range Figure14Sizes {
+		cols[i] = fmt.Sprintf("%d", s)
+	}
+	tb := stats.NewTable(
+		"Figure 14: GPS remote write queue hit rate (%) vs queue size (entries)",
+		"app", cols...)
+	tb.Fmt = "%6.1f"
+	for _, app := range workload.Names() {
+		row := make([]float64, len(Figure14Sizes))
+		for i, size := range Figure14Sizes {
+			cfg := paradigm.DefaultConfig()
+			cfg.WriteQueueEntries = size
+			_, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = stats.Mean(res.WriteQueueHitRate) * 100
+		}
+		tb.AddRow(app, row...)
+	}
+	return tb, nil
+}
+
+// GPSTLBSizes are the GPS-TLB capacities swept in the Section 7.4 study.
+var GPSTLBSizes = []int{4, 8, 16, 32, 64}
+
+// SensitivityGPSTLB reproduces the GPS-TLB sizing study: hit rate per
+// application and TLB size. The paper found the hit rate approaches 100% at
+// just 32 entries because the GPS-TLB services only GPS-heap stores.
+func SensitivityGPSTLB(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	cols := make([]string, len(GPSTLBSizes))
+	for i, s := range GPSTLBSizes {
+		cols[i] = fmt.Sprintf("%d", s)
+	}
+	tb := stats.NewTable(
+		"Section 7.4: GPS-TLB hit rate (%) vs TLB entries",
+		"app", cols...)
+	tb.Fmt = "%6.1f"
+	for _, app := range workload.Names() {
+		row := make([]float64, len(GPSTLBSizes))
+		for i, size := range GPSTLBSizes {
+			cfg := paradigm.DefaultConfig()
+			cfg.GPSTLBEntries = size
+			if size < cfg.Machine.GPS.TLBWays {
+				cfg.GPSTLBWays = size
+			}
+			_, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = stats.Mean(res.GPSTLBHitRate) * 100
+		}
+		tb.AddRow(app, row...)
+	}
+	return tb, nil
+}
+
+// PageSizes are the translation granularities of the Section 7.4 page-size
+// study.
+var PageSizes = []uint64{4 << 10, 64 << 10, 2 << 20}
+
+// SensitivityPageSize reproduces the page-size study: geometric mean GPS
+// 4-GPU *runtime* at 4 KB, 64 KB and 2 MB pages, relative to 64 KB. Small
+// pages multiply TLB pressure (the paper: the 4 KB variant is 42% slower
+// than 64 KB); large pages suffer false sharing that multiplies replicated
+// store traffic (2 MB is 15% slower). 64 KB is the sweet spot.
+func SensitivityPageSize(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Section 7.4: page size sensitivity (geomean GPS 4-GPU runtime vs 64KB)",
+		"page size", "runtime ratio", "slowdown %")
+	// Run at a larger problem scale so a single 2 MB page is not an
+	// outsized fraction of a slab (the paper's footprints are GB-scale).
+	opt.Scale *= 2
+	runtimes := make([][]float64, len(PageSizes))
+	for i, pageBytes := range PageSizes {
+		for _, app := range workload.Names() {
+			cfg := paradigm.DefaultConfig()
+			cfg.PageBytes = pageBytes
+			rep, _, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
+			if err != nil {
+				return nil, err
+			}
+			runtimes[i] = append(runtimes[i], rep.SteadyTotal())
+		}
+	}
+	labels := []string{"4KB", "64KB", "2MB"}
+	for i := range PageSizes {
+		var ratios []float64
+		for a := range runtimes[i] {
+			ratios = append(ratios, runtimes[i][a]/runtimes[1][a])
+		}
+		r := stats.GeoMean(ratios)
+		tb.AddRow(labels[i], r, (r-1)*100)
+	}
+	return tb, nil
+}
+
+// AblationWatermark compares the paper's drain-at-capacity-minus-one
+// watermark against an eager half-full drain policy (geomean speedup and
+// queue hit rate).
+func AblationWatermark(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Ablation: write queue drain watermark (4-GPU GPS)",
+		"policy", "geomean speedup", "mean hit rate %")
+	policies := []struct {
+		name string
+		mark int
+	}{
+		{"capacity-1 (paper)", 511},
+		{"capacity/2", 256},
+		{"capacity/8", 64},
+	}
+	for _, pol := range policies {
+		var speedups, hits []float64
+		for _, app := range workload.Names() {
+			cfg := paradigm.DefaultConfig()
+			cfg.WriteQueueWatermark = pol.mark
+			base, err := baseline(app, opt, paradigm.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			rep, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, stats.Speedup(base, rep.SteadyTotal()))
+			hits = append(hits, stats.Mean(res.WriteQueueHitRate)*100)
+		}
+		tb.AddRow(pol.name, stats.GeoMean(speedups), stats.Mean(hits))
+	}
+	return tb, nil
+}
+
+// AblationProfilingMode compares the two automatic subscription strategies
+// of Section 3.2: subscribed-by-default (indiscriminate replication, then
+// unsubscription — the paper's choice) versus unsubscribed-by-default
+// (subscribe on first read, paying population stalls). Steady-state
+// performance converges; the profiling iteration's cost differs, which is
+// why the paper chose subscribed-by-default.
+func AblationProfilingMode(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Ablation: profiling mode (4-GPU GPS, total runtime in ms)",
+		"app", "subscribed-by-default", "unsubscribed-by-default", "steady ratio")
+	tb.Fmt = "%8.3f"
+	for _, app := range workload.Names() {
+		subDef, _, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		unsubDef, _, err := runOne(app, paradigm.KindGPSUnsubDefault, 4, MainFabric(4), opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(app, subDef.Total*1e3, unsubDef.Total*1e3,
+			unsubDef.SteadyTotal()/subDef.SteadyTotal())
+	}
+	return tb, nil
+}
+
+// ControlApps reproduces the paper's control observation (Section 6): "For
+// the Tartan applications not bound by inter-GPU communication, we found
+// that GPS obtains the same performance as the native version." Two
+// compute-bound control workloads run under the native (memcpy) paradigm,
+// GPS, and the infinite-bandwidth bound; all three must coincide.
+func ControlApps(opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	tb := stats.NewTable(
+		"Control: compute-bound applications (4-GPU speedup; paradigms must coincide)",
+		"app", "memcpy", "GPS", "infiniteBW")
+	for _, spec := range workload.ControlCatalog() {
+		base, err := baseline(spec.Name, opt, paradigm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, 3)
+		for _, k := range []paradigm.Kind{paradigm.KindMemcpy, paradigm.KindGPS, paradigm.KindInfinite} {
+			fab := MainFabric(4)
+			if k == paradigm.KindInfinite {
+				fab = interconnect.Infinite(4)
+			}
+			rep, _, err := runOne(spec.Name, k, 4, fab, opt, paradigm.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Speedup(base, rep.SteadyTotal()))
+		}
+		tb.AddRow(spec.Name, row...)
+	}
+	return tb, nil
+}
+
+// Table1 renders the Table 1 simulation settings.
+func Table1() string {
+	c := gpuconf.Default()
+	g := c.GPU
+	s := c.GPS
+	out := "Table 1: simulation settings (NVIDIA V100-class)\n"
+	rows := []struct {
+		k string
+		v string
+	}{
+		{"Cache block size", fmt.Sprintf("%d bytes", g.CacheBlockBytes)},
+		{"Global memory", fmt.Sprintf("%d GB", g.GlobalMemory>>30)},
+		{"Streaming multiprocessors (SM)", fmt.Sprintf("%d", g.SMs)},
+		{"CUDA cores/SM", fmt.Sprintf("%d", g.CoresPerSM)},
+		{"L2 cache size", fmt.Sprintf("%d MB", g.L2Bytes>>20)},
+		{"Warp size", fmt.Sprintf("%d", g.WarpSize)},
+		{"Maximum threads per SM", fmt.Sprintf("%d", g.MaxThreadsPerSM)},
+		{"Maximum threads per CTA", fmt.Sprintf("%d", g.MaxThreadsPerCTA)},
+		{"Remote write queue", fmt.Sprintf("%d entries", s.WriteQueueEntries)},
+		{"Remote write queue entry size", fmt.Sprintf("%d bytes", s.WriteQueueEntrySize)},
+		{"GPS-TLB", fmt.Sprintf("%d-way set associative", s.TLBWays)},
+		{"GPS-TLB size", fmt.Sprintf("%d entries", s.TLBEntries)},
+		{"Virtual address", fmt.Sprintf("%d bits", g.VirtualAddrBits)},
+		{"Physical address", fmt.Sprintf("%d bits", g.PhysicalAddrBits)},
+	}
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-32s %s\n", r.k, r.v)
+	}
+	return out
+}

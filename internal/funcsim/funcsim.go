@@ -1,0 +1,226 @@
+// Package funcsim is the functional (value-accurate) companion to the
+// timing simulator: a multi-GPU memory with real data in it, implementing
+// GPS semantics operationally — per-subscriber replicas, local loads,
+// stores coalesced per cache line in a per-GPU publish queue, in-order
+// delivery to every subscriber, and full drains at barriers (the implicit
+// sys-scoped release at the end of every grid).
+//
+// Its purpose is end-to-end validation of the paper's correctness argument
+// (Sections 3.2-3.3): a data-parallel program that synchronizes its
+// cross-GPU sharing with barriers computes bit-identical results under GPS
+// replication as it does on a single coherent memory — while between
+// barriers, remote replicas are legitimately stale (the relaxed behavior
+// GPS exploits for coalescing). The tests run a real Jacobi solver both
+// ways and compare every word.
+package funcsim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Word is the access granularity: 8-byte aligned float64 values.
+const wordBytes = 8
+
+// Machine is an n-GPU memory with GPS publish-subscribe semantics.
+type Machine struct {
+	n         int
+	pageBytes uint64
+	lineBytes uint64
+
+	replicas []map[uint64]float64 // per GPU: word address -> value
+	queues   []*publishQueue      // per GPU
+	subs     map[uint64]uint64    // page -> subscriber bitmask
+	defSubs  uint64               // default: all GPUs
+
+	// Delivered counts lines delivered to remote replicas (traffic proxy).
+	Delivered uint64
+}
+
+// publishQueue coalesces pending line writes in insertion order.
+type publishQueue struct {
+	order []uint64                      // line addresses, least recently added first
+	lines map[uint64]map[uint64]float64 // line -> word addr -> value
+}
+
+// NewMachine builds a machine with all GPUs subscribed to every page.
+func NewMachine(n int, pageBytes, lineBytes uint64) (*Machine, error) {
+	if n < 1 || n > 64 {
+		return nil, fmt.Errorf("funcsim: %d GPUs out of range", n)
+	}
+	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 || pageBytes%lineBytes != 0 {
+		return nil, fmt.Errorf("funcsim: invalid geometry page=%d line=%d", pageBytes, lineBytes)
+	}
+	m := &Machine{
+		n:         n,
+		pageBytes: pageBytes,
+		lineBytes: lineBytes,
+		subs:      map[uint64]uint64{},
+		defSubs:   allMask(n),
+	}
+	for g := 0; g < n; g++ {
+		m.replicas = append(m.replicas, map[uint64]float64{})
+		m.queues = append(m.queues, &publishQueue{lines: map[uint64]map[uint64]float64{}})
+	}
+	return m, nil
+}
+
+func allMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return 1<<n - 1
+}
+
+// SetSubscribers pins the subscriber set for every page overlapping
+// [base, base+size).
+func (m *Machine) SetSubscribers(base, size uint64, gpus ...int) error {
+	if len(gpus) == 0 {
+		return fmt.Errorf("funcsim: empty subscriber set")
+	}
+	var mask uint64
+	for _, g := range gpus {
+		if g < 0 || g >= m.n {
+			return fmt.Errorf("funcsim: GPU %d out of range", g)
+		}
+		mask |= 1 << g
+	}
+	for p := base / m.pageBytes; p <= (base+size-1)/m.pageBytes; p++ {
+		m.subs[p] = mask
+	}
+	return nil
+}
+
+func (m *Machine) subscribers(addr uint64) uint64 {
+	if mask, ok := m.subs[addr/m.pageBytes]; ok {
+		return mask
+	}
+	return m.defSubs
+}
+
+func (m *Machine) subscribed(gpu int, addr uint64) bool {
+	return m.subscribers(addr)&(1<<gpu) != 0
+}
+
+func checkAligned(addr uint64) {
+	if addr%wordBytes != 0 {
+		panic(fmt.Sprintf("funcsim: unaligned word address %#x", addr))
+	}
+}
+
+// Store performs a weak store by gpu: the local replica (if subscribed)
+// updates immediately — a GPU always reads its own writes — and the line
+// enters the publish queue for eventual replication to remote subscribers.
+func (m *Machine) Store(gpu int, addr uint64, v float64) {
+	checkAligned(addr)
+	if m.subscribed(gpu, addr) {
+		m.replicas[gpu][addr] = v
+	}
+	q := m.queues[gpu]
+	line := addr &^ (m.lineBytes - 1)
+	if _, resident := q.lines[line]; !resident {
+		q.lines[line] = map[uint64]float64{}
+		q.order = append(q.order, line)
+	}
+	q.lines[line][addr] = v
+}
+
+// Load performs a load by gpu: from the local replica when subscribed,
+// otherwise remotely from the lowest-numbered subscriber (Section 3.2: a
+// non-subscriber load does not fault, it issues remotely).
+func (m *Machine) Load(gpu int, addr uint64) float64 {
+	checkAligned(addr)
+	if m.subscribed(gpu, addr) {
+		return m.replicas[gpu][addr]
+	}
+	host := bits.TrailingZeros64(m.subscribers(addr))
+	if host >= m.n {
+		return 0
+	}
+	return m.replicas[host][addr]
+}
+
+// Drain delivers gpu's least recently added queued line to every remote
+// subscriber (the watermark drain path). It reports whether anything
+// drained.
+func (m *Machine) Drain(gpu int) bool {
+	q := m.queues[gpu]
+	if len(q.order) == 0 {
+		return false
+	}
+	line := q.order[0]
+	q.order = q.order[1:]
+	m.deliver(gpu, line, q.lines[line])
+	delete(q.lines, line)
+	return true
+}
+
+// Flush drains gpu's entire queue in insertion order (a sys-scoped fence).
+func (m *Machine) Flush(gpu int) {
+	for m.Drain(gpu) {
+	}
+}
+
+// Barrier is the global synchronization ending a phase: every GPU's queue
+// flushes and delivers (the implicit sys-scoped release at the end of every
+// grid plus the inter-GPU barrier).
+func (m *Machine) Barrier() {
+	for g := 0; g < m.n; g++ {
+		m.Flush(g)
+	}
+}
+
+func (m *Machine) deliver(src int, line uint64, words map[uint64]float64) {
+	mask := m.subscribers(line)
+	for dst := 0; dst < m.n; dst++ {
+		if dst == src || mask&(1<<dst) == 0 {
+			continue
+		}
+		for addr, v := range words {
+			m.replicas[dst][addr] = v
+		}
+		m.Delivered++
+	}
+}
+
+// PendingLines returns the number of lines still queued on gpu.
+func (m *Machine) PendingLines(gpu int) int { return len(m.queues[gpu].order) }
+
+// ReplicasConsistent reports whether, for every address any GPU holds, all
+// subscribers of that address agree on the value. Only meaningful at
+// barriers (between them, staleness is allowed by the memory model).
+func (m *Machine) ReplicasConsistent() error {
+	addrs := map[uint64]bool{}
+	for g := 0; g < m.n; g++ {
+		for a := range m.replicas[g] {
+			addrs[a] = true
+		}
+	}
+	sorted := make([]uint64, 0, len(addrs))
+	for a := range addrs {
+		sorted = append(sorted, a)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, a := range sorted {
+		mask := m.subscribers(a)
+		ref, refSet := 0.0, false
+		for g := 0; g < m.n; g++ {
+			if mask&(1<<g) == 0 {
+				continue
+			}
+			v, ok := m.replicas[g][a]
+			if !ok {
+				continue
+			}
+			if !refSet {
+				ref, refSet = v, true
+				continue
+			}
+			if v != ref {
+				return fmt.Errorf("funcsim: replicas diverge at %#x: %v vs %v", a, ref, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+// Package gpu models the GPU-local memory hierarchy at line granularity: a
+// set-associative, write-back, write-allocate L2 cache in front of DRAM
+// counters. The timing simulator uses an analytic L2 model for speed
+// (trace.L2Model); this package provides the structural counterpart used to
+// validate that model's parameters — in particular the paper's observation
+// that EQWP's L2 hit rate climbs from 55% to 68% when 4 GPUs split the
+// working set (Section 7.1), which emerges here from nothing but cache
+// geometry and the access stream.
+package gpu
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CacheConfig fixes one cache's geometry.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// V100L2 returns the Table 1 L2 geometry: 6 MB, 128 B lines, 16-way.
+func V100L2() CacheConfig {
+	return CacheConfig{SizeBytes: 6 << 20, LineBytes: 128, Ways: 16}
+}
+
+// Validate reports invalid geometries.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("gpu: line size %d not a power of two", c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("gpu: %d ways", c.Ways)
+	case c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("gpu: size %d not divisible into %d-way sets of %d B lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	return nil
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no accesses.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheLine struct {
+	valid   bool
+	dirty   bool
+	tag     uint64
+	lastUse uint64
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with
+// true-LRU replacement within each set.
+type Cache struct {
+	cfg       CacheConfig
+	lineShift int
+	numSets   uint64
+	sets      [][]cacheLine
+	clock     uint64
+	stats     CacheStats
+}
+
+// NewCache builds a cache; it panics on invalid geometry (construction
+// arguments are programmer-controlled constants).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	sets := make([][]cacheLine, numSets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return &Cache{
+		cfg:       cfg,
+		lineShift: bits.TrailingZeros(uint(cfg.LineBytes)),
+		numSets:   uint64(numSets),
+		sets:      sets,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the counters without flushing contents.
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+// Access performs one load (write=false) or store (write=true) to addr and
+// reports whether it hit, plus whether the fill evicted a dirty line
+// (writeback traffic to DRAM).
+func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
+	c.clock++
+	// GPU L2s hash addresses across slices; with a non-power-of-two set
+	// count (6 MB / 16 ways / 128 B = 3072 sets on V100) modulo indexing
+	// plays that role.
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr%c.numSets]
+	tag := lineAddr / c.numSets
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true, false
+		}
+	}
+	c.stats.Misses++
+
+	// Write-allocate: fill the line, evicting LRU.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+		if set[victim].dirty {
+			c.stats.Writebacks++
+			writeback = true
+		}
+	}
+	set[victim] = cacheLine{valid: true, dirty: write, tag: tag, lastUse: c.clock}
+	return false, writeback
+}
+
+// Flush invalidates every line and returns the number of dirty lines that
+// would write back.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				dirty++
+			}
+			set[i] = cacheLine{}
+		}
+	}
+	return dirty
+}
+
+// Occupancy returns the number of valid lines resident.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MemoryPath is one GPU's L2 + DRAM traffic accounting: every access goes
+// through the L2; misses and writebacks become DRAM line transactions.
+type MemoryPath struct {
+	GPU        int
+	L2         *Cache
+	DRAMReads  uint64 // line fills from DRAM
+	DRAMWrites uint64 // writebacks to DRAM
+}
+
+// NewMemoryPath builds a memory path with the given L2 geometry.
+func NewMemoryPath(gpu int, cfg CacheConfig) *MemoryPath {
+	return &MemoryPath{GPU: gpu, L2: NewCache(cfg)}
+}
+
+// Load performs a read of the line containing addr.
+func (m *MemoryPath) Load(addr uint64) (hit bool) {
+	hit, wb := m.L2.Access(addr, false)
+	if !hit {
+		m.DRAMReads++
+	}
+	if wb {
+		m.DRAMWrites++
+	}
+	return hit
+}
+
+// Store performs a write to the line containing addr.
+func (m *MemoryPath) Store(addr uint64) (hit bool) {
+	hit, wb := m.L2.Access(addr, true)
+	if !hit {
+		m.DRAMReads++ // write-allocate fill
+	}
+	if wb {
+		m.DRAMWrites++
+	}
+	return hit
+}
+
+// DRAMBytes returns total DRAM traffic in bytes.
+func (m *MemoryPath) DRAMBytes() uint64 {
+	return (m.DRAMReads + m.DRAMWrites) * uint64(m.L2.cfg.LineBytes)
+}

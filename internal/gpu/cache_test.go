@@ -1,0 +1,186 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tiny() CacheConfig { return CacheConfig{SizeBytes: 8 * 128, LineBytes: 128, Ways: 2} }
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(tiny())
+	if hit, _ := c.Access(0, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _ := c.Access(64, false); !hit {
+		t.Fatal("same-line access missed")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", s.HitRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 4 sets x 2 ways; addresses with the same set index conflict.
+	c := NewCache(tiny())
+	setStride := uint64(4 * 128) // same set every 4 lines
+	c.Access(0*setStride, false)
+	c.Access(1*setStride, false)
+	c.Access(0*setStride, false) // refresh first; LRU is the second
+	c.Access(2*setStride, false) // evicts line 1
+	if hit, _ := c.Access(0, false); !hit {
+		t.Fatal("MRU line evicted")
+	}
+	if hit, _ := c.Access(1*setStride, false); hit {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := NewCache(tiny())
+	setStride := uint64(4 * 128)
+	c.Access(0, true)                     // dirty
+	c.Access(setStride, false)            // clean
+	_, wb := c.Access(2*setStride, false) // evicts dirty line 0
+	if !wb {
+		t.Fatal("dirty eviction did not write back")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(tiny())
+	c.Access(0, true)
+	c.Access(128, false)
+	if c.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d", c.Occupancy())
+	}
+	if dirty := c.Flush(); dirty != 1 {
+		t.Fatalf("flush dirty = %d, want 1", dirty)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("flush left lines")
+	}
+	if hit, _ := c.Access(0, false); hit {
+		t.Fatal("hit after flush")
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 1024, LineBytes: 100, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 128, Ways: 0},
+		{SizeBytes: 1000, LineBytes: 128, Ways: 2},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if err := V100L2().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a cache never reports more hits than accesses, occupancy never
+// exceeds capacity, and a working set that fits is fully resident after one
+// pass (second pass hits 100%).
+func TestCacheProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(CacheConfig{SizeBytes: 64 * 128, LineBytes: 128, Ways: 4})
+		for i := 0; i < 2000; i++ {
+			c.Access(uint64(rng.Intn(1024))*128, rng.Intn(2) == 0)
+			if c.Occupancy() > 64 {
+				return false
+			}
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == 2000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheSecondPassHitsWhenFits(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 64 * 128, LineBytes: 128, Ways: 4})
+	for pass := 0; pass < 2; pass++ {
+		c.ResetStats()
+		for line := uint64(0); line < 64; line++ {
+			c.Access(line*128, false)
+		}
+		if pass == 1 && c.Stats().HitRate() != 1 {
+			t.Fatalf("second pass hit rate = %v, want 1", c.Stats().HitRate())
+		}
+	}
+	// A working set 2x the capacity thrashes under LRU streaming: 0% hits.
+	c2 := NewCache(CacheConfig{SizeBytes: 64 * 128, LineBytes: 128, Ways: 4})
+	for pass := 0; pass < 3; pass++ {
+		for line := uint64(0); line < 128; line++ {
+			c2.Access(line*128, false)
+		}
+	}
+	if c2.Stats().Hits != 0 {
+		t.Fatalf("streaming over 2x capacity should never hit, got %d", c2.Stats().Hits)
+	}
+}
+
+func TestMemoryPathDRAMAccounting(t *testing.T) {
+	m := NewMemoryPath(0, tiny())
+	m.Load(0)  // miss: 1 DRAM read
+	m.Load(0)  // hit
+	m.Store(0) // hit (dirty)
+	if m.DRAMReads != 1 || m.DRAMWrites != 0 {
+		t.Fatalf("reads/writes = %d/%d", m.DRAMReads, m.DRAMWrites)
+	}
+	// Evict the dirty line via conflicting fills.
+	setStride := uint64(4 * 128)
+	m.Load(setStride)
+	m.Load(2 * setStride)
+	if m.DRAMWrites != 1 {
+		t.Fatalf("writebacks to DRAM = %d, want 1", m.DRAMWrites)
+	}
+	if m.DRAMBytes() != (m.DRAMReads+m.DRAMWrites)*128 {
+		t.Fatal("DRAMBytes inconsistent")
+	}
+}
+
+// The headline structural result: splitting a working set that overflows
+// the L2 across more GPUs raises each GPU's hit rate — the EQWP effect.
+func TestAggregateCacheEffect(t *testing.T) {
+	hitRateAt := func(gpus int) float64 {
+		const totalLines = 96 * 1024 // 12 MB working set vs 6 MB L2
+		m := NewMemoryPath(0, V100L2())
+		per := totalLines / gpus
+		for pass := 0; pass < 4; pass++ {
+			for l := 0; l < per; l++ {
+				m.Load(uint64(l) * 128)
+			}
+		}
+		return m.L2.Stats().HitRate()
+	}
+	one := hitRateAt(1)
+	four := hitRateAt(4)
+	if four <= one {
+		t.Fatalf("hit rate should rise with split: 1 GPU %.2f vs 4 GPUs %.2f", one, four)
+	}
+	if four < 0.7 {
+		t.Fatalf("fitting working set should mostly hit, got %.2f", four)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewCache(V100L2())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%100000)*128, i%4 == 0)
+	}
+}

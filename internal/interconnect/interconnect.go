@@ -1,0 +1,316 @@
+// Package interconnect models the inter-GPU fabrics evaluated in the GPS
+// paper: PCIe generations 3.0 through 6.0 (tree topologies through a host
+// switch), NVLink point-to-point meshes (DGX-1 style hybrid cube mesh),
+// NVSwitch crossbars (DGX-2 / DGX-A100 style), and an ideal infinite
+// bandwidth fabric used to establish the strong-scaling upper bound.
+//
+// A Fabric is a static description: a set of unidirectional links plus a
+// path table mapping each (src, dst) GPU pair to the ordered links a
+// transfer traverses. Contention is resolved by the timing simulator
+// (internal/timing), which runs max-min fair sharing over these links; this
+// package only describes capacity, latency and routing.
+package interconnect
+
+import (
+	"fmt"
+)
+
+// LinkID identifies one unidirectional link within a Fabric.
+type LinkID int
+
+// Link is a unidirectional channel with a fixed capacity.
+type Link struct {
+	ID        LinkID
+	Name      string
+	Bandwidth float64 // bytes per second
+	Latency   float64 // seconds, one-way propagation + serialization setup
+}
+
+// Fabric is an immutable interconnect description for n GPUs.
+type Fabric struct {
+	name    string
+	n       int
+	links   []Link
+	paths   [][][]LinkID // paths[src][dst], nil for src==dst
+	latency [][]float64  // end-to-end latency per pair
+	ideal   bool         // true for the infinite-bandwidth fabric
+}
+
+// Name returns a human-readable fabric name, e.g. "PCIe 3.0 x16 (4 GPUs)".
+func (f *Fabric) Name() string { return f.name }
+
+// NumGPUs returns the number of GPU endpoints.
+func (f *Fabric) NumGPUs() int { return f.n }
+
+// NumLinks returns the number of unidirectional links.
+func (f *Fabric) NumLinks() int { return len(f.links) }
+
+// Ideal reports whether this is the infinite-bandwidth fabric (transfers are
+// free and instantaneous).
+func (f *Fabric) Ideal() bool { return f.ideal }
+
+// Link returns the link with the given ID.
+func (f *Fabric) Link(id LinkID) Link {
+	return f.links[id]
+}
+
+// Path returns the ordered links traversed by a transfer from src to dst.
+// The returned slice must not be modified. Path(g, g) is nil: local traffic
+// never touches the fabric. For the ideal fabric all paths are nil.
+func (f *Fabric) Path(src, dst int) []LinkID {
+	f.check(src)
+	f.check(dst)
+	if src == dst {
+		return nil
+	}
+	return f.paths[src][dst]
+}
+
+// Latency returns the end-to-end one-way latency from src to dst in seconds.
+func (f *Fabric) Latency(src, dst int) float64 {
+	f.check(src)
+	f.check(dst)
+	if src == dst || f.ideal {
+		return 0
+	}
+	return f.latency[src][dst]
+}
+
+// PerGPUEgress returns the minimum bandwidth on the first hop out of a GPU,
+// i.e. the best case injection bandwidth available to that GPU.
+func (f *Fabric) PerGPUEgress(gpu int) float64 {
+	f.check(gpu)
+	if f.ideal {
+		return infiniteBW
+	}
+	best := 0.0
+	for dst := 0; dst < f.n; dst++ {
+		if dst == gpu {
+			continue
+		}
+		p := f.paths[gpu][dst]
+		if len(p) == 0 {
+			continue
+		}
+		if bw := f.links[p[0]].Bandwidth; bw > best {
+			best = bw
+		}
+	}
+	return best
+}
+
+// PairBandwidth returns the bottleneck bandwidth on the path src->dst in
+// isolation (no contention).
+func (f *Fabric) PairBandwidth(src, dst int) float64 {
+	if src == dst || f.ideal {
+		return infiniteBW
+	}
+	min := infiniteBW
+	for _, id := range f.Path(src, dst) {
+		if bw := f.links[id].Bandwidth; bw < min {
+			min = bw
+		}
+	}
+	return min
+}
+
+func (f *Fabric) check(gpu int) {
+	if gpu < 0 || gpu >= f.n {
+		panic(fmt.Sprintf("interconnect: GPU %d out of range [0,%d)", gpu, f.n))
+	}
+}
+
+// infiniteBW stands in for unlimited capacity in queries against the ideal
+// fabric; it is large enough that no simulated transfer is ever bound by it.
+const infiniteBW = 1e30
+
+// Per-direction, per-GPU bandwidth of an x16 PCIe endpoint in bytes/s.
+// PCIe 6.0 follows the paper's projection: "a projected PCIe 6.0
+// interconnect (operating at 128GB/s)".
+const (
+	PCIe3Bandwidth = 16e9
+	PCIe4Bandwidth = 32e9
+	PCIe5Bandwidth = 64e9
+	PCIe6Bandwidth = 128e9
+
+	pcieLatency = 1.3e-6
+)
+
+// NVLink per-GPU aggregate bandwidths per direction in bytes/s.
+const (
+	NVLink1Bandwidth = 80e9  // P100: 4 links x 20 GB/s
+	NVLink2Bandwidth = 150e9 // V100: 6 links x 25 GB/s
+	NVLink3Bandwidth = 300e9 // A100: 12 links x 25 GB/s
+
+	nvlinkLatency = 700e-9
+)
+
+// PCIeGen identifies a PCIe generation for the tree builder.
+type PCIeGen int
+
+// PCIe generations supported by the sensitivity sweep in Figure 13.
+const (
+	PCIe3 PCIeGen = 3
+	PCIe4 PCIeGen = 4
+	PCIe5 PCIeGen = 5
+	PCIe6 PCIeGen = 6
+)
+
+// Bandwidth returns the per-direction x16 bandwidth of the generation.
+func (g PCIeGen) Bandwidth() float64 {
+	switch g {
+	case PCIe3:
+		return PCIe3Bandwidth
+	case PCIe4:
+		return PCIe4Bandwidth
+	case PCIe5:
+		return PCIe5Bandwidth
+	case PCIe6:
+		return PCIe6Bandwidth
+	}
+	panic(fmt.Sprintf("interconnect: unknown PCIe generation %d", g))
+}
+
+func (g PCIeGen) String() string { return fmt.Sprintf("PCIe %d.0", g) }
+
+// PCIeTree builds an n-GPU PCIe fabric: every GPU owns one upstream (egress)
+// and one downstream (ingress) x16 link into a non-blocking switch complex,
+// so a peer transfer traverses the source's egress link and the
+// destination's ingress link. This matches how peer DMA flows through PCIe
+// switches in multi-GPU servers: the per-GPU x16 links, not the switch, are
+// the bottleneck.
+func PCIeTree(n int, gen PCIeGen) *Fabric {
+	return starFabric(fmt.Sprintf("%s x16 (%d GPUs)", gen, n), n, gen.Bandwidth(), pcieLatency)
+}
+
+// NVSwitch builds an n-GPU crossbar where each GPU has perGPU bytes/s of
+// injection and ejection bandwidth through a non-blocking switch, as in
+// DGX-2 and DGX-A100 systems.
+func NVSwitch(n int, perGPU float64) *Fabric {
+	return starFabric(fmt.Sprintf("NVSwitch %.0fGB/s (%d GPUs)", perGPU/1e9, n), n, perGPU, nvlinkLatency)
+}
+
+// starFabric wires each GPU to a non-blocking core with one egress and one
+// ingress link of the given capacity.
+func starFabric(name string, n int, bw, lat float64) *Fabric {
+	if n < 1 {
+		panic("interconnect: fabric needs at least one GPU")
+	}
+	if bw <= 0 {
+		panic("interconnect: bandwidth must be positive")
+	}
+	f := &Fabric{name: name, n: n}
+	egress := make([]LinkID, n)
+	ingress := make([]LinkID, n)
+	for g := 0; g < n; g++ {
+		egress[g] = f.addLink(fmt.Sprintf("gpu%d.tx", g), bw, lat/2)
+		ingress[g] = f.addLink(fmt.Sprintf("gpu%d.rx", g), bw, lat/2)
+	}
+	f.buildPaths(func(src, dst int) []LinkID {
+		return []LinkID{egress[src], ingress[dst]}
+	})
+	return f
+}
+
+// FullMesh builds a fabric with a dedicated unidirectional link of perLink
+// bytes/s between every ordered GPU pair (an idealized NVLink all-to-all).
+func FullMesh(n int, perLink, lat float64) *Fabric {
+	if n < 1 {
+		panic("interconnect: fabric needs at least one GPU")
+	}
+	f := &Fabric{name: fmt.Sprintf("full mesh %.0fGB/s (%d GPUs)", perLink/1e9, n), n: n}
+	direct := make([][]LinkID, n)
+	for s := 0; s < n; s++ {
+		direct[s] = make([]LinkID, n)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			direct[s][d] = f.addLink(fmt.Sprintf("gpu%d->gpu%d", s, d), perLink, lat)
+		}
+	}
+	f.buildPaths(func(src, dst int) []LinkID {
+		return []LinkID{direct[src][dst]}
+	})
+	return f
+}
+
+// HybridCubeMesh builds the 8-GPU DGX-1 NVLink topology: two quads of
+// fully-connected GPUs with inter-quad links between corresponding corners.
+// GPU pairs without a direct link route through one intermediate hop inside
+// the source quad. perLink is the bandwidth of a single NVLink connection
+// per direction.
+func HybridCubeMesh(perLink float64) *Fabric {
+	const n = 8
+	f := &Fabric{name: fmt.Sprintf("hybrid cube mesh %.0fGB/s/link", perLink/1e9), n: n}
+	link := make(map[[2]int]LinkID)
+	addBidi := func(a, b int) {
+		link[[2]int{a, b}] = f.addLink(fmt.Sprintf("gpu%d->gpu%d", a, b), perLink, nvlinkLatency)
+		link[[2]int{b, a}] = f.addLink(fmt.Sprintf("gpu%d->gpu%d", b, a), perLink, nvlinkLatency)
+	}
+	// Intra-quad full connectivity.
+	for _, quad := range [][4]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				addBidi(quad[i], quad[j])
+			}
+		}
+	}
+	// Inter-quad corner links.
+	for g := 0; g < 4; g++ {
+		addBidi(g, g+4)
+	}
+	f.buildPaths(func(src, dst int) []LinkID {
+		if id, ok := link[[2]int{src, dst}]; ok {
+			return []LinkID{id}
+		}
+		// Cross-quad without a direct link: hop through the source-quad GPU
+		// that owns the corner link toward the destination's position.
+		via := dst - 4
+		if dst < 4 {
+			via = dst + 4
+		}
+		// via is in src's quad and has a direct corner link to dst.
+		return []LinkID{link[[2]int{src, via}], link[[2]int{via, dst}]}
+	})
+	return f
+}
+
+// Infinite builds the ideal fabric: all transfers complete instantly and
+// consume no bandwidth. It models the paper's "infinite bandwidth
+// interconnect" upper bound, obtained by eliding transfer time.
+func Infinite(n int) *Fabric {
+	if n < 1 {
+		panic("interconnect: fabric needs at least one GPU")
+	}
+	f := &Fabric{name: fmt.Sprintf("infinite BW (%d GPUs)", n), n: n, ideal: true}
+	f.buildPaths(func(src, dst int) []LinkID { return nil })
+	return f
+}
+
+func (f *Fabric) addLink(name string, bw, lat float64) LinkID {
+	id := LinkID(len(f.links))
+	f.links = append(f.links, Link{ID: id, Name: name, Bandwidth: bw, Latency: lat})
+	return id
+}
+
+func (f *Fabric) buildPaths(route func(src, dst int) []LinkID) {
+	f.paths = make([][][]LinkID, f.n)
+	f.latency = make([][]float64, f.n)
+	for s := 0; s < f.n; s++ {
+		f.paths[s] = make([][]LinkID, f.n)
+		f.latency[s] = make([]float64, f.n)
+		for d := 0; d < f.n; d++ {
+			if s == d {
+				continue
+			}
+			p := route(s, d)
+			f.paths[s][d] = p
+			lat := 0.0
+			for _, id := range p {
+				lat += f.links[id].Latency
+			}
+			f.latency[s][d] = lat
+		}
+	}
+}

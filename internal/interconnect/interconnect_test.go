@@ -1,0 +1,242 @@
+package interconnect
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPCIeGenBandwidths(t *testing.T) {
+	want := map[PCIeGen]float64{
+		PCIe3: 16e9, PCIe4: 32e9, PCIe5: 64e9, PCIe6: 128e9,
+	}
+	for gen, bw := range want {
+		if got := gen.Bandwidth(); got != bw {
+			t.Errorf("%v bandwidth = %g, want %g", gen, got, bw)
+		}
+	}
+	// Each generation doubles.
+	if PCIe4.Bandwidth() != 2*PCIe3.Bandwidth() ||
+		PCIe5.Bandwidth() != 2*PCIe4.Bandwidth() ||
+		PCIe6.Bandwidth() != 2*PCIe5.Bandwidth() {
+		t.Error("PCIe generations should double bandwidth")
+	}
+}
+
+func TestPCIeTreePaths(t *testing.T) {
+	f := PCIeTree(4, PCIe3)
+	if f.NumGPUs() != 4 {
+		t.Fatalf("NumGPUs = %d, want 4", f.NumGPUs())
+	}
+	if f.NumLinks() != 8 {
+		t.Fatalf("NumLinks = %d, want 8 (tx+rx per GPU)", f.NumLinks())
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			p := f.Path(s, d)
+			if s == d {
+				if p != nil {
+					t.Fatalf("Path(%d,%d) = %v, want nil for local", s, d, p)
+				}
+				continue
+			}
+			if len(p) != 2 {
+				t.Fatalf("Path(%d,%d) has %d hops, want 2", s, d, len(p))
+			}
+			if f.Link(p[0]).Bandwidth != PCIe3Bandwidth || f.Link(p[1]).Bandwidth != PCIe3Bandwidth {
+				t.Fatalf("Path(%d,%d) links have wrong bandwidth", s, d)
+			}
+		}
+	}
+	// The egress link is shared across all destinations from one source.
+	if f.Path(0, 1)[0] != f.Path(0, 2)[0] || f.Path(0, 1)[0] != f.Path(0, 3)[0] {
+		t.Error("egress link should be shared for all destinations")
+	}
+	// The ingress link is shared across all sources to one destination.
+	if f.Path(1, 0)[1] != f.Path(2, 0)[1] {
+		t.Error("ingress link should be shared for all sources")
+	}
+	// Egress of src and ingress of dst are distinct links.
+	if f.Path(0, 1)[0] == f.Path(1, 0)[0] {
+		t.Error("distinct GPUs should own distinct egress links")
+	}
+}
+
+func TestFabricLatency(t *testing.T) {
+	f := PCIeTree(2, PCIe3)
+	if f.Latency(0, 0) != 0 {
+		t.Error("local latency should be 0")
+	}
+	if got := f.Latency(0, 1); got != pcieLatency {
+		t.Errorf("latency = %g, want %g", got, pcieLatency)
+	}
+	nv := NVSwitch(4, NVLink2Bandwidth)
+	if got := nv.Latency(0, 3); got != nvlinkLatency {
+		t.Errorf("NVSwitch latency = %g, want %g", got, nvlinkLatency)
+	}
+}
+
+func TestInfiniteFabric(t *testing.T) {
+	f := Infinite(16)
+	if !f.Ideal() {
+		t.Fatal("Infinite fabric should be ideal")
+	}
+	if f.NumLinks() != 0 {
+		t.Fatalf("ideal fabric has %d links, want 0", f.NumLinks())
+	}
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if f.Path(s, d) != nil {
+				t.Fatal("ideal fabric paths should be nil")
+			}
+			if f.Latency(s, d) != 0 {
+				t.Fatal("ideal fabric latency should be 0")
+			}
+		}
+	}
+	if f.PairBandwidth(0, 1) < 1e20 {
+		t.Fatal("ideal fabric should report unbounded pair bandwidth")
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	f := FullMesh(4, 25e9, 700e-9)
+	if f.NumLinks() != 12 {
+		t.Fatalf("NumLinks = %d, want 12", f.NumLinks())
+	}
+	seen := map[LinkID]bool{}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			p := f.Path(s, d)
+			if len(p) != 1 {
+				t.Fatalf("mesh path %d->%d should be direct", s, d)
+			}
+			if seen[p[0]] {
+				t.Fatalf("link %d reused for multiple pairs", p[0])
+			}
+			seen[p[0]] = true
+		}
+	}
+}
+
+func TestHybridCubeMesh(t *testing.T) {
+	f := HybridCubeMesh(20e9)
+	if f.NumGPUs() != 8 {
+		t.Fatalf("HCM should have 8 GPUs")
+	}
+	// 2 quads x 6 intra-quad pairs + 4 corner pairs = 16 pairs, 32 unidirectional links.
+	if f.NumLinks() != 32 {
+		t.Fatalf("NumLinks = %d, want 32", f.NumLinks())
+	}
+	// Intra-quad: direct.
+	if len(f.Path(0, 3)) != 1 {
+		t.Errorf("path 0->3 should be direct, got %d hops", len(f.Path(0, 3)))
+	}
+	// Corner pair: direct.
+	if len(f.Path(2, 6)) != 1 {
+		t.Errorf("path 2->6 should be direct, got %d hops", len(f.Path(2, 6)))
+	}
+	// Non-corner cross-quad: two hops.
+	if len(f.Path(0, 5)) != 2 {
+		t.Errorf("path 0->5 should be 2 hops, got %d", len(f.Path(0, 5)))
+	}
+	// Every path's links must exist and route src->...->dst consistently.
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			p := f.Path(s, d)
+			if len(p) == 0 || len(p) > 2 {
+				t.Fatalf("path %d->%d has %d hops", s, d, len(p))
+			}
+		}
+	}
+}
+
+func TestPairBandwidthBottleneck(t *testing.T) {
+	f := PCIeTree(4, PCIe6)
+	if got := f.PairBandwidth(0, 1); got != PCIe6Bandwidth {
+		t.Fatalf("pair bandwidth = %g, want %g", got, PCIe6Bandwidth)
+	}
+	if got := f.PerGPUEgress(2); got != PCIe6Bandwidth {
+		t.Fatalf("egress = %g, want %g", got, PCIe6Bandwidth)
+	}
+}
+
+func TestPlatformsFigure3Shape(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 5 {
+		t.Fatalf("got %d platforms, want 5", len(ps))
+	}
+	// Remote bandwidth improves monotonically across generations.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].RemoteBW <= ps[i-1].RemoteBW {
+			t.Errorf("remote BW should improve: %s (%g) vs %s (%g)",
+				ps[i].Name, ps[i].RemoteBW, ps[i-1].Name, ps[i-1].RemoteBW)
+		}
+	}
+	// Paper: 38x interconnect improvement from PCIe 3.0 to NVLink3+NVSwitch.
+	improvement := ps[4].RemoteBW / ps[0].RemoteBW
+	if improvement < 30 || improvement > 45 {
+		t.Errorf("interconnect improvement = %.1fx, want ~38x", improvement)
+	}
+	// Paper: a ~3x local:remote gap persists on the newest platform.
+	if gap := ps[4].Gap(); gap < 2 || gap > 4 {
+		t.Errorf("modern local:remote gap = %.2fx, want ~3x", gap)
+	}
+	// The gap exists on every platform.
+	for _, p := range ps {
+		if p.Gap() <= 1 {
+			t.Errorf("%s: local should exceed remote bandwidth", p.Name)
+		}
+	}
+}
+
+func TestFabricPanicsOnBadGPU(t *testing.T) {
+	f := PCIeTree(2, PCIe3)
+	for _, fn := range []func(){
+		func() { f.Path(-1, 0) },
+		func() { f.Path(0, 2) },
+		func() { f.Latency(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range GPU")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: in every star fabric, any two distinct flows that share neither
+// endpoint share no links, so a non-blocking core is truly non-blocking.
+func TestStarFabricDisjointPathsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		f := NVSwitch(n, 300e9)
+		s1, d1 := rng.Intn(n), rng.Intn(n)
+		s2, d2 := rng.Intn(n), rng.Intn(n)
+		if s1 == d1 || s2 == d2 {
+			continue
+		}
+		if s1 == s2 || d1 == d2 {
+			continue // shared endpoint may share a link by design
+		}
+		links := map[LinkID]bool{}
+		for _, id := range f.Path(s1, d1) {
+			links[id] = true
+		}
+		for _, id := range f.Path(s2, d2) {
+			if links[id] {
+				t.Fatalf("n=%d: flows (%d->%d) and (%d->%d) share link %d",
+					n, s1, d1, s2, d2, id)
+			}
+		}
+	}
+}

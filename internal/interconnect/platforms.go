@@ -1,0 +1,42 @@
+package interconnect
+
+// Platform summarizes a shipping multi-GPU system's local (HBM) versus
+// remote (inter-GPU) bandwidth, reproducing the data behind Figure 3 of the
+// paper: despite a 38x improvement in interconnect bandwidth from PCIe 3.0
+// to NVLink3+NVSwitch, a ~3x local:remote gap persists.
+type Platform struct {
+	Name     string
+	GPUArch  string
+	Fabric   string
+	LocalBW  float64 // bytes/s to local DRAM
+	RemoteBW float64 // bytes/s to a peer GPU's memory
+}
+
+// Platforms returns the five systems plotted in Figure 3, oldest first.
+func Platforms() []Platform {
+	return []Platform{
+		{
+			Name: "Discrete", GPUArch: "Kepler", Fabric: "PCIe 3.0",
+			LocalBW: 288e9, RemoteBW: PCIe3Bandwidth,
+		},
+		{
+			Name: "DGX-1", GPUArch: "Pascal", Fabric: "NVLink 1",
+			LocalBW: 720e9, RemoteBW: NVLink1Bandwidth,
+		},
+		{
+			Name: "DGX-1V", GPUArch: "Volta", Fabric: "NVLink 2",
+			LocalBW: 900e9, RemoteBW: NVLink2Bandwidth,
+		},
+		{
+			Name: "DGX-2", GPUArch: "Volta", Fabric: "NVLink 2 + NVSwitch",
+			LocalBW: 900e9, RemoteBW: 300e9,
+		},
+		{
+			Name: "DGX-A100", GPUArch: "Ampere", Fabric: "NVLink 3 + NVSwitch",
+			LocalBW: 1555e9, RemoteBW: 600e9,
+		},
+	}
+}
+
+// Gap returns the local:remote bandwidth ratio for the platform.
+func (p Platform) Gap() float64 { return p.LocalBW / p.RemoteBW }

@@ -1,0 +1,113 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func gv100Geom() Geometry {
+	return MustGeometry(64<<10, 128, 49, 47)
+}
+
+func TestGeometryDerivedWidths(t *testing.T) {
+	g := gv100Geom()
+	if g.PageShift() != 16 {
+		t.Errorf("page shift = %d, want 16", g.PageShift())
+	}
+	if g.LineShift() != 7 {
+		t.Errorf("line shift = %d, want 7", g.LineShift())
+	}
+	// Paper Section 5.2: VPN 33 bits, PPN 31 bits at 64 KB pages.
+	if g.VPNBits() != 33 {
+		t.Errorf("VPN bits = %d, want 33", g.VPNBits())
+	}
+	if g.PPNBits() != 31 {
+		t.Errorf("PPN bits = %d, want 31", g.PPNBits())
+	}
+	if g.LinesPerPage() != 512 {
+		t.Errorf("lines per page = %d, want 512", g.LinesPerPage())
+	}
+}
+
+func TestGPSPTEBitsMatchesPaper(t *testing.T) {
+	// "for a 4 GPU system, the minimum GPS-PTE entry size is 126 bits":
+	// 33-bit VPN + 3 remote subscribers x 31-bit PPN.
+	g := gv100Geom()
+	if got := g.GPSPTEBits(4); got != 126 {
+		t.Fatalf("GPS-PTE bits = %d, want 126", got)
+	}
+}
+
+func TestGeometryAddressMath(t *testing.T) {
+	g := gv100Geom()
+	va := VAddr(3*64<<10 + 1000)
+	if g.VPNOf(va) != 3 {
+		t.Errorf("VPNOf = %d, want 3", g.VPNOf(va))
+	}
+	if g.PageBase(va) != VAddr(3*64<<10) {
+		t.Errorf("PageBase = %#x", uint64(g.PageBase(va)))
+	}
+	if g.PageOffset(va) != 1000 {
+		t.Errorf("PageOffset = %d, want 1000", g.PageOffset(va))
+	}
+	if g.LineBase(va) != VAddr(3*64<<10+896) {
+		t.Errorf("LineBase = %#x", uint64(g.LineBase(va)))
+	}
+}
+
+func TestPagesIn(t *testing.T) {
+	g := gv100Geom()
+	ps := g.PagesIn(VAddr(64<<10-1), 2)
+	if len(ps) != 2 || ps[0] != 0 || ps[1] != 1 {
+		t.Fatalf("PagesIn straddle = %v, want [0 1]", ps)
+	}
+	if got := g.PagesIn(0, 0); got != nil {
+		t.Fatalf("PagesIn empty = %v, want nil", got)
+	}
+	if got := g.PagesIn(0, 64<<10); len(got) != 1 {
+		t.Fatalf("PagesIn exactly one page = %v", got)
+	}
+	if got := g.PagesIn(0, 3*64<<10); len(got) != 3 {
+		t.Fatalf("PagesIn three pages = %v", got)
+	}
+}
+
+func TestNewGeometryRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		page, line uint64
+		va, pa     int
+	}{
+		{0, 128, 49, 47},
+		{3000, 128, 49, 47},
+		{64 << 10, 0, 49, 47},
+		{64 << 10, 100, 49, 47},
+		{128, 64 << 10, 49, 47}, // line > page
+		{64 << 10, 128, 10, 47}, // VA narrower than page
+		{64 << 10, 128, 49, 10},
+		{64 << 10, 128, 70, 47},
+	}
+	for _, c := range cases {
+		if _, err := NewGeometry(c.page, c.line, c.va, c.pa); err == nil {
+			t.Errorf("NewGeometry(%d,%d,%d,%d) accepted invalid geometry", c.page, c.line, c.va, c.pa)
+		}
+	}
+}
+
+// Property: PageBase/PageOffset decompose and recompose any address, and the
+// line of an address always lies within its page.
+func TestGeometryDecompositionProperty(t *testing.T) {
+	g := gv100Geom()
+	f := func(raw uint64) bool {
+		va := VAddr(raw % (1 << 49))
+		if VAddr(uint64(g.PageBase(va))+g.PageOffset(va)) != va {
+			return false
+		}
+		if g.VPNOf(g.LineBase(va)) != g.VPNOf(va) {
+			return false
+		}
+		return g.PageOffset(g.PageBase(va)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

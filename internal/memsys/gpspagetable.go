@@ -1,0 +1,113 @@
+package memsys
+
+import "fmt"
+
+// GPSPTE is one wide leaf entry of the secondary GPS page table: the
+// physical page number of every subscriber's replica of one virtual page
+// (Section 5.2). Slots for non-subscribers hold NoPPN.
+type GPSPTE struct {
+	Subscribers SubscriberSet
+	Replicas    []PPN // indexed by GPU ID, length = system GPU count
+}
+
+// ReplicaOn returns the PPN of gpu's replica, or NoPPN if gpu is not a
+// subscriber.
+func (e *GPSPTE) ReplicaOn(gpu int) PPN {
+	if gpu < 0 || gpu >= len(e.Replicas) || !e.Subscribers.Has(gpu) {
+		return NoPPN
+	}
+	return e.Replicas[gpu]
+}
+
+// GPSPageTable is the system-wide secondary page table tracking the multiple
+// physical mappings that coexist for each GPS virtual page. It lies off the
+// critical path: only remote writes drained from the write queue consult it.
+type GPSPageTable struct {
+	geom    Geometry
+	numGPUs int
+	levels  int
+	entries map[VPN]*GPSPTE
+}
+
+// NewGPSPageTable builds an empty GPS page table for a system of numGPUs.
+func NewGPSPageTable(geom Geometry, numGPUs int) *GPSPageTable {
+	if numGPUs < 1 || numGPUs > MaxGPUs {
+		panic(fmt.Sprintf("memsys: GPU count %d out of range", numGPUs))
+	}
+	levels := (geom.VPNBits() + radixBits - 1) / radixBits
+	return &GPSPageTable{
+		geom:    geom,
+		numGPUs: numGPUs,
+		levels:  levels,
+		entries: map[VPN]*GPSPTE{},
+	}
+}
+
+// Levels reports the walk depth (the GPS page table is "a variant of a
+// traditional 5-level hierarchical page table with very wide leaf PTEs").
+func (t *GPSPageTable) Levels() int { return t.levels }
+
+// Entries returns the number of GPS pages tracked.
+func (t *GPSPageTable) Entries() int { return len(t.entries) }
+
+// EntryBits returns the storage size of one wide leaf PTE in bits.
+func (t *GPSPageTable) EntryBits() int { return t.geom.GPSPTEBits(t.numGPUs) }
+
+// Lookup returns the wide PTE for vpn, or nil if vpn is not a GPS page.
+func (t *GPSPageTable) Lookup(vpn VPN) *GPSPTE { return t.entries[vpn] }
+
+// Walk is Lookup plus the node-visit count charged by the timing model on a
+// GPS-TLB miss.
+func (t *GPSPageTable) Walk(vpn VPN) (*GPSPTE, int) {
+	return t.entries[vpn], t.levels
+}
+
+// Subscribe records gpu as a subscriber of vpn with the given replica frame.
+// The entry is created on first subscription.
+func (t *GPSPageTable) Subscribe(vpn VPN, gpu int, replica PPN) {
+	if gpu < 0 || gpu >= t.numGPUs {
+		panic(fmt.Sprintf("memsys: GPU %d out of range [0,%d)", gpu, t.numGPUs))
+	}
+	e := t.entries[vpn]
+	if e == nil {
+		e = &GPSPTE{Replicas: make([]PPN, t.numGPUs)}
+		for i := range e.Replicas {
+			e.Replicas[i] = NoPPN
+		}
+		t.entries[vpn] = e
+	}
+	e.Subscribers = e.Subscribers.Add(gpu)
+	e.Replicas[gpu] = replica
+}
+
+// ErrLastSubscriber is returned when unsubscribing would leave a GPS page
+// with no physical copy; the paper requires at least one subscriber remain.
+var ErrLastSubscriber = fmt.Errorf("memsys: cannot unsubscribe the last subscriber")
+
+// Unsubscribe removes gpu from vpn's subscribers and returns the frame that
+// can now be freed. Removing the final subscriber fails with
+// ErrLastSubscriber.
+func (t *GPSPageTable) Unsubscribe(vpn VPN, gpu int) (PPN, error) {
+	e := t.entries[vpn]
+	if e == nil || !e.Subscribers.Has(gpu) {
+		return NoPPN, fmt.Errorf("memsys: GPU %d is not subscribed to VPN %#x", gpu, uint64(vpn))
+	}
+	if e.Subscribers.Count() == 1 {
+		return NoPPN, ErrLastSubscriber
+	}
+	ppn := e.Replicas[gpu]
+	e.Subscribers = e.Subscribers.Remove(gpu)
+	e.Replicas[gpu] = NoPPN
+	return ppn, nil
+}
+
+// Drop removes the entire entry for vpn (used when a page is collapsed to a
+// conventional page after a sys-scoped write, Section 5.3).
+func (t *GPSPageTable) Drop(vpn VPN) { delete(t.entries, vpn) }
+
+// ForEach visits every (vpn, entry) pair in unspecified order.
+func (t *GPSPageTable) ForEach(fn func(vpn VPN, e *GPSPTE)) {
+	for vpn, e := range t.entries {
+		fn(vpn, e)
+	}
+}

@@ -1,0 +1,170 @@
+package memsys
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(21)) }
+
+func TestGPSPageTableSubscribeUnsubscribe(t *testing.T) {
+	pt := NewGPSPageTable(gv100Geom(), 4)
+	pt.Subscribe(10, 0, 100)
+	pt.Subscribe(10, 2, 200)
+	e := pt.Lookup(10)
+	if e == nil {
+		t.Fatal("entry missing")
+	}
+	if e.Subscribers != SetOf(0, 2) {
+		t.Fatalf("subscribers = %v", e.Subscribers)
+	}
+	if e.ReplicaOn(0) != 100 || e.ReplicaOn(2) != 200 {
+		t.Fatal("replica frames wrong")
+	}
+	if e.ReplicaOn(1) != NoPPN || e.ReplicaOn(3) != NoPPN {
+		t.Fatal("non-subscriber slots should be NoPPN")
+	}
+
+	ppn, err := pt.Unsubscribe(10, 0)
+	if err != nil || ppn != 100 {
+		t.Fatalf("Unsubscribe = (%d, %v)", ppn, err)
+	}
+	if e.Subscribers != SetOf(2) {
+		t.Fatalf("after unsubscribe: %v", e.Subscribers)
+	}
+}
+
+func TestGPSPageTableLastSubscriberProtected(t *testing.T) {
+	// Paper Section 4: "GPS ensures that there is at least one subscriber to
+	// a GPS region and will return an error on attempts to unsubscribe the
+	// last subscriber."
+	pt := NewGPSPageTable(gv100Geom(), 4)
+	pt.Subscribe(1, 3, 55)
+	if _, err := pt.Unsubscribe(1, 3); !errors.Is(err, ErrLastSubscriber) {
+		t.Fatalf("expected ErrLastSubscriber, got %v", err)
+	}
+	if pt.Lookup(1).Subscribers != SetOf(3) {
+		t.Fatal("failed unsubscribe should leave state intact")
+	}
+}
+
+func TestGPSPageTableUnsubscribeNonMember(t *testing.T) {
+	pt := NewGPSPageTable(gv100Geom(), 4)
+	pt.Subscribe(1, 0, 5)
+	if _, err := pt.Unsubscribe(1, 2); err == nil {
+		t.Fatal("unsubscribing a non-member should error")
+	}
+	if _, err := pt.Unsubscribe(9, 0); err == nil {
+		t.Fatal("unsubscribing an unknown page should error")
+	}
+}
+
+func TestGPSPageTableDrop(t *testing.T) {
+	pt := NewGPSPageTable(gv100Geom(), 4)
+	pt.Subscribe(7, 0, 1)
+	pt.Drop(7)
+	if pt.Lookup(7) != nil || pt.Entries() != 0 {
+		t.Fatal("Drop left residue")
+	}
+}
+
+func TestGPSPageTableWalkCost(t *testing.T) {
+	pt := NewGPSPageTable(gv100Geom(), 4)
+	pt.Subscribe(3, 1, 9)
+	e, visits := pt.Walk(3)
+	if e == nil || visits != pt.Levels() {
+		t.Fatalf("Walk = (%v, %d), want levels %d", e, visits, pt.Levels())
+	}
+	if pt.Levels() != 4 {
+		t.Fatalf("levels = %d, want 4", pt.Levels())
+	}
+}
+
+func TestGPSPageTableEntryBits(t *testing.T) {
+	pt := NewGPSPageTable(gv100Geom(), 4)
+	if pt.EntryBits() != 126 {
+		t.Fatalf("EntryBits = %d, want 126 (Section 5.2)", pt.EntryBits())
+	}
+	pt16 := NewGPSPageTable(gv100Geom(), 16)
+	if pt16.EntryBits() != 33+15*31 {
+		t.Fatalf("16-GPU EntryBits = %d", pt16.EntryBits())
+	}
+}
+
+func TestGPSPageTableForEach(t *testing.T) {
+	pt := NewGPSPageTable(gv100Geom(), 2)
+	pt.Subscribe(1, 0, 1)
+	pt.Subscribe(2, 1, 2)
+	seen := map[VPN]bool{}
+	pt.ForEach(func(vpn VPN, e *GPSPTE) { seen[vpn] = true })
+	if len(seen) != 2 || !seen[1] || !seen[2] {
+		t.Fatalf("ForEach visited %v", seen)
+	}
+}
+
+// Property: under random subscribe/unsubscribe sequences, the GPS page
+// table agrees with a reference map model and frame bookkeeping never leaks.
+func TestGPSPageTableMatchesModel(t *testing.T) {
+	pt := NewGPSPageTable(gv100Geom(), 4)
+	type key struct {
+		vpn VPN
+		gpu int
+	}
+	model := map[key]PPN{}
+	rng := newRand()
+	nextPPN := PPN(1)
+	for step := 0; step < 5000; step++ {
+		vpn := VPN(rng.Intn(32))
+		gpu := rng.Intn(4)
+		k := key{vpn, gpu}
+		if rng.Intn(2) == 0 {
+			ppn := nextPPN
+			nextPPN++
+			pt.Subscribe(vpn, gpu, ppn)
+			model[k] = ppn
+		} else {
+			_, inModel := model[k]
+			// Count current subscribers in the model.
+			subs := 0
+			for g := 0; g < 4; g++ {
+				if _, ok := model[key{vpn, g}]; ok {
+					subs++
+				}
+			}
+			got, err := pt.Unsubscribe(vpn, gpu)
+			switch {
+			case !inModel:
+				if err == nil {
+					t.Fatalf("step %d: unsubscribe of non-member succeeded", step)
+				}
+			case subs == 1:
+				if err == nil {
+					t.Fatalf("step %d: last subscriber removed", step)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: unsubscribe failed: %v", step, err)
+				}
+				if got != model[k] {
+					t.Fatalf("step %d: freed frame %d, want %d", step, got, model[k])
+				}
+				delete(model, k)
+			}
+		}
+		// Cross-check every entry against the model.
+		for g := 0; g < 4; g++ {
+			want, ok := model[key{vpn, g}]
+			e := pt.Lookup(vpn)
+			if !ok {
+				if e != nil && e.Subscribers.Has(g) {
+					t.Fatalf("step %d: phantom subscriber %d", step, g)
+				}
+				continue
+			}
+			if e == nil || e.ReplicaOn(g) != want {
+				t.Fatalf("step %d: replica mismatch for GPU %d", step, g)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package memsys
+
+import "fmt"
+
+// PTE is one entry of the conventional per-GPU page table, extended with the
+// single re-purposed GPS bit (Section 5.2). Owner names the GPU holding the
+// physical frame; for GPS pages with a local replica Owner equals the
+// translating GPU, while for remote mappings it names the peer.
+type PTE struct {
+	Valid bool
+	GPS   bool // the GPS bit: stores to this page fork to the GPS unit
+	PPN   PPN
+	Owner int
+}
+
+const radixBits = 9 // 512-ary radix nodes, as in GPU MMU formats
+
+// PageTable is a hierarchical radix page table for one GPU. The number of
+// levels follows from the VPN width at the configured page size (with 64 KB
+// pages and a 49-bit VA this is ceil(33/9) = 4 radix levels below the root
+// pointer, a 5-level walk counting the root).
+type PageTable struct {
+	geom   Geometry
+	levels int
+	root   *ptNode
+	count  int
+}
+
+type ptNode struct {
+	children map[uint64]*ptNode
+	entries  map[uint64]*PTE // only at leaves
+}
+
+// NewPageTable builds an empty page table for the geometry.
+func NewPageTable(geom Geometry) *PageTable {
+	levels := (geom.VPNBits() + radixBits - 1) / radixBits
+	if levels < 1 {
+		levels = 1
+	}
+	return &PageTable{geom: geom, levels: levels, root: newNode()}
+}
+
+func newNode() *ptNode {
+	return &ptNode{children: map[uint64]*ptNode{}, entries: map[uint64]*PTE{}}
+}
+
+// Levels returns the number of radix levels a full walk traverses.
+func (pt *PageTable) Levels() int { return pt.levels }
+
+// Entries returns the number of mapped pages.
+func (pt *PageTable) Entries() int { return pt.count }
+
+// indices splits a VPN into per-level radix indices, most significant first.
+func (pt *PageTable) indices(vpn VPN) []uint64 {
+	idx := make([]uint64, pt.levels)
+	v := uint64(vpn)
+	for l := pt.levels - 1; l >= 0; l-- {
+		idx[l] = v & (1<<radixBits - 1)
+		v >>= radixBits
+	}
+	return idx
+}
+
+// Walk performs a full page-table walk and returns the PTE (nil if the page
+// is unmapped) along with the number of node visits the walk required, which
+// the timing model charges for.
+func (pt *PageTable) Walk(vpn VPN) (*PTE, int) {
+	idx := pt.indices(vpn)
+	n := pt.root
+	visits := 0
+	for l := 0; l < pt.levels-1; l++ {
+		visits++
+		next, ok := n.children[idx[l]]
+		if !ok {
+			return nil, visits
+		}
+		n = next
+	}
+	visits++
+	return n.entries[idx[pt.levels-1]], visits
+}
+
+// Lookup returns the PTE for vpn, or nil.
+func (pt *PageTable) Lookup(vpn VPN) *PTE {
+	pte, _ := pt.Walk(vpn)
+	return pte
+}
+
+// Map installs or replaces the translation for vpn.
+func (pt *PageTable) Map(vpn VPN, pte PTE) {
+	if !pte.Valid {
+		panic("memsys: mapping an invalid PTE; use Unmap")
+	}
+	idx := pt.indices(vpn)
+	n := pt.root
+	for l := 0; l < pt.levels-1; l++ {
+		next, ok := n.children[idx[l]]
+		if !ok {
+			next = newNode()
+			n.children[idx[l]] = next
+		}
+		n = next
+	}
+	leaf := idx[pt.levels-1]
+	if n.entries[leaf] == nil {
+		pt.count++
+	}
+	cp := pte
+	n.entries[leaf] = &cp
+}
+
+// Unmap removes the translation for vpn; it reports whether one existed.
+func (pt *PageTable) Unmap(vpn VPN) bool {
+	idx := pt.indices(vpn)
+	n := pt.root
+	for l := 0; l < pt.levels-1; l++ {
+		next, ok := n.children[idx[l]]
+		if !ok {
+			return false
+		}
+		n = next
+	}
+	leaf := idx[pt.levels-1]
+	if n.entries[leaf] == nil {
+		return false
+	}
+	delete(n.entries, leaf)
+	pt.count--
+	return true
+}
+
+// SetGPSBit flips the GPS bit of an existing mapping.
+func (pt *PageTable) SetGPSBit(vpn VPN, gps bool) error {
+	pte := pt.Lookup(vpn)
+	if pte == nil {
+		return fmt.Errorf("memsys: SetGPSBit on unmapped VPN %#x", uint64(vpn))
+	}
+	pte.GPS = gps
+	return nil
+}

@@ -1,0 +1,203 @@
+package memsys
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestPageTableMapWalk(t *testing.T) {
+	pt := NewPageTable(gv100Geom())
+	if pt.Levels() != 4 { // ceil(33/9)
+		t.Fatalf("levels = %d, want 4", pt.Levels())
+	}
+	pt.Map(42, PTE{Valid: true, PPN: 7, Owner: 1})
+	pte, visits := pt.Walk(42)
+	if pte == nil || pte.PPN != 7 || pte.Owner != 1 {
+		t.Fatalf("Walk returned %+v", pte)
+	}
+	if visits != pt.Levels() {
+		t.Fatalf("full walk visits = %d, want %d", visits, pt.Levels())
+	}
+	if pt.Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1", pt.Entries())
+	}
+}
+
+func TestPageTableMissAndShortWalk(t *testing.T) {
+	pt := NewPageTable(gv100Geom())
+	pte, visits := pt.Walk(99)
+	if pte != nil {
+		t.Fatal("unmapped walk returned a PTE")
+	}
+	if visits < 1 || visits > pt.Levels() {
+		t.Fatalf("miss visits = %d out of range", visits)
+	}
+	// An empty table should fail at the first level.
+	if visits != 1 {
+		t.Fatalf("empty-table miss should abort at level 1, got %d", visits)
+	}
+}
+
+func TestPageTableRemapAndUnmap(t *testing.T) {
+	pt := NewPageTable(gv100Geom())
+	pt.Map(5, PTE{Valid: true, PPN: 1})
+	pt.Map(5, PTE{Valid: true, PPN: 2, GPS: true})
+	if pt.Entries() != 1 {
+		t.Fatalf("remap changed entry count: %d", pt.Entries())
+	}
+	pte := pt.Lookup(5)
+	if pte.PPN != 2 || !pte.GPS {
+		t.Fatalf("remap not applied: %+v", pte)
+	}
+	if !pt.Unmap(5) {
+		t.Fatal("Unmap existing returned false")
+	}
+	if pt.Unmap(5) {
+		t.Fatal("double Unmap returned true")
+	}
+	if pt.Lookup(5) != nil || pt.Entries() != 0 {
+		t.Fatal("Unmap left residue")
+	}
+}
+
+func TestPageTableGPSBit(t *testing.T) {
+	pt := NewPageTable(gv100Geom())
+	if err := pt.SetGPSBit(1, true); err == nil {
+		t.Fatal("SetGPSBit on unmapped page should error")
+	}
+	pt.Map(1, PTE{Valid: true, PPN: 3})
+	if err := pt.SetGPSBit(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Lookup(1).GPS {
+		t.Fatal("GPS bit not set")
+	}
+	if err := pt.SetGPSBit(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Lookup(1).GPS {
+		t.Fatal("GPS bit not cleared")
+	}
+}
+
+func TestPageTableMapInvalidPanics(t *testing.T) {
+	pt := NewPageTable(gv100Geom())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic mapping invalid PTE")
+		}
+	}()
+	pt.Map(1, PTE{Valid: false})
+}
+
+// Property: the page table behaves like a map[VPN]PTE under random
+// map/unmap/lookup sequences, including distant VPNs sharing radix prefixes.
+func TestPageTableMatchesModel(t *testing.T) {
+	pt := NewPageTable(gv100Geom())
+	model := map[VPN]PTE{}
+	rng := rand.New(rand.NewSource(1))
+	vpnPool := make([]VPN, 64)
+	for i := range vpnPool {
+		vpnPool[i] = VPN(rng.Uint64() % (1 << 33))
+	}
+	for step := 0; step < 5000; step++ {
+		vpn := vpnPool[rng.Intn(len(vpnPool))]
+		switch rng.Intn(3) {
+		case 0:
+			pte := PTE{Valid: true, PPN: PPN(rng.Uint32()), GPS: rng.Intn(2) == 0, Owner: rng.Intn(4)}
+			pt.Map(vpn, pte)
+			model[vpn] = pte
+		case 1:
+			_, inModel := model[vpn]
+			if pt.Unmap(vpn) != inModel {
+				t.Fatalf("step %d: Unmap(%d) disagrees with model", step, vpn)
+			}
+			delete(model, vpn)
+		case 2:
+			got := pt.Lookup(vpn)
+			want, inModel := model[vpn]
+			if (got != nil) != inModel {
+				t.Fatalf("step %d: Lookup(%d) presence mismatch", step, vpn)
+			}
+			if got != nil && *got != want {
+				t.Fatalf("step %d: Lookup(%d) = %+v, want %+v", step, vpn, *got, want)
+			}
+		}
+		if pt.Entries() != len(model) {
+			t.Fatalf("step %d: entries %d != model %d", step, pt.Entries(), len(model))
+		}
+	}
+}
+
+func TestPhysMemAllocFree(t *testing.T) {
+	m, err := NewPhysMem(0, 4*64<<10, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []PPN
+	for i := 0; i < 4; i++ {
+		p, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, p)
+	}
+	if _, err := m.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	if m.UsedBytes() != 4*64<<10 {
+		t.Fatalf("UsedBytes = %d", m.UsedBytes())
+	}
+	m.Free(frames[2])
+	if m.FreeFrames() != 1 {
+		t.Fatalf("FreeFrames = %d, want 1", m.FreeFrames())
+	}
+	p, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != frames[2] {
+		t.Fatalf("expected recycled frame %d, got %d", frames[2], p)
+	}
+}
+
+func TestPhysMemUniqueFrames(t *testing.T) {
+	m, _ := NewPhysMem(1, 1<<20, 4<<10)
+	seen := map[PPN]bool{}
+	for {
+		p, err := m.Alloc()
+		if err != nil {
+			break
+		}
+		if seen[p] {
+			t.Fatalf("frame %d allocated twice", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 256 {
+		t.Fatalf("allocated %d frames, want 256", len(seen))
+	}
+}
+
+func TestPhysMemDoubleFreePanics(t *testing.T) {
+	m, _ := NewPhysMem(0, 1<<20, 4<<10)
+	p, _ := m.Alloc()
+	m.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	m.Free(p)
+	m.Free(p)
+}
+
+func TestNewPhysMemRejectsInvalid(t *testing.T) {
+	if _, err := NewPhysMem(0, 1<<20, 3000); err == nil {
+		t.Error("non-pow2 page accepted")
+	}
+	if _, err := NewPhysMem(0, 100, 4096); err == nil {
+		t.Error("capacity below a page accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package memsys
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when a GPU's physical memory is exhausted.
+var ErrOutOfMemory = errors.New("memsys: out of physical memory")
+
+// PhysMem is one GPU's physical page frame allocator. It hands out page
+// frames in deterministic order and recycles freed frames LIFO.
+type PhysMem struct {
+	gpu       int
+	pageBytes uint64
+	frames    uint64 // total frames
+	next      PPN    // next never-allocated frame
+	free      []PPN  // freed frames available for reuse
+	used      uint64 // currently allocated frames
+}
+
+// NewPhysMem builds an allocator for a GPU with the given capacity.
+func NewPhysMem(gpu int, capacityBytes, pageBytes uint64) (*PhysMem, error) {
+	if pageBytes == 0 || pageBytes&(pageBytes-1) != 0 {
+		return nil, fmt.Errorf("memsys: page size %d is not a power of two", pageBytes)
+	}
+	if capacityBytes < pageBytes {
+		return nil, fmt.Errorf("memsys: capacity %d below one page", capacityBytes)
+	}
+	return &PhysMem{gpu: gpu, pageBytes: pageBytes, frames: capacityBytes / pageBytes}, nil
+}
+
+// GPU returns the owning GPU's ID.
+func (m *PhysMem) GPU() int { return m.gpu }
+
+// Alloc reserves one page frame.
+func (m *PhysMem) Alloc() (PPN, error) {
+	if n := len(m.free); n > 0 {
+		ppn := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.used++
+		return ppn, nil
+	}
+	if uint64(m.next) >= m.frames {
+		return NoPPN, fmt.Errorf("%w: GPU %d (%d frames)", ErrOutOfMemory, m.gpu, m.frames)
+	}
+	ppn := m.next
+	m.next++
+	m.used++
+	return ppn, nil
+}
+
+// Free returns a frame to the allocator. Freeing an unallocated or
+// out-of-range frame panics: it indicates a simulator bug, not a runtime
+// condition.
+func (m *PhysMem) Free(ppn PPN) {
+	if uint64(ppn) >= uint64(m.next) || ppn == NoPPN {
+		panic(fmt.Sprintf("memsys: GPU %d freeing invalid frame %d", m.gpu, ppn))
+	}
+	if m.used == 0 {
+		panic(fmt.Sprintf("memsys: GPU %d double free of frame %d", m.gpu, ppn))
+	}
+	m.used--
+	m.free = append(m.free, ppn)
+}
+
+// UsedBytes returns the bytes currently allocated.
+func (m *PhysMem) UsedBytes() uint64 { return m.used * m.pageBytes }
+
+// CapacityBytes returns the total capacity.
+func (m *PhysMem) CapacityBytes() uint64 { return m.frames * m.pageBytes }
+
+// FreeFrames returns the number of allocatable frames remaining.
+func (m *PhysMem) FreeFrames() uint64 {
+	return m.frames - uint64(m.next) + uint64(len(m.free))
+}

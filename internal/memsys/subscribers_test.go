@@ -1,0 +1,91 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubscriberSetBasics(t *testing.T) {
+	s := SetOf(0, 2, 5)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	if !s.Has(0) || !s.Has(2) || !s.Has(5) || s.Has(1) {
+		t.Fatal("membership wrong")
+	}
+	s = s.Remove(2)
+	if s.Has(2) || s.Count() != 2 {
+		t.Fatal("Remove failed")
+	}
+	if s.First() != 0 {
+		t.Fatalf("First = %d, want 0", s.First())
+	}
+	if SubscriberSet(0).First() != -1 {
+		t.Fatal("empty First should be -1")
+	}
+	if s.String() != "{0,5}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if SubscriberSet(0).String() != "{}" {
+		t.Fatal("empty String wrong")
+	}
+}
+
+func TestAllGPUs(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 63, 64} {
+		s := AllGPUs(n)
+		if s.Count() != n {
+			t.Errorf("AllGPUs(%d).Count = %d", n, s.Count())
+		}
+		for g := 0; g < n; g++ {
+			if !s.Has(g) {
+				t.Errorf("AllGPUs(%d) missing %d", n, g)
+			}
+		}
+	}
+}
+
+func TestSubscriberSetGPUsOrdered(t *testing.T) {
+	got := SetOf(7, 1, 4).GPUs()
+	want := []int{1, 4, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GPUs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubscriberSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for GPU 64")
+		}
+	}()
+	SetOf(64)
+}
+
+// Property: Add then Remove restores the original set when the GPU was
+// absent; Union/Intersect behave like set algebra on the bit level.
+func TestSubscriberSetAlgebraProperty(t *testing.T) {
+	f := func(a, b uint64, gpu uint8) bool {
+		g := int(gpu % 64)
+		sa, sb := SubscriberSet(a), SubscriberSet(b)
+		if !sa.Has(g) && sa.Add(g).Remove(g) != sa {
+			return false
+		}
+		if sa.Union(sb).Count() > sa.Count()+sb.Count() {
+			return false
+		}
+		inter := sa.Intersect(sb)
+		ok := true
+		inter.ForEach(func(x int) {
+			if !sa.Has(x) || !sb.Has(x) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

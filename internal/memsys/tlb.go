@@ -1,0 +1,120 @@
+package memsys
+
+import "fmt"
+
+// TLB is a set-associative translation lookaside buffer with true-LRU
+// replacement within each set. The payload type is generic so the same
+// structure backs both the conventional last-level TLB (payload PTE) and the
+// GPS-TLB (payload *GPSPTE, the wide entry with all subscribers' frames).
+type TLB[T any] struct {
+	sets   [][]tlbEntry[T]
+	ways   int
+	clock  uint64
+	hits   uint64
+	misses uint64
+}
+
+type tlbEntry[T any] struct {
+	valid   bool
+	vpn     VPN
+	payload T
+	lastUse uint64
+}
+
+// NewTLB builds a TLB with the given total entry count and associativity.
+func NewTLB[T any](entries, ways int) *TLB[T] {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("memsys: invalid TLB geometry %d entries / %d ways", entries, ways))
+	}
+	numSets := entries / ways
+	sets := make([][]tlbEntry[T], numSets)
+	for i := range sets {
+		sets[i] = make([]tlbEntry[T], ways)
+	}
+	return &TLB[T]{sets: sets, ways: ways}
+}
+
+func (t *TLB[T]) setOf(vpn VPN) []tlbEntry[T] {
+	return t.sets[uint64(vpn)%uint64(len(t.sets))]
+}
+
+// Lookup probes the TLB. On a hit it refreshes the entry's recency and
+// returns the payload.
+func (t *TLB[T]) Lookup(vpn VPN) (T, bool) {
+	t.clock++
+	set := t.setOf(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lastUse = t.clock
+			t.hits++
+			return set[i].payload, true
+		}
+	}
+	t.misses++
+	var zero T
+	return zero, false
+}
+
+// Fill installs a translation, evicting the LRU way of the set if needed.
+func (t *TLB[T]) Fill(vpn VPN, payload T) {
+	t.clock++
+	set := t.setOf(vpn)
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].payload = payload
+			set[i].lastUse = t.clock
+			return
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry[T]{valid: true, vpn: vpn, payload: payload, lastUse: t.clock}
+}
+
+// Invalidate removes the translation for vpn (a single-page shootdown); it
+// reports whether an entry was present.
+func (t *TLB[T]) Invalidate(vpn VPN) bool {
+	set := t.setOf(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry (a full shootdown).
+func (t *TLB[T]) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// Hits returns the number of lookups that hit.
+func (t *TLB[T]) Hits() uint64 { return t.hits }
+
+// Misses returns the number of lookups that missed.
+func (t *TLB[T]) Misses() uint64 { return t.misses }
+
+// HitRate returns hits / lookups, or 0 if no lookups occurred.
+func (t *TLB[T]) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}
+
+// ResetStats clears the hit/miss counters without touching the contents.
+func (t *TLB[T]) ResetStats() { t.hits, t.misses = 0, 0 }

@@ -1,0 +1,162 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB[PTE](32, 8)
+	if _, ok := tlb.Lookup(1); ok {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Fill(1, PTE{Valid: true, PPN: 42})
+	got, ok := tlb.Lookup(1)
+	if !ok || got.PPN != 42 {
+		t.Fatalf("Lookup = (%+v, %v)", got, ok)
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", tlb.Hits(), tlb.Misses())
+	}
+	if tlb.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", tlb.HitRate())
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	// 4 entries, 4 ways: one set, pure LRU.
+	tlb := NewTLB[int](4, 4)
+	for v := VPN(0); v < 4; v++ {
+		tlb.Fill(v, int(v))
+	}
+	tlb.Lookup(0) // refresh 0; LRU is now 1
+	tlb.Fill(9, 9)
+	if _, ok := tlb.Lookup(1); ok {
+		t.Fatal("LRU entry 1 should have been evicted")
+	}
+	for _, v := range []VPN{0, 2, 3, 9} {
+		if _, ok := tlb.Lookup(v); !ok {
+			t.Fatalf("entry %d should survive", v)
+		}
+	}
+}
+
+func TestTLBSetIndexing(t *testing.T) {
+	// 8 entries, 2 ways = 4 sets. VPNs 0,4,8 map to set 0.
+	tlb := NewTLB[int](8, 2)
+	tlb.Fill(0, 0)
+	tlb.Fill(4, 4)
+	tlb.Fill(8, 8) // evicts LRU of set 0 = vpn 0
+	if _, ok := tlb.Lookup(0); ok {
+		t.Fatal("set-conflict victim should be evicted")
+	}
+	// Other sets are unaffected.
+	tlb.Fill(1, 1)
+	if _, ok := tlb.Lookup(1); !ok {
+		t.Fatal("set 1 entry missing")
+	}
+}
+
+func TestTLBFillExistingUpdates(t *testing.T) {
+	tlb := NewTLB[int](4, 4)
+	tlb.Fill(3, 30)
+	tlb.Fill(3, 31)
+	got, ok := tlb.Lookup(3)
+	if !ok || got != 31 {
+		t.Fatalf("Lookup = (%d, %v), want 31", got, ok)
+	}
+}
+
+func TestTLBInvalidateAndFlush(t *testing.T) {
+	tlb := NewTLB[int](8, 2)
+	tlb.Fill(1, 1)
+	tlb.Fill(2, 2)
+	if !tlb.Invalidate(1) {
+		t.Fatal("Invalidate present entry returned false")
+	}
+	if tlb.Invalidate(1) {
+		t.Fatal("Invalidate absent entry returned true")
+	}
+	tlb.Flush()
+	if _, ok := tlb.Lookup(2); ok {
+		t.Fatal("Flush left an entry")
+	}
+}
+
+func TestTLBResetStats(t *testing.T) {
+	tlb := NewTLB[int](4, 2)
+	tlb.Fill(0, 0)
+	tlb.Lookup(0)
+	tlb.Lookup(5)
+	tlb.ResetStats()
+	if tlb.Hits() != 0 || tlb.Misses() != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+	if _, ok := tlb.Lookup(0); !ok {
+		t.Fatal("ResetStats should not drop contents")
+	}
+}
+
+func TestTLBBadGeometryPanics(t *testing.T) {
+	for _, geom := range [][2]int{{0, 1}, {8, 0}, {10, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v should panic", geom)
+				}
+			}()
+			NewTLB[int](geom[0], geom[1])
+		}()
+	}
+}
+
+// Property: a fully-associative TLB of size n under any access sequence has
+// the same hit/miss behavior as a reference LRU model.
+func TestTLBMatchesLRUModel(t *testing.T) {
+	const n = 8
+	tlb := NewTLB[int](n, n)
+	var model []VPN // front = MRU
+	refLookup := func(v VPN) bool {
+		for i, x := range model {
+			if x == v {
+				model = append(model[:i], model[i+1:]...)
+				model = append([]VPN{v}, model...)
+				return true
+			}
+		}
+		return false
+	}
+	refFill := func(v VPN) {
+		if refLookup(v) {
+			return
+		}
+		if len(model) == n {
+			model = model[:n-1]
+		}
+		model = append([]VPN{v}, model...)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 20000; step++ {
+		v := VPN(rng.Intn(24))
+		_, hit := tlb.Lookup(v)
+		refHit := refLookup(v)
+		if hit != refHit {
+			t.Fatalf("step %d: vpn %d hit=%v model=%v", step, v, hit, refHit)
+		}
+		if !hit {
+			tlb.Fill(v, int(v))
+			refFill(v)
+		}
+	}
+}
+
+func BenchmarkTLBLookup(b *testing.B) {
+	tlb := NewTLB[PTE](4096, 16)
+	for v := VPN(0); v < 4096; v++ {
+		tlb.Fill(v, PTE{Valid: true, PPN: PPN(v)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Lookup(VPN(i & 8191))
+	}
+}

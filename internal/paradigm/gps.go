@@ -1,0 +1,278 @@
+package paradigm
+
+import (
+	"fmt"
+
+	"gps/internal/core"
+	"gps/internal/engine"
+	"gps/internal/memsys"
+	"gps/internal/trace"
+)
+
+// gpsModel is the paper's proposal wired together end to end: shared
+// regions are allocated in the GPS address space with every GPU initially
+// subscribed (subscribed-by-default profiling, Section 5.2); conventional
+// TLB misses during the profiling iteration feed the access tracking unit;
+// cuGPSTrackingStop unsubscribes untouched pages and downgrades
+// single-subscriber pages; thereafter weak stores coalesce in the remote
+// write queue and fan out through the GPS address translation unit to every
+// remote subscriber's replica.
+// gpsMode selects the subscription management strategy (Section 3.2).
+type gpsMode int
+
+const (
+	// gpsSubscribedByDefault: all GPUs tentatively subscribe at allocation;
+	// profiling unsubscribes non-consumers (the paper's implementation).
+	gpsSubscribedByDefault gpsMode = iota
+	// gpsNoSubscription: all-to-all replication forever (Figure 11 ablation).
+	gpsNoSubscription
+	// gpsUnsubscribedByDefault: pages start with a single subscriber; a GPU
+	// subscribes on its first read during profiling, paying a page
+	// population stall (the Section 3.2 alternative the paper rejects as
+	// "more expensive").
+	gpsUnsubscribedByDefault
+)
+
+type gpsModel struct {
+	base
+	mgr     *core.Manager
+	convTLB []*memsys.TLB[memsys.PTE]
+	wq      []*core.WriteQueue
+	xu      []*core.TranslationUnit
+	tracker *core.AccessTracker
+
+	mode       gpsMode
+	profiling  bool
+	subHist    map[int]int
+	collapsing map[uint64]bool
+	manual     map[memsys.VPN]bool // pages with pinned manual subscriptions
+	forwarded  uint64              // loads served from the write queue
+}
+
+func newGPS(meta trace.Meta, cfg Config, mode gpsMode) (*gpsModel, error) {
+	name := "GPS"
+	switch mode {
+	case gpsNoSubscription:
+		name = "GPS-nosub"
+	case gpsUnsubscribedByDefault:
+		name = "GPS-unsub-default"
+	}
+	m := &gpsModel{
+		base:       newBase(name, meta, cfg),
+		mode:       mode,
+		collapsing: map[uint64]bool{},
+		manual:     map[memsys.VPN]bool{},
+	}
+	mgr, err := core.NewManager(m.geom, m.n, cfg.Machine.GPU.GlobalMemory)
+	if err != nil {
+		return nil, err
+	}
+	m.mgr = mgr
+
+	// Allocate every region: shared regions join the GPS address space with
+	// all GPUs subscribed; private regions are pinned on their owner.
+	for _, r := range meta.Regions {
+		switch r.Kind {
+		case trace.RegionShared:
+			subs := memsys.AllGPUs(m.n)
+			if mode == gpsUnsubscribedByDefault {
+				subs = memsys.SetOf(privateOwner(&r, 0))
+			}
+			if r.ManualSubscribers != nil {
+				subs = memsys.SetOf(r.ManualSubscribers...)
+			}
+			if err := mgr.AllocGPS(memsys.VAddr(r.Base), r.Size, subs); err != nil {
+				return nil, fmt.Errorf("paradigm: GPS alloc %q: %w", r.Name, err)
+			}
+			if r.ManualSubscribers != nil {
+				for _, vpn := range m.geom.PagesIn(memsys.VAddr(r.Base), r.Size) {
+					m.manual[vpn] = true
+				}
+			}
+		case trace.RegionPrivate:
+			owner := privateOwner(&r, 0)
+			if err := mgr.AllocPinned(memsys.VAddr(r.Base), r.Size, owner); err != nil {
+				return nil, fmt.Errorf("paradigm: pinned alloc %q: %w", r.Name, err)
+			}
+		}
+	}
+
+	// Access tracking unit over the span of all shared regions. A trace
+	// without a profiling window (ProfilePhases == 0) never unsubscribes:
+	// the program did not call cuGPSTrackingStart.
+	lo, hi := sharedSpan(meta.Regions)
+	if hi > lo && meta.ProfilePhases > 0 {
+		m.tracker = core.NewAccessTracker(m.geom, memsys.VAddr(lo), hi-lo, m.n)
+		m.tracker.Start() // cuGPSTrackingStart() before the first kernel
+		m.profiling = true
+	}
+
+	gpu := cfg.Machine.GPU
+	for g := 0; g < m.n; g++ {
+		g := g
+		m.convTLB = append(m.convTLB, memsys.NewTLB[memsys.PTE](gpu.TLBEntries, gpu.TLBWays))
+		xu := core.NewTranslationUnit(g, m.geom, cfg.GPSTLBEntries, cfg.GPSTLBWays,
+			mgr.GPSPageTable(), func(p core.Packet) {
+				m.profiles[p.SrcGPU].Push[p.DstGPU] += lineBytes
+			})
+		m.xu = append(m.xu, xu)
+		m.wq = append(m.wq, core.NewWriteQueue(g, m.geom, cfg.WriteQueueEntries,
+			cfg.WriteQueueWatermark, xu.Process))
+	}
+
+	// Translation changes (unsubscription, downgrade, collapse) shoot down
+	// every TLB's stale entries.
+	mgr.SetRemapHook(func(vpn memsys.VPN) {
+		for g := 0; g < m.n; g++ {
+			m.convTLB[g].Invalidate(vpn)
+			m.xu[g].InvalidateTLB(vpn)
+		}
+	})
+	return m, nil
+}
+
+func sharedSpan(regions []trace.Region) (lo, hi uint64) {
+	lo, hi = ^uint64(0), 0
+	for _, r := range regions {
+		if r.Kind != trace.RegionShared {
+			continue
+		}
+		if r.Base < lo {
+			lo = r.Base
+		}
+		if end := r.Base + r.Size; end > hi {
+			hi = end
+		}
+	}
+	if hi <= lo {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// translate consults gpu's conventional TLB, walking the page table on a
+// miss and feeding the access tracking unit for GPS pages while profiling.
+func (m *gpsModel) translate(gpu int, vpn uint64) memsys.PTE {
+	v := memsys.VPN(vpn)
+	if pte, ok := m.convTLB[gpu].Lookup(v); ok {
+		return pte
+	}
+	ptep := m.mgr.PageTable(gpu).Lookup(v)
+	if ptep == nil {
+		// Access outside any allocation: treat as local scratch.
+		return memsys.PTE{Valid: true, Owner: gpu}
+	}
+	pte := *ptep
+	m.convTLB[gpu].Fill(v, pte)
+	if pte.GPS && m.tracker != nil {
+		m.tracker.RecordTLBMiss(gpu, v)
+	}
+	return pte
+}
+
+func (m *gpsModel) Access(gpu int, a trace.Access, lines []uint64) {
+	if a.Op == trace.OpFence {
+		if a.Scope == trace.ScopeSys {
+			m.wq[gpu].Flush()
+		}
+		return
+	}
+	prof := &m.profiles[gpu]
+	for _, line := range lines {
+		vpn := m.vpn(line)
+		pte := m.translate(gpu, vpn)
+		switch a.Op {
+		case trace.OpLoad:
+			if pte.Owner == gpu {
+				prof.LocalBytes += lineBytes
+				continue
+			}
+			if pte.GPS && m.wq[gpu].Contains(memsys.VAddr(line)) {
+				// The pending block in the local write queue forwards its
+				// value (Section 5.1): no interconnect crossing.
+				m.forwarded++
+				prof.LocalBytes += lineBytes
+				continue
+			}
+			if m.mode == gpsUnsubscribedByDefault && m.profiling && pte.GPS && !m.manual[memsys.VPN(vpn)] {
+				// Unsubscribed-by-default profiling: the first read
+				// subscribes this GPU, populating a local replica from an
+				// existing subscriber — a whole-page stall, the cost the
+				// paper cites for rejecting this mode.
+				if err := m.mgr.Subscribe(gpu, m.geom.PageBase(memsys.VAddr(line)), m.geom.PageBytes); err == nil {
+					prof.RemoteRead[pte.Owner] += m.geom.PageBytes
+					prof.Faults++
+					prof.LocalBytes += lineBytes
+					continue
+				}
+			}
+			// Not a subscriber: the load issues remotely to one of the
+			// subscribers (Section 3.2) — a penalty, never a fault.
+			prof.RemoteRead[pte.Owner] += lineBytes
+			prof.RemoteReadLines++
+		case trace.OpStore, trace.OpAtomic:
+			if !pte.GPS {
+				// Conventional page: local or plain remote store.
+				if pte.Owner == gpu {
+					prof.LocalBytes += lineBytes
+				} else {
+					prof.Push[pte.Owner] += lineBytes
+				}
+				continue
+			}
+			if a.Scope == trace.ScopeSys {
+				// Sys-scoped store to a GPS page: collapse to a single copy
+				// (Section 5.3).
+				if !m.collapsing[vpn] {
+					if err := m.mgr.CollapseSysScoped(gpu, memsys.VPN(vpn)); err == nil {
+						prof.Shootdowns++
+						m.collapsing[vpn] = true
+					}
+				}
+				prof.LocalBytes += lineBytes
+				continue
+			}
+			if pte.Owner == gpu {
+				// Local replica updated on the store path (W3 in Figure 7).
+				prof.LocalBytes += lineBytes
+			}
+			if a.Op == trace.OpAtomic {
+				m.wq[gpu].PushAtomic(memsys.VAddr(line))
+			} else {
+				m.wq[gpu].PushStore(memsys.VAddr(line))
+			}
+		}
+	}
+}
+
+func (m *gpsModel) EndPhase(index int) {
+	// The implicit sys-scoped release at the end of every grid flushes the
+	// remote write queues (Section 3.3).
+	for _, q := range m.wq {
+		q.Flush()
+	}
+	if m.profiling && index == m.meta.ProfilePhases-1 {
+		m.tracker.Stop() // cuGPSTrackingStop()
+		if m.mode != gpsNoSubscription {
+			// Either profiling mode feeds the captured sharer information
+			// into the subscription tracking mechanism (Section 3.2): GPUs
+			// that never touched a page are unsubscribed, including the
+			// initial host of unsubscribed-by-default pages.
+			m.mgr.ApplyProfile(m.tracker, func(vpn memsys.VPN) bool { return m.manual[vpn] })
+		}
+		m.profiling = false
+	}
+	if !m.profiling && m.subHist == nil {
+		m.subHist = m.mgr.SubscriberHistogram()
+	}
+}
+
+func (m *gpsModel) Finish(res *engine.Result) {
+	res.SubscriberHist = m.subHist
+	res.ForwardedLoads = m.forwarded
+	for g := 0; g < m.n; g++ {
+		res.WriteQueueHitRate = append(res.WriteQueueHitRate, m.wq[g].Stats().HitRate())
+		res.GPSTLBHitRate = append(res.GPSTLBHitRate, m.xu[g].Stats().HitRate())
+		res.ConvTLBHitRate = append(res.ConvTLBHitRate, m.convTLB[g].HitRate())
+	}
+}

@@ -1,0 +1,86 @@
+package paradigm
+
+import (
+	"gps/internal/engine"
+	"gps/internal/trace"
+)
+
+// memcpyModel duplicates every shared data structure on every GPU and
+// broadcasts it with cudaMemcpy at each synchronization barrier (Section
+// 6). All kernel accesses are local; the cost is bulk-synchronous transfer
+// time with zero compute overlap, and bandwidth wasted copying data to GPUs
+// that never touch it (the Figure 10 normalization baseline: all shared
+// data crosses to each GPU once per barrier).
+//
+// With elideTransfers set, the same model becomes the infinite-bandwidth
+// upper bound: the paper obtains it "by eliding the data transfer time from
+// the memcpy variant".
+type memcpyModel struct {
+	base
+	elideTransfers bool
+	pipelined      bool           // overlap broadcasts with compute (expert double buffering)
+	dirty          map[uint64]int // vpn -> last writer this phase
+}
+
+func newMemcpy(meta trace.Meta, cfg Config, elideTransfers bool) *memcpyModel {
+	name := "memcpy"
+	if elideTransfers {
+		name = "infiniteBW"
+	}
+	return &memcpyModel{
+		base:           newBase(name, meta, cfg),
+		elideTransfers: elideTransfers,
+		dirty:          map[uint64]int{},
+	}
+}
+
+// newMemcpyAsync is the expert double-buffered variant of Section 2.1:
+// cudaMemcpy transfers pipelined against compute ("implementing pipeline
+// parallelism requires significant programmer effort"). The broadcast
+// volume is identical to plain memcpy; only its overlap differs.
+func newMemcpyAsync(meta trace.Meta, cfg Config) *memcpyModel {
+	m := newMemcpy(meta, cfg, false)
+	m.name = "memcpy-async"
+	m.pipelined = true
+	return m
+}
+
+func (m *memcpyModel) Access(gpu int, a trace.Access, lines []uint64) {
+	if a.Op == trace.OpFence {
+		return
+	}
+	prof := &m.profiles[gpu]
+	for _, line := range lines {
+		prof.LocalBytes += lineBytes // every structure is mirrored locally
+		if a.IsWrite() {
+			if r := m.sharedRegion(line); r != nil {
+				m.dirty[m.vpn(line)] = gpu
+			}
+		}
+	}
+}
+
+func (m *memcpyModel) EndPhase(int) {
+	if m.n > 1 && !m.elideTransfers {
+		// Barrier: broadcast every page written this phase from its writer
+		// to every other GPU, keeping all mirrors coherent before the next
+		// kernels launch.
+		for _, src := range m.dirty {
+			for dst := 0; dst < m.n; dst++ {
+				if dst == src {
+					continue
+				}
+				if m.pipelined {
+					// Double buffering: the copy overlaps compute and only
+					// has to finish by the next barrier.
+					m.profiles[src].Push[dst] += m.pageBytes
+				} else {
+					m.profiles[src].Bulk[dst] += m.pageBytes
+				}
+			}
+		}
+	}
+	clear(m.dirty)
+}
+
+func (m *memcpyModel) Finish(*engine.Result) {}

@@ -1,0 +1,55 @@
+package paradigm
+
+import (
+	"gps/internal/engine"
+	"gps/internal/trace"
+)
+
+// rdlModel is Remote Demand Loads (Section 6): the converse of GPS. Every
+// GPU keeps a local copy of shared data, stores are performed locally, and
+// loads are issued to the GPU that most recently wrote the page. The model
+// represents an expert programmer who tracks writers per page exactly (the
+// paper grants the same oracle by tracking the latest writer inside the
+// simulator). Remote loads sit on the critical path, which is RDL's
+// weakness; repeated reads of the same remote line re-cross the
+// interconnect every time (the ALS pathology of Section 7.2).
+type rdlModel struct {
+	base
+	lastWriter map[uint64]int // vpn -> most recent writer
+}
+
+func newRDL(meta trace.Meta, cfg Config) *rdlModel {
+	return &rdlModel{base: newBase("RDL", meta, cfg), lastWriter: map[uint64]int{}}
+}
+
+func (m *rdlModel) Access(gpu int, a trace.Access, lines []uint64) {
+	if a.Op == trace.OpFence {
+		return
+	}
+	prof := &m.profiles[gpu]
+	for _, line := range lines {
+		r := m.regions.Lookup(line)
+		if r == nil || r.Kind != trace.RegionShared {
+			prof.LocalBytes += lineBytes
+			continue
+		}
+		vpn := m.vpn(line)
+		switch a.Op {
+		case trace.OpLoad:
+			lw, written := m.lastWriter[vpn]
+			if !written || lw == gpu {
+				prof.LocalBytes += lineBytes
+			} else {
+				prof.RemoteRead[lw] += lineBytes
+				prof.RemoteReadLines++
+			}
+		case trace.OpStore, trace.OpAtomic:
+			prof.LocalBytes += lineBytes
+			m.lastWriter[vpn] = gpu
+		}
+	}
+}
+
+func (m *rdlModel) EndPhase(int) {}
+
+func (m *rdlModel) Finish(*engine.Result) {}

@@ -1,0 +1,89 @@
+package paradigm
+
+import (
+	"gps/internal/engine"
+	"gps/internal/trace"
+)
+
+// umModel is baseline Unified Memory without hints: a single address space
+// with fault-based page migration. Every access to a page resident on
+// another GPU faults, stalls the accessor for the fault round trip, and
+// migrates the whole page. Pages shared read-write by several GPUs thrash
+// back and forth, which is exactly the pathology Section 7.1 reports.
+//
+// Like the production UM driver, the model detects thrashing: after a page
+// has migrated thrashLimit times within one phase, it is pinned where it is
+// and remote GPUs access it at line granularity over the interconnect
+// instead of faulting (CUDA's documented thrash mitigation). Without this,
+// interleaved atomics would serialize faults without bound, far beyond the
+// slowdowns real UM exhibits.
+type umModel struct {
+	base
+	loc    map[uint64]int // vpn -> resident GPU
+	thrash map[uint64]int // vpn -> migrations this phase
+	pinned map[uint64]bool
+}
+
+// thrashLimit is the per-phase migration budget before a page is pinned.
+const thrashLimit = 2
+
+func newUM(meta trace.Meta, cfg Config) *umModel {
+	return &umModel{
+		base:   newBase("UM", meta, cfg),
+		loc:    map[uint64]int{},
+		thrash: map[uint64]int{},
+		pinned: map[uint64]bool{},
+	}
+}
+
+func (m *umModel) Access(gpu int, a trace.Access, lines []uint64) {
+	if a.Op == trace.OpFence {
+		return
+	}
+	prof := &m.profiles[gpu]
+	for _, line := range lines {
+		r := m.regions.Lookup(line)
+		if r == nil || r.Kind != trace.RegionShared {
+			prof.LocalBytes += lineBytes
+			continue
+		}
+		vpn := m.vpn(line)
+		owner, populated := m.loc[vpn]
+		switch {
+		case !populated:
+			// First touch: populate on the accessor (a minor fault with no
+			// data movement).
+			m.loc[vpn] = gpu
+			prof.Faults++
+			prof.LocalBytes += lineBytes
+		case owner == gpu:
+			prof.LocalBytes += lineBytes
+		case m.pinned[vpn]:
+			// Thrash-mitigated: access the line remotely without migrating.
+			if a.IsWrite() {
+				prof.Push[owner] += lineBytes
+			} else {
+				prof.RemoteRead[owner] += lineBytes
+				prof.RemoteReadLines++
+			}
+		default:
+			// Fault + migrate the page to the accessor.
+			prof.Faults++
+			prof.RemoteRead[owner] += m.pageBytes
+			m.loc[vpn] = gpu
+			prof.LocalBytes += lineBytes
+			m.thrash[vpn]++
+			if m.thrash[vpn] >= thrashLimit {
+				m.pinned[vpn] = true
+			}
+		}
+	}
+}
+
+func (m *umModel) EndPhase(int) {
+	// Thrash detection state is periodic in the driver; reset per phase.
+	clear(m.thrash)
+	clear(m.pinned)
+}
+
+func (m *umModel) Finish(*engine.Result) {}

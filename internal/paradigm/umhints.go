@@ -1,0 +1,130 @@
+package paradigm
+
+import (
+	"gps/internal/engine"
+	"gps/internal/trace"
+)
+
+// hintsModel is Unified Memory with the hand-tuned hints of Section 6:
+// each shared page's preferred location is its dominant writer (derived
+// from the first iteration, standing in for the expert programmer's
+// knowledge); remote GPUs are marked accessed-by, so their reads and writes
+// proceed remotely at line granularity without faults; and before use, a
+// reader prefetches remote pages it consumes, duplicating them locally.
+// Because UM cannot keep write-shared pages replicated, the next write to a
+// duplicated page collapses it back to the preferred location with a TLB
+// shootdown — the cost Section 7.1 highlights.
+type hintsModel struct {
+	base
+	home map[uint64]int    // vpn -> preferred location
+	dup  map[uint64]uint64 // vpn -> bitmask of GPUs holding read duplicates
+}
+
+// prefetchBlockBytes is the granularity of the modeled cudaMemPrefetchAsync
+// calls: prefetching page-by-page would require per-page tuning the paper
+// deems impractical ("more fine-grained prefetching hints are required to
+// avoid over-fetching pages needlessly" — the diffusion observation), so
+// the hints variant prefetches 512 KB blocks around each consumed page.
+const prefetchBlockBytes = 512 << 10
+
+func newUMHints(meta trace.Meta, cfg Config, sharing map[uint64]*engine.Sharing) *hintsModel {
+	m := &hintsModel{
+		base: newBase("UM+hints", meta, cfg),
+		home: map[uint64]int{},
+		dup:  map[uint64]uint64{},
+	}
+	// ScanSharing works at cfg.PageBytes granularity already.
+	for vpn, s := range sharing {
+		if w := s.DominantWriter(); w >= 0 {
+			m.home[vpn] = w
+		}
+	}
+	return m
+}
+
+func (m *hintsModel) homeOf(vpn uint64, toucher int) int {
+	if h, ok := m.home[vpn]; ok {
+		return h
+	}
+	// Pages never written in the scanned iteration: preferred location is
+	// their first toucher.
+	m.home[vpn] = toucher
+	return toucher
+}
+
+func (m *hintsModel) Access(gpu int, a trace.Access, lines []uint64) {
+	if a.Op == trace.OpFence {
+		return
+	}
+	prof := &m.profiles[gpu]
+	for _, line := range lines {
+		r := m.regions.Lookup(line)
+		if r == nil || r.Kind != trace.RegionShared {
+			prof.LocalBytes += lineBytes
+			continue
+		}
+		vpn := m.vpn(line)
+		h := m.homeOf(vpn, gpu)
+		switch a.Op {
+		case trace.OpLoad:
+			switch {
+			case h == gpu:
+				prof.LocalBytes += lineBytes
+			case m.dup[vpn]&(1<<gpu) != 0:
+				// Already prefetched this page.
+				prof.LocalBytes += lineBytes
+			default:
+				// Prefetch hint: duplicate the surrounding block before use.
+				// The coarse copy over-fetches when only part of the block
+				// is consumed.
+				m.prefetchBlock(gpu, line)
+				prof.LocalBytes += lineBytes
+			}
+		case trace.OpStore, trace.OpAtomic:
+			if m.dup[vpn] != 0 {
+				// Writing a read-duplicated page collapses it back to the
+				// preferred location: TLB shootdown on the writer's critical
+				// path (Section 2.1).
+				m.dup[vpn] = 0
+				prof.Shootdowns++
+			}
+			if h == gpu {
+				prof.LocalBytes += lineBytes
+			} else {
+				// accessed-by: remote store to the preferred location; does
+				// not stall the writer.
+				prof.Push[h] += lineBytes
+			}
+		}
+	}
+}
+
+// prefetchBlock duplicates the 1 MB block containing line onto gpu,
+// clipped to the enclosing region, charging the bulk transfer to the
+// sending preferred locations.
+func (m *hintsModel) prefetchBlock(gpu int, line uint64) {
+	r := m.regions.Lookup(line)
+	blockLo := line &^ (prefetchBlockBytes - 1)
+	blockHi := blockLo + prefetchBlockBytes
+	if blockLo < r.Base {
+		blockLo = r.Base
+	}
+	if blockHi > r.Base+r.Size {
+		blockHi = r.Base + r.Size
+	}
+	for va := blockLo; va < blockHi; va += m.pageBytes {
+		vpn := va / m.pageBytes
+		if m.dup[vpn]&(1<<gpu) != 0 {
+			continue
+		}
+		h := m.homeOf(vpn, gpu)
+		m.dup[vpn] |= 1 << gpu
+		if h != gpu {
+			m.profiles[h].Bulk[gpu] += m.pageBytes
+		}
+	}
+}
+
+func (m *hintsModel) EndPhase(int) {}
+
+func (m *hintsModel) Finish(*engine.Result) {}

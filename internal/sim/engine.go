@@ -1,0 +1,187 @@
+// Package sim provides the discrete-event simulation kernel that underpins
+// the GPS timing model. It supplies a deterministic event queue with a
+// monotonically advancing clock, cancellable events, and stable FIFO ordering
+// for events scheduled at the same timestamp.
+//
+// Time is measured in seconds of simulated time as a float64. All components
+// above this package (interconnect flows, kernel phases, fault handlers)
+// schedule closures on a shared Engine and never observe wall-clock time, so
+// simulations are reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since simulation start.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration = Time
+
+// Infinity is a time later than any event the simulator will ever reach.
+const Infinity Time = math.MaxFloat64
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel it before it fires. An Event must not be reused after it fires or is
+// cancelled.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // position in the heap, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// At reports the simulated time at which the event will fire (or fired).
+func (e *Event) At() Time { return e.at }
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	paused bool
+}
+
+// NewEngine returns an Engine with the clock at time zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports the total number of events that have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// (before Now) panics, as it would break causality. Events scheduled for the
+// same instant fire in the order they were scheduled.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run d seconds after the current time.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event so it never fires. Cancelling an event that
+// already fired or was already cancelled is a no-op and reports false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to deadline (if the clock has not already passed it) and returns.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// NextAt returns the timestamp of the earliest pending event, or Infinity if
+// none is pending.
+func (e *Engine) NextAt() Time {
+	if len(e.queue) == 0 {
+		return Infinity
+	}
+	return e.queue[0].at
+}
+
+// Reset drops all pending events and rewinds the clock to zero so the engine
+// can be reused for an independent simulation.
+func (e *Engine) Reset() {
+	for _, ev := range e.queue {
+		ev.index = -1
+		ev.canceled = true
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Fatalf("final time = %v, want 5", end)
+	}
+	want := []Time{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterUsesCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("After(5) inside t=10 event fired at %v, want 15", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel should report false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineCancelMiddleOfQueue(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	var evs []*Event
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		evs = append(evs, e.Schedule(at, func() { got = append(got, at) }))
+	}
+	e.Cancel(evs[2]) // remove t=3
+	e.Run()
+	want := []Time{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 10} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(5) fired %v, want first three", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("final clock = %v, want 10", e.Now())
+	}
+}
+
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine()
+	if e.NextAt() != Infinity {
+		t.Fatal("empty engine NextAt should be Infinity")
+	}
+	e.Schedule(3, func() {})
+	if e.NextAt() != 3 {
+		t.Fatalf("NextAt = %v, want 3", e.NextAt())
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("event fired after Reset")
+	}
+	// Engine is reusable after Reset.
+	e.Schedule(2, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 2 {
+		t.Fatal("engine not reusable after Reset")
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired = %d, want 17", e.Fired())
+	}
+}
+
+// Property: for any set of schedule times, events fire in nondecreasing time
+// order and every non-cancelled event fires exactly once.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw) / 16
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaving of schedules and cancels never fires a
+// cancelled event and always fires the rest.
+func TestEngineCancelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		firedSet := map[int]bool{}
+		cancelled := map[int]bool{}
+		var evs []*Event
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			i := i
+			evs = append(evs, e.Schedule(Time(rng.Intn(50)), func() { firedSet[i] = true }))
+		}
+		for i := range evs {
+			if rng.Intn(3) == 0 {
+				e.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < n; i++ {
+			if cancelled[i] && firedSet[i] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, i)
+			}
+			if !cancelled[i] && !firedSet[i] {
+				t.Fatalf("trial %d: live event %d never fired", trial, i)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(i%97)/100, func() {})
+		if e.Pending() > 1024 {
+			e.Step()
+		}
+	}
+	e.Run()
+}

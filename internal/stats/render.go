@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CSV renders the table as comma-separated values with a header row, for
+// piping figure data into external plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	b.WriteString(esc(t.ColName))
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(esc(r.label))
+		for _, v := range r.vals {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LineChart renders one series per table row as an ASCII line chart with
+// the table's columns as x-axis points — the text analogue of the paper's
+// line figures (13 and 14). Rows are labeled with single letters keyed in
+// the legend.
+func (t *Table) LineChart(height int) string {
+	if height < 4 {
+		height = 4
+	}
+	if t.Rows() == 0 || len(t.Cols) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range t.rows {
+		for _, v := range r.vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	const colWidth = 7
+	width := len(t.Cols) * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	rowFor := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	marks := make([]byte, t.Rows())
+	for i := range marks {
+		marks[i] = byte('A' + i%26)
+	}
+	for ri, r := range t.rows {
+		for ci, v := range r.vals {
+			x := ci*colWidth + colWidth/2
+			y := rowFor(v)
+			if grid[y][x] == ' ' {
+				grid[y][x] = marks[ri]
+			} else if grid[y][x] != marks[ri] {
+				grid[y][x] = '*' // collision
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	for i, line := range grid {
+		val := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.1f |%s\n", val, string(line))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  ", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", colWidth, truncate(c, colWidth-1))
+	}
+	b.WriteByte('\n')
+	// Legend, in row order.
+	for ri, r := range t.rows {
+		fmt.Fprintf(&b, "%8s  %c = %s\n", "", marks[ri], r.label)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// SortedKeys returns a histogram's keys in ascending order (re-exported
+// convenience for renderers).
+func SortedKeys(h Histogram) []int {
+	ks := h.Keys()
+	sort.Ints(ks)
+	return ks
+}

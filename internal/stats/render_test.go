@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	tb := NewTable("title", "size", "16", "64", "256")
+	tb.AddRow("ct", 0, 10, 44)
+	tb.AddRow("hit", 1, 30, 62)
+	return tb
+}
+
+func TestCSV(t *testing.T) {
+	out := sampleTable().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "size,16,64,256" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "ct,0,10,44" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a,b", `x"y`)
+	tb.AddRow("lab,el", 1)
+	out := tb.CSV()
+	if !strings.Contains(out, `"a,b"`) || !strings.Contains(out, `"x""y"`) || !strings.Contains(out, `"lab,el"`) {
+		t.Fatalf("escaping failed:\n%s", out)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	out := sampleTable().LineChart(8)
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "A = ct") || !strings.Contains(out, "B = hit") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Axis labels include the extremes.
+	if !strings.Contains(out, "62.0") || !strings.Contains(out, "0.0") {
+		t.Fatalf("missing axis range:\n%s", out)
+	}
+	// Marks present.
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatal("missing series marks")
+	}
+	// Column header row shows x labels.
+	if !strings.Contains(out, "256") {
+		t.Fatal("missing x labels")
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	tb := NewTable("", "x", "a")
+	if tb.LineChart(6) != "" {
+		t.Fatal("empty table should render empty")
+	}
+	tb.AddRow("flat", 5)
+	out := tb.LineChart(6)
+	if out == "" {
+		t.Fatal("flat series should still render")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	h := Histogram{3: 1, 1: 1, 2: 1}
+	ks := SortedKeys(h)
+	if len(ks) != 3 || ks[0] != 1 || ks[2] != 3 {
+		t.Fatalf("keys = %v", ks)
+	}
+}

@@ -1,0 +1,238 @@
+// Package stats provides the small numerical and presentation helpers the
+// experiment harness uses: geometric/arithmetic means, speedup ratios, and
+// fixed-width text rendering of tables and bar-series that mirror the
+// paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values panic since a silent NaN would corrupt every figure.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs; it panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Speedup returns base/measured: how many times faster measured is than
+// base (both are durations).
+func Speedup(baseSeconds, measuredSeconds float64) float64 {
+	if measuredSeconds <= 0 {
+		panic(fmt.Sprintf("stats: speedup over non-positive time %v", measuredSeconds))
+	}
+	return baseSeconds / measuredSeconds
+}
+
+// Histogram is a discrete distribution over small integer keys (used for the
+// Figure 9 subscriber-count distribution).
+type Histogram map[int]int
+
+// Total returns the sum of all counts.
+func (h Histogram) Total() int {
+	t := 0
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the share of mass at key, in [0,1].
+func (h Histogram) Fraction(key int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h[key]) / float64(t)
+}
+
+// Keys returns the keys in ascending order.
+func (h Histogram) Keys() []int {
+	ks := make([]int, 0, len(h))
+	for k := range h {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Table renders labeled rows of float columns as fixed-width text.
+type Table struct {
+	Title   string
+	ColName string   // header of the label column
+	Cols    []string // value column headers
+	rows    []tableRow
+	Fmt     string // value format, default "%8.2f"
+}
+
+type tableRow struct {
+	label string
+	vals  []float64
+}
+
+// NewTable builds a table with the given label-column header and value
+// column headers.
+func NewTable(title, colName string, cols ...string) *Table {
+	return &Table{Title: title, ColName: colName, Cols: cols, Fmt: "%8.2f"}
+}
+
+// AddRow appends a labeled row; the number of values must match the column
+// count.
+func (t *Table) AddRow(label string, vals ...float64) {
+	if len(vals) != len(t.Cols) {
+		panic(fmt.Sprintf("stats: row %q has %d values for %d columns", label, len(vals), len(t.Cols)))
+	}
+	t.rows = append(t.rows, tableRow{label: label, vals: vals})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Value returns the cell at (row, col).
+func (t *Table) Value(row, col int) float64 { return t.rows[row].vals[col] }
+
+// RowLabel returns the label of the given row.
+func (t *Table) RowLabel(row int) string { return t.rows[row].label }
+
+// Column returns all values in the named column.
+func (t *Table) Column(name string) []float64 {
+	idx := -1
+	for i, c := range t.Cols {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("stats: no column %q", name))
+	}
+	out := make([]float64, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r.vals[idx])
+	}
+	return out
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	labelW := len(t.ColName)
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	valW := 0
+	for _, c := range t.Cols {
+		if len(c) > valW {
+			valW = len(c)
+		}
+	}
+	if w := len(fmt.Sprintf(t.Fmt, 0.0)); w > valW {
+		valW = w
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-*s", labelW, t.ColName)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", valW, c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", labelW+(valW+2)*len(t.Cols)))
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelW, r.label)
+		for _, v := range r.vals {
+			cell := fmt.Sprintf(t.Fmt, v)
+			fmt.Fprintf(&b, "  %*s", valW, strings.TrimSpace(cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bars renders a simple horizontal bar chart of labeled values, the text
+// analogue of the paper's bar figures.
+func Bars(title string, labels []string, values []float64, unit string) string {
+	if len(labels) != len(values) {
+		panic("stats: labels/values length mismatch")
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	const width = 48
+	for i, l := range labels {
+		n := 0
+		if maxV > 0 {
+			n = int(values[i] / maxV * width)
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s %8.2f%s\n", labelW, l, width, strings.Repeat("#", n), values[i], unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatalf("GeoMean = %v", GeoMean([]float64{1, 4}))
+	}
+	if !almost(GeoMean([]float64{2, 2, 2}), 2) {
+		t.Fatal("constant geomean wrong")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of 0 should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+// Property: geomean lies between min and max, and is scale-equivariant.
+func TestGeoMeanProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+		}
+		g := GeoMean(xs)
+		if g < Min(xs)-1e-9 || g > Max(xs)+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3
+		}
+		return almost(GeoMean(scaled), 3*g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if !almost(Speedup(10, 2), 5) {
+		t.Fatal("speedup wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero time should panic")
+		}
+	}()
+	Speedup(1, 0)
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram{2: 30, 4: 60, 3: 10}
+	if h.Total() != 100 {
+		t.Fatal("total wrong")
+	}
+	if !almost(h.Fraction(4), 0.6) {
+		t.Fatal("fraction wrong")
+	}
+	if h.Fraction(9) != 0 {
+		t.Fatal("absent key fraction should be 0")
+	}
+	ks := h.Keys()
+	if len(ks) != 3 || ks[0] != 2 || ks[2] != 4 {
+		t.Fatalf("keys = %v", ks)
+	}
+	if (Histogram{}).Fraction(1) != 0 {
+		t.Fatal("empty histogram fraction should be 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Fig X", "App", "UM", "GPS")
+	tb.AddRow("jacobi", 0.8, 3.2)
+	tb.AddRow("ct", 1.1, 2.9)
+	if tb.Rows() != 2 {
+		t.Fatal("rows wrong")
+	}
+	if !almost(tb.Value(0, 1), 3.2) {
+		t.Fatal("value wrong")
+	}
+	if tb.RowLabel(1) != "ct" {
+		t.Fatal("label wrong")
+	}
+	col := tb.Column("GPS")
+	if len(col) != 2 || !almost(col[0], 3.2) {
+		t.Fatalf("column = %v", col)
+	}
+	out := tb.String()
+	for _, want := range []string{"Fig X", "App", "UM", "GPS", "jacobi", "3.20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableBadRowPanics(t *testing.T) {
+	tb := NewTable("", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row accepted")
+		}
+	}()
+	tb.AddRow("r", 1)
+}
+
+func TestTableMissingColumnPanics(t *testing.T) {
+	tb := NewTable("", "x", "a")
+	tb.AddRow("r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing column accepted")
+		}
+	}()
+	tb.Column("nope")
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("title", []string{"a", "bb"}, []float64{1, 2}, "x")
+	if !strings.Contains(out, "title") || !strings.Contains(out, "bb") {
+		t.Fatalf("bars output:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[2], "#") <= strings.Count(lines[1], "#") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	if Bars("", nil, nil, "") != "" {
+		t.Fatal("empty bars should render empty")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatal("min/max wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gps/internal/interconnect"
+	"gps/internal/sim"
+)
+
+func TestPacketSimSingleTransfer(t *testing.T) {
+	fab := interconnect.PCIeTree(2, interconnect.PCIe3) // 16 GB/s per link
+	ps := NewPacketSim(fab, 64<<10)
+	tr := &Transfer{Src: 0, Dst: 1, Bytes: 1.6e9}
+	end := ps.Run([]*Transfer{tr})
+	// 1.6 GB over a 16 GB/s path: ~0.1 s plus per-packet pipeline latency.
+	if float64(end) < 0.1 || float64(end) > 0.11 {
+		t.Fatalf("end = %v, want ~0.1s", end)
+	}
+	if tr.Finish != end {
+		t.Fatal("finish not recorded")
+	}
+}
+
+func TestPacketSimLatencyDominatesSmallTransfers(t *testing.T) {
+	fab := interconnect.PCIeTree(2, interconnect.PCIe6)
+	ps := NewPacketSim(fab, 4<<10)
+	tr := &Transfer{Src: 0, Dst: 1, Bytes: 128} // one cache line
+	end := ps.Run([]*Transfer{tr})
+	lat := fab.Latency(0, 1)
+	if float64(end) < lat {
+		t.Fatalf("end %v below the propagation latency %v", end, lat)
+	}
+	// The fluid model would price this at bytes/bandwidth = ~1 ns: the
+	// packet model must be dominated by latency instead.
+	if float64(end) < 100*128/128e9 {
+		t.Fatal("latency effect missing")
+	}
+}
+
+func TestPacketSimContentionSerializes(t *testing.T) {
+	fab := interconnect.PCIeTree(3, interconnect.PCIe3)
+	ps := NewPacketSim(fab, 64<<10)
+	// Two transfers share GPU0's egress link: combined bytes serialize there.
+	a := &Transfer{Src: 0, Dst: 1, Bytes: 0.8e9}
+	b := &Transfer{Src: 0, Dst: 2, Bytes: 0.8e9}
+	end := ps.Run([]*Transfer{a, b})
+	if float64(end) < 0.099 {
+		t.Fatalf("end = %v, want >= ~0.1s (1.6 GB through one 16 GB/s link)", end)
+	}
+	// Disjoint transfers do not contend.
+	ps2 := NewPacketSim(fab, 64<<10)
+	c := &Transfer{Src: 1, Dst: 0, Bytes: 0.8e9}
+	end2 := ps2.Run([]*Transfer{c})
+	if float64(end2) > 0.06 {
+		t.Fatalf("single 0.8 GB transfer took %v", end2)
+	}
+}
+
+func TestPacketSimIdealFabricFree(t *testing.T) {
+	ps := NewPacketSim(interconnect.Infinite(4), 4<<10)
+	tr := &Transfer{Src: 0, Dst: 1, Bytes: 1e12}
+	if end := ps.Run([]*Transfer{tr}); end != 0 {
+		t.Fatalf("ideal fabric transfer took %v", end)
+	}
+}
+
+func TestPacketSimStaggeredStarts(t *testing.T) {
+	fab := interconnect.PCIeTree(2, interconnect.PCIe3)
+	ps := NewPacketSim(fab, 4<<10)
+	tr := &Transfer{Src: 0, Dst: 1, Bytes: 160e6, Start: sim.Time(1.0)}
+	end := ps.Run([]*Transfer{tr})
+	if float64(end) < 1.01 {
+		t.Fatalf("staggered transfer finished at %v, want >= 1.01s", end)
+	}
+}
+
+// Cross-validation: for bandwidth-bound random transfer sets, the packet
+// model and the fluid max-min model agree on the makespan within ~15%.
+// (They cannot agree exactly: the fluid model shares links instantaneously,
+// the packet model round-robins at packet granularity.)
+func TestPacketSimAgreesWithFluidModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		fab := interconnect.PCIeTree(n, interconnect.PCIe4)
+
+		var flows []*flow
+		var transfers []*Transfer
+		pairs := 1 + rng.Intn(2*n)
+		for i := 0; i < pairs; i++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			bytes := float64(16+rng.Intn(128)) * 1e6 // 16-144 MB: bandwidth-bound
+			flows = append(flows, &flow{src: src, dst: dst, bytes: bytes, cap: math.Inf(1)})
+			transfers = append(transfers, &Transfer{Src: src, Dst: dst, Bytes: bytes})
+		}
+		if len(flows) == 0 {
+			continue
+		}
+		fluid := solveWindow(flows, fab)
+		packet := float64(NewPacketSim(fab, 64<<10).Run(transfers))
+		if fluid <= 0 || packet <= 0 {
+			t.Fatalf("trial %d: degenerate times %v %v", trial, fluid, packet)
+		}
+		ratio := packet / fluid
+		if ratio < 0.85 || ratio > 1.3 {
+			t.Fatalf("trial %d: packet %.4fs vs fluid %.4fs (ratio %.2f)",
+				trial, packet, fluid, ratio)
+		}
+	}
+}
+
+func BenchmarkPacketSim(b *testing.B) {
+	fab := interconnect.PCIeTree(4, interconnect.PCIe4)
+	for i := 0; i < b.N; i++ {
+		ps := NewPacketSim(fab, 64<<10)
+		var transfers []*Transfer
+		for s := 0; s < 4; s++ {
+			for d := 0; d < 4; d++ {
+				if s != d {
+					transfers = append(transfers, &Transfer{Src: s, Dst: d, Bytes: 32e6})
+				}
+			}
+		}
+		ps.Run(transfers)
+	}
+}

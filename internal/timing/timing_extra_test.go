@@ -1,0 +1,201 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"gps/internal/engine"
+	"gps/internal/gpuconf"
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/trace"
+	"gps/internal/workload"
+)
+
+func onePhaseResult(n int, edit func([]engine.Profile)) *engine.Result {
+	profiles := make([]engine.Profile, n)
+	for g := 0; g < n; g++ {
+		profiles[g] = engine.NewProfile(g, n)
+	}
+	edit(profiles)
+	return &engine.Result{
+		Meta:   trace.Meta{NumGPUs: n},
+		Phases: []engine.PhaseRecord{{Index: 0, Profiles: profiles}},
+	}
+}
+
+func TestTLBPressureScalesWithPageSize(t *testing.T) {
+	cfg := DefaultConfig(interconnect.Infinite(1))
+	cfg.PhaseOverhead = 0
+	res := onePhaseResult(1, func(p []engine.Profile) { p[0].ComputeOps = 4.9e9 })
+
+	times := map[uint64]float64{}
+	for _, page := range []uint64{4 << 10, 64 << 10, 2 << 20} {
+		c := cfg
+		c.PageBytes = page
+		times[page] = Simulate(res, c).Total
+	}
+	// Smaller pages mean more TLB misses: strict ordering.
+	if !(times[4<<10] > times[64<<10] && times[64<<10] > times[2<<20]) {
+		t.Fatalf("page-size ordering violated: %v", times)
+	}
+	// The paper's ~1.4 misses/kcycle at 64 KB keeps the 64 KB overhead small.
+	overhead64 := times[64<<10]/times[2<<20] - 1
+	if overhead64 > 0.05 {
+		t.Fatalf("64 KB TLB overhead = %.1f%%, should be marginal", overhead64*100)
+	}
+	// And the 4 KB penalty is on the order the paper reports (~40%).
+	slowdown4K := times[4<<10]/times[64<<10] - 1
+	if slowdown4K < 0.25 || slowdown4K > 0.6 {
+		t.Fatalf("4 KB slowdown = %.1f%%, want ~40%%", slowdown4K*100)
+	}
+}
+
+func TestTotalFromSlicing(t *testing.T) {
+	res := &engine.Result{Meta: trace.Meta{NumGPUs: 1, ProfilePhases: 2}}
+	for i := 0; i < 4; i++ {
+		p := engine.NewProfile(0, 1)
+		p.ComputeOps = 4.9e9 // 1 ms each
+		res.Phases = append(res.Phases, engine.PhaseRecord{Index: i, Profiles: []engine.Profile{p}})
+	}
+	cfg := DefaultConfig(interconnect.Infinite(1))
+	cfg.PhaseOverhead = 0
+	rep := Simulate(res, cfg)
+	if math.Abs(rep.Total-rep.TotalFrom(0)) > 1e-12 {
+		t.Fatal("TotalFrom(0) should equal Total")
+	}
+	if r := rep.SteadyTotal() / rep.Total; math.Abs(r-0.5) > 0.01 {
+		t.Fatalf("steady/total = %v, want 0.5 (2 of 4 phases)", r)
+	}
+	if rep.TotalFrom(4) != 0 {
+		t.Fatal("TotalFrom past the end should be 0")
+	}
+}
+
+func TestDemandOverlapPartialHiding(t *testing.T) {
+	// Demand reads equal to compute: with overlap f, the kernel stretches to
+	// (2-f) x compute.
+	mk := func() *engine.Result {
+		return onePhaseResult(2, func(p []engine.Profile) {
+			p[0].ComputeOps = 4.9e9   // 1 ms
+			p[0].RemoteRead[1] = 32e6 // 1 ms on PCIe4
+		})
+	}
+	cfg := DefaultConfig(interconnect.PCIeTree(2, interconnect.PCIe4))
+	cfg.PhaseOverhead = 0
+	cfg.Machine.GPU.RemoteMLP = 1 << 20 // disable the latency cap for this test
+
+	cfg.DemandOverlap = 1.0
+	full := Simulate(mk(), cfg).Total
+	cfg.DemandOverlap = 0.0
+	none := Simulate(mk(), cfg).Total
+	if full >= none {
+		t.Fatalf("full overlap (%v) should beat none (%v)", full, none)
+	}
+	if math.Abs(none/full-2) > 0.1 {
+		t.Fatalf("no-overlap should double the phase: %v vs %v", none, full)
+	}
+}
+
+func TestMLPCapBindsSmallTransfers(t *testing.T) {
+	// A demand flow below the link bandwidth but above the MLP budget is
+	// latency-bound.
+	res := onePhaseResult(2, func(p []engine.Profile) {
+		p[0].RemoteRead[1] = 8e6
+	})
+	cfg := DefaultConfig(interconnect.PCIeTree(2, interconnect.PCIe6)) // 128 GB/s link
+	cfg.PhaseOverhead = 0
+	machine := gpuconf.GV100()
+	capRate := float64(machine.RemoteMLP) * float64(machine.CacheBlockBytes) / 1.3e-6
+	wantMin := 8e6 / capRate
+	rep := Simulate(res, cfg)
+	if rep.Total < wantMin*0.9 {
+		t.Fatalf("total %v beats the MLP-capped bound %v", rep.Total, wantMin)
+	}
+	if rep.Total < 8e6/128e9*2 {
+		t.Fatal("transfer priced at link speed despite the MLP cap")
+	}
+}
+
+func TestShootdownsCharge(t *testing.T) {
+	res := onePhaseResult(1, func(p []engine.Profile) { p[0].Shootdowns = 100 })
+	cfg := DefaultConfig(interconnect.Infinite(1))
+	cfg.PhaseOverhead = 0
+	want := 100 * cfg.Machine.GPU.TLBShootdown
+	got := Simulate(res, cfg).Total
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("shootdown time = %v, want ~%v", got, want)
+	}
+}
+
+func TestPushSharesFabricWithDemand(t *testing.T) {
+	// A demand flow and a push flow into the same ingress link contend: the
+	// demand completion must be later than it would be alone.
+	alone := onePhaseResult(3, func(p []engine.Profile) {
+		p[0].RemoteRead[1] = 16e6
+	})
+	contended := onePhaseResult(3, func(p []engine.Profile) {
+		p[0].RemoteRead[1] = 16e6
+		p[2].Push[0] = 64e6 // GPU2 pushes into GPU0's ingress
+	})
+	cfg := DefaultConfig(interconnect.PCIeTree(3, interconnect.PCIe3))
+	cfg.PhaseOverhead = 0
+	a := Simulate(alone, cfg).Total
+	c := Simulate(contended, cfg).Total
+	if c <= a {
+		t.Fatalf("contention did not slow the phase: %v vs %v", c, a)
+	}
+}
+
+func TestLinkTrafficAccounting(t *testing.T) {
+	res := onePhaseResult(2, func(p []engine.Profile) {
+		p[0].Push[1] = 1000
+		p[1].Bulk[0] = 500
+	})
+	cfg := DefaultConfig(interconnect.PCIeTree(2, interconnect.PCIe3))
+	rep := Simulate(res, cfg)
+	if len(rep.LinkTraffic) == 0 {
+		t.Fatal("no link traffic recorded")
+	}
+	var total float64
+	for _, l := range rep.LinkTraffic {
+		total += l.Bytes
+	}
+	// Each transfer crosses two links (egress + ingress): 2*(1000+500).
+	if total != 3000 {
+		t.Fatalf("total link bytes = %v, want 3000", total)
+	}
+	// Sorted descending.
+	for i := 1; i < len(rep.LinkTraffic); i++ {
+		if rep.LinkTraffic[i].Bytes > rep.LinkTraffic[i-1].Bytes {
+			t.Fatal("link traffic not sorted")
+		}
+	}
+}
+
+// The packet-backed timing engine agrees with the fluid engine on a real
+// application run.
+func TestPacketBackedTimingAgreesOnRealApp(t *testing.T) {
+	spec, err := workload.ByName("eqwp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := spec.Build(workload.Config{NumGPUs: 4, Iterations: 2, Scale: 1, Seed: 1})
+	m, err := paradigm.New(paradigm.KindGPS, prog, paradigm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run(prog, m)
+
+	fluidCfg := DefaultConfig(interconnect.PCIeTree(4, interconnect.PCIe4))
+	fluid := Simulate(res, fluidCfg)
+	packetCfg := fluidCfg
+	packetCfg.UsePacketSim = true
+	packetCfg.PacketBytes = 64 << 10
+	packet := Simulate(res, packetCfg)
+
+	ratio := packet.Total / fluid.Total
+	if ratio < 0.9 || ratio > 1.3 {
+		t.Fatalf("packet-backed total %v vs fluid %v (ratio %.2f)", packet.Total, fluid.Total, ratio)
+	}
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	orig := sampleProgram()
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewStreamDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.Meta(), orig.M) {
+		t.Fatal("meta mismatch")
+	}
+	got := Collect(dec)
+	if dec.Err() != nil {
+		t.Fatal(dec.Err())
+	}
+	if !reflect.DeepEqual(orig.Ph, got.Ph) {
+		t.Fatalf("phases mismatch:\norig %+v\ngot  %+v", orig.Ph, got.Ph)
+	}
+}
+
+func TestStreamIncrementalWrite(t *testing.T) {
+	orig := sampleProgram()
+	var buf bytes.Buffer
+	enc, err := NewStreamEncoder(&buf, orig.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Ph {
+		if err := enc.WritePhase(&orig.Ph[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+	if err := enc.WritePhase(&orig.Ph[0]); err == nil {
+		t.Fatal("write after close accepted")
+	}
+
+	dec, err := NewStreamDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	dec.Phases(func(ph *Phase) bool {
+		count++
+		return true
+	})
+	if dec.Err() != nil {
+		t.Fatal(dec.Err())
+	}
+	if count != len(orig.Ph) {
+		t.Fatalf("decoded %d phases, want %d", count, len(orig.Ph))
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	orig := sampleProgram()
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewStreamDecoder(&buf)
+	seen := 0
+	dec.Phases(func(*Phase) bool {
+		seen++
+		return false // stop after the first phase
+	})
+	if seen != 1 {
+		t.Fatalf("yield should stop iteration, saw %d", seen)
+	}
+	if dec.Err() != nil {
+		t.Fatal(dec.Err())
+	}
+}
+
+func TestStreamSingleUse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, sampleProgram()); err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewStreamDecoder(&buf)
+	dec.Phases(func(*Phase) bool { return true })
+	if dec.Err() != nil {
+		t.Fatal(dec.Err())
+	}
+	dec.Phases(func(*Phase) bool { return true })
+	if dec.Err() == nil {
+		t.Fatal("second iteration should error")
+	}
+}
+
+func TestStreamRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, sampleProgram()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Bad magic.
+	if _, err := NewStreamDecoder(bytes.NewReader([]byte("WRONGMAG..."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated mid-phase: iteration surfaces an error, never panics.
+	dec, err := NewStreamDecoder(bytes.NewReader(valid[:len(valid)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Phases(func(*Phase) bool { return true })
+	if dec.Err() == nil {
+		t.Fatal("truncation not detected")
+	}
+	// Missing terminator.
+	head := append([]byte{}, valid[:len(valid)-1]...)
+	dec2, err := NewStreamDecoder(bytes.NewReader(head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2.Phases(func(*Phase) bool { return true })
+	if dec2.Err() == nil {
+		t.Fatal("missing terminator not detected")
+	}
+}
+
+func TestStreamDecoderFeedsEngineShapedConsumers(t *testing.T) {
+	// The decoder is a trace.Program: Summarize must work directly on it.
+	orig := sampleProgram()
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewStreamDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summarize(orig)
+	got := Summarize(dec)
+	if got != want {
+		t.Fatalf("stats via stream %+v != direct %+v", got, want)
+	}
+}

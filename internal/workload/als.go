@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"gps/internal/trace"
+)
+
+// NewALS builds the alternating least squares matrix factorization trace.
+// Two factor matrices U and V alternate roles: updating U requires reading
+// all of V (and vice versa), so every GPU reads every page of both factors —
+// the canonical all-to-all pattern of Table 2 and the Figure 11 exception
+// where subscription tracking cannot save bandwidth. Factor updates are
+// atomic accumulations scattered over the full factor array with little
+// temporal locality, which is why ALS shows a 0% write-queue hit rate
+// (Section 7.4) and why RDL re-fetches the same cache lines repeatedly
+// (Section 7.2).
+func NewALS(cfg Config) trace.Program {
+	cfg = cfg.withDefaults()
+	n := cfg.NumGPUs
+
+	factorBytes := uint64(6<<20) * uint64(cfg.Scale)
+	ratingsTotal := uint64(16<<20) * uint64(cfg.Scale)
+	ratingsBytes := ratingsTotal / uint64(n)
+	ratingsBytes -= ratingsBytes % LineBytes
+
+	uBase, vBase := regionBase(0), regionBase(1)
+	ratingsBase := func(g int) uint64 { return regionBase(2 + g) }
+
+	regions := []trace.Region{
+		{Name: "als.U", Kind: trace.RegionShared, Base: uBase, Size: factorBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+		{Name: "als.V", Kind: trace.RegionShared, Base: vBase, Size: factorBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+	}
+	for g := 0; g < n; g++ {
+		regions = append(regions, trace.Region{
+			Name: "als.ratings", Kind: trace.RegionPrivate,
+			Base: ratingsBase(g), Size: ratingsBytes,
+			Writers: []int{g}, Readers: []int{g},
+		})
+	}
+
+	const (
+		gatherTotal  = 6400 // scattered re-reads of the fixed factor, total
+		updateTotal  = 1600 // scattered atomic updates, total
+		flopsPerByte = 400
+	)
+	gatherInstrs := gatherTotal / n
+	updateInstrs := updateTotal / n
+
+	meta := trace.Meta{
+		Name:             "als",
+		NumGPUs:          n,
+		Regions:          regions,
+		ProfilePhases:    2,
+		WorkingSetPerGPU: 2*factorBytes + ratingsBytes, // both factors resident everywhere
+		L2:               trace.L2Model{BaseHit: 0.3, SlopePerDoubling: 0.01, MaxHit: 0.4},
+	}
+
+	emit := func(iter, sub int, ph *trace.Phase) {
+		// sub 0: solve U against fixed V; sub 1: solve V against fixed U.
+		fixed, solved := vBase, uBase
+		if sub == 1 {
+			fixed, solved = uBase, vBase
+		}
+		for g := 0; g < n; g++ {
+			seed := uint32(cfg.Seed) + uint32(iter*524287) + uint32(g*127) + uint32(sub*31)
+			ops := uint64(float64(factorBytes) / float64(n) * flopsPerByte)
+			kb := newKernel(g, "als.solve", ops)
+			// Stream the whole fixed factor (all-to-all reads)...
+			kb.loads(fixed, factorBytes)
+			// ...plus irregular re-reads with no temporal locality.
+			kb.scattered(trace.OpLoad, fixed, factorBytes, gatherInstrs, seed)
+			// Private ratings.
+			kb.loads(ratingsBase(g), ratingsBytes)
+			// Atomic updates scattered across the full solved factor.
+			kb.scattered(trace.OpAtomic, solved, factorBytes, updateInstrs, seed+13)
+			ph.Kernels = append(ph.Kernels, kb.build())
+		}
+	}
+
+	return &app{
+		meta:          meta,
+		iterations:    1 + cfg.Iterations,
+		phasesPerIter: 2,
+		emit:          emit,
+	}
+}

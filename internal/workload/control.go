@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+
+	"gps/internal/trace"
+)
+
+// ControlCatalog returns compute-bound control applications that are *not*
+// bound by inter-GPU communication. The paper excluded such Tartan
+// benchmarks from its figures after verifying that "GPS obtains the same
+// performance as the native version" on them; these generators exist to
+// reproduce exactly that control result (experiments.ControlApps).
+func ControlCatalog() []Spec {
+	return []Spec{
+		{
+			Name:        "matmul",
+			Description: "Dense blocked matrix multiplication (compute-bound)",
+			Pattern:     "Broadcast-once",
+			Build:       NewMatmul,
+		},
+		{
+			Name:        "nbody",
+			Description: "Direct N-body force computation (tiny data, quadratic compute)",
+			Pattern:     "All-to-all (tiny)",
+			Build:       NewNBody,
+		},
+	}
+}
+
+// NewMatmul builds a blocked GEMM trace: C = A x B with A row-partitioned
+// (private), B shared (read by everyone, written once at initialization)
+// and C row-partitioned. Arithmetic is O(n^3) over O(n^2) data, so no
+// paradigm's transfer policy matters.
+func NewMatmul(cfg Config) trace.Program {
+	cfg = cfg.withDefaults()
+	n := cfg.NumGPUs
+	matBytes := uint64(4<<20) * uint64(cfg.Scale) // per matrix
+
+	bBase := regionBase(0)
+	cBase := regionBase(1)
+	aBase := func(g int) uint64 { return regionBase(2 + g) }
+
+	regions := []trace.Region{
+		{Name: "matmul.B", Kind: trace.RegionShared, Base: bBase, Size: matBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+		{Name: "matmul.C", Kind: trace.RegionShared, Base: cBase, Size: matBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+	}
+	aBytes := matBytes / uint64(n)
+	aBytes -= aBytes % LineBytes
+	for g := 0; g < n; g++ {
+		regions = append(regions, trace.Region{
+			Name: fmt.Sprintf("matmul.A%d", g), Kind: trace.RegionPrivate,
+			Base: aBase(g), Size: aBytes,
+			Writers: []int{g}, Readers: []int{g},
+		})
+	}
+
+	// O(n^1.5) flops per byte at these sizes: decisively compute-bound.
+	const flopsPerByte = 12000
+
+	meta := trace.Meta{
+		Name:             "matmul",
+		NumGPUs:          n,
+		Regions:          regions,
+		ProfilePhases:    1,
+		WorkingSetPerGPU: matBytes + matBytes/uint64(n)*2,
+		L2:               trace.L2Model{BaseHit: 0.5, SlopePerDoubling: 0.02, MaxHit: 0.6},
+	}
+
+	emit := func(iter, _ int, ph *trace.Phase) {
+		for g := 0; g < n; g++ {
+			slabOff, slabSize := slab(matBytes, n, g)
+			ops := uint64(float64(slabSize) * flopsPerByte)
+			kb := newKernel(g, "matmul.block", ops)
+			kb.loads(aBase(g), aBytes)
+			kb.loads(bBase, matBytes) // everyone streams B once
+			kb.stores(cBase+slabOff, slabSize)
+			ph.Kernels = append(ph.Kernels, kb.build())
+		}
+	}
+
+	return &app{meta: meta, iterations: 1 + cfg.Iterations, phasesPerIter: 1, emit: emit}
+}
+
+// NewNBody builds a direct-summation N-body trace: a tiny shared position
+// array read by everyone, quadratic force computation, each GPU updating
+// its own body slab.
+func NewNBody(cfg Config) trace.Program {
+	cfg = cfg.withDefaults()
+	n := cfg.NumGPUs
+	posBytes := uint64(512<<10) * uint64(cfg.Scale) // all body positions
+
+	posBase := regionBase(0)
+	regions := []trace.Region{
+		{Name: "nbody.pos", Kind: trace.RegionShared, Base: posBase, Size: posBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+	}
+
+	const flopsPerByte = 60000 // O(N) interactions per body
+
+	meta := trace.Meta{
+		Name:             "nbody",
+		NumGPUs:          n,
+		Regions:          regions,
+		ProfilePhases:    1,
+		WorkingSetPerGPU: posBytes,
+		L2:               trace.L2Model{BaseHit: 0.8, SlopePerDoubling: 0.01, MaxHit: 0.9},
+	}
+
+	emit := func(iter, _ int, ph *trace.Phase) {
+		for g := 0; g < n; g++ {
+			slabOff, slabSize := slab(posBytes, n, g)
+			ops := uint64(float64(slabSize) * flopsPerByte)
+			kb := newKernel(g, "nbody.forces", ops)
+			kb.loads(posBase, posBytes) // all positions
+			kb.stores(posBase+slabOff, slabSize)
+			ph.Kernels = append(ph.Kernels, kb.build())
+		}
+	}
+
+	return &app{meta: meta, iterations: 1 + cfg.Iterations, phasesPerIter: 1, emit: emit}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"gps/internal/trace"
+)
+
+// NewCT builds the model-based iterative CT reconstruction trace. Forward
+// projection reads the full image volume on every GPU (all-to-all sharing);
+// backprojection writes each GPU's voxel slab with accumulation passes whose
+// revisit distance the GPS write queue can cover (Figure 14 shows CT's hit
+// rate growing with queue size). The dense regular writes also make the
+// bulk-synchronous memcpy paradigm perform comparatively well for CT
+// (Section 7.1).
+func NewCT(cfg Config) trace.Program {
+	cfg = cfg.withDefaults()
+	n := cfg.NumGPUs
+
+	imageBytes := uint64(8<<20) * uint64(cfg.Scale)
+	sinoTotal := uint64(12<<20) * uint64(cfg.Scale)
+	sinoBytes := sinoTotal / uint64(n)
+	sinoBytes -= sinoBytes % LineBytes
+
+	imageBase := regionBase(0)
+	sinoBase := func(g int) uint64 { return regionBase(1 + g) }
+
+	regions := []trace.Region{
+		{Name: "ct.image", Kind: trace.RegionShared, Base: imageBase, Size: imageBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+	}
+	for g := 0; g < n; g++ {
+		regions = append(regions, trace.Region{
+			Name: "ct.sino", Kind: trace.RegionPrivate,
+			Base: sinoBase(g), Size: sinoBytes,
+			Writers: []int{g}, Readers: []int{g},
+		})
+	}
+
+	const (
+		passes       = 2
+		scatterFrac  = 0.20 // ray-driven single-visit updates
+		flopsPerByte = 360  // MBIR is compute heavy
+		sampleTotal  = 900  // ray-sample warp loads over the full image, total
+	)
+	blockSet := []int{128, 224, 320} // accumulation tile revisit distances
+	sampleInstrs := sampleTotal / n
+
+	meta := trace.Meta{
+		Name:             "ct",
+		NumGPUs:          n,
+		Regions:          regions,
+		ProfilePhases:    2,
+		WorkingSetPerGPU: imageBytes + sinoBytes, // full image resident everywhere
+		L2:               trace.L2Model{BaseHit: 0.45, SlopePerDoubling: 0.015, MaxHit: 0.55},
+	}
+
+	emit := func(iter, sub int, ph *trace.Phase) {
+		for g := 0; g < n; g++ {
+			slabOff, slabSize := slab(imageBytes, n, g)
+			switch sub {
+			case 0:
+				// Forward projection: rays from this GPU's angles sample
+				// voxels across the whole image (all-to-all reads), plus a
+				// dense pass over the owned slab.
+				ops := uint64(float64(imageBytes) / float64(n) * flopsPerByte)
+				kb := newKernel(g, "ct.forward", ops)
+				kb.loads(imageBase+slabOff, slabSize)
+				seed := uint32(cfg.Seed) + uint32(iter*65599) + uint32(g*257)
+				kb.scattered(trace.OpLoad, imageBase, imageBytes, sampleInstrs, seed)
+				kb.stores(sinoBase(g), sinoBytes)
+				ph.Kernels = append(ph.Kernels, kb.build())
+			case 1: // backprojection: accumulate into the owned voxel slab
+				ops := uint64(float64(slabSize) * flopsPerByte)
+				kb := newKernel(g, "ct.backproject", ops)
+				kb.loads(sinoBase(g), sinoBytes)
+				scatterBytes := uint64(float64(slabSize) * scatterFrac)
+				scatterBytes -= scatterBytes % LineBytes
+				mpBytes := slabSize - scatterBytes
+				kb.storesMultiPassSet(imageBase+slabOff, mpBytes, passes, blockSet)
+				if scatterBytes > 0 {
+					kb.stores(imageBase+slabOff+mpBytes, scatterBytes)
+				}
+				ph.Kernels = append(ph.Kernels, kb.build())
+			}
+		}
+	}
+
+	return &app{
+		meta:          meta,
+		iterations:    1 + cfg.Iterations,
+		phasesPerIter: 2,
+		emit:          emit,
+	}
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gps/internal/trace"
+)
+
+// CustomSpec is a JSON-loadable workload description, letting users define
+// new applications without writing Go: either a slab-decomposed stencil
+// (the Jacobi/EQWP/Diffusion/HIT family) or a partitioned graph workload
+// (the Pagerank/SSSP family). Example:
+//
+//	{
+//	  "name": "mywave", "kind": "stencil",
+//	  "planeKB": 64, "planes": 128, "fields": 2, "haloPlanes": 2,
+//	  "passes": 2, "blockSet": [128, 256],
+//	  "flopsPerByte": 70, "streamFactor": 8,
+//	  "l2": {"baseHit": 0.4, "slopePerDoubling": 0.03, "maxHit": 0.6}
+//	}
+type CustomSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "stencil" or "graph"
+
+	// Stencil parameters.
+	PlaneKB      int     `json:"planeKB,omitempty"`
+	Planes       int     `json:"planes,omitempty"`
+	Fields       int     `json:"fields,omitempty"`
+	HaloPlanes   int     `json:"haloPlanes,omitempty"`
+	Passes       int     `json:"passes,omitempty"`
+	BlockSet     []int   `json:"blockSet,omitempty"`
+	ScatterFrac  float64 `json:"scatterFrac,omitempty"`
+	FlopsPerByte float64 `json:"flopsPerByte,omitempty"`
+	StreamFactor float64 `json:"streamFactor,omitempty"`
+
+	// Graph parameters.
+	VertexMB      int     `json:"vertexMB,omitempty"`
+	EdgeMB        int     `json:"edgeMB,omitempty"`
+	Span          int     `json:"span,omitempty"`
+	GatherInstrs  int     `json:"gatherInstrs,omitempty"`
+	ScatterInstrs int     `json:"scatterInstrs,omitempty"`
+	FlopsPerEdge  float64 `json:"flopsPerEdge,omitempty"`
+	ApplyFlops    float64 `json:"applyFlops,omitempty"`
+	AtomicLanes   int     `json:"atomicLanes,omitempty"`
+
+	L2 struct {
+		BaseHit          float64 `json:"baseHit"`
+		SlopePerDoubling float64 `json:"slopePerDoubling"`
+		MaxHit           float64 `json:"maxHit"`
+	} `json:"l2"`
+}
+
+// ParseCustomSpec decodes and validates a CustomSpec from JSON.
+func ParseCustomSpec(r io.Reader) (CustomSpec, error) {
+	var s CustomSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("workload: parsing custom spec: %w", err)
+	}
+	return s, s.Validate()
+}
+
+// Validate reports structurally invalid specs.
+func (s CustomSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: custom spec needs a name")
+	}
+	switch s.Kind {
+	case "stencil":
+		switch {
+		case s.PlaneKB <= 0 || s.Planes <= 0:
+			return fmt.Errorf("workload: stencil %q needs planeKB and planes", s.Name)
+		case s.Fields <= 0:
+			return fmt.Errorf("workload: stencil %q needs fields >= 1", s.Name)
+		case s.HaloPlanes < 0 || s.HaloPlanes >= s.Planes:
+			return fmt.Errorf("workload: stencil %q halo out of range", s.Name)
+		case s.Passes <= 0:
+			return fmt.Errorf("workload: stencil %q needs passes >= 1", s.Name)
+		case s.FlopsPerByte <= 0:
+			return fmt.Errorf("workload: stencil %q needs flopsPerByte", s.Name)
+		case s.ScatterFrac < 0 || s.ScatterFrac > 1:
+			return fmt.Errorf("workload: stencil %q scatterFrac out of [0,1]", s.Name)
+		}
+		for _, b := range s.BlockSet {
+			if b <= 0 {
+				return fmt.Errorf("workload: stencil %q has non-positive block size", s.Name)
+			}
+		}
+	case "graph":
+		switch {
+		case s.VertexMB <= 0 || s.EdgeMB <= 0:
+			return fmt.Errorf("workload: graph %q needs vertexMB and edgeMB", s.Name)
+		case s.Span < 0:
+			return fmt.Errorf("workload: graph %q span negative", s.Name)
+		case s.GatherInstrs <= 0 || s.ScatterInstrs <= 0:
+			return fmt.Errorf("workload: graph %q needs gather/scatter instruction counts", s.Name)
+		case s.FlopsPerEdge <= 0 || s.ApplyFlops <= 0:
+			return fmt.Errorf("workload: graph %q needs flop intensities", s.Name)
+		case s.AtomicLanes < 0 || s.AtomicLanes > 32:
+			return fmt.Errorf("workload: graph %q atomicLanes out of 0..32", s.Name)
+		}
+	default:
+		return fmt.Errorf("workload: unknown kind %q (stencil or graph)", s.Kind)
+	}
+	return nil
+}
+
+// Build instantiates the custom workload as a trace program.
+func (s CustomSpec) Build(cfg Config) (trace.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	l2 := trace.L2Model{BaseHit: s.L2.BaseHit, SlopePerDoubling: s.L2.SlopePerDoubling, MaxHit: s.L2.MaxHit}
+	switch s.Kind {
+	case "stencil":
+		blockSet := s.BlockSet
+		if len(blockSet) == 0 {
+			blockSet = []int{256}
+		}
+		return newStencil(cfg, stencilParams{
+			name:         s.Name,
+			planeBytes:   uint64(s.PlaneKB) << 10,
+			planes:       s.Planes,
+			fields:       s.Fields,
+			haloPlanes:   s.HaloPlanes,
+			passes:       s.Passes,
+			blockSet:     blockSet,
+			scatterFrac:  s.ScatterFrac,
+			flopsPerByte: s.FlopsPerByte,
+			streamFactor: s.StreamFactor,
+			l2:           l2,
+		}), nil
+	case "graph":
+		lanes := uint8(s.AtomicLanes)
+		if lanes == 0 {
+			lanes = 32
+		}
+		return newGraph(cfg, graphParams{
+			name:          s.Name,
+			vertexBytes:   uint64(s.VertexMB) << 20,
+			edgeBytes:     uint64(s.EdgeMB) << 20,
+			span:          s.Span,
+			gatherInstrs:  s.GatherInstrs,
+			scatterInstrs: s.ScatterInstrs,
+			flopsPerEdge:  s.FlopsPerEdge,
+			applyFlops:    s.ApplyFlops,
+			atomicLanes:   lanes,
+			l2:            l2,
+		}), nil
+	}
+	panic("unreachable")
+}

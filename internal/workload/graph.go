@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+
+	"gps/internal/trace"
+)
+
+// graphParams describes the two graph-analytics applications. Vertices are
+// partitioned across GPUs; each iteration has a scatter phase (stream the
+// local edge partition, gather source ranks, atomically accumulate into
+// destination vertices) and an apply phase (rewrite the owned vertex slab).
+//
+// span controls the sharing pattern: a GPU's gathers and scatters reach
+// vertices within +-span partitions of its own. Pagerank uses span 1
+// (peer-to-peer, per Table 2); SSSP uses a wide span (many-to-many).
+// Atomics dominate the shared-write mix, so the GPS write queue coalesces
+// nothing for these applications (Figure 14: 0% hit rate).
+type graphParams struct {
+	name          string
+	vertexBytes   uint64  // size of each shared vertex array
+	edgeBytes     uint64  // total edge bytes, partitioned across GPUs
+	span          int     // partition reach of gathers/scatters
+	gatherInstrs  int     // scattered load warp instructions, total per phase
+	scatterInstrs int     // scattered atomic warp instructions, total per phase
+	flopsPerEdge  float64 // scatter-kernel flops per edge lane
+	applyFlops    float64 // apply-kernel flops per owned vertex byte
+	atomicLanes   uint8   // active lanes per atomic warp (frontier sparsity)
+	l2            trace.L2Model
+}
+
+func newGraph(cfg Config, p graphParams) trace.Program {
+	cfg = cfg.withDefaults()
+	n := cfg.NumGPUs
+	p.vertexBytes *= uint64(cfg.Scale)
+	p.edgeBytes *= uint64(cfg.Scale)
+	// Strong scaling: the edge list and its processing are partitioned.
+	edgesPerGPU := p.edgeBytes / uint64(n)
+	edgesPerGPU -= edgesPerGPU % LineBytes
+	gatherPerGPU := p.gatherInstrs / n
+	scatterPerGPU := p.scatterInstrs / n
+
+	ranksBase := regionBase(0)
+	contribBase := regionBase(1)
+	edgesBase := func(g int) uint64 { return regionBase(2 + g) }
+
+	regions := []trace.Region{
+		{Name: p.name + ".ranks", Kind: trace.RegionShared, Base: ranksBase, Size: p.vertexBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+		{Name: p.name + ".contrib", Kind: trace.RegionShared, Base: contribBase, Size: p.vertexBytes,
+			Writers: gpuList(n), Readers: gpuList(n)},
+	}
+	for g := 0; g < n; g++ {
+		regions = append(regions, trace.Region{
+			Name: fmt.Sprintf("%s.edges%d", p.name, g), Kind: trace.RegionPrivate,
+			Base: edgesBase(g), Size: edgesPerGPU,
+			Writers: []int{g}, Readers: []int{g},
+		})
+	}
+
+	meta := trace.Meta{
+		Name:             p.name,
+		NumGPUs:          n,
+		Regions:          regions,
+		ProfilePhases:    2,
+		WorkingSetPerGPU: (2*p.vertexBytes)/uint64(n) + edgesPerGPU,
+		L2:               p.l2,
+	}
+
+	// window returns the vertex-array byte window GPU g's irregular accesses
+	// fall in: its own partition extended span partitions each way, clamped.
+	window := func(g int) (lo, size uint64) {
+		loPart := g - p.span
+		if loPart < 0 {
+			loPart = 0
+		}
+		hiPart := g + p.span
+		if hiPart > n-1 {
+			hiPart = n - 1
+		}
+		loOff, _ := slab(p.vertexBytes, n, loPart)
+		hiOff, hiSize := slab(p.vertexBytes, n, hiPart)
+		return loOff, hiOff + hiSize - loOff
+	}
+
+	emit := func(iter, sub int, ph *trace.Phase) {
+		for g := 0; g < n; g++ {
+			winLo, winSize := window(g)
+			slabOff, slabSize := slab(p.vertexBytes, n, g)
+			seed := uint32(cfg.Seed) + uint32(iter*131071) + uint32(g*8191)
+			switch sub {
+			case 0: // scatter: stream edges, gather ranks, accumulate contrib
+				edges := float64(edgesPerGPU / LineBytes * 32) // lanes ~ edges
+				kb := newKernel(g, p.name+".scatter", uint64(edges*p.flopsPerEdge))
+				kb.loads(edgesBase(g), edgesPerGPU)
+				kb.scattered(trace.OpLoad, ranksBase+winLo, winSize, gatherPerGPU, seed)
+				kb.scatteredLanes(trace.OpAtomic, contribBase+winLo, winSize, scatterPerGPU, seed+7, p.atomicLanes)
+				ph.Kernels = append(ph.Kernels, kb.build())
+			case 1: // apply: fold contrib into ranks for the owned slab
+				ops := uint64(float64(slabSize) * p.applyFlops)
+				kb := newKernel(g, p.name+".apply", ops)
+				// Read-and-clear the owned contributions, publish new ranks.
+				kb.loads(contribBase+slabOff, slabSize)
+				kb.stores(ranksBase+slabOff, slabSize)
+				ph.Kernels = append(ph.Kernels, kb.build())
+			}
+		}
+	}
+
+	return &app{
+		meta:          meta,
+		iterations:    1 + cfg.Iterations,
+		phasesPerIter: 2,
+		emit:          emit,
+	}
+}
+
+// NewPagerank builds the Pagerank trace: vertex ranks propagated along a
+// partitioned edge list, with gathers and atomic scatters reaching only
+// neighboring partitions (peer-to-peer).
+func NewPagerank(cfg Config) trace.Program {
+	return newGraph(cfg, graphParams{
+		name:          "pagerank",
+		vertexBytes:   4 << 20,
+		edgeBytes:     16 << 20,
+		span:          1,
+		gatherInstrs:  5600,
+		scatterInstrs: 1200,
+		flopsPerEdge:  700,
+		applyFlops:    40,
+		atomicLanes:   32,
+		l2:            trace.L2Model{BaseHit: 0.25, SlopePerDoubling: 0.02, MaxHit: 0.4},
+	})
+}
+
+// NewSSSP builds the single-source shortest-paths trace: frontier
+// relaxations whose atomic distance updates reach vertices across many
+// partitions (many-to-many).
+func NewSSSP(cfg Config) trace.Program {
+	return newGraph(cfg, graphParams{
+		name:          "sssp",
+		vertexBytes:   4 << 20,
+		edgeBytes:     24 << 20,
+		span:          2,
+		gatherInstrs:  4800,
+		scatterInstrs: 1000,
+		flopsPerEdge:  400,
+		applyFlops:    40,
+		atomicLanes:   16, // sparse frontier: half-empty warps
+		l2:            trace.L2Model{BaseHit: 0.25, SlopePerDoubling: 0.02, MaxHit: 0.4},
+	})
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+
+	"gps/internal/trace"
+)
+
+// stencilParams describes one of the slab-decomposed stencil applications
+// (Jacobi, EQWP, Diffusion, HIT). The domain is a stack of `planes` planes
+// of planeBytes each, partitioned across GPUs in contiguous slabs along the
+// plane axis. Each field ping-pongs between two regions; every half-step
+// each GPU reads its slab plus haloPlanes of each neighbor's boundary from
+// the source array and writes its slab of the destination array.
+//
+// The write pattern is `passes` sweeps over blocks of blockLines cache
+// lines: the revisit distance blockLines is what the GPS write queue must
+// cover to coalesce the extra passes (Figure 14). Jacobi uses a single pass
+// (its spatial locality is fully captured inside the SM coalescer, so its
+// write-queue hit rate is 0%).
+type stencilParams struct {
+	name         string
+	planeBytes   uint64  // bytes per plane (line-aligned)
+	planes       int     // planes along the decomposed axis (scaled)
+	fields       int     // ping-pong field pairs
+	haloPlanes   int     // halo depth read from each neighbor
+	passes       int     // write passes per block
+	blockSet     []int   // revisit distances in cache lines, cycled per tile
+	scatterFrac  float64 // fraction of writes that are single-pass scattered
+	flopsPerByte float64 // compute intensity per written byte per pass
+	// streamFactor is GPU-local streaming traffic (temporaries, coefficient
+	// tables, tile re-reads) per written shared byte, carried analytically
+	// as Kernel.LocalStreamBytes. It sets how DRAM-bound the kernel is.
+	streamFactor float64
+	l2           trace.L2Model
+}
+
+func newStencil(cfg Config, p stencilParams) trace.Program {
+	cfg = cfg.withDefaults()
+	p.planes *= cfg.Scale
+	n := cfg.NumGPUs
+	gridBytes := p.planeBytes * uint64(p.planes)
+
+	var regions []trace.Region
+	// Two regions per field: ping (parity 0) and pong (parity 1).
+	base := func(field, parity int) uint64 { return regionBase(field*2 + parity) }
+	for f := 0; f < p.fields; f++ {
+		for par := 0; par < 2; par++ {
+			regions = append(regions, trace.Region{
+				Name: fmt.Sprintf("%s.f%d.%d", p.name, f, par),
+				Kind: trace.RegionShared,
+				Base: base(f, par),
+				Size: gridBytes,
+				// Every GPU writes its slab and reads across slab
+				// boundaries; at region granularity all GPUs are both.
+				Writers: gpuList(n),
+				Readers: gpuList(n),
+			})
+		}
+	}
+
+	meta := trace.Meta{
+		Name:             p.name,
+		NumGPUs:          n,
+		Regions:          regions,
+		ProfilePhases:    2, // a full ping-pong iteration, as in Listing 1
+		WorkingSetPerGPU: 2 * uint64(p.fields) * gridBytes / uint64(n),
+		L2:               p.l2,
+	}
+
+	emit := func(iter, sub int, ph *trace.Phase) {
+		src := (iter*2 + sub) % 2
+		dst := 1 - src
+		for g := 0; g < n; g++ {
+			slabOff, slabSize := slab(gridBytes, n, g)
+			ops := uint64(float64(slabSize) * float64(p.passes) * p.flopsPerByte * float64(p.fields))
+			kb := newKernel(g, fmt.Sprintf("%s.sweep", p.name), ops)
+			kb.k.LocalStreamBytes = uint64(p.streamFactor * float64(slabSize) * float64(p.fields))
+			halo := uint64(p.haloPlanes) * p.planeBytes
+			for f := 0; f < p.fields; f++ {
+				// Read own slab plus halos from the source array.
+				lo := base(f, src) + slabOff
+				readLo, readBytes := lo, slabSize
+				if g > 0 {
+					readLo -= halo
+					readBytes += halo
+				}
+				if g < n-1 {
+					readBytes += halo
+				}
+				kb.loads(readLo, readBytes)
+				// Write own slab of the destination array.
+				wbase := base(f, dst) + slabOff
+				scatterBytes := uint64(float64(slabSize) * p.scatterFrac)
+				scatterBytes -= scatterBytes % LineBytes
+				mpBytes := slabSize - scatterBytes
+				kb.storesMultiPassSet(wbase, mpBytes, p.passes, p.blockSet)
+				if scatterBytes > 0 {
+					// Irregular single-visit writes (e.g. boundary condition
+					// fix-ups): these dilute the achievable queue hit rate.
+					kb.stores(wbase+mpBytes, scatterBytes)
+				}
+			}
+			ph.Kernels = append(ph.Kernels, kb.build())
+		}
+	}
+
+	return &app{
+		meta:          meta,
+		iterations:    1 + cfg.Iterations,
+		phasesPerIter: 2,
+		emit:          emit,
+	}
+}
+
+// NewJacobi builds the 2D Jacobi iterative solver trace: peer-to-peer halo
+// exchange, single-visit streaming writes (0% write-queue hit rate), low
+// halo volume.
+func NewJacobi(cfg Config) trace.Program {
+	return newStencil(cfg, stencilParams{
+		name:         "jacobi",
+		planeBytes:   16 << 10, // a row block of the 2D grid
+		planes:       1024,     // 16 MB per array at scale 1
+		fields:       1,
+		haloPlanes:   16, // wide ghost band: one row block spans many rows
+		passes:       1,
+		blockSet:     []int{256},
+		flopsPerByte: 120,
+		streamFactor: 4,
+		l2:           trace.L2Model{BaseHit: 0.35, SlopePerDoubling: 0.02, MaxHit: 0.55},
+	})
+}
+
+// NewEQWP builds the B2rEqwp earthquake wave propagation trace: 4th-order
+// 3D finite differences, two coupled fields, 2-plane halos, two write
+// passes. Its working set strains the L2, so aggregate cache capacity makes
+// it scale super-linearly (Section 7.1: L2 hit rate 55% -> 68% at 4 GPUs).
+func NewEQWP(cfg Config) trace.Program {
+	return newStencil(cfg, stencilParams{
+		name:         "eqwp",
+		planeBytes:   128 << 10,
+		planes:       48, // 6 MB per field array: strains one L2, fits in four
+		fields:       2,
+		haloPlanes:   2, // 4th-order scheme: two 128 KB ghost planes
+		passes:       2,
+		blockSet:     []int{160, 288, 416},
+		flopsPerByte: 30, // DRAM-bound: the L2 effect governs scaling
+		streamFactor: 50,
+		l2:           trace.L2Model{BaseHit: 0.55, SlopePerDoubling: 0.065, MaxHit: 0.75},
+	})
+}
+
+// NewDiffusion builds the 3D heat + inviscid Burgers trace: two fields,
+// 1-plane halos, two write passes at a shorter revisit distance.
+func NewDiffusion(cfg Config) trace.Program {
+	return newStencil(cfg, stencilParams{
+		name:         "diffusion",
+		planeBytes:   64 << 10,
+		planes:       128, // 8 MB per field array
+		fields:       2,
+		haloPlanes:   1, // thin halo: page-granular prefetch over-fetches most
+		passes:       2,
+		blockSet:     []int{96, 144, 224},
+		flopsPerByte: 70,
+		streamFactor: 8,
+		l2:           trace.L2Model{BaseHit: 0.40, SlopePerDoubling: 0.03, MaxHit: 0.6},
+	})
+}
+
+// NewHIT builds the homogeneous isotropic turbulence trace: three velocity
+// component fields advanced by a multi-stage integrator (three write passes
+// at a short revisit distance), deep halos.
+func NewHIT(cfg Config) trace.Program {
+	return newStencil(cfg, stencilParams{
+		name:         "hit",
+		planeBytes:   64 << 10,
+		planes:       54, // ~3.4 MB per field array
+		fields:       3,
+		haloPlanes:   3,
+		passes:       3,
+		blockSet:     []int{48, 96, 160},
+		scatterFrac:  0.10,
+		flopsPerByte: 60,
+		streamFactor: 10,
+		l2:           trace.L2Model{BaseHit: 0.45, SlopePerDoubling: 0.03, MaxHit: 0.65},
+	})
+}

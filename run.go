@@ -1,0 +1,197 @@
+package gps
+
+import (
+	"fmt"
+	"sort"
+
+	"gps/internal/engine"
+	"gps/internal/gpuconf"
+	"gps/internal/paradigm"
+	"gps/internal/timing"
+	"gps/internal/trace"
+)
+
+// Result reports one simulated run.
+type Result struct {
+	// Paradigm and Interconnect echo the configuration.
+	Paradigm     Paradigm
+	Interconnect Interconnect
+
+	// TotalTime is the simulated end-to-end runtime in seconds, including
+	// the profiling window.
+	TotalTime float64
+	// SteadyTime is the runtime of the phases after TrackingStop — the
+	// steady state that long-running applications amortize to. Equal to
+	// TotalTime when no tracking window was declared.
+	SteadyTime float64
+
+	// InterconnectBytes is the steady-state traffic over the fabric.
+	InterconnectBytes uint64
+	// PageFaults counts UM page faults across the run.
+	PageFaults int
+
+	// SubscriberHistogram maps subscriber count -> GPS pages (GPS runs
+	// only).
+	SubscriberHistogram map[int]int
+	// WriteQueueHitRate is the mean GPS remote write queue hit rate.
+	WriteQueueHitRate float64
+	// GPSTLBHitRate is the mean GPS-TLB hit rate.
+	GPSTLBHitRate float64
+
+	// Breakdown attributes the total time to its causes.
+	Breakdown Breakdown
+}
+
+// Breakdown attributes simulated time (seconds, summed over phases).
+type Breakdown struct {
+	// Kernel is time inside kernels (compute/DRAM bound spans).
+	Kernel float64
+	// Stall is demand-read and fault/shootdown stall time.
+	Stall float64
+	// PushWait is barrier time spent waiting for proactive pushes to drain.
+	PushWait float64
+	// Bulk is barrier-window bulk transfer time (memcpy broadcasts,
+	// prefetches).
+	Bulk float64
+	// Overhead is fixed per-phase launch/barrier cost.
+	Overhead float64
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s on %s: %.3f ms total (%.3f ms steady), %.2f MB moved, %d faults",
+		r.Paradigm, r.Interconnect, r.TotalTime*1e3, r.SteadyTime*1e3,
+		float64(r.InterconnectBytes)/1e6, r.PageFaults)
+}
+
+// program assembles the System's recorded state into a trace.
+func (s *System) program() (*trace.Recorded, error) {
+	if len(s.phases) == 0 {
+		return nil, fmt.Errorf("gps: no kernels launched")
+	}
+	if s.tracking {
+		return nil, fmt.Errorf("gps: tracking window never closed (call TrackingStop)")
+	}
+	names := make([]string, 0, len(s.buffers))
+	for name := range s.buffers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regions []trace.Region
+	var sharedTotal uint64
+	for _, name := range names {
+		b := s.buffers[name]
+		r := trace.Region{Name: b.name, Base: b.base, Size: b.size}
+		if b.shared {
+			r.Kind = trace.RegionShared
+			r.Writers = allGPUList(s.cfg.GPUs)
+			r.Readers = allGPUList(s.cfg.GPUs)
+			r.ManualSubscribers = b.manual
+			sharedTotal += b.size
+		} else {
+			r.Kind = trace.RegionPrivate
+			r.Writers = []int{b.device}
+			r.Readers = []int{b.device}
+		}
+		regions = append(regions, r)
+	}
+	profile := s.profileEnd
+	if profile < 0 {
+		profile = 0
+	}
+	meta := trace.Meta{
+		Name:             "user-program",
+		NumGPUs:          s.cfg.GPUs,
+		Regions:          regions,
+		ProfilePhases:    profile,
+		WorkingSetPerGPU: sharedTotal / uint64(s.cfg.GPUs),
+		L2:               s.cfg.L2,
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	return &trace.Recorded{M: meta, Ph: s.phases}, nil
+}
+
+// Run simulates the recorded program under the configured paradigm and
+// interconnect. The System can be Run multiple times (also via RunWith) —
+// each run replays the same recorded program independently.
+func (s *System) Run() (*Result, error) {
+	return s.RunWith(s.cfg.Paradigm, s.cfg.Interconnect)
+}
+
+// RunWith simulates the recorded program under an explicit paradigm and
+// fabric, enabling side-by-side comparisons on one program.
+func (s *System) RunWith(p Paradigm, ic Interconnect) (*Result, error) {
+	prog, err := s.program()
+	if err != nil {
+		return nil, err
+	}
+	s.finished = true
+
+	kind, err := p.kind()
+	if err != nil {
+		return nil, err
+	}
+	fab, err := ic.build(s.cfg.GPUs)
+	if err != nil {
+		return nil, err
+	}
+
+	pcfg := paradigm.Config{
+		Machine:           gpuconf.Default(),
+		PageBytes:         s.cfg.PageBytes,
+		WriteQueueEntries: s.cfg.WriteQueueEntries,
+		GPSTLBEntries:     s.cfg.GPSTLBEntries,
+	}
+	model, err := paradigm.New(kind, prog, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	res := engine.Run(prog, model)
+
+	tcfg := timing.DefaultConfig(fab)
+	if s.cfg.PageBytes != 0 {
+		tcfg.PageBytes = s.cfg.PageBytes
+	}
+	rep := timing.Simulate(res, tcfg)
+
+	out := &Result{
+		Paradigm:            p,
+		Interconnect:        ic,
+		TotalTime:           rep.Total,
+		SteadyTime:          rep.SteadyTotal(),
+		InterconnectBytes:   res.InterconnectBytes(prog.M.ProfilePhases),
+		PageFaults:          res.TotalFaults(),
+		SubscriberHistogram: res.SubscriberHist,
+	}
+	out.WriteQueueHitRate = mean(res.WriteQueueHitRate)
+	out.GPSTLBHitRate = mean(res.GPSTLBHitRate)
+	out.Breakdown = Breakdown{
+		Kernel:   rep.ComputeBound,
+		Stall:    rep.StallTime,
+		PushWait: rep.PushWait,
+		Bulk:     rep.BulkTime,
+		Overhead: rep.Overhead,
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func allGPUList(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
