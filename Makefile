@@ -1,0 +1,26 @@
+# Developer entry points. Everything is stdlib Go; no tools beyond `go`.
+
+GO ?= go
+
+.PHONY: check vet build race test bench-smoke
+
+## check: full gate — vet, build, and the test suite under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+## bench-smoke: a fast end-to-end run of the experiment harness — the
+## headline figure plus the parallel runner and its JSON summary.
+bench-smoke:
+	$(GO) run ./cmd/gpsbench -fig 8 -iters 2 -json /tmp/gpsbench-smoke.json
+	$(GO) run ./cmd/gpsim -app jacobi -paradigm GPS -gpus 4 -interconnect pcie4 -iters 2

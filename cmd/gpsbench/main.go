@@ -8,9 +8,12 @@
 //	gpsbench -table 1             # Table 1 or 2
 //	gpsbench -sens tlb|pagesize|watermark
 //	gpsbench -iters 4 -scale 1    # workload sizing
+//	gpsbench -all -parallel 8     # run the experiment matrix on 8 workers
+//	gpsbench -fig 8 -json out.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,23 +23,46 @@ import (
 	"gps/internal/stats"
 )
 
+// sectionTiming is the wall clock one figure/table/study consumed.
+type sectionTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// jsonReport is the machine-readable summary emitted by -json.
+type jsonReport struct {
+	// Section 7.1 headline claims, populated when Figure 8 runs.
+	GPSMeanX       float64 `json:"gps_mean_x,omitempty"`
+	OpportunityPct float64 `json:"opportunity_pct,omitempty"`
+	VsNextBestX    float64 `json:"vs_next_best_x,omitempty"`
+
+	ParallelWorkers int                    `json:"parallel_workers"`
+	TotalSeconds    float64                `json:"total_seconds"`
+	Sections        []sectionTiming        `json:"sections"`
+	Cache           experiments.CacheStats `json:"cache"`
+}
+
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "figure number to regenerate (1,2,3,4,8,9,10,11,12,13,14)")
-		table  = flag.Int("table", 0, "table number to regenerate (1,2)")
-		sens   = flag.String("sens", "", "sensitivity study: tlb, pagesize, watermark, l2, profilingmode, control, pipelined, fabrics, fabricmodel")
-		all    = flag.Bool("all", false, "regenerate everything")
-		iters  = flag.Int("iters", 4, "execution iterations per application")
-		scale  = flag.Int("scale", 1, "problem size multiplier")
-		csv    = flag.Bool("csv", false, "emit tables as CSV instead of text")
-		report = flag.String("report", "", "write a full markdown report to this file")
-		chart  = flag.Bool("chart", false, "also render line-chart views of figures 13 and 14")
+		fig      = flag.Int("fig", 0, "figure number to regenerate (1,2,3,4,8,9,10,11,12,13,14)")
+		table    = flag.Int("table", 0, "table number to regenerate (1,2)")
+		sens     = flag.String("sens", "", "sensitivity study: tlb, pagesize, watermark, l2, profilingmode, control, pipelined, fabrics, fabricmodel")
+		all      = flag.Bool("all", false, "regenerate everything")
+		iters    = flag.Int("iters", 4, "execution iterations per application")
+		scale    = flag.Int("scale", 1, "problem size multiplier")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of text")
+		report   = flag.String("report", "", "write a full markdown report to this file")
+		chart    = flag.Bool("chart", false, "also render line-chart views of figures 13 and 14")
+		parallel = flag.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = flag.String("json", "", "write headline metrics, per-figure wall clock and cache stats as JSON to this file")
 	)
 	flag.Parse()
 
+	experiments.SetParallelism(*parallel)
 	opt := experiments.Options{Iterations: *iters, Scale: *scale}
 	start := time.Now()
 	ran := false
+	out := jsonReport{ParallelWorkers: experiments.Parallelism()}
 
 	show := func(tb *stats.Table, err error, extra ...string) {
 		if err != nil {
@@ -55,6 +81,13 @@ func main() {
 		ran = true
 	}
 
+	// section times one figure/table body for the JSON report.
+	section := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		out.Sections = append(out.Sections, sectionTiming{Name: name, Seconds: time.Since(t0).Seconds()})
+	}
+
 	want := func(n int) bool { return *all || *fig == n }
 
 	if *all || *table == 1 {
@@ -66,101 +99,138 @@ func main() {
 		ran = true
 	}
 	if want(1) {
-		tb, err := experiments.Figure1(opt)
-		show(tb, err)
+		section("figure1", func() {
+			tb, err := experiments.Figure1(opt)
+			show(tb, err)
+		})
 	}
 	if want(2) {
-		tb, err := experiments.Figure2(opt)
-		show(tb, err)
+		section("figure2", func() {
+			tb, err := experiments.Figure2(opt)
+			show(tb, err)
+		})
 	}
 	if want(3) {
 		show(experiments.Figure3(), nil)
 	}
 	if want(4) {
-		tb, err := experiments.Figure4(opt)
-		show(tb, err)
+		section("figure4", func() {
+			tb, err := experiments.Figure4(opt)
+			show(tb, err)
+		})
 	}
 	if want(8) {
-		tb, err := experiments.Figure8(opt)
-		if err == nil {
-			g, f, n := experiments.Claims71(tb)
-			show(tb, nil, fmt.Sprintf(
-				"Section 7.1 claims: GPS mean %.2fx (paper: 3.0x), %.1f%% of opportunity (paper: 93.7%%), %.2fx over next best (paper: 2.3x)",
-				g, f*100, n))
-		} else {
-			show(tb, err)
-		}
+		section("figure8", func() {
+			tb, err := experiments.Figure8(opt)
+			if err == nil {
+				g, f, n := experiments.Claims71(tb)
+				out.GPSMeanX, out.OpportunityPct, out.VsNextBestX = g, f*100, n
+				show(tb, nil, fmt.Sprintf(
+					"Section 7.1 claims: GPS mean %.2fx (paper: 3.0x), %.1f%% of opportunity (paper: 93.7%%), %.2fx over next best (paper: 2.3x)",
+					g, f*100, n))
+			} else {
+				show(tb, err)
+			}
+		})
 	}
 	if want(9) {
-		tb, err := experiments.Figure9(opt)
-		show(tb, err)
+		section("figure9", func() {
+			tb, err := experiments.Figure9(opt)
+			show(tb, err)
+		})
 	}
 	if want(10) {
-		tb, err := experiments.Figure10(opt)
-		show(tb, err)
+		section("figure10", func() {
+			tb, err := experiments.Figure10(opt)
+			show(tb, err)
+		})
 	}
 	if want(11) {
-		tb, err := experiments.Figure11(opt)
-		show(tb, err)
+		section("figure11", func() {
+			tb, err := experiments.Figure11(opt)
+			show(tb, err)
+		})
 	}
 	if want(12) {
-		tb, err := experiments.Figure12(opt)
-		if err == nil {
-			g, f := experiments.Claims73(tb)
-			show(tb, nil, fmt.Sprintf(
-				"Section 7.3 claims: GPS mean %.2fx (paper: 7.9x), %.1f%% of opportunity (paper: >80%%)",
-				g, f*100))
-		} else {
-			show(tb, err)
-		}
+		section("figure12", func() {
+			tb, err := experiments.Figure12(opt)
+			if err == nil {
+				g, f := experiments.Claims73(tb)
+				show(tb, nil, fmt.Sprintf(
+					"Section 7.3 claims: GPS mean %.2fx (paper: 7.9x), %.1f%% of opportunity (paper: >80%%)",
+					g, f*100))
+			} else {
+				show(tb, err)
+			}
+		})
 	}
 	if want(13) {
-		tb, err := experiments.Figure13(opt)
-		if err == nil && *chart {
-			show(tb, nil, tb.LineChart(12))
-		} else {
-			show(tb, err)
-		}
+		section("figure13", func() {
+			tb, err := experiments.Figure13(opt)
+			if err == nil && *chart {
+				show(tb, nil, tb.LineChart(12))
+			} else {
+				show(tb, err)
+			}
+		})
 	}
 	if want(14) {
-		tb, err := experiments.Figure14(opt)
-		if err == nil && *chart {
-			show(tb, nil, tb.LineChart(12))
-		} else {
-			show(tb, err)
-		}
+		section("figure14", func() {
+			tb, err := experiments.Figure14(opt)
+			if err == nil && *chart {
+				show(tb, nil, tb.LineChart(12))
+			} else {
+				show(tb, err)
+			}
+		})
 	}
 	if *all || *sens == "tlb" {
-		tb, err := experiments.SensitivityGPSTLB(opt)
-		show(tb, err)
+		section("sens-tlb", func() {
+			tb, err := experiments.SensitivityGPSTLB(opt)
+			show(tb, err)
+		})
 	}
 	if *all || *sens == "pagesize" {
-		tb, err := experiments.SensitivityPageSize(opt)
-		show(tb, err)
+		section("sens-pagesize", func() {
+			tb, err := experiments.SensitivityPageSize(opt)
+			show(tb, err)
+		})
 	}
 	if *all || *sens == "watermark" {
-		tb, err := experiments.AblationWatermark(opt)
-		show(tb, err)
+		section("sens-watermark", func() {
+			tb, err := experiments.AblationWatermark(opt)
+			show(tb, err)
+		})
 	}
 	if *all || *sens == "l2" {
-		tb, err := experiments.ValidateL2(opt)
-		show(tb, err)
+		section("sens-l2", func() {
+			tb, err := experiments.ValidateL2(opt)
+			show(tb, err)
+		})
 	}
 	if *all || *sens == "profilingmode" {
-		tb, err := experiments.AblationProfilingMode(opt)
-		show(tb, err)
+		section("sens-profilingmode", func() {
+			tb, err := experiments.AblationProfilingMode(opt)
+			show(tb, err)
+		})
 	}
 	if *all || *sens == "control" {
-		tb, err := experiments.ControlApps(opt)
-		show(tb, err)
+		section("sens-control", func() {
+			tb, err := experiments.ControlApps(opt)
+			show(tb, err)
+		})
 	}
 	if *all || *sens == "pipelined" {
-		tb, err := experiments.AblationPipelinedMemcpy(opt)
-		show(tb, err)
+		section("sens-pipelined", func() {
+			tb, err := experiments.AblationPipelinedMemcpy(opt)
+			show(tb, err)
+		})
 	}
 	if *all || *sens == "fabrics" {
-		tb, err := experiments.ExtendedFabrics(opt)
-		show(tb, err)
+		section("sens-fabrics", func() {
+			tb, err := experiments.ExtendedFabrics(opt)
+			show(tb, err)
+		})
 	}
 
 	if *report != "" {
@@ -178,13 +248,31 @@ func main() {
 		ran = true
 	}
 	if *all || *sens == "fabricmodel" {
-		tb, err := experiments.ValidateFabricModel(50)
-		show(tb, err)
+		section("sens-fabricmodel", func() {
+			tb, err := experiments.ValidateFabricModel(50)
+			show(tb, err)
+		})
 	}
 
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		out.TotalSeconds = time.Since(start).Seconds()
+		out.Cache = experiments.Default.CacheStats()
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonOut)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 }

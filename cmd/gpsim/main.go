@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"gps/internal/engine"
+	"gps/internal/experiments"
 	"gps/internal/interconnect"
 	"gps/internal/paradigm"
 	"gps/internal/timing"
@@ -63,8 +64,10 @@ func main() {
 		scale     = flag.Int("scale", 1, "problem size multiplier")
 		verbose   = flag.Bool("v", false, "per-phase breakdown and bottleneck links")
 		packet    = flag.Bool("packet", false, "use the packet-level fabric engine instead of the fluid model")
+		parallel  = flag.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "gpsim:", err)
@@ -96,24 +99,34 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	var spec workload.Spec
+	opt := experiments.Options{Iterations: *iters, Scale: *scale}
+	var rep *timing.Report
+	var res *engine.Result
 	if prog == nil {
-		spec, err = workload.ByName(*app)
+		// Generated traces go through the experiments runner so the trace and
+		// the single-GPU baseline come from (and land in) the shared cache.
+		spec, err := workload.ByName(*app)
 		if err != nil {
 			die(err)
 		}
 		pattern = spec.Pattern
-		cfg := workload.Config{NumGPUs: *gpus, Iterations: *iters, Scale: *scale, Seed: 1}
-		prog = spec.Build(cfg)
+		rep, res, err = experiments.Default.RunCell(experiments.Cell{
+			App: *app, Kind: k, GPUs: *gpus, Fab: fab,
+			Opt: opt, Cfg: paradigm.DefaultConfig(), Packet: *packet,
+		})
+		if err != nil {
+			die(err)
+		}
+	} else {
+		model, err := paradigm.New(k, prog, paradigm.DefaultConfig())
+		if err != nil {
+			die(err)
+		}
+		res = engine.Run(prog, model)
+		tcfg := timing.DefaultConfig(fab)
+		tcfg.UsePacketSim = *packet
+		rep = timing.Simulate(res, tcfg)
 	}
-	model, err := paradigm.New(k, prog, paradigm.DefaultConfig())
-	if err != nil {
-		die(err)
-	}
-	res := engine.Run(prog, model)
-	tcfg := timing.DefaultConfig(fab)
-	tcfg.UsePacketSim = *packet
-	rep := timing.Simulate(res, tcfg)
 
 	engineName := "fluid max-min"
 	if *packet {
@@ -125,16 +138,13 @@ func main() {
 	fmt.Printf("  steady-state time:  %.3f ms\n", rep.SteadyTotal()*1e3)
 	if *traceFile == "" {
 		// Single-GPU reference for the speedup (only meaningful when the
-		// trace can be regenerated at 1 GPU).
-		baseProg := spec.Build(workload.Config{NumGPUs: 1, Iterations: *iters, Scale: *scale, Seed: 1})
-		baseModel, err := paradigm.New(paradigm.KindInfinite, baseProg, paradigm.DefaultConfig())
+		// trace can be regenerated at 1 GPU); memoized in the runner.
+		base, err := experiments.Default.Baseline(*app, opt, paradigm.DefaultConfig())
 		if err != nil {
 			die(err)
 		}
-		baseRep := timing.Simulate(engine.Run(baseProg, baseModel),
-			timing.DefaultConfig(interconnect.Infinite(1)))
-		fmt.Printf("  1-GPU steady time:  %.3f ms\n", baseRep.SteadyTotal()*1e3)
-		fmt.Printf("  speedup over 1 GPU: %.2fx\n", baseRep.SteadyTotal()/rep.SteadyTotal())
+		fmt.Printf("  1-GPU steady time:  %.3f ms\n", base*1e3)
+		fmt.Printf("  speedup over 1 GPU: %.2fx\n", base/rep.SteadyTotal())
 	}
 	fmt.Printf("  interconnect bytes: %.2f MB (steady state)\n",
 		float64(res.InterconnectBytes(res.Meta.ProfilePhases))/1e6)

@@ -56,6 +56,26 @@ func NewProfile(gpu, n int) Profile {
 	}
 }
 
+// newProfiles returns one empty profile per GPU, carving all per-peer
+// counter slices out of a single allocation. Run creates a profile vector
+// per phase, so this collapses 3n+1 allocations into 2 on the hot path. The
+// three-index subslices keep an accidental append from bleeding into a
+// neighbor's counters.
+func newProfiles(n int) []Profile {
+	ps := make([]Profile, n)
+	backing := make([]uint64, 3*n*n)
+	for g := range ps {
+		off := 3 * n * g
+		ps[g] = Profile{
+			GPU:        g,
+			RemoteRead: backing[off : off+n : off+n],
+			Push:       backing[off+n : off+2*n : off+2*n],
+			Bulk:       backing[off+2*n : off+3*n : off+3*n],
+		}
+	}
+	return ps
+}
+
 // RemoteBytes returns all interconnect bytes this profile moves.
 func (p *Profile) RemoteBytes() uint64 {
 	var t uint64
@@ -149,19 +169,26 @@ func Run(prog trace.Program, m Model) *Result {
 	res := &Result{Meta: meta, Paradigm: m.Name()}
 	exp := NewExpander(LineBytes)
 
+	var cursors []int
 	prog.Phases(func(ph *trace.Phase) bool {
-		profiles := make([]Profile, n)
-		for g := 0; g < n; g++ {
-			profiles[g] = NewProfile(g, n)
-		}
+		profiles := newProfiles(n)
 		for _, k := range ph.Kernels {
 			profiles[k.GPU].ComputeOps += k.ComputeOps
 			profiles[k.GPU].LocalBytes += k.LocalStreamBytes
 		}
 		m.BeginPhase(ph.Index, profiles)
 
-		// Round-robin the kernels' instruction streams in chunks.
-		cursors := make([]int, len(ph.Kernels))
+		// Round-robin the kernels' instruction streams in chunks. The cursor
+		// scratch is reused across phases (profiles cannot be: they live on
+		// in the Result).
+		if cap(cursors) < len(ph.Kernels) {
+			cursors = make([]int, len(ph.Kernels))
+		} else {
+			cursors = cursors[:len(ph.Kernels)]
+			for i := range cursors {
+				cursors[i] = 0
+			}
+		}
 		remaining := len(ph.Kernels)
 		for remaining > 0 {
 			for ki := range ph.Kernels {
@@ -221,31 +248,49 @@ func ScanSharing(prog trace.Program, phases int, pageBytes uint64) map[uint64]*S
 	shared := NewRegionTable(meta.Regions)
 	out := map[uint64]*Sharing{}
 	exp := NewExpander(LineBytes)
+	// Consecutive lines almost always fall in the same 8 GB region slot and
+	// the same page, so cache the last slot -> region and page -> Sharing
+	// resolutions instead of paying two map lookups per line. ^0 sentinels
+	// can never collide with a real slot or VPN (addresses are 49-bit).
+	lastSlot := ^uint64(0)
+	var lastRegion *trace.Region
+	lastVPN := ^uint64(0)
+	var lastSharing *Sharing
 	prog.Phases(func(ph *trace.Phase) bool {
 		if ph.Index >= phases {
 			return false
 		}
-		for _, k := range ph.Kernels {
+		for ki := range ph.Kernels {
+			k := &ph.Kernels[ki]
 			for _, a := range k.Accesses {
 				if a.Op == trace.OpFence {
 					continue
 				}
 				for _, line := range exp.Expand(a) {
-					r := shared.Lookup(line)
-					if r == nil || r.Kind != trace.RegionShared {
+					if slot := line >> regionSlotShift; slot != lastSlot {
+						lastSlot = slot
+						lastRegion = shared.slotRegion(slot)
+					}
+					r := lastRegion
+					if r == nil || r.Kind != trace.RegionShared ||
+						line < r.Base || line-r.Base >= r.Size {
 						continue
 					}
 					vpn := line / pageBytes
-					s := out[vpn]
-					if s == nil {
-						s = &Sharing{WriteCount: map[int]uint64{}}
-						out[vpn] = s
+					if vpn != lastVPN {
+						lastVPN = vpn
+						s := out[vpn]
+						if s == nil {
+							s = &Sharing{WriteCount: map[int]uint64{}}
+							out[vpn] = s
+						}
+						lastSharing = s
 					}
 					if a.IsWrite() {
-						s.Writers |= 1 << k.GPU
-						s.WriteCount[k.GPU]++
+						lastSharing.Writers |= 1 << k.GPU
+						lastSharing.WriteCount[k.GPU]++
 					} else {
-						s.Readers |= 1 << k.GPU
+						lastSharing.Readers |= 1 << k.GPU
 					}
 				}
 			}
@@ -254,6 +299,9 @@ func ScanSharing(prog trace.Program, phases int, pageBytes uint64) map[uint64]*S
 	})
 	return out
 }
+
+// regionSlotShift is log2 of the 8 GB slot granularity regions align to.
+const regionSlotShift = 33
 
 // RegionTable resolves addresses to regions in O(1) by exploiting the
 // workload generators' 8 GB region alignment.
@@ -285,9 +333,16 @@ func NewRegionTable(regions []trace.Region) *RegionTable {
 
 // Lookup returns the region containing va, or nil.
 func (t *RegionTable) Lookup(va uint64) *trace.Region {
-	r := t.byIndex[va>>33]
+	r := t.byIndex[va>>regionSlotShift]
 	if r == nil || va < r.Base || va-r.Base >= r.Size {
 		return nil
 	}
 	return r
+}
+
+// slotRegion returns the region registered in an 8 GB slot (or nil) without
+// the bounds check, for callers that cache the resolution per slot and do
+// their own per-address bounds test.
+func (t *RegionTable) slotRegion(slot uint64) *trace.Region {
+	return t.byIndex[slot]
 }

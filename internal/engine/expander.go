@@ -39,7 +39,13 @@ func (e *Expander) Expand(a trace.Access) []uint64 {
 			e.push(va &^ (e.lineBytes - 1))
 		}
 	case trace.PatScattered:
+		// trace.Validate rejects Stride == 0, but Expand must also hold up
+		// against hand-built or decoded traces that skipped validation: an
+		// empty window degenerates to a single line rather than a % 0 panic.
 		window := uint64(a.Stride)
+		if window == 0 {
+			window = 1
+		}
 		for lane := 0; lane < int(a.Threads); lane++ {
 			h := splitmix32(a.Seed + uint32(lane)*0x9e3779b9)
 			lineIdx := uint64(h) % window

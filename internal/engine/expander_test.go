@@ -94,6 +94,17 @@ func TestExpandScatteredNoDuplicates(t *testing.T) {
 	}
 }
 
+func TestExpandScatteredZeroStride(t *testing.T) {
+	e := NewExpander(128)
+	// A zero window would be a divide-by-zero; trace.Validate rejects it but
+	// Expand must survive hand-built traces: degenerate to a single line.
+	lines := e.Expand(trace.Access{Op: trace.OpStore, Pattern: trace.PatScattered,
+		Threads: 32, ElemBytes: 4, Stride: 0, Seed: 7, Addr: 128 * 10})
+	if len(lines) != 1 || lines[0] != 128*10 {
+		t.Fatalf("lines = %v, want [%d]", lines, 128*10)
+	}
+}
+
 func TestExpandFence(t *testing.T) {
 	e := NewExpander(128)
 	if lines := e.Expand(trace.Access{Op: trace.OpFence, Scope: trace.ScopeSys}); len(lines) != 0 {

@@ -52,49 +52,23 @@ func MainFabric(gpus int) *interconnect.Fabric {
 	return interconnect.PCIeTree(gpus, interconnect.PCIe4)
 }
 
-// runOne builds app's trace for gpus, replays it under kind, and prices it
-// on fab. Returns the timing report and the structural result.
+// runOne replays app's trace under kind on gpus devices and prices it on
+// fab, going through the default runner's trace cache. Returns the timing
+// report and the structural result.
 func runOne(app string, kind paradigm.Kind, gpus int, fab *interconnect.Fabric,
 	opt Options, pcfg paradigm.Config) (*timing.Report, *engine.Result, error) {
-	spec, err := workload.ByName(app)
-	if err != nil {
-		return nil, nil, err
-	}
-	prog := spec.Build(opt.workloadConfig(gpus))
-	model, err := paradigm.New(kind, prog, pcfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	res := engine.Run(prog, model)
-	tcfg := timing.DefaultConfig(fab)
-	if pcfg.PageBytes != 0 {
-		tcfg.PageBytes = pcfg.PageBytes
-	}
-	rep := timing.Simulate(res, tcfg)
-	return rep, res, nil
+	return Default.RunCell(Cell{App: app, Kind: kind, GPUs: gpus, Fab: fab, Opt: opt, Cfg: pcfg})
 }
 
-// baseline returns the single-GPU runtime of app (no interconnect at all).
+// baseline returns the single-GPU runtime of app (no interconnect at all),
+// memoized by the default runner.
 func baseline(app string, opt Options, pcfg paradigm.Config) (float64, error) {
-	rep, _, err := runOne(app, paradigm.KindInfinite, 1, interconnect.Infinite(1), opt, pcfg)
-	if err != nil {
-		return 0, err
-	}
-	return rep.SteadyTotal(), nil
+	return Default.Baseline(app, opt, pcfg)
 }
 
-// speedup runs app under kind on fab and returns time(1 GPU)/time(kind).
-func speedup(app string, kind paradigm.Kind, gpus int, fab *interconnect.Fabric,
-	opt Options, pcfg paradigm.Config) (float64, error) {
-	base, err := baseline(app, opt, pcfg)
-	if err != nil {
-		return 0, err
-	}
-	rep, _, err := runOne(app, kind, gpus, fab, opt, pcfg)
-	if err != nil {
-		return 0, err
-	}
-	return stats.Speedup(base, rep.SteadyTotal()), nil
+// speedupOf is the speedup of a run's steady state over a baseline runtime.
+func speedupOf(base float64, rep *timing.Report) float64 {
+	return stats.Speedup(base, rep.SteadyTotal())
 }
 
 // Figure8 reproduces the headline comparison: 4-GPU speedup over one GPU
@@ -110,30 +84,36 @@ func Figure8(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable("Figure 8: 4-GPU speedup of different paradigms (relative to 1 GPU)",
 		"app", cols...)
 
-	sums := make([]float64, len(kinds))
-	for _, app := range workload.Names() {
-		row := make([]float64, len(kinds))
-		base, err := baseline(app, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		for i, k := range kinds {
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, k := range kinds {
 			fab := MainFabric(4)
 			if k == paradigm.KindInfinite {
 				fab = interconnect.Infinite(4)
 			}
-			rep, _, err := runOne(app, k, 4, fab, opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			row[i] = stats.Speedup(base, rep.SteadyTotal())
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
+		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+
+	sums := make([]float64, len(kinds))
+	idx := 0
+	for _, app := range apps {
+		row := make([]float64, len(kinds))
+		for i := range kinds {
+			row[i] = speedupOf(bases[app], results[idx].Report)
 			sums[i] += row[i]
+			idx++
 		}
 		tb.AddRow(app, row...)
 	}
 	mean := make([]float64, len(kinds))
 	for i := range sums {
-		mean[i] = sums[i] / float64(len(workload.Names()))
+		mean[i] = sums[i] / float64(len(apps))
 	}
 	tb.AddRow("mean", mean...)
 	return tb, nil

@@ -18,18 +18,24 @@ func AblationPipelinedMemcpy(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Ablation: pipelined cudaMemcpy (4-GPU speedup over 1 GPU)",
 		"app", "memcpy", "memcpy-async", "GPS")
-	for _, app := range workload.Names() {
-		base, err := baseline(app, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
+	kinds := []paradigm.Kind{paradigm.KindMemcpy, paradigm.KindMemcpyAsync, paradigm.KindGPS}
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, k := range kinds {
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, app := range apps {
 		row := make([]float64, 0, 3)
-		for _, k := range []paradigm.Kind{paradigm.KindMemcpy, paradigm.KindMemcpyAsync, paradigm.KindGPS} {
-			rep, _, err := runOne(app, k, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.Speedup(base, rep.SteadyTotal()))
+		for range kinds {
+			row = append(row, speedupOf(bases[app], results[idx].Report))
+			idx++
 		}
 		tb.AddRow(app, row...)
 	}
@@ -60,28 +66,31 @@ func ExtendedFabrics(opt Options) (*stats.Table, error) {
 		{"NVLink cube mesh", interconnect.HybridCubeMesh(25e9)},
 		{"NVSwitch crossbar", interconnect.NVSwitch(8, interconnect.NVLink2Bandwidth)},
 	}
-	bases := map[string]float64{}
-	for _, app := range workload.Names() {
-		b, err := baseline(app, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		bases[app] = b
-	}
+	apps := workload.Names()
+	var cells []Cell
 	for _, f := range fabrics {
-		row := make([]float64, 0, len(kinds))
 		for _, k := range kinds {
 			fab := f.fab
 			if k == paradigm.KindInfinite {
 				fab = interconnect.Infinite(8)
 			}
+			for _, app := range apps {
+				cells = append(cells, Cell{App: app, Kind: k, GPUs: 8, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
+			}
+		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, f := range fabrics {
+		row := make([]float64, 0, len(kinds))
+		for range kinds {
 			var speedups []float64
-			for _, app := range workload.Names() {
-				rep, _, err := runOne(app, k, 8, fab, opt, paradigm.DefaultConfig())
-				if err != nil {
-					return nil, err
-				}
-				speedups = append(speedups, stats.Speedup(bases[app], rep.SteadyTotal()))
+			for range apps {
+				speedups = append(speedups, speedupOf(bases[results[idx].Cell.App], results[idx].Report))
+				idx++
 			}
 			row = append(row, stats.GeoMean(speedups))
 		}

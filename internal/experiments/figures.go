@@ -21,32 +21,37 @@ func Figure1(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Figure 1: 4-GPU strong scaling of the conventional paradigm vs interconnect",
 		"app", "PCIe3.0", "PCIe6.0", "InfiniteBW")
+	configs := []struct {
+		kind paradigm.Kind
+		fab  *interconnect.Fabric
+	}{
+		{paradigm.KindMemcpy, interconnect.PCIeTree(4, interconnect.PCIe3)},
+		{paradigm.KindMemcpy, interconnect.PCIeTree(4, interconnect.PCIe6)},
+		{paradigm.KindInfinite, interconnect.Infinite(4)},
+	}
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, c := range configs {
+			cells = append(cells, Cell{App: app, Kind: c.kind, GPUs: 4, Fab: c.fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
+		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
 	sums := [3]float64{}
-	for _, app := range workload.Names() {
-		base, err := baseline(app, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
+	idx := 0
+	for _, app := range apps {
 		row := [3]float64{}
-		configs := []struct {
-			kind paradigm.Kind
-			fab  *interconnect.Fabric
-		}{
-			{paradigm.KindMemcpy, interconnect.PCIeTree(4, interconnect.PCIe3)},
-			{paradigm.KindMemcpy, interconnect.PCIeTree(4, interconnect.PCIe6)},
-			{paradigm.KindInfinite, interconnect.Infinite(4)},
-		}
-		for i, c := range configs {
-			rep, _, err := runOne(app, c.kind, 4, c.fab, opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			row[i] = stats.Speedup(base, rep.SteadyTotal())
+		for i := range configs {
+			row[i] = speedupOf(bases[app], results[idx].Report)
 			sums[i] += row[i]
+			idx++
 		}
 		tb.AddRow(app, row[0], row[1], row[2])
 	}
-	n := float64(len(workload.Names()))
+	n := float64(len(apps))
 	tb.AddRow("mean", sums[0]/n, sums[1]/n, sums[2]/n)
 	return tb, nil
 }
@@ -75,11 +80,17 @@ func Figure4(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Figure 4: transfer placement per paradigm (jacobi, bytes by window)",
 		"paradigm", "demand(MB)", "proactive(MB)", "barrier(MB)")
-	for _, kind := range []paradigm.Kind{paradigm.KindUM, paradigm.KindRDL, paradigm.KindMemcpy, paradigm.KindGPS} {
-		_, res, err := runOne("jacobi", kind, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
+	kinds := []paradigm.Kind{paradigm.KindUM, paradigm.KindRDL, paradigm.KindMemcpy, paradigm.KindGPS}
+	var cells []Cell
+	for _, kind := range kinds {
+		cells = append(cells, Cell{App: "jacobi", Kind: kind, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	for idx, kind := range kinds {
+		res := results[idx].Result
 		var demand, push, bulk float64
 		for _, ph := range res.Phases {
 			if ph.Index < res.Meta.ProfilePhases {
@@ -111,11 +122,17 @@ func Figure9(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Figure 9: subscriber distribution for shared application pages (%)",
 		"app", "2 subs", "3 subs", "4 subs")
-	for _, app := range workload.Names() {
-		_, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	for idx, app := range apps {
+		res := results[idx].Result
 		h := stats.Histogram{}
 		for k, c := range res.SubscriberHist {
 			if k >= 2 {
@@ -141,21 +158,30 @@ func Figure10(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Figure 10: interconnect data moved, normalized to memcpy (lower is better)",
 		"app", cols...)
-	for _, app := range workload.Names() {
-		_, mem, err := runOne(app, paradigm.KindMemcpy, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		cells = append(cells, Cell{App: app, Kind: paradigm.KindMemcpy, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
+		for _, k := range kinds {
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, app := range apps {
+		mem := results[idx].Result
+		idx++
 		memBytes := mem.InterconnectBytes(mem.Meta.ProfilePhases)
 		if memBytes == 0 {
 			return nil, fmt.Errorf("experiments: %s memcpy moved no data", app)
 		}
 		row := make([]float64, len(kinds))
-		for i, k := range kinds {
-			_, res, err := runOne(app, k, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
+		for i := range kinds {
+			res := results[idx].Result
+			idx++
 			row[i] = float64(res.InterconnectBytes(res.Meta.ProfilePhases)) / float64(memBytes)
 		}
 		tb.AddRow(app, row...)
@@ -170,22 +196,21 @@ func Figure11(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Figure 11: performance sensitivity to subscription (4-GPU speedup)",
 		"app", "GPS w/o subscription", "GPS with subscription")
-	for _, app := range workload.Names() {
-		base, err := baseline(app, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, k := range []paradigm.Kind{paradigm.KindGPSNoSub, paradigm.KindGPS} {
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
-		noSub, _, err := runOne(app, paradigm.KindGPSNoSub, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		withSub, _, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
 		tb.AddRow(app,
-			stats.Speedup(base, noSub.SteadyTotal()),
-			stats.Speedup(base, withSub.SteadyTotal()))
+			speedupOf(bases[app], results[2*i].Report),
+			speedupOf(bases[app], results[2*i+1].Report))
 	}
 	return tb, nil
 }
@@ -218,13 +243,24 @@ func Figure2(opt Options) (*stats.Table, error) {
 		"Figure 2: where traffic crosses the fabric (steady state, % of bytes)",
 		"app", "GPS demand%", "GPS push%", "RDL demand%", "RDL push%")
 	tb.Fmt = "%6.1f"
-	for _, app := range workload.Names() {
+	apps := workload.Names()
+	kinds := []paradigm.Kind{paradigm.KindGPS, paradigm.KindRDL}
+	var cells []Cell
+	for _, app := range apps {
+		for _, kind := range kinds {
+			cells = append(cells, Cell{App: app, Kind: kind, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
+		}
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, app := range apps {
 		row := make([]float64, 0, 4)
-		for _, kind := range []paradigm.Kind{paradigm.KindGPS, paradigm.KindRDL} {
-			_, res, err := runOne(app, kind, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
+		for range kinds {
+			res := results[idx].Result
+			idx++
 			var demand, push float64
 			for _, ph := range res.Phases {
 				if ph.Index < res.Meta.ProfilePhases {

@@ -23,17 +23,42 @@ func ValidateL2(opt Options) (*stats.Table, error) {
 		"L2 model validation: structural (cache sim) vs analytic hit rates (%)",
 		"app", "sim @1GPU", "sim @4GPU", "model @1GPU", "model @4GPU")
 	tb.Fmt = "%6.1f"
-	for _, spec := range workload.Catalog() {
-		sim1, err := simulateL2(spec, opt, 1)
-		if err != nil {
-			return nil, err
+	specs := workload.Catalog()
+	type l2Row struct {
+		sim1, sim4 float64
+		l2         trace.L2Model
+	}
+	rows := make([]l2Row, len(specs))
+	// Each (app, GPU count) replay is independent; fan them out on the
+	// runner's pool. The traces come from the shared cache, so the 1- and
+	// 4-GPU replays reuse what the figures already built.
+	err := Default.parallelFor(2*len(specs), func(i int) error {
+		spec, four := specs[i/2], i%2 == 1
+		if !four {
+			sim1, err := simulateL2(spec, opt, 1)
+			if err != nil {
+				return err
+			}
+			prog, err := Default.Trace(spec.Name, opt.workloadConfig(1))
+			if err != nil {
+				return err
+			}
+			rows[i/2].sim1, rows[i/2].l2 = sim1, prog.Meta().L2
+			return nil
 		}
 		sim4, err := simulateL2(spec, opt, 4)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		l2 := spec.Build(opt.workloadConfig(1)).Meta().L2
-		tb.AddRow(spec.Name, sim1*100, sim4*100, l2.HitRate(1)*100, l2.HitRate(4)*100)
+		rows[i/2].sim4 = sim4
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		r := rows[i]
+		tb.AddRow(spec.Name, r.sim1*100, r.sim4*100, r.l2.HitRate(1)*100, r.l2.HitRate(4)*100)
 	}
 	return tb, nil
 }
@@ -42,7 +67,10 @@ func ValidateL2(opt Options) (*stats.Table, error) {
 // through a private V100 L2 each and returns the mean hit rate. Only the
 // steady-state phases count (caches warm during the profiling iteration).
 func simulateL2(spec workload.Spec, opt Options, gpus int) (float64, error) {
-	prog := spec.Build(opt.workloadConfig(gpus))
+	prog, err := Default.Trace(spec.Name, opt.workloadConfig(gpus))
+	if err != nil {
+		return 0, err
+	}
 	meta := prog.Meta()
 	paths := make([]*gpu.MemoryPath, gpus)
 	for g := range paths {

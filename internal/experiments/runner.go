@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gps/internal/engine"
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/timing"
+	"gps/internal/trace"
+	"gps/internal/workload"
+)
+
+// The experiment suite is an embarrassingly parallel matrix of independent
+// (app x paradigm x fabric x GPU-count) simulations, and most cells agree on
+// the trace they replay and on the single-GPU baseline they normalize
+// against. Runner exploits both facts: a worker pool executes cells across
+// goroutines with results assembled in deterministic cell order (parallel
+// output is byte-identical to serial), while three memoizing caches make
+// sure every trace is built once, every structural replay runs once (the
+// engine never sees the fabric, so fabric sweeps share it), and every
+// baseline is simulated once per configuration. Cells share only immutable
+// state — the Recorded trace, the structural Result and the Fabric
+// description — and each gets its own paradigm Model, so runs are race-free
+// by construction.
+
+// Cell is one independent experiment: app's trace replayed under Kind on
+// GPUs devices, priced on Fab.
+type Cell struct {
+	App  string
+	Kind paradigm.Kind
+	GPUs int
+	Fab  *interconnect.Fabric
+	Opt  Options
+	Cfg  paradigm.Config
+	// Packet prices transfer windows with the packet-level fabric engine
+	// instead of the fluid model (gpsim -packet).
+	Packet bool
+}
+
+// CellResult pairs a cell with its timing report and structural result.
+type CellResult struct {
+	Cell   Cell
+	Report *timing.Report
+	Result *engine.Result
+}
+
+// CacheStats reports the memoization counters of a Runner. The experiment
+// regression tests assert on these: within one Runner every trace must be
+// built exactly once per (app, workload.Config) and every baseline simulated
+// exactly once per (app, Options, paradigm.Config).
+type CacheStats struct {
+	TraceBuilds    uint64 // traces generated and materialized
+	TraceHits      uint64 // trace requests served from cache
+	TraceEvictions uint64 // traces dropped to respect the memory budget
+	TraceBytes     uint64 // approximate bytes of resident cached traces
+	EngineRuns     uint64 // structural replays executed
+	EngineHits     uint64 // structural results served from cache
+	BaselineRuns   uint64 // single-GPU baseline simulations executed
+	BaselineHits   uint64 // baseline requests served from cache
+}
+
+type traceKey struct {
+	app string
+	cfg workload.Config
+}
+
+type traceEntry struct {
+	once    sync.Once
+	rec     *trace.Recorded
+	err     error
+	cost    uint64 // approximate resident bytes once built
+	lastUse uint64 // monotone tick for LRU eviction
+}
+
+type baselineKey struct {
+	app  string
+	wcfg workload.Config // normalized single-GPU workload config
+	pcfg paradigm.Config
+}
+
+type baselineEntry struct {
+	once sync.Once
+	val  float64
+	err  error
+}
+
+// resultKey identifies one structural replay. The structural engine knows
+// nothing about the interconnect — fabrics only enter at timing — so cells
+// that differ solely in fabric or packet engine (the Figure 12/13 sweeps,
+// ExtendedFabrics) share one engine.Run.
+type resultKey struct {
+	app  string
+	wcfg workload.Config
+	kind paradigm.Kind
+	pcfg paradigm.Config
+}
+
+type resultEntry struct {
+	once sync.Once
+	res  *engine.Result
+	err  error
+}
+
+// Runner executes experiment matrices on a worker pool over a shared
+// trace/baseline cache. The zero value is not usable; call NewRunner.
+type Runner struct {
+	workers int64 // 0 means GOMAXPROCS, resolved at use
+
+	mu        sync.Mutex
+	tick      uint64
+	traces    map[traceKey]*traceEntry
+	results   map[resultKey]*resultEntry
+	baselines map[baselineKey]*baselineEntry
+	resident  uint64 // sum of built trace costs
+	budget    uint64 // eviction threshold for resident
+
+	traceBuilds    atomic.Uint64
+	traceHits      atomic.Uint64
+	traceEvictions atomic.Uint64
+	engineRuns     atomic.Uint64
+	engineHits     atomic.Uint64
+	baselineRuns   atomic.Uint64
+	baselineHits   atomic.Uint64
+}
+
+// DefaultTraceBudget bounds the resident size of a Runner's trace cache
+// (approximate bytes). The hot 4-GPU default-config traces are reused by
+// nearly every figure and stay resident; one-figure traces (16-GPU scaling,
+// doubled-scale page study) are evicted least-recently-used once the budget
+// is exceeded.
+const DefaultTraceBudget = 4 << 30
+
+// NewRunner builds a runner with the given worker count; workers <= 0 means
+// GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	r := &Runner{
+		traces:    map[traceKey]*traceEntry{},
+		results:   map[resultKey]*resultEntry{},
+		baselines: map[baselineKey]*baselineEntry{},
+		budget:    DefaultTraceBudget,
+	}
+	r.SetWorkers(workers)
+	return r
+}
+
+// Default is the package-wide runner the FigureN/sensitivity functions use.
+// gpsbench -parallel adjusts its worker count via SetParallelism.
+var Default = NewRunner(0)
+
+// SetParallelism sets the worker count of the package default runner;
+// n <= 0 restores the GOMAXPROCS default.
+func SetParallelism(n int) { Default.SetWorkers(n) }
+
+// Parallelism returns the resolved worker count of the default runner.
+func Parallelism() int { return Default.Workers() }
+
+// SetWorkers sets the pool size; n <= 0 means GOMAXPROCS.
+func (r *Runner) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt64(&r.workers, int64(n))
+}
+
+// Workers returns the resolved pool size.
+func (r *Runner) Workers() int {
+	n := int(atomic.LoadInt64(&r.workers))
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// SetTraceBudget adjusts the approximate byte budget of the trace cache.
+func (r *Runner) SetTraceBudget(bytes uint64) {
+	r.mu.Lock()
+	r.budget = bytes
+	r.evictLocked(traceKey{})
+	r.mu.Unlock()
+}
+
+// CacheStats snapshots the memoization counters.
+func (r *Runner) CacheStats() CacheStats {
+	r.mu.Lock()
+	resident := r.resident
+	r.mu.Unlock()
+	return CacheStats{
+		TraceBuilds:    r.traceBuilds.Load(),
+		TraceHits:      r.traceHits.Load(),
+		TraceEvictions: r.traceEvictions.Load(),
+		TraceBytes:     resident,
+		EngineRuns:     r.engineRuns.Load(),
+		EngineHits:     r.engineHits.Load(),
+		BaselineRuns:   r.baselineRuns.Load(),
+		BaselineHits:   r.baselineHits.Load(),
+	}
+}
+
+// ResetCaches drops all cached traces, structural results and baselines and
+// zeroes the counters.
+func (r *Runner) ResetCaches() {
+	r.mu.Lock()
+	r.traces = map[traceKey]*traceEntry{}
+	r.results = map[resultKey]*resultEntry{}
+	r.baselines = map[baselineKey]*baselineEntry{}
+	r.resident = 0
+	r.mu.Unlock()
+	r.traceBuilds.Store(0)
+	r.traceHits.Store(0)
+	r.traceEvictions.Store(0)
+	r.engineRuns.Store(0)
+	r.engineHits.Store(0)
+	r.baselineRuns.Store(0)
+	r.baselineHits.Store(0)
+}
+
+// traceCost approximates the resident bytes of a materialized trace.
+func traceCost(rec *trace.Recorded) uint64 {
+	const accessBytes = 24 // unsafe.Sizeof(trace.Access{})
+	var cost uint64 = 4 << 10
+	for i := range rec.Ph {
+		cost += 1 << 10
+		for k := range rec.Ph[i].Kernels {
+			cost += 256 + uint64(len(rec.Ph[i].Kernels[k].Accesses))*accessBytes
+		}
+	}
+	return cost
+}
+
+// Trace returns the materialized trace for (app, cfg), building it at most
+// once per configuration and sharing the immutable result across goroutines.
+func (r *Runner) Trace(app string, cfg workload.Config) (*trace.Recorded, error) {
+	key := traceKey{app: app, cfg: cfg}
+	r.mu.Lock()
+	r.tick++
+	e := r.traces[key]
+	if e == nil {
+		e = &traceEntry{lastUse: r.tick}
+		r.traces[key] = e
+	} else {
+		e.lastUse = r.tick
+		r.traceHits.Add(1)
+	}
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		spec, err := workload.ByName(app)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.rec = trace.Collect(spec.Build(cfg))
+		e.cost = traceCost(e.rec)
+		r.traceBuilds.Add(1)
+		r.mu.Lock()
+		r.resident += e.cost
+		r.evictLocked(key)
+		r.mu.Unlock()
+	})
+	return e.rec, e.err
+}
+
+// evictLocked drops least-recently-used built traces until the cache fits
+// the budget, never touching keep (the entry just inserted). Callers hold
+// r.mu.
+func (r *Runner) evictLocked(keep traceKey) {
+	for r.resident > r.budget && len(r.traces) > 1 {
+		var victimKey traceKey
+		var victim *traceEntry
+		for k, e := range r.traces {
+			if k == keep || e.cost == 0 { // cost 0: still building
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(r.traces, victimKey)
+		r.resident -= victim.cost
+		r.traceEvictions.Add(1)
+	}
+}
+
+// structural returns the engine.Result of replaying (app, wcfg) under
+// (kind, pcfg), running the replay at most once per key. The result is
+// immutable downstream: timing.Simulate and the figure assemblies only read
+// it, so one result safely prices any number of fabrics.
+func (r *Runner) structural(app string, wcfg workload.Config, kind paradigm.Kind,
+	pcfg paradigm.Config) (*engine.Result, error) {
+	key := resultKey{app: app, wcfg: wcfg, kind: kind, pcfg: pcfg}
+	r.mu.Lock()
+	e := r.results[key]
+	if e == nil {
+		e = &resultEntry{}
+		r.results[key] = e
+	} else {
+		r.engineHits.Add(1)
+	}
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		prog, err := r.Trace(app, wcfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		model, err := paradigm.New(kind, prog, pcfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res = engine.Run(prog, model)
+		r.engineRuns.Add(1)
+	})
+	return e.res, e.err
+}
+
+// RunCell executes one cell through the caches: the trace and the structural
+// result are shared and immutable, only the (cheap) timing pass runs per
+// fabric.
+func (r *Runner) RunCell(c Cell) (*timing.Report, *engine.Result, error) {
+	opt := c.Opt.withDefaults()
+	res, err := r.structural(c.App, opt.workloadConfig(c.GPUs), c.Kind, c.Cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcfg := timing.DefaultConfig(c.Fab)
+	if c.Cfg.PageBytes != 0 {
+		tcfg.PageBytes = c.Cfg.PageBytes
+	}
+	tcfg.UsePacketSim = c.Packet
+	rep := timing.Simulate(res, tcfg)
+	return rep, res, nil
+}
+
+// Baseline returns the single-GPU steady-state runtime of app (no
+// interconnect at all), simulating it at most once per (app, workload
+// config, paradigm config).
+func (r *Runner) Baseline(app string, opt Options, pcfg paradigm.Config) (float64, error) {
+	opt = opt.withDefaults()
+	key := baselineKey{app: app, wcfg: opt.workloadConfig(1), pcfg: pcfg}
+	r.mu.Lock()
+	e := r.baselines[key]
+	if e == nil {
+		e = &baselineEntry{}
+		r.baselines[key] = e
+	} else {
+		r.baselineHits.Add(1)
+	}
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		rep, _, err := r.RunCell(Cell{
+			App: app, Kind: paradigm.KindInfinite, GPUs: 1,
+			Fab: interconnect.Infinite(1), Opt: opt, Cfg: pcfg,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.val = rep.SteadyTotal()
+		r.baselineRuns.Add(1)
+	})
+	return e.val, e.err
+}
+
+// Speedup runs app under kind on fab and returns time(1 GPU)/time(kind),
+// reusing the cached baseline.
+func (r *Runner) Speedup(app string, kind paradigm.Kind, gpus int, fab *interconnect.Fabric,
+	opt Options, pcfg paradigm.Config) (float64, error) {
+	base, err := r.Baseline(app, opt, pcfg)
+	if err != nil {
+		return 0, err
+	}
+	rep, _, err := r.RunCell(Cell{App: app, Kind: kind, GPUs: gpus, Fab: fab, Opt: opt, Cfg: pcfg})
+	if err != nil {
+		return 0, err
+	}
+	return speedupOf(base, rep), nil
+}
+
+// parallelFor runs fn(0..n-1) on the worker pool. Every index runs even if
+// another fails; the error of the lowest failing index is returned, so
+// behavior is identical at any worker count.
+func (r *Runner) parallelFor(n int, fn func(int) error) error {
+	workers := r.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunMatrix executes the cells across the worker pool and returns their
+// results in cell order, so assembled tables are byte-identical to a serial
+// run.
+func (r *Runner) RunMatrix(cells []Cell) ([]CellResult, error) {
+	results := make([]CellResult, len(cells))
+	err := r.parallelFor(len(cells), func(i int) error {
+		rep, res, err := r.RunCell(cells[i])
+		if err != nil {
+			return err
+		}
+		results[i] = CellResult{Cell: cells[i], Report: rep, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunMatrixWithBaselines executes the cells and, on the same worker pool,
+// resolves the single-GPU baselines for apps under (opt, pcfg). Baseline
+// jobs are scheduled first so the normalization runs overlap the matrix.
+func (r *Runner) RunMatrixWithBaselines(apps []string, opt Options, pcfg paradigm.Config,
+	cells []Cell) (map[string]float64, []CellResult, error) {
+	bases := make([]float64, len(apps))
+	results := make([]CellResult, len(cells))
+	err := r.parallelFor(len(apps)+len(cells), func(i int) error {
+		if i < len(apps) {
+			b, err := r.Baseline(apps[i], opt, pcfg)
+			if err != nil {
+				return err
+			}
+			bases[i] = b
+			return nil
+		}
+		j := i - len(apps)
+		rep, res, err := r.RunCell(cells[j])
+		if err != nil {
+			return err
+		}
+		results[j] = CellResult{Cell: cells[j], Report: rep, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[string]float64, len(apps))
+	for i, app := range apps {
+		m[app] = bases[i]
+	}
+	return m, results, nil
+}

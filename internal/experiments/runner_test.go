@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gps/internal/paradigm"
+)
+
+// TestRunnerCacheCounters is the memoization regression test: within one
+// Runner, a trace is built exactly once per (app, workload config) and a
+// baseline simulated exactly once per (app, options, paradigm config), no
+// matter how many cells ask for them.
+func TestRunnerCacheCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	r := NewRunner(4)
+	opt := quick()
+	kinds := []paradigm.Kind{paradigm.KindGPS, paradigm.KindUM, paradigm.KindMemcpy}
+	for _, k := range kinds {
+		if _, err := r.Speedup("jacobi", k, 4, MainFabric(4), opt, paradigm.DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := r.CacheStats()
+	// Two distinct workload configs: the 1-GPU baseline trace and the 4-GPU
+	// matrix trace. Everything else must be a hit.
+	if s.TraceBuilds != 2 {
+		t.Errorf("TraceBuilds = %d, want 2 (one per workload config)", s.TraceBuilds)
+	}
+	if want := uint64(len(kinds) - 1); s.TraceHits != want {
+		t.Errorf("TraceHits = %d, want %d", s.TraceHits, want)
+	}
+	if s.BaselineRuns != 1 {
+		t.Errorf("BaselineRuns = %d, want 1", s.BaselineRuns)
+	}
+	// One structural replay per kind plus the single baseline replay.
+	if want := uint64(len(kinds) + 1); s.EngineRuns != want {
+		t.Errorf("EngineRuns = %d, want %d", s.EngineRuns, want)
+	}
+	if want := uint64(len(kinds) - 1); s.BaselineHits != want {
+		t.Errorf("BaselineHits = %d, want %d", s.BaselineHits, want)
+	}
+	if s.TraceBytes == 0 {
+		t.Error("TraceBytes = 0, want resident traces accounted")
+	}
+}
+
+// TestRunnerBaselineMatrixCounters drives the same assertion through the
+// batched entry point the figures use.
+func TestRunnerBaselineMatrixCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	r := NewRunner(4)
+	opt := quick()
+	apps := []string{"jacobi", "sssp"}
+	var cells []Cell
+	for _, app := range apps {
+		for _, k := range []paradigm.Kind{paradigm.KindGPS, paradigm.KindRDL} {
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
+		}
+	}
+	bases, results, err := r.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) != len(apps) || len(results) != len(cells) {
+		t.Fatalf("got %d bases / %d results, want %d / %d", len(bases), len(results), len(apps), len(cells))
+	}
+	s := r.CacheStats()
+	// Per app: one 1-GPU trace and one 4-GPU trace.
+	if want := uint64(2 * len(apps)); s.TraceBuilds != want {
+		t.Errorf("TraceBuilds = %d, want %d", s.TraceBuilds, want)
+	}
+	if want := uint64(len(apps)); s.BaselineRuns != want {
+		t.Errorf("BaselineRuns = %d, want %d", s.BaselineRuns, want)
+	}
+}
+
+// TestRunnerTraceEviction forces the budget below one trace's footprint and
+// checks the LRU path runs without disturbing results.
+func TestRunnerTraceEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	r := NewRunner(2)
+	r.SetTraceBudget(1) // evict everything but the entry in use
+	opt := quick()
+	for _, app := range []string{"jacobi", "sssp", "jacobi"} {
+		if _, err := r.Trace(app, opt.withDefaults().workloadConfig(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := r.CacheStats()
+	if s.TraceEvictions == 0 {
+		t.Errorf("TraceEvictions = 0, want eviction under a 1-byte budget (stats %+v)", s)
+	}
+	// The second jacobi request rebuilds after eviction: 3 builds, 0 hits.
+	if s.TraceBuilds != 3 {
+		t.Errorf("TraceBuilds = %d, want 3 (rebuild after eviction)", s.TraceBuilds)
+	}
+}
+
+// TestParallelForLowestError checks error determinism: whichever worker
+// count, the reported error is the one from the lowest failing index.
+func TestParallelForLowestError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		r := NewRunner(workers)
+		err := r.parallelFor(16, func(i int) error {
+			if i == 11 || i == 3 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("workers=%d: err = %v, want cell 3 failed", workers, err)
+		}
+	}
+	if err := NewRunner(4).parallelFor(4, func(int) error { return nil }); err != nil {
+		t.Errorf("all-ok parallelFor returned %v", err)
+	}
+	want := errors.New("x")
+	if err := NewRunner(4).parallelFor(1, func(int) error { return want }); err != want {
+		t.Errorf("single-job parallelFor returned %v", err)
+	}
+}
+
+// TestFigure8ParallelDeterminism renders Figure 8 serially and on 2- and
+// 8-worker pools with cold caches each time: the tables must be
+// byte-identical. Run under -race this also exercises concurrent trace
+// builds and cache sharing.
+func TestFigure8ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paradigm sweep")
+	}
+	prev := Default.Workers()
+	defer SetParallelism(prev)
+	render := func(workers int) string {
+		SetParallelism(workers)
+		Default.ResetCaches()
+		tb, err := Figure8(quick())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tb.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != serial {
+			t.Errorf("workers=%d output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestFigure13ParallelDeterminism repeats the determinism check on the
+// interconnect-generation sweep, whose matrix spans several fabrics and
+// trace configurations.
+func TestFigure13ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full generation sweep")
+	}
+	prev := Default.Workers()
+	defer SetParallelism(prev)
+	render := func(workers int) string {
+		SetParallelism(workers)
+		Default.ResetCaches()
+		tb, err := Figure13(quick())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tb.String()
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Errorf("4-worker output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, got)
+	}
+}

@@ -19,30 +19,35 @@ func Figure12(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Figure 12: 16-GPU performance on projected PCIe 6.0 (speedup over 1 GPU)",
 		"app", cols...)
-	sums := make([]float64, len(kinds))
-	for _, app := range workload.Names() {
-		base, err := baseline(app, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, len(kinds))
-		for i, k := range kinds {
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, k := range kinds {
 			fab := interconnect.PCIeTree(16, interconnect.PCIe6)
 			if k == paradigm.KindInfinite {
 				fab = interconnect.Infinite(16)
 			}
-			rep, _, err := runOne(app, k, 16, fab, opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			row[i] = stats.Speedup(base, rep.SteadyTotal())
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 16, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
+		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(kinds))
+	idx := 0
+	for _, app := range apps {
+		row := make([]float64, len(kinds))
+		for i := range kinds {
+			row[i] = speedupOf(bases[app], results[idx].Report)
 			sums[i] += row[i]
+			idx++
 		}
 		tb.AddRow(app, row...)
 	}
 	mean := make([]float64, len(kinds))
 	for i := range sums {
-		mean[i] = sums[i] / float64(len(workload.Names()))
+		mean[i] = sums[i] / float64(len(apps))
 	}
 	tb.AddRow("mean", mean...)
 	return tb, nil
@@ -79,28 +84,31 @@ func Figure13(opt Options) (*stats.Table, error) {
 		"interconnect", cols...)
 
 	gens := []interconnect.PCIeGen{interconnect.PCIe3, interconnect.PCIe4, interconnect.PCIe5, interconnect.PCIe6}
-	bases := map[string]float64{}
-	for _, app := range workload.Names() {
-		b, err := baseline(app, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		bases[app] = b
-	}
+	apps := workload.Names()
+	var cells []Cell
 	for _, gen := range gens {
-		row := make([]float64, len(kinds))
-		for i, k := range kinds {
-			var speedups []float64
-			for _, app := range workload.Names() {
+		for _, k := range kinds {
+			for _, app := range apps {
 				fab := interconnect.PCIeTree(4, gen)
 				if k == paradigm.KindInfinite {
 					fab = interconnect.Infinite(4)
 				}
-				rep, _, err := runOne(app, k, 4, fab, opt, paradigm.DefaultConfig())
-				if err != nil {
-					return nil, err
-				}
-				speedups = append(speedups, stats.Speedup(bases[app], rep.SteadyTotal()))
+				cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
+			}
+		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, gen := range gens {
+		row := make([]float64, len(kinds))
+		for i := range kinds {
+			var speedups []float64
+			for _, app := range apps {
+				speedups = append(speedups, speedupOf(bases[app], results[idx].Report))
+				idx++
 			}
 			row[i] = stats.GeoMean(speedups)
 		}

@@ -28,16 +28,25 @@ func Figure14(opt Options) (*stats.Table, error) {
 		"Figure 14: GPS remote write queue hit rate (%) vs queue size (entries)",
 		"app", cols...)
 	tb.Fmt = "%6.1f"
-	for _, app := range workload.Names() {
-		row := make([]float64, len(Figure14Sizes))
-		for i, size := range Figure14Sizes {
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, size := range Figure14Sizes {
 			cfg := paradigm.DefaultConfig()
 			cfg.WriteQueueEntries = size
-			_, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = stats.Mean(res.WriteQueueHitRate) * 100
+			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
+		}
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, app := range apps {
+		row := make([]float64, len(Figure14Sizes))
+		for i := range Figure14Sizes {
+			row[i] = stats.Mean(results[idx].Result.WriteQueueHitRate) * 100
+			idx++
 		}
 		tb.AddRow(app, row...)
 	}
@@ -60,19 +69,28 @@ func SensitivityGPSTLB(opt Options) (*stats.Table, error) {
 		"Section 7.4: GPS-TLB hit rate (%) vs TLB entries",
 		"app", cols...)
 	tb.Fmt = "%6.1f"
-	for _, app := range workload.Names() {
-		row := make([]float64, len(GPSTLBSizes))
-		for i, size := range GPSTLBSizes {
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, size := range GPSTLBSizes {
 			cfg := paradigm.DefaultConfig()
 			cfg.GPSTLBEntries = size
 			if size < cfg.Machine.GPS.TLBWays {
 				cfg.GPSTLBWays = size
 			}
-			_, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = stats.Mean(res.GPSTLBHitRate) * 100
+			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
+		}
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, app := range apps {
+		row := make([]float64, len(GPSTLBSizes))
+		for i := range GPSTLBSizes {
+			row[i] = stats.Mean(results[idx].Result.GPSTLBHitRate) * 100
+			idx++
 		}
 		tb.AddRow(app, row...)
 	}
@@ -96,16 +114,25 @@ func SensitivityPageSize(opt Options) (*stats.Table, error) {
 	// Run at a larger problem scale so a single 2 MB page is not an
 	// outsized fraction of a slab (the paper's footprints are GB-scale).
 	opt.Scale *= 2
-	runtimes := make([][]float64, len(PageSizes))
-	for i, pageBytes := range PageSizes {
-		for _, app := range workload.Names() {
+	apps := workload.Names()
+	var cells []Cell
+	for _, pageBytes := range PageSizes {
+		for _, app := range apps {
 			cfg := paradigm.DefaultConfig()
 			cfg.PageBytes = pageBytes
-			rep, _, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
-			if err != nil {
-				return nil, err
-			}
-			runtimes[i] = append(runtimes[i], rep.SteadyTotal())
+			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
+		}
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	runtimes := make([][]float64, len(PageSizes))
+	idx := 0
+	for i := range PageSizes {
+		for range apps {
+			runtimes[i] = append(runtimes[i], results[idx].Report.SteadyTotal())
+			idx++
 		}
 	}
 	labels := []string{"4KB", "64KB", "2MB"}
@@ -136,21 +163,26 @@ func AblationWatermark(opt Options) (*stats.Table, error) {
 		{"capacity/2", 256},
 		{"capacity/8", 64},
 	}
+	apps := workload.Names()
+	var cells []Cell
 	for _, pol := range policies {
-		var speedups, hits []float64
-		for _, app := range workload.Names() {
+		for _, app := range apps {
 			cfg := paradigm.DefaultConfig()
 			cfg.WriteQueueWatermark = pol.mark
-			base, err := baseline(app, opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			rep, res, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, cfg)
-			if err != nil {
-				return nil, err
-			}
-			speedups = append(speedups, stats.Speedup(base, rep.SteadyTotal()))
-			hits = append(hits, stats.Mean(res.WriteQueueHitRate)*100)
+			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
+		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, pol := range policies {
+		var speedups, hits []float64
+		for _, app := range apps {
+			speedups = append(speedups, speedupOf(bases[app], results[idx].Report))
+			hits = append(hits, stats.Mean(results[idx].Result.WriteQueueHitRate)*100)
+			idx++
 		}
 		tb.AddRow(pol.name, stats.GeoMean(speedups), stats.Mean(hits))
 	}
@@ -169,15 +201,19 @@ func AblationProfilingMode(opt Options) (*stats.Table, error) {
 		"Ablation: profiling mode (4-GPU GPS, total runtime in ms)",
 		"app", "subscribed-by-default", "unsubscribed-by-default", "steady ratio")
 	tb.Fmt = "%8.3f"
-	for _, app := range workload.Names() {
-		subDef, _, err := runOne(app, paradigm.KindGPS, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
+	apps := workload.Names()
+	var cells []Cell
+	for _, app := range apps {
+		for _, k := range []paradigm.Kind{paradigm.KindGPS, paradigm.KindGPSUnsubDefault} {
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
-		unsubDef, _, err := runOne(app, paradigm.KindGPSUnsubDefault, 4, MainFabric(4), opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := Default.RunMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		subDef, unsubDef := results[2*i].Report, results[2*i+1].Report
 		tb.AddRow(app, subDef.Total*1e3, unsubDef.Total*1e3,
 			unsubDef.SteadyTotal()/subDef.SteadyTotal())
 	}
@@ -194,24 +230,33 @@ func ControlApps(opt Options) (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Control: compute-bound applications (4-GPU speedup; paradigms must coincide)",
 		"app", "memcpy", "GPS", "infiniteBW")
+	kinds := []paradigm.Kind{paradigm.KindMemcpy, paradigm.KindGPS, paradigm.KindInfinite}
+	var apps []string
 	for _, spec := range workload.ControlCatalog() {
-		base, err := baseline(spec.Name, opt, paradigm.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, 0, 3)
-		for _, k := range []paradigm.Kind{paradigm.KindMemcpy, paradigm.KindGPS, paradigm.KindInfinite} {
+		apps = append(apps, spec.Name)
+	}
+	var cells []Cell
+	for _, app := range apps {
+		for _, k := range kinds {
 			fab := MainFabric(4)
 			if k == paradigm.KindInfinite {
 				fab = interconnect.Infinite(4)
 			}
-			rep, _, err := runOne(spec.Name, k, 4, fab, opt, paradigm.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.Speedup(base, rep.SteadyTotal()))
+			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
-		tb.AddRow(spec.Name, row...)
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, app := range apps {
+		row := make([]float64, 0, 3)
+		for range kinds {
+			row = append(row, speedupOf(bases[app], results[idx].Report))
+			idx++
+		}
+		tb.AddRow(app, row...)
 	}
 	return tb, nil
 }

@@ -175,6 +175,19 @@ func newKernel(gpu int, name string, computeOps uint64) *kernelBuilder {
 
 func (b *kernelBuilder) build() trace.Kernel { return b.k }
 
+// grow reserves room for n more accesses so the emit loops below append
+// without repeated slice regrowth (the builders know their counts exactly,
+// and access streams run to millions of entries).
+func (b *kernelBuilder) grow(n int) {
+	need := len(b.k.Accesses) + n
+	if n <= 0 || cap(b.k.Accesses) >= need {
+		return
+	}
+	buf := make([]trace.Access, len(b.k.Accesses), need)
+	copy(buf, b.k.Accesses)
+	b.k.Accesses = buf
+}
+
 // loads emits contiguous warp loads covering [base, base+bytes): one
 // 32-lane x 4-byte instruction per cache line.
 func (b *kernelBuilder) loads(base, bytes uint64) { b.rangeOps(trace.OpLoad, base, bytes) }
@@ -183,6 +196,7 @@ func (b *kernelBuilder) loads(base, bytes uint64) { b.rangeOps(trace.OpLoad, bas
 func (b *kernelBuilder) stores(base, bytes uint64) { b.rangeOps(trace.OpStore, base, bytes) }
 
 func (b *kernelBuilder) rangeOps(op trace.Op, base, bytes uint64) {
+	b.grow(int((bytes + LineBytes - 1) / LineBytes))
 	for off := uint64(0); off < bytes; off += LineBytes {
 		b.k.Accesses = append(b.k.Accesses, trace.Access{
 			Op: op, Scope: trace.ScopeWeak, Pattern: trace.PatContiguous,
@@ -211,6 +225,7 @@ func (b *kernelBuilder) storesMultiPassSet(base, bytes uint64, passes int, block
 		panic("workload: empty block set")
 	}
 	lines := bytes / LineBytes
+	b.grow(int(lines) * passes)
 	blockIdx := 0
 	for blockStart := uint64(0); blockStart < lines; {
 		blockLines := uint64(blockSet[blockIdx%len(blockSet)])
@@ -252,6 +267,7 @@ func (b *kernelBuilder) scatteredLanes(op trace.Op, base, windowBytes uint64, co
 	if count <= 0 {
 		return
 	}
+	b.grow(count)
 	numSeg := int(windowBytes / scatterSegmentBytes)
 	if numSeg < 1 {
 		numSeg = 1
