@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke
+.PHONY: check vet build race test bench-smoke serve-smoke
 
 ## check: full gate — vet, build, and the test suite under the race detector.
 check: vet build race
@@ -24,3 +24,8 @@ test:
 bench-smoke:
 	$(GO) run ./cmd/gpsbench -fig 8 -iters 2 -json /tmp/gpsbench-smoke.json
 	$(GO) run ./cmd/gpsim -app jacobi -paradigm GPS -gpus 4 -interconnect pcie4 -iters 2
+
+## serve-smoke: boot gpsd on an ephemeral port, submit a small job over
+## HTTP, assert a 200 result, and check the SIGTERM drain path.
+serve-smoke:
+	sh scripts/serve_smoke.sh

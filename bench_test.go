@@ -12,6 +12,7 @@ package gps
 //	vs_next_best_x  GPS over the next paradigm     (paper: 2.3x)
 
 import (
+	"context"
 	"testing"
 
 	"gps/internal/experiments"
@@ -39,7 +40,7 @@ func BenchmarkTable2(b *testing.B) {
 
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure1(benchOpts()); err != nil {
+		if _, err := experiments.Figure1(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,7 +56,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure4(benchOpts()); err != nil {
+		if _, err := experiments.Figure4(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +64,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Figure8(benchOpts())
+		tb, err := experiments.Figure8(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func BenchmarkFigure8(b *testing.B) {
 
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure9(benchOpts()); err != nil {
+		if _, err := experiments.Figure9(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -84,7 +85,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure10(benchOpts()); err != nil {
+		if _, err := experiments.Figure10(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,7 +93,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure11(benchOpts()); err != nil {
+		if _, err := experiments.Figure11(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -100,7 +101,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Figure12(benchOpts())
+		tb, err := experiments.Figure12(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkFigure12(b *testing.B) {
 
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure13(benchOpts()); err != nil {
+		if _, err := experiments.Figure13(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func BenchmarkFigure13(b *testing.B) {
 
 func BenchmarkFigure14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure14(benchOpts()); err != nil {
+		if _, err := experiments.Figure14(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,7 +129,7 @@ func BenchmarkFigure14(b *testing.B) {
 
 func BenchmarkSensitivityGPSTLB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.SensitivityGPSTLB(benchOpts()); err != nil {
+		if _, err := experiments.SensitivityGPSTLB(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -136,7 +137,7 @@ func BenchmarkSensitivityGPSTLB(b *testing.B) {
 
 func BenchmarkSensitivityPageSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb, err := experiments.SensitivityPageSize(benchOpts())
+		tb, err := experiments.SensitivityPageSize(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func BenchmarkSensitivityPageSize(b *testing.B) {
 
 func BenchmarkAblationWatermark(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationWatermark(benchOpts()); err != nil {
+		if _, err := experiments.AblationWatermark(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}

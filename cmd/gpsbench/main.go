@@ -10,37 +10,24 @@
 //	gpsbench -iters 4 -scale 1    # workload sizing
 //	gpsbench -all -parallel 8     # run the experiment matrix on 8 workers
 //	gpsbench -fig 8 -json out.json
+//
+// SIGINT cancels the run: in-flight simulation cells finish, no further
+// cells are issued, and gpsbench exits without emitting partial files.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"gps/internal/experiments"
+	"gps/internal/report"
 	"gps/internal/stats"
 )
-
-// sectionTiming is the wall clock one figure/table/study consumed.
-type sectionTiming struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
-}
-
-// jsonReport is the machine-readable summary emitted by -json.
-type jsonReport struct {
-	// Section 7.1 headline claims, populated when Figure 8 runs.
-	GPSMeanX       float64 `json:"gps_mean_x,omitempty"`
-	OpportunityPct float64 `json:"opportunity_pct,omitempty"`
-	VsNextBestX    float64 `json:"vs_next_best_x,omitempty"`
-
-	ParallelWorkers int                    `json:"parallel_workers"`
-	TotalSeconds    float64                `json:"total_seconds"`
-	Sections        []sectionTiming        `json:"sections"`
-	Cache           experiments.CacheStats `json:"cache"`
-}
 
 func main() {
 	var (
@@ -51,31 +38,51 @@ func main() {
 		iters    = flag.Int("iters", 4, "execution iterations per application")
 		scale    = flag.Int("scale", 1, "problem size multiplier")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of text")
-		report   = flag.String("report", "", "write a full markdown report to this file")
+		rep      = flag.String("report", "", "write a full markdown report to this file")
 		chart    = flag.Bool("chart", false, "also render line-chart views of figures 13 and 14")
 		parallel = flag.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		jsonOut  = flag.String("json", "", "write headline metrics, per-figure wall clock and cache stats as JSON to this file")
+		jsonOut  = flag.String("json", "", "write headline metrics, per-figure wall clock, rendered tables and cache stats as JSON to this file")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the shared context: the runner stops issuing cells and
+	// every figure function returns context.Canceled instead of the process
+	// dying mid-write. A second SIGINT kills immediately (default behavior).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	experiments.SetParallelism(*parallel)
 	opt := experiments.Options{Iterations: *iters, Scale: *scale}
 	start := time.Now()
 	ran := false
-	out := jsonReport{ParallelWorkers: experiments.Parallelism()}
+	out := report.Report{ParallelWorkers: experiments.Parallelism()}
 
+	die := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "gpsbench: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "gpsbench:", err)
+		os.Exit(1)
+	}
+
+	var sectionName string // the section currently being rendered, for out.Tables
 	show := func(tb *stats.Table, err error, extra ...string) {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpsbench:", err)
-			os.Exit(1)
+			die(err)
 		}
 		if *csv {
 			fmt.Print(tb.CSV())
 		} else {
 			fmt.Println(tb)
 		}
+		text := tb.String()
 		for _, e := range extra {
 			fmt.Println(e)
+			text += e + "\n"
+		}
+		if sectionName != "" {
+			out.AddTable(sectionName, text)
 		}
 		fmt.Println()
 		ran = true
@@ -84,8 +91,10 @@ func main() {
 	// section times one figure/table body for the JSON report.
 	section := func(name string, fn func()) {
 		t0 := time.Now()
+		sectionName = name
 		fn()
-		out.Sections = append(out.Sections, sectionTiming{Name: name, Seconds: time.Since(t0).Seconds()})
+		sectionName = ""
+		out.Sections = append(out.Sections, report.Section{Name: name, Seconds: time.Since(t0).Seconds()})
 	}
 
 	want := func(n int) bool { return *all || *fig == n }
@@ -100,13 +109,13 @@ func main() {
 	}
 	if want(1) {
 		section("figure1", func() {
-			tb, err := experiments.Figure1(opt)
+			tb, err := experiments.Figure1(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(2) {
 		section("figure2", func() {
-			tb, err := experiments.Figure2(opt)
+			tb, err := experiments.Figure2(ctx, opt)
 			show(tb, err)
 		})
 	}
@@ -115,13 +124,13 @@ func main() {
 	}
 	if want(4) {
 		section("figure4", func() {
-			tb, err := experiments.Figure4(opt)
+			tb, err := experiments.Figure4(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(8) {
 		section("figure8", func() {
-			tb, err := experiments.Figure8(opt)
+			tb, err := experiments.Figure8(ctx, opt)
 			if err == nil {
 				g, f, n := experiments.Claims71(tb)
 				out.GPSMeanX, out.OpportunityPct, out.VsNextBestX = g, f*100, n
@@ -135,25 +144,25 @@ func main() {
 	}
 	if want(9) {
 		section("figure9", func() {
-			tb, err := experiments.Figure9(opt)
+			tb, err := experiments.Figure9(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(10) {
 		section("figure10", func() {
-			tb, err := experiments.Figure10(opt)
+			tb, err := experiments.Figure10(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(11) {
 		section("figure11", func() {
-			tb, err := experiments.Figure11(opt)
+			tb, err := experiments.Figure11(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(12) {
 		section("figure12", func() {
-			tb, err := experiments.Figure12(opt)
+			tb, err := experiments.Figure12(ctx, opt)
 			if err == nil {
 				g, f := experiments.Claims73(tb)
 				show(tb, nil, fmt.Sprintf(
@@ -166,7 +175,7 @@ func main() {
 	}
 	if want(13) {
 		section("figure13", func() {
-			tb, err := experiments.Figure13(opt)
+			tb, err := experiments.Figure13(ctx, opt)
 			if err == nil && *chart {
 				show(tb, nil, tb.LineChart(12))
 			} else {
@@ -176,7 +185,7 @@ func main() {
 	}
 	if want(14) {
 		section("figure14", func() {
-			tb, err := experiments.Figure14(opt)
+			tb, err := experiments.Figure14(ctx, opt)
 			if err == nil && *chart {
 				show(tb, nil, tb.LineChart(12))
 			} else {
@@ -186,70 +195,70 @@ func main() {
 	}
 	if *all || *sens == "tlb" {
 		section("sens-tlb", func() {
-			tb, err := experiments.SensitivityGPSTLB(opt)
+			tb, err := experiments.SensitivityGPSTLB(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "pagesize" {
 		section("sens-pagesize", func() {
-			tb, err := experiments.SensitivityPageSize(opt)
+			tb, err := experiments.SensitivityPageSize(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "watermark" {
 		section("sens-watermark", func() {
-			tb, err := experiments.AblationWatermark(opt)
+			tb, err := experiments.AblationWatermark(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "l2" {
 		section("sens-l2", func() {
-			tb, err := experiments.ValidateL2(opt)
+			tb, err := experiments.ValidateL2(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "profilingmode" {
 		section("sens-profilingmode", func() {
-			tb, err := experiments.AblationProfilingMode(opt)
+			tb, err := experiments.AblationProfilingMode(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "control" {
 		section("sens-control", func() {
-			tb, err := experiments.ControlApps(opt)
+			tb, err := experiments.ControlApps(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "pipelined" {
 		section("sens-pipelined", func() {
-			tb, err := experiments.AblationPipelinedMemcpy(opt)
+			tb, err := experiments.AblationPipelinedMemcpy(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "fabrics" {
 		section("sens-fabrics", func() {
-			tb, err := experiments.ExtendedFabrics(opt)
+			tb, err := experiments.ExtendedFabrics(ctx, opt)
 			show(tb, err)
 		})
 	}
 
-	if *report != "" {
-		f, err := os.Create(*report)
+	if *rep != "" {
+		f, err := os.Create(*rep)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpsbench:", err)
-			os.Exit(1)
+			die(err)
 		}
-		if err := experiments.WriteReport(f, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsbench:", err)
-			os.Exit(1)
+		if err := experiments.WriteReport(ctx, f, opt); err != nil {
+			f.Close()
+			os.Remove(f.Name()) // don't leave a partial report behind
+			die(err)
 		}
 		f.Close()
-		fmt.Println("wrote", *report)
+		fmt.Println("wrote", *rep)
 		ran = true
 	}
 	if *all || *sens == "fabricmodel" {
 		section("sens-fabricmodel", func() {
-			tb, err := experiments.ValidateFabricModel(50)
+			tb, err := experiments.ValidateFabricModel(ctx, 50)
 			show(tb, err)
 		})
 	}
@@ -262,16 +271,15 @@ func main() {
 	if *jsonOut != "" {
 		out.TotalSeconds = time.Since(start).Seconds()
 		out.Cache = experiments.Default.CacheStats()
-		data, err := json.MarshalIndent(out, "", "  ")
+		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpsbench:", err)
-			os.Exit(1)
+			die(err)
 		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsbench:", err)
-			os.Exit(1)
+		if err := out.Encode(f); err != nil {
+			f.Close()
+			die(err)
 		}
+		f.Close()
 		fmt.Println("wrote", *jsonOut)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))

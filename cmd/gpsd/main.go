@@ -1,0 +1,96 @@
+// Command gpsd serves the GPS experiment suite as a long-running service:
+// simulation jobs are submitted over a JSON REST API, scheduled on a
+// bounded worker pool in front of the shared memoizing experiments runner,
+// and identical specs are answered from a content-addressed result cache.
+//
+// Usage:
+//
+//	gpsd                                # listen on :8377, 2 job workers
+//	gpsd -addr 127.0.0.1:0              # ephemeral port (printed on stdout)
+//	gpsd -workers 4 -queue 32           # more concurrency, deeper queue
+//	gpsd -job-timeout 5m -drain 30s     # per-job cap, shutdown drain budget
+//	gpsd -parallel 8                    # simulation cells per job
+//
+// Submit and poll with curl:
+//
+//	curl -d '{"type":"figure","figure":8,"quick":true}' localhost:8377/v1/jobs
+//	curl localhost:8377/v1/jobs/j-000001
+//	curl localhost:8377/v1/jobs/j-000001/result
+//
+// SIGINT/SIGTERM drain gracefully: running jobs get -drain to finish,
+// queued jobs are canceled, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gps/internal/experiments"
+	"gps/internal/httpapi"
+	"gps/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8377", "listen address (host:port; port 0 picks one)")
+		workers    = flag.Int("workers", 2, "concurrent jobs")
+		queue      = flag.Int("queue", 16, "admission queue depth (beyond running jobs)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job execution cap (0 = unlimited)")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for running jobs")
+		parallel   = flag.Int("parallel", 0, "simulation worker goroutines per job (0 = GOMAXPROCS)")
+		cacheN     = flag.Int("cache", 256, "content-addressed result cache entries")
+	)
+	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobTimeout,
+		CacheEntries: *cacheN,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		os.Exit(1)
+	}
+	// The resolved address line is load-bearing: serve-smoke and scripts
+	// parse it to discover an ephemeral port.
+	fmt.Printf("gpsd: listening on %s (%d workers, queue %d, job timeout %v)\n",
+		ln.Addr(), *workers, *queue, *jobTimeout)
+
+	httpSrv := &http.Server{Handler: httpapi.New(svc)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		os.Exit(1)
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	fmt.Printf("gpsd: draining (up to %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drained := svc.Shutdown(drainCtx)
+	httpSrv.Shutdown(drainCtx) //nolint:errcheck // listener teardown best-effort
+	if drained != nil && !errors.Is(drained, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "gpsd: drain deadline exceeded; running jobs aborted")
+		os.Exit(1)
+	}
+	fmt.Println("gpsd: drained cleanly")
+}

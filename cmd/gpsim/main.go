@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"gps/internal/engine"
@@ -21,37 +24,6 @@ import (
 	"gps/internal/trace"
 	"gps/internal/workload"
 )
-
-func fabric(name string, gpus int) (*interconnect.Fabric, error) {
-	switch strings.ToLower(name) {
-	case "pcie3":
-		return interconnect.PCIeTree(gpus, interconnect.PCIe3), nil
-	case "pcie4":
-		return interconnect.PCIeTree(gpus, interconnect.PCIe4), nil
-	case "pcie5":
-		return interconnect.PCIeTree(gpus, interconnect.PCIe5), nil
-	case "pcie6":
-		return interconnect.PCIeTree(gpus, interconnect.PCIe6), nil
-	case "nvswitch":
-		return interconnect.NVSwitch(gpus, interconnect.NVLink2Bandwidth), nil
-	case "infinite":
-		return interconnect.Infinite(gpus), nil
-	}
-	return nil, fmt.Errorf("unknown interconnect %q (pcie3..pcie6, nvswitch, infinite)", name)
-}
-
-func kind(name string) (paradigm.Kind, error) {
-	for _, k := range []paradigm.Kind{
-		paradigm.KindUM, paradigm.KindUMHints, paradigm.KindRDL,
-		paradigm.KindMemcpy, paradigm.KindGPS, paradigm.KindGPSNoSub,
-		paradigm.KindInfinite,
-	} {
-		if strings.EqualFold(k.String(), name) {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown paradigm %q (UM, UM+hints, RDL, memcpy, GPS, GPS-nosub, infiniteBW)", name)
-}
 
 func main() {
 	var (
@@ -69,7 +41,16 @@ func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 
+	// SIGINT cancels the run cleanly instead of killing the process
+	// mid-report: pending cells stop issuing and gpsim exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	die := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "gpsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "gpsim:", err)
 		os.Exit(1)
 	}
@@ -91,11 +72,11 @@ func main() {
 		*app = rec.M.Name
 		pattern = "(from trace file)"
 	}
-	fab, err := fabric(*ic, *gpus)
+	fab, err := interconnect.ByName(*ic, *gpus)
 	if err != nil {
 		die(err)
 	}
-	k, err := kind(*par)
+	k, err := paradigm.KindByName(*par)
 	if err != nil {
 		die(err)
 	}
@@ -110,7 +91,7 @@ func main() {
 			die(err)
 		}
 		pattern = spec.Pattern
-		rep, res, err = experiments.Default.RunCell(experiments.Cell{
+		rep, res, err = experiments.Default.RunCellCtx(ctx, experiments.Cell{
 			App: *app, Kind: k, GPUs: *gpus, Fab: fab,
 			Opt: opt, Cfg: paradigm.DefaultConfig(), Packet: *packet,
 		})
@@ -126,6 +107,10 @@ func main() {
 		tcfg := timing.DefaultConfig(fab)
 		tcfg.UsePacketSim = *packet
 		rep = timing.Simulate(res, tcfg)
+	}
+
+	if err := ctx.Err(); err != nil {
+		die(err) // interrupted while simulating: skip the report entirely
 	}
 
 	engineName := "fluid max-min"

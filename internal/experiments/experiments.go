@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gps/internal/engine"
@@ -74,7 +75,7 @@ func speedupOf(base float64, rep *timing.Report) float64 {
 // Figure8 reproduces the headline comparison: 4-GPU speedup over one GPU
 // for UM, UM+hints, RDL, memcpy, GPS and the infinite-bandwidth bound,
 // per application plus the arithmetic mean row.
-func Figure8(opt Options) (*stats.Table, error) {
+func Figure8(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	kinds := paradigm.Figure8Kinds()
 	cols := make([]string, len(kinds))
@@ -95,7 +96,7 @@ func Figure8(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}

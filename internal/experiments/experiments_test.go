@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func TestFigure8HeadlineClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full paradigm sweep")
 	}
-	tb, err := Figure8(quick())
+	tb, err := Figure8(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestFigure9SubscriberShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("GPS sweep")
 	}
-	tb, err := Figure9(quick())
+	tb, err := Figure9(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestFigure10TrafficShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paradigm sweep")
 	}
-	tb, err := Figure10(quick())
+	tb, err := Figure10(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestFigure11SubscriptionMatters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("GPS sweep")
 	}
-	tb, err := Figure11(quick())
+	tb, err := Figure11(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestFigure14QueueCurves(t *testing.T) {
 	if testing.Short() {
 		t.Skip("queue size sweep")
 	}
-	tb, err := Figure14(quick())
+	tb, err := Figure14(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestSensitivityGPSTLBSaturatesAt32(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TLB sweep")
 	}
-	tb, err := SensitivityGPSTLB(quick())
+	tb, err := SensitivityGPSTLB(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestFigure4TransferPlacement(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paradigm sweep")
 	}
-	tb, err := Figure4(quick())
+	tb, err := Figure4(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestValidateL2Trend(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cache simulation sweep")
 	}
-	tb, err := ValidateL2(quick())
+	tb, err := ValidateL2(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestControlAppsCoincide(t *testing.T) {
 	}
 	// Section 6: for applications not bound by inter-GPU communication,
 	// GPS matches the native version (and the infinite-bandwidth bound).
-	tb, err := ControlApps(quick())
+	tb, err := ControlApps(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestProfilingModeAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paradigm sweep")
 	}
-	tb, err := AblationProfilingMode(quick())
+	tb, err := AblationProfilingMode(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ func TestPipelinedMemcpyAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paradigm sweep")
 	}
-	tb, err := AblationPipelinedMemcpy(quick())
+	tb, err := AblationPipelinedMemcpy(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ func TestExtendedFabricsOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fabric sweep")
 	}
-	tb, err := ExtendedFabrics(quick())
+	tb, err := ExtendedFabrics(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +443,7 @@ func TestExtendedFabricsOrdering(t *testing.T) {
 }
 
 func TestValidateFabricModelAgreement(t *testing.T) {
-	tb, err := ValidateFabricModel(25)
+	tb, err := ValidateFabricModel(context.Background(), 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +473,7 @@ func TestWriteReport(t *testing.T) {
 		t.Skip("full report sweep")
 	}
 	var b strings.Builder
-	if err := WriteReport(&b, quick()); err != nil {
+	if err := WriteReport(context.Background(), &b, quick()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -498,7 +499,7 @@ func TestFigure1MotivationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paradigm sweep")
 	}
-	tb, err := Figure1(quick())
+	tb, err := Figure1(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -523,7 +524,7 @@ func TestFigure12SixteenGPUClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("16-GPU sweep")
 	}
-	tb, err := Figure12(quick())
+	tb, err := Figure12(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -541,7 +542,7 @@ func TestFigure13BandwidthSensitivity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fabric sweep")
 	}
-	tb, err := Figure13(quick())
+	tb, err := Figure13(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -576,7 +577,7 @@ func TestFigure2LoadStorePaths(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paradigm sweep")
 	}
-	tb, err := Figure2(quick())
+	tb, err := Figure2(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}

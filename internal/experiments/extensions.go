@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"gps/internal/interconnect"
 	"gps/internal/paradigm"
 	"gps/internal/stats"
@@ -13,7 +15,7 @@ import (
 // detailed knowledge of the applications' behavior"). Pipelining closes
 // part of the gap, but the broadcasts remain page-granular and
 // consumer-oblivious, so GPS still wins.
-func AblationPipelinedMemcpy(opt Options) (*stats.Table, error) {
+func AblationPipelinedMemcpy(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Ablation: pipelined cudaMemcpy (4-GPU speedup over 1 GPU)",
@@ -26,7 +28,7 @@ func AblationPipelinedMemcpy(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +49,7 @@ func AblationPipelinedMemcpy(opt Options) (*stats.Table, error) {
 // hybrid cube mesh (direct links inside quads, two hops across), and a
 // DGX-2-style NVSwitch crossbar — extending the paper's PCIe-only
 // sensitivity sweep to the NVLink topologies of Figure 3.
-func ExtendedFabrics(opt Options) (*stats.Table, error) {
+func ExtendedFabrics(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	kinds := []paradigm.Kind{paradigm.KindUM, paradigm.KindRDL, paradigm.KindMemcpy, paradigm.KindGPS, paradigm.KindInfinite}
 	cols := make([]string, len(kinds))
@@ -79,7 +81,7 @@ func ExtendedFabrics(opt Options) (*stats.Table, error) {
 			}
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ import (
 // PCIe 6.0 and an infinite-bandwidth interconnect. Insufficient inter-GPU
 // bandwidth leaves most applications below 1x on PCIe 3.0 while the same
 // code reaches ~3x with free transfers.
-func Figure1(opt Options) (*stats.Table, error) {
+func Figure1(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Figure 1: 4-GPU strong scaling of the conventional paradigm vs interconnect",
@@ -36,7 +37,7 @@ func Figure1(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: c.kind, GPUs: 4, Fab: c.fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +76,7 @@ func Figure3() *stats.Table {
 // Demand paradigms (RDL/UM) transfer on demand during kernels but stall;
 // memcpy transfers bulk-synchronously at barriers; GPS pushes fine-grained
 // updates proactively during the kernels.
-func Figure4(opt Options) (*stats.Table, error) {
+func Figure4(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Figure 4: transfer placement per paradigm (jacobi, bytes by window)",
@@ -85,7 +86,7 @@ func Figure4(opt Options) (*stats.Table, error) {
 	for _, kind := range kinds {
 		cells = append(cells, Cell{App: "jacobi", Kind: kind, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +118,7 @@ func Figure4(opt Options) (*stats.Table, error) {
 // Figure9 reproduces the subscriber distribution of shared pages: among
 // GPS pages that retain more than one subscriber after profiling, the
 // percentage with 2, 3 and 4 subscribers.
-func Figure9(opt Options) (*stats.Table, error) {
+func Figure9(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Figure 9: subscriber distribution for shared application pages (%)",
@@ -127,7 +128,7 @@ func Figure9(opt Options) (*stats.Table, error) {
 	for _, app := range apps {
 		cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +149,7 @@ func Figure9(opt Options) (*stats.Table, error) {
 // over the fabric in the steady state, normalized to the memcpy paradigm
 // (which copies all written shared data to every GPU exactly once per
 // barrier). Lower is better.
-func Figure10(opt Options) (*stats.Table, error) {
+func Figure10(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	kinds := []paradigm.Kind{paradigm.KindUM, paradigm.KindUMHints, paradigm.KindRDL, paradigm.KindGPS}
 	cols := make([]string, len(kinds))
@@ -166,7 +167,7 @@ func Figure10(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +192,7 @@ func Figure10(opt Options) (*stats.Table, error) {
 
 // Figure11 reproduces the subscription ablation: GPS speedup with and
 // without automatic subscription tracking (all-to-all replication).
-func Figure11(opt Options) (*stats.Table, error) {
+func Figure11(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Figure 11: performance sensitivity to subscription (4-GPU speedup)",
@@ -203,7 +204,7 @@ func Figure11(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +238,7 @@ func steadyBytes(res *engine.Result) uint64 {
 // demand paradigm (RDL), loads to shared data cross the interconnect. The
 // table reports, per application in the steady state, the fraction of
 // interconnect traffic that is demand loads versus proactive store pushes.
-func Figure2(opt Options) (*stats.Table, error) {
+func Figure2(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Figure 2: where traffic crosses the fabric (steady state, % of bytes)",
@@ -251,7 +252,7 @@ func Figure2(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: kind, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gps/internal/engine"
@@ -17,7 +18,7 @@ import (
 // L2 hit rate rising from 55% to 68% at 4 GPUs because the aggregate cache
 // capacity grows — must emerge structurally from nothing but cache geometry
 // and the access stream.
-func ValidateL2(opt Options) (*stats.Table, error) {
+func ValidateL2(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"L2 model validation: structural (cache sim) vs analytic hit rates (%)",
@@ -32,7 +33,7 @@ func ValidateL2(opt Options) (*stats.Table, error) {
 	// Each (app, GPU count) replay is independent; fan them out on the
 	// runner's pool. The traces come from the shared cache, so the 1- and
 	// 4-GPU replays reuse what the figures already built.
-	err := Default.parallelFor(2*len(specs), func(i int) error {
+	err := Default.parallelFor(ctx, 2*len(specs), func(i int) error {
 		spec, four := specs[i/2], i%2 == 1
 		if !four {
 			sim1, err := simulateL2(spec, opt, 1)

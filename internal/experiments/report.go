@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,7 +18,7 @@ import (
 // reporting the makespan ratio distribution. The trustworthiness of a fast
 // model rests on agreement with a more literal one — the methodology of
 // the simulator work the paper builds on (NVAS, HPCA'21).
-func ValidateFabricModel(trials int) (*stats.Table, error) {
+func ValidateFabricModel(ctx context.Context, trials int) (*stats.Table, error) {
 	if trials <= 0 {
 		trials = 50
 	}
@@ -29,6 +30,9 @@ func ValidateFabricModel(trials int) (*stats.Table, error) {
 	rng := rand.New(rand.NewSource(17))
 	var ratios []float64
 	for trial := 0; trial < trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := 2 + rng.Intn(6)
 		fab := interconnect.PCIeTree(n, interconnect.PCIe4)
 		var transfers []*timing.Transfer
@@ -68,7 +72,7 @@ func ValidateFabricModel(trials int) (*stats.Table, error) {
 
 // WriteReport runs the core experiment suite and writes a self-contained
 // markdown report — the automated counterpart of EXPERIMENTS.md.
-func WriteReport(w io.Writer, opt Options) error {
+func WriteReport(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.withDefaults()
 	fmt.Fprintln(w, "# GPS reproduction report")
 	fmt.Fprintln(w)
@@ -90,7 +94,7 @@ func WriteReport(w io.Writer, opt Options) error {
 	fmt.Fprintf(w, "## Table 1\n\n```\n%s```\n\n", Table1())
 	fmt.Fprintf(w, "## Table 2\n\n```\n%s```\n\n", Table2())
 
-	fig8, err := Figure8(opt)
+	fig8, err := Figure8(ctx, opt)
 	if err != nil {
 		return err
 	}
@@ -103,7 +107,7 @@ func WriteReport(w io.Writer, opt Options) error {
 
 	for _, item := range []struct {
 		title string
-		run   func(Options) (*stats.Table, error)
+		run   func(context.Context, Options) (*stats.Table, error)
 	}{
 		{"Figure 9 — subscriber distribution", Figure9},
 		{"Figure 10 — traffic normalized to memcpy", Figure10},
@@ -112,12 +116,12 @@ func WriteReport(w io.Writer, opt Options) error {
 		{"L2 model validation", ValidateL2},
 		{"Control applications", ControlApps},
 	} {
-		tb, err := item.run(opt)
+		tb, err := item.run(ctx, opt)
 		if err := section(item.title, tb, err); err != nil {
 			return err
 		}
 	}
 
-	fm, err := ValidateFabricModel(30)
+	fm, err := ValidateFabricModel(ctx, 30)
 	return section("Fabric model validation", fm, err)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -321,6 +322,23 @@ func (r *Runner) structural(app string, wcfg workload.Config, kind paradigm.Kind
 	return e.res, e.err
 }
 
+// cellObserverKey carries an optional per-cell completion callback in a
+// Context; see WithCellObserver.
+type cellObserverKey struct{}
+
+// WithCellObserver returns a context whose matrix runs call fn after every
+// completed cell. The gpsd job scheduler uses it to expose live progress;
+// fn must be safe for concurrent use.
+func WithCellObserver(ctx context.Context, fn func()) context.Context {
+	return context.WithValue(ctx, cellObserverKey{}, fn)
+}
+
+// cellObserver extracts the observer installed by WithCellObserver, or nil.
+func cellObserver(ctx context.Context) func() {
+	fn, _ := ctx.Value(cellObserverKey{}).(func())
+	return fn
+}
+
 // RunCell executes one cell through the caches: the trace and the structural
 // result are shared and immutable, only the (cheap) timing pass runs per
 // fabric.
@@ -387,8 +405,24 @@ func (r *Runner) Speedup(app string, kind paradigm.Kind, gpus int, fab *intercon
 
 // parallelFor runs fn(0..n-1) on the worker pool. Every index runs even if
 // another fails; the error of the lowest failing index is returned, so
-// behavior is identical at any worker count.
-func (r *Runner) parallelFor(n int, fn func(int) error) error {
+// behavior is identical at any worker count. Cancellation is checked before
+// each index is issued: once ctx is done no further indices start, and the
+// cancellation error is reported from the first index that was not issued,
+// preserving the lowest-index error convention.
+func (r *Runner) parallelFor(ctx context.Context, n int, fn func(int) error) error {
+	observe := cellObserver(ctx)
+	step := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(i); err != nil {
+			return err
+		}
+		if observe != nil {
+			observe()
+		}
+		return nil
+	}
 	workers := r.Workers()
 	if workers > n {
 		workers = n
@@ -396,7 +430,7 @@ func (r *Runner) parallelFor(n int, fn func(int) error) error {
 	if workers <= 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && firstErr == nil {
+			if err := step(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -419,7 +453,7 @@ func (r *Runner) parallelFor(n int, fn func(int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := step(i); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, firstErr = i, err
@@ -433,12 +467,22 @@ func (r *Runner) parallelFor(n int, fn func(int) error) error {
 	return firstErr
 }
 
+// RunCellCtx is RunCell with an early-out on an already-canceled context.
+// The simulation itself is not interruptible — cancellation is honored at
+// cell granularity, which keeps results immutable and cacheable.
+func (r *Runner) RunCellCtx(ctx context.Context, c Cell) (*timing.Report, *engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return r.RunCell(c)
+}
+
 // RunMatrix executes the cells across the worker pool and returns their
 // results in cell order, so assembled tables are byte-identical to a serial
-// run.
-func (r *Runner) RunMatrix(cells []Cell) ([]CellResult, error) {
+// run. Canceling ctx stops issuing cells promptly; in-flight cells finish.
+func (r *Runner) RunMatrix(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	results := make([]CellResult, len(cells))
-	err := r.parallelFor(len(cells), func(i int) error {
+	err := r.parallelFor(ctx, len(cells), func(i int) error {
 		rep, res, err := r.RunCell(cells[i])
 		if err != nil {
 			return err
@@ -455,11 +499,11 @@ func (r *Runner) RunMatrix(cells []Cell) ([]CellResult, error) {
 // RunMatrixWithBaselines executes the cells and, on the same worker pool,
 // resolves the single-GPU baselines for apps under (opt, pcfg). Baseline
 // jobs are scheduled first so the normalization runs overlap the matrix.
-func (r *Runner) RunMatrixWithBaselines(apps []string, opt Options, pcfg paradigm.Config,
-	cells []Cell) (map[string]float64, []CellResult, error) {
+func (r *Runner) RunMatrixWithBaselines(ctx context.Context, apps []string, opt Options,
+	pcfg paradigm.Config, cells []Cell) (map[string]float64, []CellResult, error) {
 	bases := make([]float64, len(apps))
 	results := make([]CellResult, len(cells))
-	err := r.parallelFor(len(apps)+len(cells), func(i int) error {
+	err := r.parallelFor(ctx, len(apps)+len(cells), func(i int) error {
 		if i < len(apps) {
 			b, err := r.Baseline(apps[i], opt, pcfg)
 			if err != nil {

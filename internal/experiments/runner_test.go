@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
+
+	"sync/atomic"
 
 	"gps/internal/paradigm"
 )
@@ -63,7 +66,7 @@ func TestRunnerBaselineMatrixCounters(t *testing.T) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	bases, results, err := r.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := r.RunMatrixWithBaselines(context.Background(), apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +112,7 @@ func TestRunnerTraceEviction(t *testing.T) {
 func TestParallelForLowestError(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		r := NewRunner(workers)
-		err := r.parallelFor(16, func(i int) error {
+		err := r.parallelFor(context.Background(), 16, func(i int) error {
 			if i == 11 || i == 3 {
 				return fmt.Errorf("cell %d failed", i)
 			}
@@ -119,11 +122,11 @@ func TestParallelForLowestError(t *testing.T) {
 			t.Errorf("workers=%d: err = %v, want cell 3 failed", workers, err)
 		}
 	}
-	if err := NewRunner(4).parallelFor(4, func(int) error { return nil }); err != nil {
+	if err := NewRunner(4).parallelFor(context.Background(), 4, func(int) error { return nil }); err != nil {
 		t.Errorf("all-ok parallelFor returned %v", err)
 	}
 	want := errors.New("x")
-	if err := NewRunner(4).parallelFor(1, func(int) error { return want }); err != want {
+	if err := NewRunner(4).parallelFor(context.Background(), 1, func(int) error { return want }); err != want {
 		t.Errorf("single-job parallelFor returned %v", err)
 	}
 }
@@ -141,7 +144,7 @@ func TestFigure8ParallelDeterminism(t *testing.T) {
 	render := func(workers int) string {
 		SetParallelism(workers)
 		Default.ResetCaches()
-		tb, err := Figure8(quick())
+		tb, err := Figure8(context.Background(), quick())
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -168,7 +171,7 @@ func TestFigure13ParallelDeterminism(t *testing.T) {
 	render := func(workers int) string {
 		SetParallelism(workers)
 		Default.ResetCaches()
-		tb, err := Figure13(quick())
+		tb, err := Figure13(context.Background(), quick())
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -177,5 +180,66 @@ func TestFigure13ParallelDeterminism(t *testing.T) {
 	serial := render(1)
 	if got := render(4); got != serial {
 		t.Errorf("4-worker output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, got)
+	}
+}
+
+// TestRunMatrixPreCanceled: a canceled context stops the matrix before any
+// cell is issued — no traces built, no replays run.
+func TestRunMatrixPreCanceled(t *testing.T) {
+	r := NewRunner(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cells := []Cell{{App: "jacobi", Kind: paradigm.KindGPS, GPUs: 2, Fab: MainFabric(2), Opt: quick(), Cfg: paradigm.DefaultConfig()}}
+	if _, err := r.RunMatrix(ctx, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunMatrix on canceled ctx = %v, want context.Canceled", err)
+	}
+	if s := r.CacheStats(); s.TraceBuilds != 0 || s.EngineRuns != 0 {
+		t.Errorf("canceled matrix still simulated: %+v", s)
+	}
+	if _, _, err := r.RunCellCtx(ctx, cells[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCellCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelForCancellation: canceling mid-flight stops further indices
+// from being issued and surfaces the context error.
+func TestParallelForCancellation(t *testing.T) {
+	r := NewRunner(1) // serial: deterministic issue order
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := r.parallelFor(ctx, 100, func(i int) error {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallelFor after cancel = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Errorf("ran %d cells after cancel at index 2, want 3", ran)
+	}
+}
+
+// TestCellObserverCounts: the context observer fires once per completed
+// cell, which is how the service reports job progress.
+func TestCellObserverCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	r := NewRunner(2)
+	opt := quick()
+	cells := []Cell{
+		{App: "jacobi", Kind: paradigm.KindGPS, GPUs: 2, Fab: MainFabric(2), Opt: opt, Cfg: paradigm.DefaultConfig()},
+		{App: "jacobi", Kind: paradigm.KindMemcpy, GPUs: 2, Fab: MainFabric(2), Opt: opt, Cfg: paradigm.DefaultConfig()},
+	}
+	var done atomic.Uint64
+	ctx := WithCellObserver(context.Background(), func() { done.Add(1) })
+	if _, err := r.RunMatrix(ctx, cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Load(); got != uint64(len(cells)) {
+		t.Errorf("observer fired %d times, want %d", got, len(cells))
 	}
 }

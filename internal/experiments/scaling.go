@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"gps/internal/interconnect"
 	"gps/internal/paradigm"
 	"gps/internal/stats"
@@ -9,7 +11,7 @@ import (
 
 // Figure12 reproduces the 16-GPU study: per-application speedup over one
 // GPU for every paradigm on a projected PCIe 6.0 interconnect (128 GB/s).
-func Figure12(opt Options) (*stats.Table, error) {
+func Figure12(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	kinds := paradigm.Figure8Kinds()
 	cols := make([]string, len(kinds))
@@ -30,7 +32,7 @@ func Figure12(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 16, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +74,7 @@ func Claims73(tb *stats.Table) (gpsMean, opportunityFrac float64) {
 
 // Figure13 reproduces the interconnect-bandwidth sensitivity: geometric
 // mean 4-GPU speedup of each paradigm across PCIe generations 3.0-6.0.
-func Figure13(opt Options) (*stats.Table, error) {
+func Figure13(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	kinds := paradigm.Figure8Kinds()
 	cols := make([]string, len(kinds))
@@ -97,7 +99,7 @@ func Figure13(opt Options) (*stats.Table, error) {
 			}
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}

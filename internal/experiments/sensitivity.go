@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gps/internal/gpuconf"
@@ -18,7 +19,7 @@ var Figure14Sizes = []int{16, 32, 64, 128, 256, 384, 512, 768, 1024}
 // capacity. Jacobi, Pagerank, SSSP and ALS sit at 0% (SM-coalesced
 // streaming writes or atomics); CT, EQWP, Diffusion and HIT climb as the
 // queue covers their revisit distance, saturating near 512 entries.
-func Figure14(opt Options) (*stats.Table, error) {
+func Figure14(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	cols := make([]string, len(Figure14Sizes))
 	for i, s := range Figure14Sizes {
@@ -37,7 +38,7 @@ func Figure14(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
 		}
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +60,7 @@ var GPSTLBSizes = []int{4, 8, 16, 32, 64}
 // SensitivityGPSTLB reproduces the GPS-TLB sizing study: hit rate per
 // application and TLB size. The paper found the hit rate approaches 100% at
 // just 32 entries because the GPS-TLB services only GPS-heap stores.
-func SensitivityGPSTLB(opt Options) (*stats.Table, error) {
+func SensitivityGPSTLB(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	cols := make([]string, len(GPSTLBSizes))
 	for i, s := range GPSTLBSizes {
@@ -81,7 +82,7 @@ func SensitivityGPSTLB(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
 		}
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +107,7 @@ var PageSizes = []uint64{4 << 10, 64 << 10, 2 << 20}
 // pages multiply TLB pressure (the paper: the 4 KB variant is 42% slower
 // than 64 KB); large pages suffer false sharing that multiplies replicated
 // store traffic (2 MB is 15% slower). 64 KB is the sweet spot.
-func SensitivityPageSize(opt Options) (*stats.Table, error) {
+func SensitivityPageSize(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Section 7.4: page size sensitivity (geomean GPS 4-GPU runtime vs 64KB)",
@@ -123,7 +124,7 @@ func SensitivityPageSize(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
 		}
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +151,7 @@ func SensitivityPageSize(opt Options) (*stats.Table, error) {
 // AblationWatermark compares the paper's drain-at-capacity-minus-one
 // watermark against an eager half-full drain policy (geomean speedup and
 // queue hit rate).
-func AblationWatermark(opt Options) (*stats.Table, error) {
+func AblationWatermark(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Ablation: write queue drain watermark (4-GPU GPS)",
@@ -172,7 +173,7 @@ func AblationWatermark(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: paradigm.KindGPS, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: cfg})
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +196,7 @@ func AblationWatermark(opt Options) (*stats.Table, error) {
 // (subscribe on first read, paying population stalls). Steady-state
 // performance converges; the profiling iteration's cost differs, which is
 // why the paper chose subscribed-by-default.
-func AblationProfilingMode(opt Options) (*stats.Table, error) {
+func AblationProfilingMode(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Ablation: profiling mode (4-GPU GPS, total runtime in ms)",
@@ -208,7 +209,7 @@ func AblationProfilingMode(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: MainFabric(4), Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	results, err := Default.RunMatrix(cells)
+	results, err := Default.RunMatrix(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +226,7 @@ func AblationProfilingMode(opt Options) (*stats.Table, error) {
 // that GPS obtains the same performance as the native version." Two
 // compute-bound control workloads run under the native (memcpy) paradigm,
 // GPS, and the infinite-bandwidth bound; all three must coincide.
-func ControlApps(opt Options) (*stats.Table, error) {
+func ControlApps(ctx context.Context, opt Options) (*stats.Table, error) {
 	opt = opt.withDefaults()
 	tb := stats.NewTable(
 		"Control: compute-bound applications (4-GPU speedup; paradigms must coincide)",
@@ -245,7 +246,7 @@ func ControlApps(opt Options) (*stats.Table, error) {
 			cells = append(cells, Cell{App: app, Kind: k, GPUs: 4, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
 		}
 	}
-	bases, results, err := Default.RunMatrixWithBaselines(apps, opt, paradigm.DefaultConfig(), cells)
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,153 @@
+// Package httpapi exposes the simulation service over a JSON REST API:
+//
+//	POST   /v1/jobs           submit a job spec; 202 queued, 200 cached or
+//	                          coalesced, 400 invalid, 429 queue full
+//	                          (with Retry-After), 503 shutting down
+//	GET    /v1/jobs/{id}      poll status + progress
+//	GET    /v1/jobs/{id}/result  fetch the report of a done job; 202 while
+//	                          queued/running, 409 canceled, 500 failed
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET    /v1/healthz        liveness
+//	GET    /v1/metrics        queue depth, worker utilization, cache
+//	                          hit/miss, wall-clock accounting
+//
+// The result endpoint emits the same report schema as gpsbench -json
+// (internal/report), so CLI and service output are byte-compatible.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"gps/internal/service"
+)
+
+// Handler serves the REST API for one service.Server.
+type Handler struct {
+	svc *service.Server
+	mux *http.ServeMux
+}
+
+// New wires the routes.
+func New(svc *service.Server) *Handler {
+	h := &Handler{svc: svc, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /v1/jobs", h.submit)
+	h.mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
+	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	h.mux.HandleFunc("GET /v1/healthz", h.healthz)
+	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// writeJSON emits a JSON body with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// submitResponse decorates the job snapshot with what Submit did, so
+// clients can tell a fresh execution from a coalesced or cached one.
+type submitResponse struct {
+	service.Status
+	Outcome string `json:"outcome"` // accepted | coalesced | cached
+}
+
+func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
+	var spec service.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
+		return
+	}
+	st, outcome, err := h.svc.Submit(spec)
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(h.svc.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, service.ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	resp := submitResponse{Status: st}
+	code := http.StatusAccepted
+	switch outcome {
+	case service.OutcomeAccepted:
+		resp.Outcome = "accepted"
+	case service.OutcomeCoalesced:
+		resp.Outcome = "coalesced"
+		code = http.StatusOK
+	case service.OutcomeCached:
+		resp.Outcome = "cached"
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+func (h *Handler) status(w http.ResponseWriter, r *http.Request) {
+	st, err := h.svc.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) result(w http.ResponseWriter, r *http.Request) {
+	st, res, err := h.svc.Result(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	switch st.State {
+	case service.StateDone:
+		// The report schema shared with gpsbench -json, byte for byte.
+		writeJSON(w, http.StatusOK, res)
+	case service.StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: st.Error})
+	case service.StateCanceled:
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job canceled"})
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (h *Handler) cancel(w http.ResponseWriter, r *http.Request) {
+	st, err := h.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	m := h.svc.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": m.UptimeSeconds,
+		"workers":        m.Workers,
+		"queue_depth":    m.QueueDepth,
+	})
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.Metrics())
+}

@@ -1,0 +1,348 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gps/internal/report"
+	"gps/internal/service"
+)
+
+// doJSON issues one request and decodes the JSON body into out (if non-nil).
+func doJSON(t *testing.T, client *http.Client, method, url string, body string, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp
+}
+
+// jobView mirrors the submit/status response shape.
+type jobView struct {
+	ID        string       `json:"id"`
+	Hash      string       `json:"hash"`
+	State     string       `json:"state"`
+	Outcome   string       `json:"outcome"`
+	CellsDone uint64       `json:"cells_done"`
+	CacheHit  bool         `json:"cache_hit"`
+	Error     string       `json:"error"`
+	Spec      service.Spec `json:"spec"`
+}
+
+// pollTerminal polls a job until it leaves queued/running.
+func pollTerminal(t *testing.T, client *http.Client, base, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var jv jobView
+		resp := doJSON(t, client, "GET", base+"/v1/jobs/"+id, "", &jv)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, resp.StatusCode)
+		}
+		if jv.State == "done" || jv.State == "failed" || jv.State == "canceled" {
+			return jv
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return jobView{}
+}
+
+// TestEndToEndSubmitPollResult drives the full API against real simulations:
+// N concurrent submissions on a bounded worker pool, then a repeated
+// identical spec served from the content-addressed cache with no second
+// execution.
+func TestEndToEndSubmitPollResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 16})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(New(svc))
+	defer ts.Close()
+	client := ts.Client()
+
+	// One tiny real-simulation matrix spec plus instant static specs,
+	// submitted concurrently to exercise the pool under -race.
+	specs := []string{
+		`{"type":"matrix","iterations":1,"cells":[
+		   {"app":"jacobi","paradigm":"GPS","gpus":2,"fabric":"pcie4"},
+		   {"app":"jacobi","paradigm":"memcpy","gpus":2,"fabric":"pcie4"}]}`,
+		`{"type":"table","table":1}`,
+		`{"type":"table","table":2}`,
+		`{"type":"figure","figure":3}`,
+	}
+	ids := make([]string, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec string) {
+			defer wg.Done()
+			var jv jobView
+			resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", spec, &jv)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submit %d: status %d", i, resp.StatusCode)
+				return
+			}
+			ids[i] = jv.ID
+		}(i, spec)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for _, id := range ids {
+		jv := pollTerminal(t, client, ts.URL, id)
+		if jv.State != "done" {
+			t.Fatalf("job %s finished %s: %s", id, jv.State, jv.Error)
+		}
+	}
+
+	// The matrix job's progress counter saw both cells.
+	var matrixStatus jobView
+	doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+ids[0], "", &matrixStatus)
+	if matrixStatus.CellsDone != 2 {
+		t.Errorf("matrix cells_done = %d, want 2", matrixStatus.CellsDone)
+	}
+
+	// Its result is the shared report schema with one rendered table.
+	var rep report.Report
+	resp := doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+ids[0]+"/result", "", &rep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	if len(rep.Tables) != 1 || !strings.Contains(rep.Tables[0].Text, "jacobi/GPS/2gpu/pcie4") {
+		t.Fatalf("result tables missing matrix rows: %+v", rep.Tables)
+	}
+	if rep.Cache.TraceBuilds == 0 {
+		t.Error("result cache stats empty, want runner counters")
+	}
+
+	// Resubmitting the identical spec (differently spelled) is a cache hit:
+	// no execution, job born done, counter incremented.
+	before := svc.Metrics()
+	var cached jobView
+	resp = doJSON(t, client, "POST", ts.URL+"/v1/jobs",
+		`{"type":"MATRIX","iterations":1,"cells":[
+		   {"app":"jacobi","paradigm":"gps","gpus":2,"fabric":"PCIE4"},
+		   {"app":"jacobi","paradigm":"MEMCPY","gpus":2,"fabric":"pcie4"}]}`, &cached)
+	if resp.StatusCode != http.StatusOK || cached.Outcome != "cached" || cached.State != "done" {
+		t.Fatalf("repeat submit: status %d outcome %s state %s, want 200/cached/done",
+			resp.StatusCode, cached.Outcome, cached.State)
+	}
+	after := svc.Metrics()
+	if after.ResultCacheHits != before.ResultCacheHits+1 {
+		t.Errorf("cache hits %d -> %d, want +1", before.ResultCacheHits, after.ResultCacheHits)
+	}
+	if after.ExecSecondsTotal != before.ExecSecondsTotal && after.JobsSubmitted != before.JobsSubmitted+1 {
+		t.Errorf("cached submit must not execute")
+	}
+
+	// Metrics and health endpoints respond.
+	var m service.Metrics
+	if resp := doJSON(t, client, "GET", ts.URL+"/v1/metrics", "", &m); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if m.QueueCapacity != 16 || m.Workers != 2 {
+		t.Errorf("metrics queue/workers = %d/%d, want 16/2", m.QueueCapacity, m.Workers)
+	}
+	var hz map[string]any
+	if resp := doJSON(t, client, "GET", ts.URL+"/v1/healthz", "", &hz); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	if hz["status"] != "ok" {
+		t.Errorf("healthz = %v", hz)
+	}
+}
+
+// blockedServer builds a server whose executor parks jobs until release is
+// closed (or their context is canceled).
+func blockedServer(t *testing.T, workers, depth int) (*service.Server, *httptest.Server, chan struct{}, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	svc := service.New(service.Config{
+		Workers:    workers,
+		QueueDepth: depth,
+		Execute: func(ctx context.Context, spec service.Spec) (*report.Report, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+				return &report.Report{}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	ts := httptest.NewServer(New(svc))
+	return svc, ts, release, started
+}
+
+func TestQueueSaturationReturns429(t *testing.T) {
+	svc, ts, release, started := blockedServer(t, 1, 1)
+	defer func() {
+		close(release)
+		ts.Close()
+		svc.Shutdown(context.Background())
+	}()
+	client := ts.Client()
+
+	submit := func(body string) (*http.Response, jobView) {
+		var jv jobView
+		resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", body, &jv)
+		return resp, jv
+	}
+
+	if resp, _ := submit(`{"type":"sensitivity","sensitivity":"tlb"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1: %d", resp.StatusCode)
+	}
+	<-started // worker occupied
+	if resp, _ := submit(`{"type":"sensitivity","sensitivity":"pagesize"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 2: %d", resp.StatusCode)
+	}
+
+	resp, _ := submit(`{"type":"sensitivity","sensitivity":"watermark"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	// Invalid specs are rejected up front, not queued.
+	if resp, _ := submit(`{"type":"figure","figure":99}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := submit(`{"type":"figure","bogus":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	svc, ts, release, started := blockedServer(t, 1, 4)
+	defer func() {
+		close(release)
+		ts.Close()
+		svc.Shutdown(context.Background())
+	}()
+	client := ts.Client()
+
+	var jv jobView
+	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"tlb"}`, &jv)
+	<-started // mid-run
+
+	if resp := doJSON(t, client, "DELETE", ts.URL+"/v1/jobs/"+jv.ID, "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	got := pollTerminal(t, client, ts.URL, jv.ID)
+	if got.State != "canceled" {
+		t.Fatalf("state after cancel = %s, want canceled", got.State)
+	}
+	if resp := doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+jv.ID+"/result", "", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of canceled job: %d, want 409", resp.StatusCode)
+	}
+	if resp := doJSON(t, client, "GET", ts.URL+"/v1/jobs/nope", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestGracefulDrain mirrors gpsd's SIGTERM path: running jobs finish under
+// the drain deadline, queued jobs are canceled, late submissions get 503.
+func TestGracefulDrain(t *testing.T) {
+	svc, ts, release, started := blockedServer(t, 1, 4)
+	defer ts.Close()
+	client := ts.Client()
+
+	var running, queued jobView
+	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"tlb"}`, &running)
+	<-started
+	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"pagesize"}`, &queued)
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if st, _ := svc.Job(running.ID); st.State != service.StateDone {
+		t.Errorf("running job drained to %s, want done", st.State)
+	}
+	if st, _ := svc.Job(queued.ID); st.State != service.StateCanceled {
+		t.Errorf("queued job drained to %s, want canceled", st.State)
+	}
+	resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"table","table":1}`, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestResultSchemaMatchesCLI asserts byte-compatibility of the service
+// result payload with gpsbench -json: both are report.Report encodings.
+func TestResultSchemaMatchesCLI(t *testing.T) {
+	want := report.Report{ParallelWorkers: 3}
+	want.AddTable("figure3", "x")
+	want.Sections = []report.Section{{Name: "figure3", Seconds: 0.5}}
+	var cli bytes.Buffer
+	if err := want.Encode(&cli); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := service.New(service.Config{
+		Workers: 1,
+		Execute: func(ctx context.Context, spec service.Spec) (*report.Report, error) {
+			r := want
+			return &r, nil
+		},
+	})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(New(svc))
+	defer ts.Close()
+	client := ts.Client()
+
+	var jv jobView
+	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"figure","figure":3}`, &jv)
+	pollTerminal(t, client, ts.URL, jv.ID)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+jv.ID+"/result", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != cli.String() {
+		t.Errorf("service result differs from CLI encoding:\n--- service ---\n%s\n--- cli ---\n%s", body, cli.String())
+	}
+}

@@ -13,6 +13,7 @@ package interconnect
 
 import (
 	"fmt"
+	"strings"
 )
 
 // LinkID identifies one unidirectional link within a Fabric.
@@ -172,6 +173,32 @@ func (g PCIeGen) Bandwidth() float64 {
 }
 
 func (g PCIeGen) String() string { return fmt.Sprintf("PCIe %d.0", g) }
+
+// ByName builds the named fabric for a GPU count. The names are the ones the
+// CLIs and the gpsd job specs accept: pcie3..pcie6, nvswitch, cubemesh,
+// infinite (case-insensitive).
+func ByName(name string, gpus int) (*Fabric, error) {
+	switch strings.ToLower(name) {
+	case "pcie3":
+		return PCIeTree(gpus, PCIe3), nil
+	case "pcie4":
+		return PCIeTree(gpus, PCIe4), nil
+	case "pcie5":
+		return PCIeTree(gpus, PCIe5), nil
+	case "pcie6":
+		return PCIeTree(gpus, PCIe6), nil
+	case "nvswitch":
+		return NVSwitch(gpus, NVLink2Bandwidth), nil
+	case "cubemesh":
+		if gpus != 8 {
+			return nil, fmt.Errorf("interconnect: cubemesh is an 8-GPU topology, got %d GPUs", gpus)
+		}
+		return HybridCubeMesh(25e9), nil
+	case "infinite":
+		return Infinite(gpus), nil
+	}
+	return nil, fmt.Errorf("interconnect: unknown fabric %q (pcie3..pcie6, nvswitch, cubemesh, infinite)", name)
+}
 
 // PCIeTree builds an n-GPU PCIe fabric: every GPU owns one upstream (egress)
 // and one downstream (ingress) x16 link into a non-blocking switch complex,

@@ -9,6 +9,7 @@ package paradigm
 
 import (
 	"fmt"
+	"strings"
 
 	"gps/internal/engine"
 	"gps/internal/gpuconf"
@@ -79,6 +80,25 @@ func (k Kind) String() string {
 // the paper's bar order.
 func Figure8Kinds() []Kind {
 	return []Kind{KindUM, KindUMHints, KindRDL, KindMemcpy, KindGPS, KindInfinite}
+}
+
+// Kinds enumerates every paradigm, in declaration order.
+func Kinds() []Kind {
+	return []Kind{
+		KindUM, KindUMHints, KindRDL, KindMemcpy, KindGPS,
+		KindGPSNoSub, KindInfinite, KindGPSUnsubDefault, KindMemcpyAsync,
+	}
+}
+
+// KindByName resolves a paradigm by its String() name, case-insensitively.
+// The CLIs and the gpsd job specs share this parser.
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("paradigm: unknown paradigm %q (UM, UM+hints, RDL, memcpy, GPS, GPS-nosub, infiniteBW, GPS-unsub-default, memcpy-async)", name)
 }
 
 // Config carries the machine description plus the GPS structure overrides

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gps/internal/experiments"
+	"gps/internal/report"
+	"gps/internal/stats"
+)
+
+// Execute runs one canonicalized spec on the shared experiments runner and
+// assembles the same report.Report that gpsbench -json writes, so the CLI
+// and the service emit byte-compatible JSON for identical work. It is the
+// default executor of a Server; tests may substitute their own.
+func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
+	start := time.Now()
+	out := &report.Report{ParallelWorkers: experiments.Parallelism()}
+	opt := spec.options()
+
+	section := func(name string, fn func() (*stats.Table, string, error)) error {
+		t0 := time.Now()
+		tb, extra, err := fn()
+		if err != nil {
+			return err
+		}
+		text := tb.String()
+		if extra != "" {
+			text += extra + "\n"
+		}
+		out.AddTable(name, text)
+		out.Sections = append(out.Sections, report.Section{Name: name, Seconds: time.Since(t0).Seconds()})
+		return nil
+	}
+
+	plain := func(name string, fn func(context.Context, experiments.Options) (*stats.Table, error)) error {
+		return section(name, func() (*stats.Table, string, error) {
+			tb, err := fn(ctx, opt)
+			return tb, "", err
+		})
+	}
+
+	var err error
+	switch spec.Type {
+	case "table":
+		name := fmt.Sprintf("table%d", spec.Table)
+		text := experiments.Table1()
+		if spec.Table == 2 {
+			text = experiments.Table2()
+		}
+		out.AddTable(name, text)
+		out.Sections = append(out.Sections, report.Section{Name: name})
+
+	case "figure":
+		name := fmt.Sprintf("figure%d", spec.Figure)
+		switch spec.Figure {
+		case 1:
+			err = plain(name, experiments.Figure1)
+		case 2:
+			err = plain(name, experiments.Figure2)
+		case 3:
+			err = section(name, func() (*stats.Table, string, error) {
+				return experiments.Figure3(), "", nil
+			})
+		case 4:
+			err = plain(name, experiments.Figure4)
+		case 8:
+			err = section(name, func() (*stats.Table, string, error) {
+				tb, err := experiments.Figure8(ctx, opt)
+				if err != nil {
+					return nil, "", err
+				}
+				g, f, n := experiments.Claims71(tb)
+				out.GPSMeanX, out.OpportunityPct, out.VsNextBestX = g, f*100, n
+				return tb, fmt.Sprintf(
+					"Section 7.1 claims: GPS mean %.2fx (paper: 3.0x), %.1f%% of opportunity (paper: 93.7%%), %.2fx over next best (paper: 2.3x)",
+					g, f*100, n), nil
+			})
+		case 9:
+			err = plain(name, experiments.Figure9)
+		case 10:
+			err = plain(name, experiments.Figure10)
+		case 11:
+			err = plain(name, experiments.Figure11)
+		case 12:
+			err = plain(name, experiments.Figure12)
+		case 13:
+			err = plain(name, experiments.Figure13)
+		case 14:
+			err = plain(name, experiments.Figure14)
+		default:
+			err = fmt.Errorf("service: unknown figure %d", spec.Figure)
+		}
+
+	case "sensitivity":
+		name := "sens-" + spec.Sensitivity
+		switch spec.Sensitivity {
+		case "tlb":
+			err = plain(name, experiments.SensitivityGPSTLB)
+		case "pagesize":
+			err = plain(name, experiments.SensitivityPageSize)
+		case "watermark":
+			err = plain(name, experiments.AblationWatermark)
+		case "l2":
+			err = plain(name, experiments.ValidateL2)
+		case "profilingmode":
+			err = plain(name, experiments.AblationProfilingMode)
+		case "control":
+			err = plain(name, experiments.ControlApps)
+		case "pipelined":
+			err = plain(name, experiments.AblationPipelinedMemcpy)
+		case "fabrics":
+			err = plain(name, experiments.ExtendedFabrics)
+		case "fabricmodel":
+			err = section(name, func() (*stats.Table, string, error) {
+				tb, err := experiments.ValidateFabricModel(ctx, 50)
+				return tb, "", err
+			})
+		default:
+			err = fmt.Errorf("service: unknown sensitivity %q", spec.Sensitivity)
+		}
+
+	case "matrix":
+		err = section("matrix", func() (*stats.Table, string, error) {
+			return runMatrixSpec(ctx, spec, opt)
+		})
+
+	default:
+		err = fmt.Errorf("service: unknown job type %q", spec.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out.TotalSeconds = time.Since(start).Seconds()
+	out.Cache = experiments.Default.CacheStats()
+	return out, nil
+}
+
+// runMatrixSpec executes a custom cell matrix and renders one row per cell:
+// wall-clock simulated times, the 1-GPU speedup, and the steady-state bytes
+// the fabric moved.
+func runMatrixSpec(ctx context.Context, spec Spec, opt experiments.Options) (*stats.Table, string, error) {
+	cells := make([]experiments.Cell, len(spec.Cells))
+	for i, cs := range spec.Cells {
+		c, err := cs.cell(opt)
+		if err != nil {
+			return nil, "", err
+		}
+		cells[i] = c
+	}
+	results, err := experiments.Default.RunMatrix(ctx, cells)
+	if err != nil {
+		return nil, "", err
+	}
+	tb := stats.NewTable("Custom matrix",
+		"cell", "total ms", "steady ms", "speedup", "fabric MB")
+	tb.Fmt = "%10.3f"
+	for i, r := range results {
+		cs := spec.Cells[i]
+		base, err := experiments.Default.Baseline(cs.App, opt, r.Cell.Cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		label := fmt.Sprintf("%s/%s/%dgpu/%s", cs.App, cs.Paradigm, cs.GPUs, cs.Fabric)
+		tb.AddRow(label,
+			r.Report.Total*1e3,
+			r.Report.SteadyTotal()*1e3,
+			stats.Speedup(base, r.Report.SteadyTotal()),
+			float64(r.Result.InterconnectBytes(r.Result.Meta.ProfilePhases))/1e6)
+	}
+	return tb, "", nil
+}

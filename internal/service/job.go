@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"gps/internal/report"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: queued -> running -> done|failed, with canceled
+// reachable from queued and running. Cache hits are born done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted simulation. Fields are guarded by the owning
+// Server's mutex except cellsDone, which workers bump lock-free as matrix
+// cells complete.
+type Job struct {
+	ID   string
+	Hash string
+	Spec Spec
+
+	State       State
+	Err         string
+	Result      *report.Report
+	CacheHit    bool   // served from the content-addressed cache at submit
+	Coalesced   uint64 // extra submissions that rode on this execution
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+
+	cellsDone atomic.Uint64
+	cancel    context.CancelCauseFunc // non-nil once running
+	done      chan struct{}           // closed on reaching a terminal state
+}
+
+// Status is the JSON snapshot the API returns when polling a job.
+type Status struct {
+	ID          string  `json:"id"`
+	Hash        string  `json:"hash"`
+	State       State   `json:"state"`
+	Spec        Spec    `json:"spec"`
+	CellsDone   uint64  `json:"cells_done"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Coalesced   uint64  `json:"coalesced,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	SubmittedAt string  `json:"submitted_at"`
+	WaitSeconds float64 `json:"wait_seconds"`           // queued -> started (or now)
+	WallSeconds float64 `json:"wall_seconds,omitempty"` // started -> finished (or now)
+}
+
+// snapshot renders the job under the server lock.
+func (j *Job) snapshot(now time.Time) Status {
+	st := Status{
+		ID:          j.ID,
+		Hash:        j.Hash,
+		State:       j.State,
+		Spec:        j.Spec,
+		CellsDone:   j.cellsDone.Load(),
+		CacheHit:    j.CacheHit,
+		Coalesced:   j.Coalesced,
+		Error:       j.Err,
+		SubmittedAt: j.SubmittedAt.UTC().Format(time.RFC3339Nano),
+	}
+	switch {
+	case j.StartedAt.IsZero():
+		st.WaitSeconds = now.Sub(j.SubmittedAt).Seconds()
+	default:
+		st.WaitSeconds = j.StartedAt.Sub(j.SubmittedAt).Seconds()
+		if j.FinishedAt.IsZero() {
+			st.WallSeconds = now.Sub(j.StartedAt).Seconds()
+		} else {
+			st.WallSeconds = j.FinishedAt.Sub(j.StartedAt).Seconds()
+		}
+	}
+	if st.WaitSeconds < 0 {
+		st.WaitSeconds = 0
+	}
+	return st
+}
+
+// Done exposes the completion channel; it is closed once the job reaches a
+// terminal state. Callers must not close it.
+func (j *Job) Done() <-chan struct{} { return j.done }

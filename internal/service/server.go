@@ -1,0 +1,513 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gps/internal/experiments"
+	"gps/internal/report"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is returned when admission control rejects a submission
+	// because the bounded queue is saturated (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown is returned for submissions after drain began (503).
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrNotFound is returned for unknown (or pruned) job IDs (404).
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// errJobCanceled is the cancellation cause installed by Cancel, so the
+// worker can tell a user cancel from a timeout or a server drain.
+var errJobCanceled = errors.New("service: job canceled by request")
+
+// Outcome classifies what Submit did with a spec.
+type Outcome int
+
+const (
+	// OutcomeAccepted: a new job was queued for execution.
+	OutcomeAccepted Outcome = iota
+	// OutcomeCoalesced: an identical spec is already queued or running; the
+	// submission rides on that execution (single-flight).
+	OutcomeCoalesced
+	// OutcomeCached: the result was served from the content-addressed cache
+	// without any execution; the returned job is born done.
+	OutcomeCached
+)
+
+// Config sizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Each job additionally fans its cells out on the experiments runner's
+	// own pool, so total CPU use is Workers x runner parallelism.
+	Workers int
+	// QueueDepth bounds the admission queue (default 16). Submissions
+	// beyond running+queued capacity get ErrQueueFull.
+	QueueDepth int
+	// JobTimeout caps one job's execution (default 0: unlimited). A timed
+	// out job fails; its in-flight simulation cells finish and are kept in
+	// the runner caches, so a resubmission resumes cheaply.
+	JobTimeout time.Duration
+	// CacheEntries bounds the content-addressed result cache (default 256,
+	// FIFO eviction).
+	CacheEntries int
+	// RetainJobs bounds how many terminal jobs stay queryable (default
+	// 1024, oldest pruned first) so a long-lived daemon's job store cannot
+	// grow without bound.
+	RetainJobs int
+	// Execute runs one canonical spec. Defaults to Execute (the shared
+	// experiments runner); tests substitute stubs to script timing.
+	Execute func(context.Context, Spec) (*report.Report, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	if c.Execute == nil {
+		c.Execute = Execute
+	}
+	return c
+}
+
+// Metrics is the operational snapshot of /v1/metrics.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	BusyWorkers   int     `json:"busy_workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	JobsCoalesced uint64 `json:"jobs_coalesced"`
+
+	ResultCacheHits    uint64 `json:"result_cache_hits"`
+	ResultCacheMisses  uint64 `json:"result_cache_misses"`
+	ResultCacheEntries int    `json:"result_cache_entries"`
+
+	ExecSecondsTotal float64 `json:"exec_seconds_total"`
+
+	// RunnerCache exposes the memoization counters of the underlying
+	// experiments runner (traces, structural replays, baselines).
+	RunnerCache experiments.CacheStats `json:"runner_cache"`
+}
+
+// Server is the simulation-as-a-service core: admission control in front of
+// a bounded FIFO queue, a worker pool draining it, single-flight coalescing
+// of duplicate in-flight specs, and a content-addressed result cache.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	baseCtx    context.Context // canceled only when a drain deadline forces abort
+	baseCancel context.CancelCauseFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+	busy       atomic.Int64
+
+	mu       sync.Mutex
+	closed   bool
+	seq      uint64
+	jobs     map[string]*Job
+	inflight map[string]*Job // canonical hash -> queued/running job
+	cache    *resultCache
+	terminal []string // terminal job IDs in completion order, for pruning
+
+	submitted, rejected, coalesced  atomic.Uint64
+	jobsDone, jobsFailed, jobsCancd atomic.Uint64
+	cacheHits, cacheMisses          atomic.Uint64
+	execSeconds                     float64 // guarded by mu
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       map[string]*Job{},
+		inflight:   map[string]*Job{},
+		cache:      newResultCache(cfg.CacheEntries),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits one spec. It returns the job snapshot to poll plus what
+// happened: accepted (new execution queued), coalesced (identical spec
+// already in flight — the same job serves both), or cached (the canonical
+// hash hit the result cache and the job is born done, no execution).
+func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return Status{}, OutcomeAccepted, err
+	}
+	hash := canon.Hash()
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Status{}, OutcomeAccepted, ErrShuttingDown
+	}
+
+	if res, ok := s.cache.get(hash); ok {
+		s.cacheHits.Add(1)
+		s.submitted.Add(1)
+		job := s.newJobLocked(canon, hash, now)
+		job.State = StateDone
+		job.CacheHit = true
+		job.StartedAt, job.FinishedAt = now, now
+		job.Result = res
+		close(job.done)
+		s.retireLocked(job)
+		s.jobsDone.Add(1)
+		return job.snapshot(now), OutcomeCached, nil
+	}
+
+	if leader, ok := s.inflight[hash]; ok {
+		leader.Coalesced++
+		s.coalesced.Add(1)
+		return leader.snapshot(now), OutcomeCoalesced, nil
+	}
+
+	job := s.newJobLocked(canon, hash, now)
+	select {
+	case s.queue <- job:
+	default:
+		delete(s.jobs, job.ID)
+		s.rejected.Add(1)
+		return Status{}, OutcomeAccepted, ErrQueueFull
+	}
+	s.inflight[hash] = job
+	s.submitted.Add(1)
+	s.cacheMisses.Add(1)
+	return job.snapshot(now), OutcomeAccepted, nil
+}
+
+// newJobLocked allocates and registers a queued job. Callers hold s.mu.
+func (s *Server) newJobLocked(spec Spec, hash string, now time.Time) *Job {
+	s.seq++
+	job := &Job{
+		ID:          fmt.Sprintf("j-%06d", s.seq),
+		Hash:        hash,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: now,
+		done:        make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	return job
+}
+
+// Job returns the snapshot of one job.
+func (s *Server) Job(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return job.snapshot(time.Now()), nil
+}
+
+// Result returns the report of a done job. The error distinguishes unknown
+// jobs (ErrNotFound) from jobs that exist but have no result yet (nil
+// report, nil error — the caller inspects the returned status).
+func (s *Server) Result(id string) (Status, *report.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return Status{}, nil, ErrNotFound
+	}
+	return job.snapshot(time.Now()), job.Result, nil
+}
+
+// jobHandle returns the live job pointer; tests use it to wait on Done.
+func (s *Server) jobHandle(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return job, nil
+}
+
+// Cancel requests cancellation. A queued job is retired immediately; a
+// running job's context is canceled and the job reaches the canceled state
+// once its current simulation cell finishes (the engine is not preempted
+// mid-cell so cached partial work stays valid). Canceling a terminal job is
+// a no-op. A canceled execution cancels every coalesced submission riding
+// on it — they share one job.
+func (s *Server) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	now := time.Now()
+	switch job.State {
+	case StateQueued:
+		job.State = StateCanceled
+		job.Err = errJobCanceled.Error()
+		job.FinishedAt = now
+		if s.inflight[job.Hash] == job {
+			delete(s.inflight, job.Hash)
+		}
+		s.jobsCancd.Add(1)
+		close(job.done)
+		s.retireLocked(job)
+	case StateRunning:
+		job.cancel(errJobCanceled)
+	}
+	return job.snapshot(now), nil
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one queued job through the configured executor.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	if job.State != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	job.StartedAt = time.Now()
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	job.cancel = cancel
+	s.mu.Unlock()
+	defer cancel(nil)
+
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+
+	runCtx := ctx
+	if s.cfg.JobTimeout > 0 {
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer tcancel()
+	}
+	runCtx = experiments.WithCellObserver(runCtx, func() { job.cellsDone.Add(1) })
+
+	res, err := s.cfg.Execute(runCtx, job.Spec)
+	s.finishJob(job, runCtx, res, err)
+}
+
+// finishJob moves a running job to its terminal state and accounts for it.
+func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report, err error) {
+	now := time.Now()
+	cause := context.Cause(runCtx)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[job.Hash] == job {
+		delete(s.inflight, job.Hash)
+	}
+	job.FinishedAt = now
+	s.execSeconds += now.Sub(job.StartedAt).Seconds()
+
+	switch {
+	case errors.Is(cause, errJobCanceled):
+		// User cancel wins even over a result that squeaked through.
+		job.State = StateCanceled
+		job.Err = errJobCanceled.Error()
+		s.jobsCancd.Add(1)
+	case err == nil:
+		job.State = StateDone
+		job.Result = res
+		s.cache.put(job.Hash, res)
+		s.jobsDone.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		job.State = StateFailed
+		job.Err = fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout)
+		s.jobsFailed.Add(1)
+	case errors.Is(err, context.Canceled):
+		// Server drain deadline forced the abort.
+		job.State = StateCanceled
+		job.Err = "canceled: " + cause.Error()
+		s.jobsCancd.Add(1)
+	default:
+		job.State = StateFailed
+		job.Err = err.Error()
+		s.jobsFailed.Add(1)
+	}
+	close(job.done)
+	s.retireLocked(job)
+}
+
+// retireLocked records a terminal job and prunes the oldest ones beyond the
+// retention bound. Callers hold s.mu.
+func (s *Server) retireLocked(job *Job) {
+	s.terminal = append(s.terminal, job.ID)
+	for len(s.terminal) > s.cfg.RetainJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+}
+
+// Metrics snapshots the operational counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	execSeconds := s.execSeconds
+	cacheEntries := s.cache.len()
+	s.mu.Unlock()
+	return Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		BusyWorkers:   int(s.busy.Load()),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+
+		JobsSubmitted: s.submitted.Load(),
+		JobsDone:      s.jobsDone.Load(),
+		JobsFailed:    s.jobsFailed.Load(),
+		JobsCanceled:  s.jobsCancd.Load(),
+		JobsRejected:  s.rejected.Load(),
+		JobsCoalesced: s.coalesced.Load(),
+
+		ResultCacheHits:    s.cacheHits.Load(),
+		ResultCacheMisses:  s.cacheMisses.Load(),
+		ResultCacheEntries: cacheEntries,
+
+		ExecSecondsTotal: execSeconds,
+		RunnerCache:      experiments.Default.CacheStats(),
+	}
+}
+
+// RetryAfterSeconds estimates when a rejected submission is worth retrying:
+// the queue's expected drain time given the mean execution so far, clamped
+// to [1s, 300s]. With no history it answers 1.
+func (s *Server) RetryAfterSeconds() int {
+	executed := s.jobsDone.Load() + s.jobsFailed.Load()
+	if executed == 0 {
+		return 1
+	}
+	s.mu.Lock()
+	mean := s.execSeconds / float64(executed)
+	s.mu.Unlock()
+	est := mean * float64(len(s.queue)) / float64(s.cfg.Workers)
+	switch {
+	case est < 1:
+		return 1
+	case est > 300:
+		return 300
+	}
+	return int(est + 0.5)
+}
+
+// Shutdown drains the service: new submissions are refused, queued jobs are
+// canceled, and running jobs get until ctx's deadline to finish. If the
+// deadline expires the jobs' contexts are canceled (they abort at the next
+// cell boundary) and Shutdown reports ctx's error; a clean drain returns
+// nil. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		// Cancel everything still waiting; workers skip canceled jobs.
+	drain:
+		for {
+			select {
+			case job := <-s.queue:
+				if job.State == StateQueued {
+					job.State = StateCanceled
+					job.Err = ErrShuttingDown.Error()
+					job.FinishedAt = time.Now()
+					if s.inflight[job.Hash] == job {
+						delete(s.inflight, job.Hash)
+					}
+					s.jobsCancd.Add(1)
+					close(job.done)
+					s.retireLocked(job)
+				}
+			default:
+				break drain
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel(fmt.Errorf("drain deadline: %w", ctx.Err()))
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// resultCache is the content-addressed result store: canonical spec hash ->
+// report, bounded FIFO. Methods are not self-locking; the Server's mutex
+// guards them.
+type resultCache struct {
+	max     int
+	entries map[string]*report.Report
+	order   []string
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, entries: map[string]*report.Report{}}
+}
+
+func (c *resultCache) get(hash string) (*report.Report, bool) {
+	res, ok := c.entries[hash]
+	return res, ok
+}
+
+func (c *resultCache) put(hash string, res *report.Report) {
+	if _, ok := c.entries[hash]; ok {
+		c.entries[hash] = res
+		return
+	}
+	c.entries[hash] = res
+	c.order = append(c.order, hash)
+	for len(c.order) > c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+func (c *resultCache) len() int { return len(c.entries) }

@@ -1,0 +1,203 @@
+// Package service turns the experiments runner into a long-running
+// simulation service: a bounded job queue with admission control, a worker
+// pool, a single-flight table that coalesces duplicate in-flight
+// submissions, and a content-addressed result cache keyed by a canonical
+// hash of the job spec. internal/httpapi exposes it over JSON REST; cmd/gpsd
+// is the binary.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"gps/internal/experiments"
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/workload"
+)
+
+// Spec describes one simulation job. Exactly one of the four types is
+// selected by Type:
+//
+//   - "figure":      regenerate one paper figure (1,2,3,4,8,9,10,11,12,13,14)
+//   - "table":       render Table 1 or 2 (static, instant)
+//   - "sensitivity": run a named study (tlb, pagesize, watermark, l2,
+//     profilingmode, control, pipelined, fabrics, fabricmodel)
+//   - "matrix":      run an explicit list of (app, paradigm, gpus, fabric)
+//     cells
+//
+// Iterations/Scale/Seed size the workloads exactly like the gpsbench flags;
+// zero values take the experiment defaults (4 iterations, scale 1, seed 1).
+type Spec struct {
+	Type        string     `json:"type"`
+	Figure      int        `json:"figure,omitempty"`
+	Table       int        `json:"table,omitempty"`
+	Sensitivity string     `json:"sensitivity,omitempty"`
+	Cells       []CellSpec `json:"cells,omitempty"`
+
+	Iterations int   `json:"iterations,omitempty"`
+	Scale      int   `json:"scale,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	Quick      bool  `json:"quick,omitempty"`
+}
+
+// CellSpec names one custom-matrix cell using the CLI vocabulary: app and
+// paradigm as printed by gpsim, fabric as accepted by -interconnect.
+type CellSpec struct {
+	App      string `json:"app"`
+	Paradigm string `json:"paradigm"`
+	GPUs     int    `json:"gpus"`
+	Fabric   string `json:"fabric"`
+	Packet   bool   `json:"packet,omitempty"`
+}
+
+// Figures lists the figure numbers a "figure" spec accepts.
+var Figures = []int{1, 2, 3, 4, 8, 9, 10, 11, 12, 13, 14}
+
+// Sensitivities lists the named studies a "sensitivity" spec accepts.
+var Sensitivities = []string{
+	"tlb", "pagesize", "watermark", "l2", "profilingmode",
+	"control", "pipelined", "fabrics", "fabricmodel",
+}
+
+// Canonicalize validates the spec and returns its normal form: type and
+// names lowercased and resolved to their canonical spellings, workload
+// defaults applied. Two specs that describe the same computation normalize
+// to identical values, which is what makes the content-addressed cache and
+// the single-flight table work.
+func (s Spec) Canonicalize() (Spec, error) {
+	out := s
+	out.Type = strings.ToLower(strings.TrimSpace(s.Type))
+	if out.Iterations <= 0 {
+		out.Iterations = 4
+	}
+	if out.Quick && out.Iterations > 2 {
+		out.Iterations = 2
+	}
+	out.Quick = false // folded into Iterations above
+	if out.Scale <= 0 {
+		out.Scale = 1
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+
+	clear := func() { out.Figure, out.Table, out.Sensitivity, out.Cells = 0, 0, "", nil }
+	switch out.Type {
+	case "figure":
+		fig := out.Figure
+		clear()
+		out.Figure = fig
+		if !contains(Figures, fig) {
+			return Spec{}, fmt.Errorf("service: unknown figure %d (have %v)", fig, Figures)
+		}
+	case "table":
+		tab := out.Table
+		clear()
+		out.Table = tab
+		if tab != 1 && tab != 2 {
+			return Spec{}, fmt.Errorf("service: unknown table %d (have 1, 2)", tab)
+		}
+	case "sensitivity":
+		sens := strings.ToLower(strings.TrimSpace(out.Sensitivity))
+		clear()
+		out.Sensitivity = sens
+		ok := false
+		for _, name := range Sensitivities {
+			if name == sens {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Spec{}, fmt.Errorf("service: unknown sensitivity %q (have %s)",
+				sens, strings.Join(Sensitivities, ", "))
+		}
+	case "matrix":
+		cells := out.Cells
+		clear()
+		if len(cells) == 0 {
+			return Spec{}, fmt.Errorf("service: matrix spec needs at least one cell")
+		}
+		out.Cells = make([]CellSpec, len(cells))
+		for i, c := range cells {
+			norm, err := c.canonicalize()
+			if err != nil {
+				return Spec{}, fmt.Errorf("service: cell %d: %w", i, err)
+			}
+			out.Cells[i] = norm
+		}
+	default:
+		return Spec{}, fmt.Errorf("service: unknown job type %q (figure, table, sensitivity, matrix)", s.Type)
+	}
+	return out, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalize resolves the cell's names through the shared CLI parsers so
+// e.g. "gps"/"GPS" and "PCIE4"/"pcie4" hash identically.
+func (c CellSpec) canonicalize() (CellSpec, error) {
+	if c.GPUs <= 0 {
+		c.GPUs = 4
+	}
+	if _, err := workload.ByName(c.App); err != nil {
+		return CellSpec{}, err
+	}
+	kind, err := paradigm.KindByName(c.Paradigm)
+	if err != nil {
+		return CellSpec{}, err
+	}
+	if c.Fabric == "" {
+		c.Fabric = "pcie4"
+	}
+	c.Fabric = strings.ToLower(c.Fabric)
+	if _, err := interconnect.ByName(c.Fabric, c.GPUs); err != nil {
+		return CellSpec{}, err
+	}
+	c.Paradigm = kind.String()
+	return c, nil
+}
+
+// cell materializes the experiments.Cell this spec describes.
+func (c CellSpec) cell(opt experiments.Options) (experiments.Cell, error) {
+	kind, err := paradigm.KindByName(c.Paradigm)
+	if err != nil {
+		return experiments.Cell{}, err
+	}
+	fab, err := interconnect.ByName(c.Fabric, c.GPUs)
+	if err != nil {
+		return experiments.Cell{}, err
+	}
+	return experiments.Cell{
+		App: c.App, Kind: kind, GPUs: c.GPUs, Fab: fab,
+		Opt: opt, Cfg: paradigm.DefaultConfig(), Packet: c.Packet,
+	}, nil
+}
+
+// options maps the spec's sizing fields onto experiment options.
+func (s Spec) options() experiments.Options {
+	return experiments.Options{Iterations: s.Iterations, Scale: s.Scale, Seed: s.Seed}
+}
+
+// Hash returns the content address of the canonical spec: the hex SHA-256
+// of its canonical JSON encoding. Specs must be canonicalized first; Hash
+// panics on a spec that fails to marshal (impossible for valid specs).
+func (s Spec) Hash() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic("service: spec not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

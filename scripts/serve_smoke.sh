@@ -1,0 +1,67 @@
+#!/bin/sh
+# serve_smoke.sh: end-to-end smoke test of the gpsd daemon over its REST API.
+#
+# Builds gpsd, starts it on an ephemeral port, submits one small matrix job,
+# polls it to completion, asserts the result endpoint answers 200 with the
+# shared report schema, then SIGTERMs the daemon and checks a clean drain.
+# Needs only a POSIX shell and curl; exits non-zero on any failure.
+set -eu
+
+workdir=$(mktemp -d)
+bin="$workdir/gpsd"
+log="$workdir/gpsd.log"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin" ./cmd/gpsd
+
+"$bin" -addr 127.0.0.1:0 -workers 1 -queue 4 >"$log" 2>&1 &
+pid=$!
+
+# The daemon prints "gpsd: listening on HOST:PORT (...)" once the socket is
+# bound; parse the ephemeral port out of that line.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^gpsd: listening on \([^ ]*\) .*/\1/p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: gpsd died:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: no listen line in gpsd output"; cat "$log"; exit 1; }
+base="http://$addr/v1"
+echo "serve-smoke: gpsd at $base"
+
+code=$(curl -s -o "$workdir/health" -w '%{http_code}' "$base/healthz")
+[ "$code" = 200 ] || { echo "serve-smoke: healthz returned $code"; exit 1; }
+
+spec='{"type":"matrix","iterations":1,"cells":[{"app":"jacobi","paradigm":"GPS","gpus":2,"fabric":"pcie4"}]}'
+code=$(curl -s -o "$workdir/submit" -w '%{http_code}' -d "$spec" "$base/jobs")
+[ "$code" = 202 ] || { echo "serve-smoke: submit returned $code:"; cat "$workdir/submit"; exit 1; }
+id=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/submit" | head -n 1)
+[ -n "$id" ] || { echo "serve-smoke: no job id in submit response"; cat "$workdir/submit"; exit 1; }
+echo "serve-smoke: submitted $id"
+
+state=""
+for _ in $(seq 1 600); do
+    curl -s "$base/jobs/$id" >"$workdir/status"
+    state=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' "$workdir/status" | head -n 1)
+    case "$state" in done|failed|canceled) break ;; esac
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "serve-smoke: job ended '$state':"; cat "$workdir/status"; exit 1; }
+
+code=$(curl -s -o "$workdir/result" -w '%{http_code}' "$base/jobs/$id/result")
+[ "$code" = 200 ] || { echo "serve-smoke: result returned $code:"; cat "$workdir/result"; exit 1; }
+grep -q '"tables"' "$workdir/result" || { echo "serve-smoke: result missing tables:"; cat "$workdir/result"; exit 1; }
+echo "serve-smoke: result OK ($(wc -c <"$workdir/result") bytes)"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "serve-smoke: gpsd exited non-zero after SIGTERM:"; cat "$log"; exit 1; }
+pid=""
+grep -q 'drained cleanly' "$log" || { echo "serve-smoke: no clean drain:"; cat "$log"; exit 1; }
+echo "serve-smoke: PASS"
