@@ -2,10 +2,11 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke serve-smoke
+.PHONY: check vet build race test bench-smoke serve-smoke chaos
 
-## check: full gate — vet, build, and the test suite under the race detector.
-check: vet build race
+## check: full gate — vet, build, the test suite under the race detector,
+## and the chaos gate (fault injection, fuzzing, crash recovery).
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -29,3 +30,13 @@ bench-smoke:
 ## HTTP, assert a 200 result, and check the SIGTERM drain path.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+## chaos: the resilience gate — fault-injected suites under -race, a fuzz
+## pass over the trace decoder, and the SIGKILL crash-recovery smoke.
+chaos:
+	$(GO) test -race ./internal/faultinject/ ./internal/retry/
+	$(GO) test -race -run 'Panic|Injected|CellError|Deterministic' ./internal/experiments/
+	$(GO) test -race -run 'Chaos|Journal|Panic|Fault|Injected' ./internal/service/
+	$(GO) test -race -run 'ZeroCell|Oversized|JournalFailure' ./internal/httpapi/
+	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=10s ./internal/trace/
+	sh scripts/chaos_smoke.sh

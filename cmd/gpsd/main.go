@@ -10,6 +10,8 @@
 //	gpsd -workers 4 -queue 32           # more concurrency, deeper queue
 //	gpsd -job-timeout 5m -drain 30s     # per-job cap, shutdown drain budget
 //	gpsd -parallel 8                    # simulation cells per job
+//	gpsd -journal gpsd.journal          # durable job log; crash recovery
+//	gpsd -job-retries 3                 # attempts per job on transient failure
 //
 // Submit and poll with curl:
 //
@@ -35,6 +37,7 @@ import (
 
 	"gps/internal/experiments"
 	"gps/internal/httpapi"
+	"gps/internal/retry"
 	"gps/internal/service"
 )
 
@@ -47,8 +50,21 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for running jobs")
 		parallel   = flag.Int("parallel", 0, "simulation worker goroutines per job (0 = GOMAXPROCS)")
 		cacheN     = flag.Int("cache", 256, "content-addressed result cache entries")
+		journalP   = flag.String("journal", "", "job journal path; enables crash recovery (empty = no journal)")
+		jobRetries = flag.Int("job-retries", 3, "attempts per job on transient failure")
 	)
 	flag.Parse()
+
+	var journal *service.Journal
+	if *journalP != "" {
+		var err error
+		journal, err = service.OpenJournal(*journalP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+	}
 
 	experiments.SetParallelism(*parallel)
 	svc := service.New(service.Config{
@@ -56,6 +72,8 @@ func main() {
 		QueueDepth:   *queue,
 		JobTimeout:   *jobTimeout,
 		CacheEntries: *cacheN,
+		JobRetry:     retry.Policy{MaxAttempts: *jobRetries, BaseDelay: 250 * time.Millisecond, MaxDelay: 10 * time.Second, Jitter: 0.2},
+		Journal:      journal,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -67,8 +85,21 @@ func main() {
 	// parse it to discover an ephemeral port.
 	fmt.Printf("gpsd: listening on %s (%d workers, queue %d, job timeout %v)\n",
 		ln.Addr(), *workers, *queue, *jobTimeout)
+	if journal != nil {
+		fmt.Printf("gpsd: journal %s (%d jobs recovered)\n",
+			journal.Path(), svc.Metrics().JobsReplayed)
+	}
 
-	httpSrv := &http.Server{Handler: httpapi.New(svc)}
+	// Slow-client protection: a stalled or malicious peer must not pin a
+	// connection (and its goroutine) forever. WriteTimeout is generous
+	// because result bodies for big matrices take real time to render.
+	httpSrv := &http.Server{
+		Handler:           httpapi.New(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

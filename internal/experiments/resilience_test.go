@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gps/internal/faultinject"
+	"gps/internal/paradigm"
+	"gps/internal/retry"
+)
+
+// fastRetry keeps resilience tests clock-light.
+var fastRetry = retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Multiplier: 2}
+
+// TestPanickingCellBecomesTypedError: a panic inside one cell fails the
+// matrix with a *CellError carrying the index and a stack, not a process
+// crash, and the runner stays usable afterwards.
+func TestPanickingCellBecomesTypedError(t *testing.T) {
+	r := NewRunner(2)
+	r.SetCellRetry(retry.Policy{MaxAttempts: 1}) // isolate the fence
+	boom := func(i int) error {
+		if i == 1 {
+			panic("poisoned cell")
+		}
+		return nil
+	}
+	err := r.parallelFor(context.Background(), 3, boom)
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *CellError", err, err)
+	}
+	if ce.Index != 1 || ce.Stack == "" || !strings.Contains(ce.Err.Error(), "poisoned cell") {
+		t.Fatalf("CellError = index %d, stack %d bytes, err %v", ce.Index, len(ce.Stack), ce.Err)
+	}
+	if got := r.ResilienceStats().CellPanics; got != 1 {
+		t.Errorf("CellPanics = %d, want 1", got)
+	}
+	// A real (non-injected) panic is deterministic: no retry happened.
+	if got := r.ResilienceStats().CellRetries; got != 0 {
+		t.Errorf("CellRetries = %d, want 0", got)
+	}
+	// The runner is not poisoned: a clean pass still works.
+	if err := r.parallelFor(context.Background(), 3, func(int) error { return nil }); err != nil {
+		t.Fatalf("runner unusable after panic: %v", err)
+	}
+}
+
+// TestInjectedFaultRetriesToSuccess: a transient injected error on the
+// first cell attempt is absorbed by the retry loop and the matrix result is
+// identical to a fault-free run.
+func TestInjectedFaultRetriesToSuccess(t *testing.T) {
+	cells := []Cell{{
+		App: "jacobi", Kind: paradigm.KindGPS, GPUs: 2, Fab: MainFabric(2),
+		Opt: Options{Iterations: 1}, Cfg: paradigm.DefaultConfig(),
+	}}
+
+	clean := NewRunner(1)
+	want, err := clean.RunMatrix(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := NewRunner(1)
+	faulty.SetCellRetry(fastRetry)
+	faulty.SetFaultHook(faultinject.New(1, faultinject.Rule{
+		Site: "runner.cell", Kind: faultinject.KindError, Ordinal: 1,
+	}))
+	got, err := faulty.RunMatrix(context.Background(), cells)
+	if err != nil {
+		t.Fatalf("matrix with injected transient fault failed: %v", err)
+	}
+	if got[0].Report.Total != want[0].Report.Total || got[0].Report.SteadyTotal() != want[0].Report.SteadyTotal() {
+		t.Errorf("faulted run differs from clean run: %v vs %v", got[0].Report.Total, want[0].Report.Total)
+	}
+	st := faulty.ResilienceStats()
+	if st.CellRetries == 0 {
+		t.Errorf("CellRetries = 0, want >= 1 after an injected fault")
+	}
+}
+
+// TestInjectedPanicRetriesThroughFence: an injected panic classifies as
+// retryable (it is a scripted transient), so the fence converts it and the
+// retry loop still completes the cell.
+func TestInjectedPanicRetriesThroughFence(t *testing.T) {
+	r := NewRunner(1)
+	r.SetCellRetry(fastRetry)
+	r.SetFaultHook(faultinject.New(1, faultinject.Rule{
+		Site: "runner.cell", Kind: faultinject.KindPanic, Ordinal: 1,
+	}))
+	calls := 0
+	err := r.parallelFor(context.Background(), 1, func(int) error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("injected panic not absorbed: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("work ran %d times, want 1 (first attempt died in the hook)", calls)
+	}
+	st := r.ResilienceStats()
+	if st.CellPanics != 1 || st.CellRetries == 0 {
+		t.Errorf("stats = %+v, want one panic and at least one retry", st)
+	}
+}
+
+// TestDeterministicCellErrorDoesNotRetry: ordinary simulation errors are
+// not transient; the retry loop must not mask them with re-runs.
+func TestDeterministicCellErrorDoesNotRetry(t *testing.T) {
+	r := NewRunner(1)
+	r.SetCellRetry(fastRetry)
+	calls := 0
+	err := r.parallelFor(context.Background(), 1, func(int) error {
+		calls++
+		return errors.New("deterministic failure")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want error after exactly 1 attempt", err, calls)
+	}
+}
+
+// TestCellErrorNamesTheCell: RunMatrix failures identify which
+// configuration died.
+func TestCellErrorNamesTheCell(t *testing.T) {
+	r := NewRunner(1)
+	r.SetCellRetry(retry.Policy{MaxAttempts: 1})
+	r.SetFaultHook(faultinject.New(1, faultinject.Rule{
+		Site: "runner.cell", Kind: faultinject.KindPanic, Ordinal: 1,
+	}))
+	cells := []Cell{{
+		App: "jacobi", Kind: paradigm.KindGPS, GPUs: 2, Fab: MainFabric(2),
+		Opt: Options{Iterations: 1}, Cfg: paradigm.DefaultConfig(),
+	}}
+	_, err := r.RunMatrix(context.Background(), cells)
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CellError", err)
+	}
+	if !strings.Contains(ce.Desc, "jacobi/GPS/2gpu") {
+		t.Errorf("CellError.Desc = %q, want the cell config", ce.Desc)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,8 @@ type resultEntry struct {
 type Runner struct {
 	workers int64 // 0 means GOMAXPROCS, resolved at use
 
+	resilienceState // panic fences, cell retry policy, fault hook
+
 	mu        sync.Mutex
 	tick      uint64
 	traces    map[traceKey]*traceEntry
@@ -143,6 +146,7 @@ func NewRunner(workers int) *Runner {
 		baselines: map[baselineKey]*baselineEntry{},
 		budget:    DefaultTraceBudget,
 	}
+	r.cellRetry = DefaultCellRetry
 	r.SetWorkers(workers)
 	return r
 }
@@ -410,12 +414,21 @@ func (r *Runner) Speedup(app string, kind paradigm.Kind, gpus int, fab *intercon
 // cancellation error is reported from the first index that was not issued,
 // preserving the lowest-index error convention.
 func (r *Runner) parallelFor(ctx context.Context, n int, fn func(int) error) error {
+	return r.parallelForDesc(ctx, n, nil, fn)
+}
+
+// parallelForDesc is parallelFor with an optional desc(i) used to label
+// CellErrors. Each index runs under the panic fence and the cell retry
+// policy: a panicking index fails with a typed CellError (other indices
+// keep running), and attempts that fail with a retryable error re-run with
+// backoff before the index is declared failed.
+func (r *Runner) parallelForDesc(ctx context.Context, n int, desc func(int) string, fn func(int) error) error {
 	observe := cellObserver(ctx)
 	step := func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := fn(i); err != nil {
+		if err := r.runCellResilient(ctx, i, desc, fn); err != nil {
 			return err
 		}
 		if observe != nil {
@@ -477,12 +490,25 @@ func (r *Runner) RunCellCtx(ctx context.Context, c Cell) (*timing.Report, *engin
 	return r.RunCell(c)
 }
 
+// describe renders the cell for error messages and journal entries.
+func (c Cell) describe() string {
+	fab := "nofabric"
+	if c.Fab != nil {
+		fab = c.Fab.Name()
+	}
+	return fmt.Sprintf("%s/%s/%dgpu/%s", c.App, c.Kind, c.GPUs, fab)
+}
+
 // RunMatrix executes the cells across the worker pool and returns their
 // results in cell order, so assembled tables are byte-identical to a serial
 // run. Canceling ctx stops issuing cells promptly; in-flight cells finish.
+// A cell that panics or fails poisons only this matrix: the failure comes
+// back as a typed *CellError naming the cell, and other cells (and other
+// matrices on the same runner) keep running.
 func (r *Runner) RunMatrix(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	results := make([]CellResult, len(cells))
-	err := r.parallelFor(ctx, len(cells), func(i int) error {
+	desc := func(i int) string { return cells[i].describe() }
+	err := r.parallelForDesc(ctx, len(cells), desc, func(i int) error {
 		rep, res, err := r.RunCell(cells[i])
 		if err != nil {
 			return err
@@ -503,7 +529,13 @@ func (r *Runner) RunMatrixWithBaselines(ctx context.Context, apps []string, opt 
 	pcfg paradigm.Config, cells []Cell) (map[string]float64, []CellResult, error) {
 	bases := make([]float64, len(apps))
 	results := make([]CellResult, len(cells))
-	err := r.parallelFor(ctx, len(apps)+len(cells), func(i int) error {
+	desc := func(i int) string {
+		if i < len(apps) {
+			return "baseline/" + apps[i]
+		}
+		return cells[i-len(apps)].describe()
+	}
+	err := r.parallelForDesc(ctx, len(apps)+len(cells), desc, func(i int) error {
 		if i < len(apps) {
 			b, err := r.Baseline(apps[i], opt, pcfg)
 			if err != nil {

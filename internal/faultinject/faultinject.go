@@ -1,0 +1,197 @@
+// Package faultinject is a deterministic, seeded fault injector for chaos
+// tests. Production code threads an optional Hook through its hot paths and
+// pays exactly one nil-check per guarded site; tests install an Injector
+// scripted to fail, panic, or delay specific hits of specific sites — "fail
+// the 3rd cell issued", "panic service dispatch with probability 0.1" — and
+// the same seed reproduces the same fault schedule every run.
+//
+// Sites currently wired in the tree:
+//
+//	runner.cell        internal/experiments: one matrix-cell execution
+//	service.dispatch   internal/service: worker picks up a job attempt
+//	service.cache.put  internal/service: result-cache commit of a done job
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Hook is the seam production code calls at a named site. A nil Hook means
+// no injection; implementations may return an error (injected failure),
+// panic (injected crash), or sleep (injected delay) before returning nil.
+type Hook interface {
+	Hit(site string) error
+}
+
+// Kind selects what a matching rule does to the hit.
+type Kind int
+
+const (
+	// KindError makes Hit return an *Error.
+	KindError Kind = iota
+	// KindPanic makes Hit panic with an *Error value, exercising the
+	// caller's recover fences. The injected panic value is an error that
+	// reports Retryable() == true, so fenced-and-classified paths treat it
+	// like a transient fault.
+	KindPanic
+	// KindDelay makes Hit sleep for Rule.Delay, then continue matching.
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rule scripts one fault. Targeting is by exact site name plus either an
+// ordinal ("the Nth hit of this site") or a probability per hit; Count
+// bounds how many times the rule fires (0 = once for ordinal rules,
+// unlimited for probabilistic ones).
+type Rule struct {
+	Site        string        // exact site name; "" matches every site
+	Kind        Kind          // what to do on a match
+	Ordinal     uint64        // fire on the Nth hit of Site (1-based); 0 = use Probability
+	Probability float64       // chance per hit in [0,1]; used when Ordinal == 0
+	Count       int           // max fires; 0 = 1 for ordinal rules, unlimited otherwise
+	Delay       time.Duration // sleep length for KindDelay
+}
+
+type ruleState struct {
+	Rule
+	fired int
+}
+
+// Injector is a seeded Hook. The zero value is not usable; call New. All
+// methods are safe for concurrent use, and the sequence of injected faults
+// is a deterministic function of (seed, rules, site hit order).
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*ruleState
+	hits  map[string]uint64
+	fired map[string]uint64
+	sleep func(time.Duration) // injectable for tests; defaults to time.Sleep
+}
+
+// New builds an injector with the given seed and fault schedule.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		hits:  map[string]uint64{},
+		fired: map[string]uint64{},
+		sleep: time.Sleep,
+	}
+	for _, r := range rules {
+		rc := r
+		in.rules = append(in.rules, &ruleState{Rule: rc})
+	}
+	return in
+}
+
+// SetSleep overrides the delay function (tests use it to avoid real sleeps).
+func (in *Injector) SetSleep(fn func(time.Duration)) {
+	in.mu.Lock()
+	in.sleep = fn
+	in.mu.Unlock()
+}
+
+// Error is the injected failure value. It flows through the production
+// error paths like any other error and classifies itself as retryable, so
+// retry layers treat injected faults as transient.
+type Error struct {
+	Site string
+	Hit  uint64 // which hit of the site fired the rule (1-based)
+	Kind Kind
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s (hit %d)", e.Kind, e.Site, e.Hit)
+}
+
+// Retryable marks injected faults as transient for retry classification.
+func (e *Error) Retryable() bool { return true }
+
+// Hit implements Hook: it counts the hit, applies every matching delay
+// rule, and fires the first matching error/panic rule.
+func (in *Injector) Hit(site string) error {
+	in.mu.Lock()
+	in.hits[site]++
+	n := in.hits[site]
+
+	var sleeps []time.Duration
+	var fire *ruleState
+	for _, r := range in.rules {
+		if r.Site != "" && r.Site != site {
+			continue
+		}
+		if !r.matchLocked(n, in.rng) {
+			continue
+		}
+		if r.Kind == KindDelay {
+			r.fired++
+			sleeps = append(sleeps, r.Delay)
+			continue
+		}
+		if fire == nil {
+			r.fired++
+			fire = r
+		}
+	}
+	sleep := in.sleep
+	if fire != nil {
+		in.fired[site]++
+	}
+	in.mu.Unlock()
+
+	for _, d := range sleeps {
+		sleep(d)
+	}
+	if fire == nil {
+		return nil
+	}
+	err := &Error{Site: site, Hit: n, Kind: fire.Kind}
+	if fire.Kind == KindPanic {
+		panic(err)
+	}
+	return err
+}
+
+// matchLocked reports whether the rule fires on the n-th hit. Callers hold
+// in.mu.
+func (r *ruleState) matchLocked(n uint64, rng *rand.Rand) bool {
+	max := r.Count
+	if max == 0 && r.Ordinal > 0 {
+		max = 1
+	}
+	if max > 0 && r.fired >= max {
+		return false
+	}
+	if r.Ordinal > 0 {
+		return n == r.Ordinal
+	}
+	return r.Probability > 0 && rng.Float64() < r.Probability
+}
+
+// Hits returns how many times the site was reached (fired or not).
+func (in *Injector) Hits(site string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Fired returns how many error/panic faults the site has injected.
+func (in *Injector) Fired(site string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gps/internal/retry"
+)
+
+func TestOrdinalRuleFiresOnce(t *testing.T) {
+	in := New(1, Rule{Site: "runner.cell", Kind: KindError, Ordinal: 3})
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, in.Hit("runner.cell"))
+	}
+	for i, err := range errs {
+		if (i == 2) != (err != nil) {
+			t.Fatalf("hit %d: err=%v, want fault only on hit 3", i+1, err)
+		}
+	}
+	var fe *Error
+	if !errors.As(errs[2], &fe) || fe.Site != "runner.cell" || fe.Hit != 3 {
+		t.Fatalf("injected error = %#v", errs[2])
+	}
+	if !retry.Retryable(errs[2]) {
+		t.Error("injected faults must classify as retryable")
+	}
+	if in.Hits("runner.cell") != 6 || in.Fired("runner.cell") != 1 {
+		t.Errorf("hits/fired = %d/%d, want 6/1", in.Hits("runner.cell"), in.Fired("runner.cell"))
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	in := New(1, Rule{Site: "a", Kind: KindError, Ordinal: 1})
+	if err := in.Hit("b"); err != nil {
+		t.Fatalf("unmatched site injected: %v", err)
+	}
+	if err := in.Hit("a"); err == nil {
+		t.Fatal("matched site did not inject")
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindPanic, Ordinal: 1})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic injected")
+		}
+		err, ok := p.(error)
+		if !ok || !retry.Retryable(err) {
+			t.Fatalf("panic value %#v, want a retryable error", p)
+		}
+	}()
+	in.Hit("s") //nolint:errcheck // panics
+}
+
+func TestProbabilisticRuleIsSeedDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed, Rule{Site: "s", Kind: KindError, Probability: 0.3})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = in.Hit("s") != nil
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.3 fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestCountBoundsProbabilisticRule(t *testing.T) {
+	in := New(3, Rule{Site: "s", Kind: KindError, Probability: 1, Count: 2})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if in.Hit("s") != nil {
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("fired %d times, want Count=2", fires)
+	}
+}
+
+func TestDelayRule(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindDelay, Ordinal: 2, Delay: 5 * time.Second})
+	var slept []time.Duration
+	in.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	for i := 0; i < 3; i++ {
+		if err := in.Hit("s"); err != nil {
+			t.Fatalf("delay rule returned error: %v", err)
+		}
+	}
+	if len(slept) != 1 || slept[0] != 5*time.Second {
+		t.Fatalf("sleeps = %v, want one 5s delay on hit 2", slept)
+	}
+}

@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gps/internal/report"
+	"gps/internal/service"
+)
+
+// instantServer runs jobs through a no-op executor.
+func instantServer(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Execute == nil {
+		cfg.Execute = func(ctx context.Context, spec service.Spec) (*report.Report, error) {
+			return &report.Report{}, nil
+		}
+	}
+	svc := service.New(cfg)
+	ts := httptest.NewServer(New(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+	return svc, ts
+}
+
+// TestZeroCellMatrixRejected400: a matrix spec with no cells used to reach
+// the runner and die on the empty-slice aggregation (stats.GeoMean); it must
+// be refused at admission with a 400 and a typed validation error.
+func TestZeroCellMatrixRejected400(t *testing.T) {
+	svc, ts := instantServer(t, service.Config{Workers: 1, QueueDepth: 4})
+	client := ts.Client()
+
+	for _, body := range []string{
+		`{"type":"matrix"}`,
+		`{"type":"matrix","cells":[]}`,
+	} {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", body, &eb)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d, want 400", body, resp.StatusCode)
+		}
+		if !strings.Contains(eb.Error, "at least one cell") {
+			t.Errorf("submit %s: error %q, want the cell-count complaint", body, eb.Error)
+		}
+	}
+	if m := svc.Metrics(); m.JobsSubmitted != 0 {
+		t.Errorf("JobsSubmitted = %d, want 0 (invalid specs must not queue)", m.JobsSubmitted)
+	}
+}
+
+// TestOversizedSpecRejected413: request bodies beyond the spec size cap are
+// cut off and answered with 413, not buffered into memory.
+func TestOversizedSpecRejected413(t *testing.T) {
+	_, ts := instantServer(t, service.Config{Workers: 1, QueueDepth: 4})
+	client := ts.Client()
+
+	// A syntactically valid spec padded past 1 MiB with a giant cell list.
+	var sb strings.Builder
+	sb.WriteString(`{"type":"matrix","cells":[`)
+	cell := `{"app":"jacobi","paradigm":"gps","gpus":2,"fabric":"pcie4"},`
+	for sb.Len() < 2<<20 {
+		sb.WriteString(cell)
+	}
+	sb.WriteString(`{"app":"jacobi","paradigm":"gps","gpus":2,"fabric":"pcie4"}]}`)
+
+	var eb struct {
+		Error string `json:"error"`
+	}
+	resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", sb.String(), &eb)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: status %d, want 413", resp.StatusCode)
+	}
+	if !strings.Contains(eb.Error, "exceeds") {
+		t.Errorf("413 body = %q, want the size-limit message", eb.Error)
+	}
+}
+
+// TestJournalFailureIs500: an admission refusal that is the daemon's fault
+// (the journal cannot commit) maps to 500, not 400 — the spec is fine and a
+// client retry against a healed daemon should succeed.
+func TestJournalFailureIs500(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gpsd.journal")
+	j, err := service.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := instantServer(t, service.Config{Workers: 1, QueueDepth: 4, Journal: j})
+	client := ts.Client()
+
+	j.Close() // journal now refuses appends
+	resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"table","table":1}`, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("submit with dead journal: status %d, want 500", resp.StatusCode)
+	}
+}

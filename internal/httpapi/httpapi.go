@@ -18,6 +18,7 @@ package httpapi
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -58,6 +59,11 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// maxSpecBytes caps the request body on submit. Specs are small (a matrix of
+// a few dozen cells is under a kilobyte); anything bigger is a client bug or
+// an attempt to balloon the daemon's memory.
+const maxSpecBytes = 1 << 20
+
 // submitResponse decorates the job snapshot with what Submit did, so
 // clients can tell a fresh execution from a coalesced or cached one.
 type submitResponse struct {
@@ -67,9 +73,15 @@ type submitResponse struct {
 
 func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 	var spec service.Spec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("spec exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
 		return
 	}
@@ -82,8 +94,13 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, service.ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
-	case err != nil:
+	case errors.Is(err, service.ErrInvalidSpec):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		// Admission failed for a non-client reason (e.g. the journal append
+		// could not be committed): the daemon's fault, not the spec's.
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
 	resp := submitResponse{Status: st}

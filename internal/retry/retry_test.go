@@ -1,0 +1,174 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the deterministic (jitter-free) schedule: growth
+// by the multiplier from the base, capped at the max, zero outside the
+// valid range. No wall clock is involved — Delay is pure.
+func TestBackoffSchedule(t *testing.T) {
+	exp := Policy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 1 * time.Second, Multiplier: 2}
+	tripled := Policy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 0, Multiplier: 3}
+	defaulted := Policy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond} // Multiplier defaults to 2
+	for _, tc := range []struct {
+		name    string
+		p       Policy
+		attempt int
+		want    time.Duration
+	}{
+		{"first failure", exp, 1, 100 * time.Millisecond},
+		{"second doubles", exp, 2, 200 * time.Millisecond},
+		{"third doubles again", exp, 3, 400 * time.Millisecond},
+		{"growth hits cap", exp, 5, 1 * time.Second},
+		{"stays at cap", exp, 6, 1 * time.Second},
+		{"uncapped growth", tripled, 4, 270 * time.Millisecond},
+		{"default multiplier", defaulted, 2, 100 * time.Millisecond},
+		{"attempt zero", exp, 0, 0},
+		{"no base no delay", Policy{MaxAttempts: 3}, 1, 0},
+	} {
+		if got := tc.p.Delay(tc.attempt, nil); got != tc.want {
+			t.Errorf("%s: Delay(%d) = %v, want %v", tc.name, tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffJitterRange samples a seeded source: every jittered delay must
+// land in [d*(1-j), d*(1+j)] and not all samples may collapse to one value.
+func TestBackoffJitterRange(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, Jitter: 0.25}
+	rnd := rand.New(rand.NewSource(7))
+	lo, hi := 75*time.Millisecond, 125*time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1, rnd)
+		if d < lo || d > hi {
+			t.Fatalf("sample %d: jittered delay %v outside [%v, %v]", i, d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("jitter produced only %d distinct delays in 200 draws", len(seen))
+	}
+	// Same seed, same schedule: the jitter stream is reproducible.
+	a := p.Delay(1, rand.New(rand.NewSource(42)))
+	b := p.Delay(1, rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Errorf("same seed gave different delays: %v vs %v", a, b)
+	}
+}
+
+// TestSleepCancellation: a canceled context cuts a long sleep short with
+// the context's error, well before the nominal duration.
+func TestSleepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, 30*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancel: %v, want context.Canceled", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("Sleep took %v after cancel", since)
+	}
+}
+
+// TestDoRetriesOnlyTransient drives Do with an injected sleeper (no clock
+// dependence): transient errors retry through the schedule, deterministic
+// errors stop at the first attempt, success stops immediately.
+func TestDoRetriesOnlyTransient(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Multiplier: 2}
+	var slept []time.Duration
+	sleeper := func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+
+	// Transient failures exhaust the attempt budget.
+	slept = nil
+	calls := 0
+	attempts, err := Do(context.Background(), p, sleeper, nil, func(int) error {
+		calls++
+		return Transient(fmt.Errorf("flaky"))
+	})
+	if attempts != 4 || calls != 4 || err == nil {
+		t.Fatalf("transient: attempts=%d calls=%d err=%v, want 4/4/non-nil", attempts, calls, err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+
+	// Deterministic failures never retry.
+	calls = 0
+	attempts, err = Do(context.Background(), p, sleeper, nil, func(int) error {
+		calls++
+		return fmt.Errorf("deterministic")
+	})
+	if attempts != 1 || calls != 1 || err == nil {
+		t.Fatalf("deterministic: attempts=%d calls=%d err=%v, want 1/1/non-nil", attempts, calls, err)
+	}
+
+	// Success on a later attempt returns nil.
+	calls = 0
+	attempts, err = Do(context.Background(), p, sleeper, nil, func(int) error {
+		calls++
+		if calls < 3 {
+			return Transient(fmt.Errorf("flaky"))
+		}
+		return nil
+	})
+	if attempts != 3 || err != nil {
+		t.Fatalf("recovers: attempts=%d err=%v, want 3/nil", attempts, err)
+	}
+}
+
+// TestDoStopsOnCanceledContext: when the backoff sleep is cut short, Do
+// returns the work's own error instead of looping on a dead context.
+func TestDoStopsOnCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	attempts, err := Do(ctx, Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}, nil, nil, func(int) error {
+		calls++
+		return Transient(fmt.Errorf("flaky"))
+	})
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("canceled ctx: attempts=%d calls=%d, want 1/1", attempts, calls)
+	}
+	if err == nil || !Retryable(err) {
+		t.Fatalf("canceled ctx: err=%v, want the transient work error", err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if Retryable(nil) {
+		t.Error("nil is not retryable")
+	}
+	if Retryable(errors.New("plain")) {
+		t.Error("plain errors are not retryable")
+	}
+	if Retryable(context.Canceled) {
+		t.Error("cancellation is not retryable")
+	}
+	if !Retryable(Transient(errors.New("io"))) {
+		t.Error("Transient must be retryable")
+	}
+	// The marker survives wrapping.
+	if !Retryable(fmt.Errorf("cell 3: %w", Transient(errors.New("io")))) {
+		t.Error("wrapped transient must stay retryable")
+	}
+}

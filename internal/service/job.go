@@ -2,6 +2,8 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -39,11 +41,13 @@ type Job struct {
 	Result      *report.Report
 	CacheHit    bool   // served from the content-addressed cache at submit
 	Coalesced   uint64 // extra submissions that rode on this execution
+	Replayed    bool   // re-enqueued from the journal after a crash
 	SubmittedAt time.Time
 	StartedAt   time.Time
 	FinishedAt  time.Time
 
 	cellsDone atomic.Uint64
+	attempts  atomic.Uint64           // execution attempts, bumped by the retry loop
 	cancel    context.CancelCauseFunc // non-nil once running
 	done      chan struct{}           // closed on reaching a terminal state
 }
@@ -55,8 +59,10 @@ type Status struct {
 	State       State   `json:"state"`
 	Spec        Spec    `json:"spec"`
 	CellsDone   uint64  `json:"cells_done"`
+	Attempts    uint64  `json:"attempts,omitempty"` // executions incl. retries
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 	Coalesced   uint64  `json:"coalesced,omitempty"`
+	Replayed    bool    `json:"replayed,omitempty"` // recovered from the journal
 	Error       string  `json:"error,omitempty"`
 	SubmittedAt string  `json:"submitted_at"`
 	WaitSeconds float64 `json:"wait_seconds"`           // queued -> started (or now)
@@ -71,8 +77,10 @@ func (j *Job) snapshot(now time.Time) Status {
 		State:       j.State,
 		Spec:        j.Spec,
 		CellsDone:   j.cellsDone.Load(),
+		Attempts:    j.attempts.Load(),
 		CacheHit:    j.CacheHit,
 		Coalesced:   j.Coalesced,
+		Replayed:    j.Replayed,
 		Error:       j.Err,
 		SubmittedAt: j.SubmittedAt.UTC().Format(time.RFC3339Nano),
 	}
@@ -96,3 +104,39 @@ func (j *Job) snapshot(now time.Time) Status {
 // Done exposes the completion channel; it is closed once the job reaches a
 // terminal state. Callers must not close it.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobError is the typed failure of one job attempt that panicked: the
+// worker's recover fence converts the panic into this error so one poisoned
+// job fails diagnosably while other jobs and workers keep running.
+type JobError struct {
+	ID    string
+	Stack string // truncated stack captured at the panic site
+	Err   error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("service: job %s panicked: %v\n%s", e.ID, e.Err, e.Stack)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// jobMaxStackBytes caps captured panic stacks so errors stay loggable.
+const jobMaxStackBytes = 2048
+
+// truncatedStack captures the current goroutine's stack, capped.
+func truncatedStack() string {
+	s := debug.Stack()
+	if len(s) > jobMaxStackBytes {
+		s = append(s[:jobMaxStackBytes], []byte("... (truncated)")...)
+	}
+	return string(s)
+}
+
+// panicToError normalizes a recovered panic value, preserving error values
+// (and with them the retry classification of injected panics).
+func panicToError(p any) error {
+	if err, ok := p.(error); ok {
+		return err
+	}
+	return fmt.Errorf("panic: %v", p)
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"gps/internal/experiments"
+	"gps/internal/faultinject"
+	"gps/internal/report"
+	"gps/internal/retry"
+)
+
+// instantSleep makes retry schedules take no wall clock in tests.
+func instantSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+// fastJobRetry is the job-level policy the resilience tests run under.
+var fastJobRetry = retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+
+// TestJobRetriesTransientDispatchFault: an injected fault at the worker
+// dispatch site fails the first attempt; the retry loop re-runs the job and
+// it completes, with the attempt visible in the status and metrics.
+func TestJobRetriesTransientDispatchFault(t *testing.T) {
+	exec := newBlockingExec()
+	close(exec.release)
+	s := New(Config{
+		Workers: 1, QueueDepth: 4, Execute: exec.exec,
+		JobRetry: fastJobRetry, Sleeper: instantSleep,
+		FaultHook: faultinject.New(1, faultinject.Rule{
+			Site: "service.dispatch", Kind: faultinject.KindError, Ordinal: 1,
+		}),
+	})
+	defer s.Shutdown(context.Background())
+
+	st, _, err := s.Submit(sensSpec("tlb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("job state = %s (%s), want done after retry", got.State, got.Error)
+	}
+	if got.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (one injected failure, one success)", got.Attempts)
+	}
+	m := s.Metrics()
+	if m.JobRetries != 1 {
+		t.Errorf("JobRetries = %d, want 1", m.JobRetries)
+	}
+}
+
+// TestJobPanicFailsJobNotWorker: a deterministic executor panic fails that
+// one job with a typed, stack-carrying error; it is not retried (a real
+// panic is not transient) and the worker keeps serving other jobs.
+func TestJobPanicFailsJobNotWorker(t *testing.T) {
+	exec := newBlockingExec()
+	close(exec.release)
+	calls := 0
+	s := New(Config{
+		Workers: 1, QueueDepth: 4,
+		JobRetry: fastJobRetry, Sleeper: instantSleep,
+		Execute: func(ctx context.Context, spec Spec) (*report.Report, error) {
+			if spec.Sensitivity == "tlb" {
+				calls++
+				panic("poisoned executor")
+			}
+			return exec.exec(ctx, spec)
+		},
+	})
+	defer s.Shutdown(context.Background())
+
+	st, _, err := s.Submit(sensSpec("tlb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, st.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "panicked") {
+		t.Fatalf("job state = %s (%q), want failed with a panic error", got.State, got.Error)
+	}
+	if calls != 1 {
+		t.Errorf("executor ran %d times, want 1 (deterministic panic must not retry)", calls)
+	}
+	if m := s.Metrics(); m.JobPanics != 1 {
+		t.Errorf("JobPanics = %d, want 1", m.JobPanics)
+	}
+
+	// The pool survived: an unrelated job still completes.
+	st2, _, err := s.Submit(sensSpec("pagesize"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-exec.started
+	if got := waitTerminal(t, s, st2.ID); got.State != StateDone {
+		t.Errorf("follow-up job state = %s, want done (worker died?)", got.State)
+	}
+}
+
+// TestInjectedDispatchPanicRetries: an injected panic is a scripted
+// transient — the fence converts it to a retryable JobError and the retry
+// loop completes the job anyway.
+func TestInjectedDispatchPanicRetries(t *testing.T) {
+	exec := newBlockingExec()
+	close(exec.release)
+	s := New(Config{
+		Workers: 1, QueueDepth: 4, Execute: exec.exec,
+		JobRetry: fastJobRetry, Sleeper: instantSleep,
+		FaultHook: faultinject.New(1, faultinject.Rule{
+			Site: "service.dispatch", Kind: faultinject.KindPanic, Ordinal: 1,
+		}),
+	})
+	defer s.Shutdown(context.Background())
+
+	st, _, err := s.Submit(sensSpec("watermark"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("job state = %s (%s), want done through the fence", got.State, got.Error)
+	}
+	m := s.Metrics()
+	if m.JobPanics != 1 || m.JobRetries != 1 {
+		t.Errorf("panics/retries = %d/%d, want 1/1", m.JobPanics, m.JobRetries)
+	}
+}
+
+// TestCacheWriteFaultDegrades: a fault on the result-cache commit must not
+// fail the job — the result is still served, only caching is lost.
+func TestCacheWriteFaultDegrades(t *testing.T) {
+	exec := newBlockingExec()
+	close(exec.release)
+	s := New(Config{
+		Workers: 1, QueueDepth: 4, Execute: exec.exec,
+		FaultHook: faultinject.New(1, faultinject.Rule{
+			Site: "service.cache.put", Kind: faultinject.KindError, Ordinal: 1,
+		}),
+	})
+	defer s.Shutdown(context.Background())
+
+	st, _, err := s.Submit(sensSpec("l2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-exec.started
+	if got := waitTerminal(t, s, st.ID); got.State != StateDone {
+		t.Fatalf("job state = %s (%s), want done despite cache fault", got.State, got.Error)
+	}
+	if _, res, err := s.Result(st.ID); err != nil || res == nil {
+		t.Fatalf("result lost with the cache write: res=%v err=%v", res, err)
+	}
+	if m := s.Metrics(); m.ResultCacheWriteErrors != 1 {
+		t.Errorf("ResultCacheWriteErrors = %d, want 1", m.ResultCacheWriteErrors)
+	}
+
+	// The result never made the cache, so a resubmission executes again.
+	st2, out, err := s.Submit(sensSpec("l2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == OutcomeCached {
+		t.Fatal("resubmit served from cache despite failed commit")
+	}
+	<-exec.started
+	waitTerminal(t, s, st2.ID)
+	if got := exec.runs.Load(); got != 2 {
+		t.Errorf("executions = %d, want 2 (cache commit was injected away)", got)
+	}
+}
+
+// TestChaosMatrixByteIdentical is the end-to-end chaos check from the issue:
+// with faults injected into the cell execution path — one cell panics, one
+// fails transiently — the job still completes, and its deterministic report
+// content is byte-identical to a fault-free run of the same spec.
+func TestChaosMatrixByteIdentical(t *testing.T) {
+	spec := Spec{Type: "matrix", Iterations: 1, Cells: []CellSpec{
+		{App: "jacobi", Paradigm: "gps", GPUs: 2, Fabric: "pcie4"},
+		{App: "matmul", Paradigm: "gps", GPUs: 2, Fabric: "pcie4"},
+	}}
+
+	run := func(t *testing.T, hook faultinject.Hook) *report.Report {
+		t.Helper()
+		if hook != nil {
+			experiments.Default.SetFaultHook(hook)
+			experiments.Default.SetCellRetry(retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond})
+			t.Cleanup(func() {
+				experiments.Default.SetFaultHook(nil)
+				experiments.Default.SetCellRetry(experiments.DefaultCellRetry)
+			})
+		}
+		s := New(Config{Workers: 1, QueueDepth: 4})
+		defer s.Shutdown(context.Background())
+		st, _, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := waitTerminal(t, s, st.ID); got.State != StateDone {
+			t.Fatalf("chaos job state = %s (%s), want done", got.State, got.Error)
+		}
+		_, res, err := s.Result(st.ID)
+		if err != nil || res == nil {
+			t.Fatalf("no result: %v", err)
+		}
+		return res
+	}
+
+	want := run(t, nil)
+	got := run(t, faultinject.New(7,
+		faultinject.Rule{Site: "runner.cell", Kind: faultinject.KindPanic, Ordinal: 1},
+		faultinject.Rule{Site: "runner.cell", Kind: faultinject.KindError, Ordinal: 2},
+	))
+
+	// Tables hold the rendered simulation results — fully deterministic,
+	// unlike the wall-clock fields alongside them.
+	wantJSON, _ := json.Marshal(want.Tables)
+	gotJSON, _ := json.Marshal(got.Tables)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("faulted run's tables differ from clean run:\nclean: %s\nfaulted: %s", wantJSON, gotJSON)
+	}
+
+	st := experiments.Default.ResilienceStats()
+	if st.CellPanics < 1 || st.CellRetries < 1 {
+		t.Errorf("runner resilience stats = %+v, want >=1 panic and >=1 retry absorbed", st)
+	}
+}

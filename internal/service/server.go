@@ -4,12 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gps/internal/experiments"
+	"gps/internal/faultinject"
 	"gps/internal/report"
+	"gps/internal/retry"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -64,6 +68,24 @@ type Config struct {
 	// Execute runs one canonical spec. Defaults to Execute (the shared
 	// experiments runner); tests substitute stubs to script timing.
 	Execute func(context.Context, Spec) (*report.Report, error)
+
+	// JobRetry schedules job-level re-execution: a job whose attempt fails
+	// with a retryable error (injected faults, explicitly transient errors)
+	// re-runs up to MaxAttempts times with backoff. The zero value never
+	// retries. Deterministic failures are not retried regardless.
+	JobRetry retry.Policy
+	// Sleeper overrides the backoff sleep between job attempts (tests make
+	// schedules instant). nil uses retry.Sleep.
+	Sleeper retry.Sleeper
+	// FaultHook threads deterministic fault injection through the worker
+	// dispatch ("service.dispatch") and result-cache commit
+	// ("service.cache.put") sites. nil — the production default — costs
+	// one nil-check per site.
+	FaultHook faultinject.Hook
+	// Journal, when non-nil, makes jobs durable: submit/start/terminal
+	// transitions are fsynced to it, and New re-enqueues whatever the
+	// journal says was queued or running when the last process died.
+	Journal *Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +103,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Execute == nil {
 		c.Execute = Execute
+	}
+	if c.JobRetry.MaxAttempts < 1 {
+		c.JobRetry.MaxAttempts = 1
+	}
+	if c.Sleeper == nil {
+		c.Sleeper = retry.Sleep
 	}
 	return c
 }
@@ -100,6 +128,16 @@ type Metrics struct {
 	JobsRejected  uint64 `json:"jobs_rejected"`
 	JobsCoalesced uint64 `json:"jobs_coalesced"`
 
+	// Resilience counters: how much the retry/fence/journal machinery
+	// absorbed. JobRetries counts extra job attempts beyond the first,
+	// JobPanics counts panics recovered at job scope, JobsReplayed counts
+	// journal-recovered jobs re-enqueued at startup.
+	JobRetries             uint64 `json:"job_retries"`
+	JobPanics              uint64 `json:"job_panics"`
+	JobsReplayed           uint64 `json:"jobs_replayed"`
+	ResultCacheWriteErrors uint64 `json:"result_cache_write_errors"`
+	JournalRecords         uint64 `json:"journal_records,omitempty"`
+
 	ResultCacheHits    uint64 `json:"result_cache_hits"`
 	ResultCacheMisses  uint64 `json:"result_cache_misses"`
 	ResultCacheEntries int    `json:"result_cache_entries"`
@@ -109,6 +147,9 @@ type Metrics struct {
 	// RunnerCache exposes the memoization counters of the underlying
 	// experiments runner (traces, structural replays, baselines).
 	RunnerCache experiments.CacheStats `json:"runner_cache"`
+	// RunnerResilience exposes the runner's cell-level fence/retry
+	// counters (panics converted to CellError, cell attempts retried).
+	RunnerResilience experiments.ResilienceStats `json:"runner_resilience"`
 }
 
 // Server is the simulation-as-a-service core: admission control in front of
@@ -135,28 +176,86 @@ type Server struct {
 	submitted, rejected, coalesced  atomic.Uint64
 	jobsDone, jobsFailed, jobsCancd atomic.Uint64
 	cacheHits, cacheMisses          atomic.Uint64
+	jobRetries, jobPanics           atomic.Uint64
+	replayed, cacheWriteErrs        atomic.Uint64
 	execSeconds                     float64 // guarded by mu
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. With a journal
+// configured, jobs the journal says were queued or running when the last
+// process died are re-enqueued first, under their original IDs, so clients
+// can keep polling the handles they already hold.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var pending []PendingJob
+	if cfg.Journal != nil {
+		pending = cfg.Journal.TakePending()
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		start:      time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, cfg.QueueDepth),
-		jobs:       map[string]*Job{},
-		inflight:   map[string]*Job{},
-		cache:      newResultCache(cfg.CacheEntries),
+		// Replayed jobs ride on extra capacity so recovery can never be
+		// rejected by admission control.
+		queue:    make(chan *Job, cfg.QueueDepth+len(pending)),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+		cache:    newResultCache(cfg.CacheEntries),
 	}
+	s.replayPending(pending)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// replayPending re-enqueues journal-recovered jobs. Runs before the worker
+// pool starts, so no locking is needed yet.
+func (s *Server) replayPending(pending []PendingJob) {
+	now := time.Now()
+	for _, p := range pending {
+		canon, err := p.Spec.Canonicalize()
+		if err != nil {
+			// The journaled spec no longer validates (e.g. a workload was
+			// removed). Close it out so compaction drops it next boot.
+			s.cfg.Journal.record(opFail, p.ID, nil, "replay: "+err.Error()) //nolint:errcheck // best-effort close-out
+			continue
+		}
+		hash := canon.Hash()
+		if _, ok := s.inflight[hash]; ok {
+			s.cfg.Journal.record(opCancel, p.ID, nil, "replay: duplicate of recovered spec") //nolint:errcheck // best-effort close-out
+			continue
+		}
+		if n := jobSeq(p.ID); n > s.seq {
+			s.seq = n
+		}
+		job := &Job{
+			ID:          p.ID,
+			Hash:        hash,
+			Spec:        canon,
+			State:       StateQueued,
+			Replayed:    true,
+			SubmittedAt: now,
+			done:        make(chan struct{}),
+		}
+		s.jobs[job.ID] = job
+		s.inflight[hash] = job
+		s.queue <- job
+		s.replayed.Add(1)
+	}
+}
+
+// jobSeq parses the numeric suffix of a job ID ("j-000042" -> 42) so the
+// sequence counter resumes past replayed IDs; malformed IDs answer 0.
+func jobSeq(id string) uint64 {
+	n, err := strconv.ParseUint(strings.TrimPrefix(id, "j-"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // Submit admits one spec. It returns the job snapshot to poll plus what
@@ -206,6 +305,16 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 		return Status{}, OutcomeAccepted, ErrQueueFull
 	}
 	s.inflight[hash] = job
+	if jerr := s.cfg.Journal.record(opSubmit, job.ID, &job.Spec, ""); jerr != nil {
+		// Durability is the contract: a submission we cannot journal is
+		// refused. The job is voided under the lock before any worker can
+		// run it (workers skip non-queued jobs).
+		job.State = StateCanceled
+		delete(s.jobs, job.ID)
+		delete(s.inflight, hash)
+		s.rejected.Add(1)
+		return Status{}, OutcomeAccepted, jerr
+	}
 	s.submitted.Add(1)
 	s.cacheMisses.Add(1)
 	return job.snapshot(now), OutcomeAccepted, nil
@@ -284,6 +393,7 @@ func (s *Server) Cancel(id string) (Status, error) {
 			delete(s.inflight, job.Hash)
 		}
 		s.jobsCancd.Add(1)
+		s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out; replay would just re-cancel
 		close(job.done)
 		s.retireLocked(job)
 	case StateRunning:
@@ -292,15 +402,57 @@ func (s *Server) Cancel(id string) (Status, error) {
 	return job.snapshot(now), nil
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker drains the queue until Shutdown closes it. Each job runs under a
+// worker-scope recover so even a panic in the scheduling machinery fails
+// one job, not the pool.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for job := range s.queue {
-		s.runJob(job)
+		s.runJobIsolated(job)
 	}
 }
 
-// runJob executes one queued job through the configured executor.
+// runJobIsolated is the worker's outer panic fence. The inner fence in
+// executeOnce converts executor panics into per-attempt errors; this one is
+// the backstop that keeps the worker goroutine alive and the job terminal
+// if anything outside the executor blows up.
+func (s *Server) runJobIsolated(job *Job) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.jobPanics.Add(1)
+			s.failPanickedJob(job, panicToError(p))
+		}
+	}()
+	s.runJob(job)
+}
+
+// failPanickedJob forces a job whose worker panicked outside the executor
+// fence into the failed state, so waiters never hang on a job the pool
+// abandoned.
+func (s *Server) failPanickedJob(job *Job, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[job.Hash] == job {
+		delete(s.inflight, job.Hash)
+	}
+	if !job.State.Terminal() {
+		job.State = StateFailed
+		job.Err = cause.Error()
+		job.FinishedAt = time.Now()
+		s.jobsFailed.Add(1)
+		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.retireLocked(job)
+	}
+	select {
+	case <-job.done:
+	default:
+		close(job.done)
+	}
+}
+
+// runJob executes one queued job through the configured executor, retrying
+// attempts that fail with a retryable (injected or transient) error under
+// the job retry policy.
 func (s *Server) runJob(job *Job) {
 	s.mu.Lock()
 	if job.State != StateQueued { // canceled while waiting
@@ -317,6 +469,10 @@ func (s *Server) runJob(job *Job) {
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
 
+	// Recovery treats queued and started jobs alike, so the start record
+	// is informational; its loss is harmless.
+	s.cfg.Journal.record(opStart, job.ID, nil, "") //nolint:errcheck
+
 	runCtx := ctx
 	if s.cfg.JobTimeout > 0 {
 		var tcancel context.CancelFunc
@@ -325,8 +481,39 @@ func (s *Server) runJob(job *Job) {
 	}
 	runCtx = experiments.WithCellObserver(runCtx, func() { job.cellsDone.Add(1) })
 
-	res, err := s.cfg.Execute(runCtx, job.Spec)
+	var res *report.Report
+	_, err := retry.Do(runCtx, s.cfg.JobRetry, s.cfg.Sleeper, nil, func(attempt int) error {
+		job.attempts.Store(uint64(attempt))
+		if attempt > 1 {
+			s.jobRetries.Add(1)
+		}
+		r, aerr := s.executeOnce(runCtx, job)
+		if aerr != nil {
+			return aerr
+		}
+		res = r
+		return nil
+	})
 	s.finishJob(job, runCtx, res, err)
+}
+
+// executeOnce runs one job attempt under the inner panic fence: a
+// panicking executor — or a fault-hook panic at the dispatch site — fails
+// this attempt with a typed JobError instead of killing the worker. If the
+// error classifies as retryable, the attempt loop in runJob re-runs it.
+func (s *Server) executeOnce(ctx context.Context, job *Job) (res *report.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.jobPanics.Add(1)
+			err = &JobError{ID: job.ID, Stack: truncatedStack(), Err: panicToError(p)}
+		}
+	}()
+	if h := s.cfg.FaultHook; h != nil {
+		if herr := h.Hit("service.dispatch"); herr != nil {
+			return nil, herr
+		}
+	}
+	return s.cfg.Execute(ctx, job.Spec)
 }
 
 // finishJob moves a running job to its terminal state and accounts for it.
@@ -348,27 +535,55 @@ func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report,
 		job.State = StateCanceled
 		job.Err = errJobCanceled.Error()
 		s.jobsCancd.Add(1)
+		s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	case err == nil:
 		job.State = StateDone
 		job.Result = res
-		s.cache.put(job.Hash, res)
+		if werr := s.cachePutFenced(job.Hash, res); werr != nil {
+			// A failed cache commit degrades the result to uncached; the
+			// job itself is still done and its result still served.
+			s.cacheWriteErrs.Add(1)
+		}
 		s.jobsDone.Add(1)
+		s.cfg.Journal.record(opDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
 	case errors.Is(err, context.DeadlineExceeded):
 		job.State = StateFailed
 		job.Err = fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout)
 		s.jobsFailed.Add(1)
+		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	case errors.Is(err, context.Canceled):
 		// Server drain deadline forced the abort.
 		job.State = StateCanceled
 		job.Err = "canceled: " + cause.Error()
 		s.jobsCancd.Add(1)
+		s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	default:
 		job.State = StateFailed
 		job.Err = err.Error()
 		s.jobsFailed.Add(1)
+		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	}
 	close(job.done)
 	s.retireLocked(job)
+}
+
+// cachePutFenced commits a result to the content-addressed cache through
+// the fault hook ("service.cache.put" site). Both returned errors and
+// panics from the commit path degrade to an uncached result rather than a
+// failed job. Callers hold s.mu.
+func (s *Server) cachePutFenced(hash string, res *report.Report) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicToError(p)
+		}
+	}()
+	if h := s.cfg.FaultHook; h != nil {
+		if herr := h.Hit("service.cache.put"); herr != nil {
+			return herr
+		}
+	}
+	s.cache.put(hash, res)
+	return nil
 }
 
 // retireLocked records a terminal job and prunes the oldest ones beyond the
@@ -401,12 +616,19 @@ func (s *Server) Metrics() Metrics {
 		JobsRejected:  s.rejected.Load(),
 		JobsCoalesced: s.coalesced.Load(),
 
+		JobRetries:             s.jobRetries.Load(),
+		JobPanics:              s.jobPanics.Load(),
+		JobsReplayed:           s.replayed.Load(),
+		ResultCacheWriteErrors: s.cacheWriteErrs.Load(),
+		JournalRecords:         s.cfg.Journal.Records(),
+
 		ResultCacheHits:    s.cacheHits.Load(),
 		ResultCacheMisses:  s.cacheMisses.Load(),
 		ResultCacheEntries: cacheEntries,
 
 		ExecSecondsTotal: execSeconds,
 		RunnerCache:      experiments.Default.CacheStats(),
+		RunnerResilience: experiments.Default.ResilienceStats(),
 	}
 }
 
@@ -453,6 +675,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 						delete(s.inflight, job.Hash)
 					}
 					s.jobsCancd.Add(1)
+					s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // drain close-out
 					close(job.done)
 					s.retireLocked(job)
 				}

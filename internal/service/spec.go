@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -63,6 +64,17 @@ var Sensitivities = []string{
 	"control", "pipelined", "fabrics", "fabricmodel",
 }
 
+// ErrInvalidSpec marks every admission-time validation failure. API layers
+// match it with errors.Is to map bad requests to 400 instead of 500; a spec
+// that would make the runner panic (e.g. a zero-cell matrix reaching
+// stats.GeoMean) is rejected here instead.
+var ErrInvalidSpec = errors.New("invalid spec")
+
+// invalidSpec builds a validation error wrapping ErrInvalidSpec.
+func invalidSpec(format string, args ...any) error {
+	return fmt.Errorf("service: %w: %s", ErrInvalidSpec, fmt.Sprintf(format, args...))
+}
+
 // Canonicalize validates the spec and returns its normal form: type and
 // names lowercased and resolved to their canonical spellings, workload
 // defaults applied. Two specs that describe the same computation normalize
@@ -92,14 +104,14 @@ func (s Spec) Canonicalize() (Spec, error) {
 		clear()
 		out.Figure = fig
 		if !contains(Figures, fig) {
-			return Spec{}, fmt.Errorf("service: unknown figure %d (have %v)", fig, Figures)
+			return Spec{}, invalidSpec("unknown figure %d (have %v)", fig, Figures)
 		}
 	case "table":
 		tab := out.Table
 		clear()
 		out.Table = tab
 		if tab != 1 && tab != 2 {
-			return Spec{}, fmt.Errorf("service: unknown table %d (have 1, 2)", tab)
+			return Spec{}, invalidSpec("unknown table %d (have 1, 2)", tab)
 		}
 	case "sensitivity":
 		sens := strings.ToLower(strings.TrimSpace(out.Sensitivity))
@@ -113,25 +125,25 @@ func (s Spec) Canonicalize() (Spec, error) {
 			}
 		}
 		if !ok {
-			return Spec{}, fmt.Errorf("service: unknown sensitivity %q (have %s)",
+			return Spec{}, invalidSpec("unknown sensitivity %q (have %s)",
 				sens, strings.Join(Sensitivities, ", "))
 		}
 	case "matrix":
 		cells := out.Cells
 		clear()
 		if len(cells) == 0 {
-			return Spec{}, fmt.Errorf("service: matrix spec needs at least one cell")
+			return Spec{}, invalidSpec("matrix spec needs at least one cell")
 		}
 		out.Cells = make([]CellSpec, len(cells))
 		for i, c := range cells {
 			norm, err := c.canonicalize()
 			if err != nil {
-				return Spec{}, fmt.Errorf("service: cell %d: %w", i, err)
+				return Spec{}, fmt.Errorf("service: %w: cell %d: %v", ErrInvalidSpec, i, err)
 			}
 			out.Cells[i] = norm
 		}
 	default:
-		return Spec{}, fmt.Errorf("service: unknown job type %q (figure, table, sensitivity, matrix)", s.Type)
+		return Spec{}, invalidSpec("unknown job type %q (figure, table, sensitivity, matrix)", s.Type)
 	}
 	return out, nil
 }

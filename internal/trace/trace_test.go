@@ -263,41 +263,3 @@ func TestBinarySmallerThanJSON(t *testing.T) {
 		t.Fatalf("binary (%d B) not smaller than JSON (%d B)", bin.Len(), js.Len())
 	}
 }
-
-// Robustness: arbitrary mutations of a valid trace never panic the decoder;
-// they either round-trip (unlikely) or fail with an error.
-func TestDecodeNeverPanicsOnCorruption(t *testing.T) {
-	var buf bytes.Buffer
-	if err := Encode(&buf, sampleProgram()); err != nil {
-		t.Fatal(err)
-	}
-	valid := buf.Bytes()
-	rng := rand.New(rand.NewSource(99))
-	for trial := 0; trial < 500; trial++ {
-		corrupted := append([]byte{}, valid...)
-		// Flip 1-4 random bytes.
-		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
-			corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
-		}
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("trial %d: decoder panicked: %v", trial, r)
-				}
-			}()
-			// Errors are fine; panics are not.
-			_, _ = Decode(bytes.NewReader(corrupted))
-		}()
-	}
-	// Truncations too.
-	for cut := 0; cut < len(valid); cut += 7 {
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("truncation at %d panicked: %v", cut, r)
-				}
-			}()
-			_, _ = Decode(bytes.NewReader(valid[:cut]))
-		}()
-	}
-}

@@ -1,0 +1,82 @@
+#!/bin/sh
+# chaos_smoke.sh: crash-recovery smoke test of the gpsd job journal.
+#
+# Boots gpsd with a journal, submits a job, kills the daemon with SIGKILL
+# mid-flight (no drain, no handshake — a real crash), restarts it on the same
+# journal, and asserts the interrupted job is re-run to completion under its
+# original ID without being re-submitted. Needs only a POSIX shell and curl.
+set -eu
+
+workdir=$(mktemp -d)
+bin="$workdir/gpsd"
+log="$workdir/gpsd.log"
+journal="$workdir/gpsd.journal"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin" ./cmd/gpsd
+
+start_daemon() {
+    : >"$log"
+    "$bin" -addr 127.0.0.1:0 -workers 1 -queue 4 -journal "$journal" >"$log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/^gpsd: listening on \([^ ]*\) .*/\1/p' "$log")
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "chaos-smoke: gpsd died:"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "chaos-smoke: no listen line in gpsd output"; cat "$log"; exit 1; }
+    base="http://$addr/v1"
+}
+
+# First life: submit one job and kill the daemon before it can finish.
+start_daemon
+echo "chaos-smoke: gpsd at $base (journal $journal)"
+
+spec='{"type":"matrix","iterations":2,"cells":[{"app":"jacobi","paradigm":"GPS","gpus":2,"fabric":"pcie4"}]}'
+code=$(curl -s -o "$workdir/submit" -w '%{http_code}' -d "$spec" "$base/jobs")
+[ "$code" = 202 ] || { echo "chaos-smoke: submit returned $code:"; cat "$workdir/submit"; exit 1; }
+id=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/submit" | head -n 1)
+[ -n "$id" ] || { echo "chaos-smoke: no job id in submit response"; cat "$workdir/submit"; exit 1; }
+echo "chaos-smoke: submitted $id, killing gpsd with SIGKILL"
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# Second life: same journal, fresh process. The submit record must bring the
+# job back under its original ID.
+start_daemon
+echo "chaos-smoke: restarted at $base"
+grep -q '1 jobs recovered' "$log" || { echo "chaos-smoke: no recovery line:"; cat "$log"; exit 1; }
+
+state=""
+for _ in $(seq 1 600); do
+    curl -s "$base/jobs/$id" >"$workdir/status"
+    state=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' "$workdir/status" | head -n 1)
+    case "$state" in done|failed|canceled) break ;; esac
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "chaos-smoke: recovered job ended '$state':"; cat "$workdir/status"; exit 1; }
+grep -q '"replayed": true' "$workdir/status" || { echo "chaos-smoke: job not marked replayed:"; cat "$workdir/status"; exit 1; }
+
+code=$(curl -s -o "$workdir/result" -w '%{http_code}' "$base/jobs/$id/result")
+[ "$code" = 200 ] || { echo "chaos-smoke: result returned $code:"; cat "$workdir/result"; exit 1; }
+grep -q '"tables"' "$workdir/result" || { echo "chaos-smoke: result missing tables:"; cat "$workdir/result"; exit 1; }
+
+curl -s "$base/metrics" >"$workdir/metrics"
+grep -q '"jobs_replayed": 1' "$workdir/metrics" || { echo "chaos-smoke: metrics missing replay count:"; cat "$workdir/metrics"; exit 1; }
+echo "chaos-smoke: job $id recovered and completed"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "chaos-smoke: gpsd exited non-zero after SIGTERM:"; cat "$log"; exit 1; }
+pid=""
+grep -q 'drained cleanly' "$log" || { echo "chaos-smoke: no clean drain:"; cat "$log"; exit 1; }
+echo "chaos-smoke: PASS"
