@@ -2,11 +2,12 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke serve-smoke chaos
+.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos
 
 ## check: full gate — vet, build, the test suite under the race detector,
-## and the chaos gate (fault injection, fuzzing, crash recovery).
-check: vet build race chaos
+## the microbenchmark compile/run smoke, and the chaos gate (fault
+## injection, fuzzing, crash recovery).
+check: vet build race bench-micro chaos
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,16 @@ test:
 bench-smoke:
 	$(GO) run ./cmd/gpsbench -fig 8 -iters 2 -json /tmp/gpsbench-smoke.json
 	$(GO) run ./cmd/gpsim -app jacobi -paradigm GPS -gpus 4 -interconnect pcie4 -iters 2
+
+## bench-micro: compile and run every microbenchmark exactly once, so the
+## hot-path benchmarks cannot rot without failing the gate.
+bench-micro:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/engine/ ./internal/memsys/
+
+## bench-record: record the full suite's wall clock and headline metrics
+## into BENCH_4.json at the repo root (see scripts/bench_record.sh).
+bench-record:
+	sh scripts/bench_record.sh
 
 ## serve-smoke: boot gpsd on an ephemeral port, submit a small job over
 ## HTTP, assert a 200 result, and check the SIGTERM drain path.

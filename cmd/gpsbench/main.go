@@ -10,6 +10,7 @@
 //	gpsbench -iters 4 -scale 1    # workload sizing
 //	gpsbench -all -parallel 8     # run the experiment matrix on 8 workers
 //	gpsbench -fig 8 -json out.json
+//	gpsbench -all -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // SIGINT cancels the run: in-flight simulation cells finish, no further
 // cells are issued, and gpsbench exits without emitting partial files.
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gps/internal/experiments"
@@ -42,8 +45,42 @@ func main() {
 		chart    = flag.Bool("chart", false, "also render line-chart views of figures 13 and 14")
 		parallel = flag.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut  = flag.String("json", "", "write headline metrics, per-figure wall clock, rendered tables and cache stats as JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// The heap snapshot is written on the way out, after the full matrix
+		// ran, so it reflects steady-state retention rather than startup.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gpsbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			}
+		}()
+	}
 
 	// SIGINT cancels the shared context: the runner stops issuing cells and
 	// every figure function returns context.Canceled instead of the process

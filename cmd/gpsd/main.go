@@ -12,6 +12,7 @@
 //	gpsd -parallel 8                    # simulation cells per job
 //	gpsd -journal gpsd.journal          # durable job log; crash recovery
 //	gpsd -job-retries 3                 # attempts per job on transient failure
+//	gpsd -pprof 127.0.0.1:6060          # net/http/pprof on a separate listener
 //
 // Submit and poll with curl:
 //
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,8 +54,32 @@ func main() {
 		cacheN     = flag.Int("cache", 256, "content-addressed result cache entries")
 		journalP   = flag.String("journal", "", "job journal path; enables crash recovery (empty = no journal)")
 		jobRetries = flag.Int("job-retries", 3, "attempts per job on transient failure")
+		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this separate listen address (e.g. 127.0.0.1:6060); empty = disabled")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener so it is never reachable through
+		// the public job API's address, and an operator can bind it to
+		// loopback only.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gpsd: pprof on %s\n", pln.Addr())
+		go func() {
+			if err := (&http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}).Serve(pln); err != nil {
+				fmt.Fprintln(os.Stderr, "gpsd: pprof:", err)
+			}
+		}()
+	}
 
 	var journal *service.Journal
 	if *journalP != "" {

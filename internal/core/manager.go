@@ -97,6 +97,9 @@ func (m *Manager) AllocPinned(base memsys.VAddr, size uint64, gpu int) error {
 	if gpu < 0 || gpu >= m.numGPUs {
 		return fmt.Errorf("core: GPU %d out of range", gpu)
 	}
+	for g := 0; g < m.numGPUs; g++ {
+		m.conv[g].Reserve(base, size)
+	}
 	for _, vpn := range m.geom.PagesIn(base, size) {
 		if _, exists := m.pages[vpn]; exists {
 			return fmt.Errorf("core: page %#x already allocated", uint64(vpn))
@@ -125,6 +128,13 @@ func (m *Manager) AllocGPS(base memsys.VAddr, size uint64, subs memsys.Subscribe
 	}
 	if subs.First() >= m.numGPUs || subs != subs.Intersect(memsys.AllGPUs(m.numGPUs)) {
 		return fmt.Errorf("core: subscriber set %v exceeds %d GPUs", subs, m.numGPUs)
+	}
+	// Reserve the dense page-table slabs up front: the translation units
+	// cache *GPSPTE pointers, which must not be invalidated by slab growth
+	// once handed out.
+	m.gpsPT.Reserve(base, size)
+	for g := 0; g < m.numGPUs; g++ {
+		m.conv[g].Reserve(base, size)
 	}
 	for _, vpn := range m.geom.PagesIn(base, size) {
 		if _, exists := m.pages[vpn]; exists {

@@ -68,15 +68,31 @@ func (s WriteQueueStats) HitRate() float64 {
 // replication to remote subscribers. Weak stores to the same block coalesce;
 // when occupancy reaches the high watermark, the least recently added block
 // drains; sys-scoped synchronization flushes everything.
+//
+// Resident blocks live in a circular ring in insertion order (the live
+// window is [head, tail)), reached through an open-addressed index from
+// line address to ring slot. The queue drains strictly FIFO, so a ring slot
+// is only reused after its entry has left the index — PushStore, Contains
+// and drainOldest all run without map machinery or per-block allocation,
+// which matters because every weak store in a GPS replay passes through
+// here.
 type WriteQueue struct {
 	gpu       int
 	geom      memsys.Geometry
 	capacity  int
 	watermark int
 
-	resident map[memsys.VAddr]*wqEntry
-	fifo     []*wqEntry // insertion order; head = least recently added
-	head     int        // index of queue front within fifo
+	ring     []wqEntry
+	ringMask uint32
+	head     uint32 // free-running; slot = pos & ringMask
+	tail     uint32
+
+	idxKeys  []memsys.VAddr
+	idxSlots []uint32
+	idxState []uint8 // idxEmpty / idxTombstone / idxFull
+	idxMask  uint32
+	idxLive  int
+	idxDead  int
 
 	drain func(Drained)
 	stats WriteQueueStats
@@ -85,6 +101,20 @@ type WriteQueue struct {
 type wqEntry struct {
 	lineVA memsys.VAddr
 	writes int
+}
+
+const (
+	idxEmpty uint8 = iota
+	idxTombstone
+	idxFull
+)
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewWriteQueue builds a write queue for one GPU. drain receives every block
@@ -99,25 +129,102 @@ func NewWriteQueue(gpu int, geom memsys.Geometry, capacity, watermark int, drain
 	if drain == nil {
 		panic("core: write queue needs a drain sink")
 	}
+	ringSize := nextPow2(capacity)
+	idxSize := nextPow2(4 * capacity) // load factor stays under 25% live
 	return &WriteQueue{
 		gpu:       gpu,
 		geom:      geom,
 		capacity:  capacity,
 		watermark: watermark,
-		resident:  make(map[memsys.VAddr]*wqEntry, capacity),
+		ring:      make([]wqEntry, ringSize),
+		ringMask:  uint32(ringSize - 1),
+		idxKeys:   make([]memsys.VAddr, idxSize),
+		idxSlots:  make([]uint32, idxSize),
+		idxState:  make([]uint8, idxSize),
+		idxMask:   uint32(idxSize - 1),
 		drain:     drain,
 	}
 }
 
 // Len returns the current occupancy in blocks.
-func (q *WriteQueue) Len() int { return len(q.resident) }
+func (q *WriteQueue) Len() int { return int(q.tail - q.head) }
+
+// idxHash spreads a line-aligned address (low bits all zero) across the
+// index via a Fibonacci multiply.
+func (q *WriteQueue) idxHash(line memsys.VAddr) uint32 {
+	return uint32(uint64(line)*0x9E3779B97F4A7C15>>32) & q.idxMask
+}
+
+// idxFind returns the ring slot holding line, if resident.
+func (q *WriteQueue) idxFind(line memsys.VAddr) (uint32, bool) {
+	for i := q.idxHash(line); ; i = (i + 1) & q.idxMask {
+		switch q.idxState[i] {
+		case idxEmpty:
+			return 0, false
+		case idxFull:
+			if q.idxKeys[i] == line {
+				return q.idxSlots[i], true
+			}
+		}
+	}
+}
+
+// idxInsert records line -> slot. The caller guarantees line is absent.
+func (q *WriteQueue) idxInsert(line memsys.VAddr, slot uint32) {
+	if 2*(q.idxLive+q.idxDead) >= len(q.idxState) {
+		q.idxRehash()
+	}
+	for i := q.idxHash(line); ; i = (i + 1) & q.idxMask {
+		if q.idxState[i] != idxFull {
+			if q.idxState[i] == idxTombstone {
+				q.idxDead--
+			}
+			q.idxState[i] = idxFull
+			q.idxKeys[i] = line
+			q.idxSlots[i] = slot
+			q.idxLive++
+			return
+		}
+	}
+}
+
+// idxDelete removes line from the index. The caller guarantees presence.
+func (q *WriteQueue) idxDelete(line memsys.VAddr) {
+	for i := q.idxHash(line); ; i = (i + 1) & q.idxMask {
+		if q.idxState[i] == idxFull && q.idxKeys[i] == line {
+			q.idxState[i] = idxTombstone
+			q.idxLive--
+			q.idxDead++
+			return
+		}
+	}
+}
+
+// idxRehash clears accumulated tombstones by reinserting the live window.
+func (q *WriteQueue) idxRehash() {
+	clear(q.idxState)
+	q.idxLive, q.idxDead = 0, 0
+	for pos := q.head; pos != q.tail; pos++ {
+		slot := pos & q.ringMask
+		line := q.ring[slot].lineVA
+		for i := q.idxHash(line); ; i = (i + 1) & q.idxMask {
+			if q.idxState[i] != idxFull {
+				q.idxState[i] = idxFull
+				q.idxKeys[i] = line
+				q.idxSlots[i] = slot
+				q.idxLive++
+				break
+			}
+		}
+	}
+}
 
 // Contains reports whether the block holding va is resident in the queue.
 // GPS uses this on the load path of non-subscribers: a load may forward its
 // value from the remote write queue instead of issuing remotely
 // (Section 5.1).
 func (q *WriteQueue) Contains(va memsys.VAddr) bool {
-	_, ok := q.resident[q.geom.LineBase(va)]
+	_, ok := q.idxFind(q.geom.LineBase(va))
 	return ok
 }
 
@@ -133,16 +240,20 @@ func (q *WriteQueue) ResetStats() { q.stats = WriteQueueStats{} }
 func (q *WriteQueue) PushStore(va memsys.VAddr) (coalesced bool) {
 	line := q.geom.LineBase(va)
 	q.stats.Stores++
-	if e, ok := q.resident[line]; ok {
-		e.writes++
+	if slot, ok := q.idxFind(line); ok {
+		q.ring[slot].writes++
 		q.stats.Hits++
 		return true
 	}
 	q.stats.Misses++
-	e := &wqEntry{lineVA: line, writes: 1}
-	q.resident[line] = e
-	q.fifo = append(q.fifo, e)
-	if len(q.resident) >= q.watermark {
+	slot := q.tail & q.ringMask
+	q.ring[slot] = wqEntry{lineVA: line, writes: 1}
+	// Index before advancing tail: a rehash inside idxInsert re-indexes the
+	// live window [head, tail), and the new entry must not be in it yet or
+	// it would be indexed twice.
+	q.idxInsert(line, slot)
+	q.tail++
+	if q.Len() >= q.watermark {
 		q.drainOldest(DrainWatermark)
 	}
 	return false
@@ -167,41 +278,23 @@ func (q *WriteQueue) PushAtomic(va memsys.VAddr) {
 // implicit release at the end of every grid (Section 3.3).
 func (q *WriteQueue) Flush() {
 	q.stats.FlushCalls++
-	for len(q.resident) > 0 {
+	for q.tail != q.head {
 		q.drainOldest(DrainFlush)
 	}
-	q.fifo = q.fifo[:0]
-	q.head = 0
 }
 
 func (q *WriteQueue) drainOldest(reason DrainReason) {
-	// Skip any holes left by compaction (none today, but keeps the walk
-	// safe if eviction policies are extended).
-	for q.head < len(q.fifo) {
-		e := q.fifo[q.head]
-		q.head++
-		if _, ok := q.resident[e.lineVA]; !ok || q.resident[e.lineVA] != e {
-			continue
-		}
-		delete(q.resident, e.lineVA)
-		switch reason {
-		case DrainWatermark:
-			q.stats.Drains++
-		case DrainFlush:
-			q.stats.Flushes++
-		}
-		q.drain(Drained{LineVA: e.lineVA, Writes: e.writes, Reason: reason, SrcGPU: q.gpu})
-		q.compact()
-		return
+	if q.tail == q.head {
+		panic("core: drainOldest on empty queue")
 	}
-	panic("core: drainOldest on empty queue")
-}
-
-// compact reclaims fifo storage once the consumed prefix dominates.
-func (q *WriteQueue) compact() {
-	if q.head > q.capacity && q.head*2 >= len(q.fifo) {
-		n := copy(q.fifo, q.fifo[q.head:])
-		q.fifo = q.fifo[:n]
-		q.head = 0
+	e := q.ring[q.head&q.ringMask]
+	q.head++
+	q.idxDelete(e.lineVA)
+	switch reason {
+	case DrainWatermark:
+		q.stats.Drains++
+	case DrainFlush:
+		q.stats.Flushes++
 	}
+	q.drain(Drained{LineVA: e.lineVA, Writes: e.writes, Reason: reason, SrcGPU: q.gpu})
 }

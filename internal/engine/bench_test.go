@@ -1,0 +1,51 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gps/internal/engine"
+	"gps/internal/paradigm"
+	"gps/internal/workload"
+)
+
+// benchConfig keeps the traces small enough that one engine.Run iteration
+// is a few milliseconds: these benchmarks exist to profile the per-access
+// hot path, not the experiment matrix.
+var benchConfig = workload.Config{NumGPUs: 4, Iterations: 2, Scale: 1, Seed: 1}
+
+// BenchmarkEngineRun replays a quick Jacobi (peer-to-peer halos) and
+// Pagerank (many-to-many atomics) trace through every headline paradigm.
+func BenchmarkEngineRun(b *testing.B) {
+	for _, app := range []string{"jacobi", "pagerank"} {
+		spec, err := workload.ByName(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := spec.Build(benchConfig)
+		for _, kind := range paradigm.Figure8Kinds() {
+			b.Run(fmt.Sprintf("%s/%s", app, kind), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m, err := paradigm.New(kind, prog, paradigm.DefaultConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					engine.Run(prog, m)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkScanSharing(b *testing.B) {
+	spec, err := workload.ByName("jacobi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := spec.Build(benchConfig)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine.ScanSharing(prog, prog.Meta().ProfilePhases, 64<<10)
+	}
+}

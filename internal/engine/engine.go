@@ -11,6 +11,7 @@ package engine
 import (
 	"fmt"
 
+	"gps/internal/memsys"
 	"gps/internal/trace"
 )
 
@@ -156,6 +157,27 @@ type Model interface {
 	Finish(res *Result)
 }
 
+// Batch is one chunk of a kernel's instruction stream after coalescing:
+// instruction i touched Lines[Offs[i]:Offs[i+1]]. All three slices are
+// reused by the replay loop between chunks.
+type Batch struct {
+	Accs  []trace.Access
+	Offs  []int32  // len(Accs)+1 offsets into Lines
+	Lines []uint64 // line-aligned addresses, coalesced per instruction
+}
+
+// LinesOf returns the coalesced lines of instruction i.
+func (b *Batch) LinesOf(i int) []uint64 { return b.Lines[b.Offs[i]:b.Offs[i+1]] }
+
+// BatchModel is an optional fast path: models that implement it receive a
+// whole chunk of instructions per call, so interface dispatch and per-call
+// setup (profile pointer, region/page caches) amortize across the chunk.
+// AccessBatch must be equivalent to calling Access per instruction in order.
+type BatchModel interface {
+	Model
+	AccessBatch(gpu int, b *Batch)
+}
+
 // chunk is the number of consecutive warp instructions one GPU executes
 // before the replay rotates to the next GPU's kernel, approximating the
 // concurrent interleaving of kernels that ran simultaneously on real
@@ -168,6 +190,8 @@ func Run(prog trace.Program, m Model) *Result {
 	n := meta.NumGPUs
 	res := &Result{Meta: meta, Paradigm: m.Name()}
 	exp := NewExpander(LineBytes)
+	bm, _ := m.(BatchModel)
+	var batch Batch
 
 	var cursors []int
 	prog.Phases(func(ph *trace.Phase) bool {
@@ -189,7 +213,15 @@ func Run(prog trace.Program, m Model) *Result {
 				cursors[i] = 0
 			}
 		}
-		remaining := len(ph.Kernels)
+		// Only kernels with instructions await completion: an empty kernel
+		// never reaches the end-of-stream decrement below, and counting it
+		// would spin the round-robin loop forever.
+		remaining := 0
+		for ki := range ph.Kernels {
+			if len(ph.Kernels[ki].Accesses) > 0 {
+				remaining++
+			}
+		}
 		for remaining > 0 {
 			for ki := range ph.Kernels {
 				k := &ph.Kernels[ki]
@@ -201,8 +233,20 @@ func Run(prog trace.Program, m Model) *Result {
 					end = len(k.Accesses)
 					remaining--
 				}
-				for _, a := range k.Accesses[cursors[ki]:end] {
-					m.Access(k.GPU, a, exp.Expand(a))
+				accs := k.Accesses[cursors[ki]:end]
+				if bm != nil {
+					batch.Accs = accs
+					batch.Offs = append(batch.Offs[:0], 0)
+					batch.Lines = batch.Lines[:0]
+					for _, a := range accs {
+						batch.Lines = exp.AppendLines(batch.Lines, a)
+						batch.Offs = append(batch.Offs, int32(len(batch.Lines)))
+					}
+					bm.AccessBatch(k.GPU, &batch)
+				} else {
+					for _, a := range accs {
+						m.Access(k.GPU, a, exp.Expand(a))
+					}
 				}
 				cursors[ki] = end
 			}
@@ -219,20 +263,25 @@ func Run(prog trace.Program, m Model) *Result {
 // LineBytes is the cache block size of the modeled GPU (Table 1).
 const LineBytes = 128
 
+// MaxGPUs bounds the modeled system size (the engine's sharing bitmasks are
+// single words, like memsys.SubscriberSet).
+const MaxGPUs = memsys.MaxGPUs
+
 // Sharing summarizes which GPUs touch one page, gathered by ScanSharing.
 type Sharing struct {
 	Readers uint64 // bitmask of reading GPUs
 	Writers uint64 // bitmask of writing GPUs
 	// WriteCount[g] counts line-writes by GPU g, to pick the dominant
 	// writer for placement decisions.
-	WriteCount map[int]uint64
+	WriteCount [MaxGPUs]uint64
 }
 
-// DominantWriter returns the GPU writing the page most, or -1.
+// DominantWriter returns the GPU writing the page most, or -1. Ties go to
+// the lowest GPU ID.
 func (s *Sharing) DominantWriter() int {
 	best, bestCount := -1, uint64(0)
 	for g, c := range s.WriteCount {
-		if c > bestCount || (c == bestCount && (best == -1 || g < best)) {
+		if c > bestCount {
 			best, bestCount = g, c
 		}
 	}
@@ -246,12 +295,13 @@ func (s *Sharing) DominantWriter() int {
 func ScanSharing(prog trace.Program, phases int, pageBytes uint64) map[uint64]*Sharing {
 	meta := prog.Meta()
 	shared := NewRegionTable(meta.Regions)
-	out := map[uint64]*Sharing{}
+	acc := memsys.NewPageMap[Sharing](pageBytes)
 	exp := NewExpander(LineBytes)
+	pageShift := shiftFor(pageBytes)
 	// Consecutive lines almost always fall in the same 8 GB region slot and
 	// the same page, so cache the last slot -> region and page -> Sharing
-	// resolutions instead of paying two map lookups per line. ^0 sentinels
-	// can never collide with a real slot or VPN (addresses are 49-bit).
+	// resolutions instead of re-resolving per line. ^0 sentinels can never
+	// collide with a real slot or VPN (addresses are 49-bit).
 	lastSlot := ^uint64(0)
 	var lastRegion *trace.Region
 	lastVPN := ^uint64(0)
@@ -269,22 +319,17 @@ func ScanSharing(prog trace.Program, phases int, pageBytes uint64) map[uint64]*S
 				for _, line := range exp.Expand(a) {
 					if slot := line >> regionSlotShift; slot != lastSlot {
 						lastSlot = slot
-						lastRegion = shared.slotRegion(slot)
+						lastRegion = shared.SlotRegion(slot)
 					}
 					r := lastRegion
 					if r == nil || r.Kind != trace.RegionShared ||
 						line < r.Base || line-r.Base >= r.Size {
 						continue
 					}
-					vpn := line / pageBytes
+					vpn := line >> pageShift
 					if vpn != lastVPN {
 						lastVPN = vpn
-						s := out[vpn]
-						if s == nil {
-							s = &Sharing{WriteCount: map[int]uint64{}}
-							out[vpn] = s
-						}
-						lastSharing = s
+						lastSharing = acc.At(vpn)
 					}
 					if a.IsWrite() {
 						lastSharing.Writers |= 1 << k.GPU
@@ -297,52 +342,80 @@ func ScanSharing(prog trace.Program, phases int, pageBytes uint64) map[uint64]*S
 		}
 		return true
 	})
+	out := map[uint64]*Sharing{}
+	acc.ForEach(func(vpn uint64, s *Sharing) {
+		if s.Readers|s.Writers != 0 {
+			c := *s
+			out[vpn] = &c
+		}
+	})
 	return out
 }
 
+// shiftFor returns log2(v) for the power-of-two sizes the engine deals in.
+func shiftFor(v uint64) uint {
+	var s uint
+	for 1<<s < v {
+		s++
+	}
+	if 1<<s != v {
+		panic(fmt.Sprintf("engine: %d is not a power of two", v))
+	}
+	return s
+}
+
 // regionSlotShift is log2 of the 8 GB slot granularity regions align to.
-const regionSlotShift = 33
+const regionSlotShift = memsys.RegionSlotShift
 
 // RegionTable resolves addresses to regions in O(1) by exploiting the
-// workload generators' 8 GB region alignment.
+// workload generators' 8 GB region alignment: a dense slice indexed by the
+// address's 8 GB slot.
 type RegionTable struct {
-	byIndex map[uint64]*trace.Region
+	bySlot []*trace.Region
 }
 
 // NewRegionTable indexes the given regions. Regions must start at distinct
 // multiples of 8 GB (the workload layout invariant) and must not span an
 // 8 GB boundary... larger regions are rejected loudly.
 func NewRegionTable(regions []trace.Region) *RegionTable {
-	t := &RegionTable{byIndex: map[uint64]*trace.Region{}}
+	t := &RegionTable{}
 	for i := range regions {
 		r := &regions[i]
-		slot := r.Base >> 33
-		if r.Base&((1<<33)-1) != 0 {
+		slot := r.Base >> regionSlotShift
+		if r.Base&((1<<regionSlotShift)-1) != 0 {
 			panic(fmt.Sprintf("engine: region %q not 8GB aligned", r.Name))
 		}
-		if r.Size > 1<<33 {
+		if r.Size > 1<<regionSlotShift {
 			panic(fmt.Sprintf("engine: region %q spans slots", r.Name))
 		}
-		if _, dup := t.byIndex[slot]; dup {
+		if slot >= uint64(len(t.bySlot)) {
+			grown := make([]*trace.Region, slot+1)
+			copy(grown, t.bySlot)
+			t.bySlot = grown
+		}
+		if t.bySlot[slot] != nil {
 			panic(fmt.Sprintf("engine: region %q collides in slot %d", r.Name, slot))
 		}
-		t.byIndex[slot] = r
+		t.bySlot[slot] = r
 	}
 	return t
 }
 
 // Lookup returns the region containing va, or nil.
 func (t *RegionTable) Lookup(va uint64) *trace.Region {
-	r := t.byIndex[va>>regionSlotShift]
+	r := t.SlotRegion(va >> regionSlotShift)
 	if r == nil || va < r.Base || va-r.Base >= r.Size {
 		return nil
 	}
 	return r
 }
 
-// slotRegion returns the region registered in an 8 GB slot (or nil) without
+// SlotRegion returns the region registered in an 8 GB slot (or nil) without
 // the bounds check, for callers that cache the resolution per slot and do
 // their own per-address bounds test.
-func (t *RegionTable) slotRegion(slot uint64) *trace.Region {
-	return t.byIndex[slot]
+func (t *RegionTable) SlotRegion(slot uint64) *trace.Region {
+	if slot >= uint64(len(t.bySlot)) {
+		return nil
+	}
+	return t.bySlot[slot]
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"gps/internal/trace"
 )
@@ -190,9 +191,43 @@ func TestScanSharing(t *testing.T) {
 }
 
 func TestDominantWriterEmpty(t *testing.T) {
-	s := &Sharing{WriteCount: map[int]uint64{}}
+	s := &Sharing{}
 	if s.DominantWriter() != -1 {
 		t.Fatal("empty sharing should have no dominant writer")
+	}
+}
+
+// Regression: a phase containing a kernel with zero accesses used to spin
+// Run's round-robin loop forever, because `remaining` counted every kernel
+// but only kernels that reach their end of stream ever decremented it.
+func TestRunEmptyKernelTerminates(t *testing.T) {
+	work := trace.Kernel{GPU: 0, Name: "work", Accesses: []trace.Access{
+		{Op: trace.OpStore, Pattern: trace.PatContiguous, Threads: 32, ElemBytes: 4, Addr: 1 << 33},
+	}}
+	prog := &trace.Recorded{
+		M: trace.Meta{Name: "empty", NumGPUs: 2, Regions: []trace.Region{
+			{Name: "r", Kind: trace.RegionShared, Base: 1 << 33, Size: 1 << 20},
+		}},
+		Ph: []trace.Phase{
+			// A barrier-only kernel (zero accesses) alongside a working one...
+			{Index: 0, Kernels: []trace.Kernel{work, {GPU: 1, Name: "barrier"}}},
+			// ...and a phase where every kernel is empty.
+			{Index: 1, Kernels: []trace.Kernel{{GPU: 0, Name: "idle"}}},
+		},
+	}
+	m := &recordingModel{}
+	done := make(chan *Result, 1)
+	go func() { done <- Run(prog, m) }()
+	select {
+	case res := <-done:
+		if len(res.Phases) != 2 {
+			t.Fatalf("result phases = %d, want 2", len(res.Phases))
+		}
+		if len(m.accesses) != 1 {
+			t.Fatalf("accesses = %d, want 1", len(m.accesses))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine.Run hung on a phase containing a zero-access kernel")
 	}
 }
 

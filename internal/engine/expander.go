@@ -21,22 +21,30 @@ func NewExpander(lineBytes uint64) *Expander {
 // Expand returns the line-aligned addresses the instruction touches, after
 // intra-warp coalescing. The returned slice is reused by the next call.
 func (e *Expander) Expand(a trace.Access) []uint64 {
-	e.buf = e.buf[:0]
+	e.buf = e.AppendLines(e.buf[:0], a)
+	return e.buf
+}
+
+// AppendLines appends the instruction's coalesced lines to dst and returns
+// the extended slice. The batched replay uses it to pack a whole chunk of
+// instructions into one flat buffer.
+func (e *Expander) AppendLines(dst []uint64, a trace.Access) []uint64 {
 	if a.Op == trace.OpFence {
-		return e.buf
+		return dst
 	}
+	start := len(dst)
 	switch a.Pattern {
 	case trace.PatContiguous:
 		span := uint64(a.Threads) * uint64(a.ElemBytes)
 		first := a.Addr &^ (e.lineBytes - 1)
 		last := (a.Addr + span - 1) &^ (e.lineBytes - 1)
 		for line := first; line <= last; line += e.lineBytes {
-			e.buf = append(e.buf, line)
+			dst = append(dst, line)
 		}
 	case trace.PatStrided:
 		for lane := 0; lane < int(a.Threads); lane++ {
 			va := a.Addr + uint64(lane)*uint64(a.Stride)
-			e.push(va &^ (e.lineBytes - 1))
+			dst = push(dst, start, va&^(e.lineBytes-1))
 		}
 	case trace.PatScattered:
 		// trace.Validate rejects Stride == 0, but Expand must also hold up
@@ -49,21 +57,21 @@ func (e *Expander) Expand(a trace.Access) []uint64 {
 		for lane := 0; lane < int(a.Threads); lane++ {
 			h := splitmix32(a.Seed + uint32(lane)*0x9e3779b9)
 			lineIdx := uint64(h) % window
-			e.push(a.Addr&^(e.lineBytes-1) + lineIdx*e.lineBytes)
+			dst = push(dst, start, a.Addr&^(e.lineBytes-1)+lineIdx*e.lineBytes)
 		}
 	}
-	return e.buf
+	return dst
 }
 
 // push appends a line if the coalescer has not already emitted it for this
-// instruction (linear scan: at most 32 entries).
-func (e *Expander) push(line uint64) {
-	for _, l := range e.buf {
+// instruction, i.e. within dst[start:] (linear scan: at most 32 entries).
+func push(dst []uint64, start int, line uint64) []uint64 {
+	for _, l := range dst[start:] {
 		if l == line {
-			return
+			return dst
 		}
 	}
-	e.buf = append(e.buf, line)
+	return append(dst, line)
 }
 
 // splitmix32 is a tiny deterministic mixer for scattered lane addresses.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files were rendered by the map-backed implementation of the
+// paradigm models, page tables and sharing scanner before the slab-backed
+// hot path landed. The figures must stay byte-identical: the dense storage
+// is an optimization, not a modeling change.
+func TestRenderedTablesMatchMapBasedGolden(t *testing.T) {
+	old := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(old)
+	opt := Options{Iterations: 2, Quick: true}
+
+	for _, tc := range []struct {
+		golden string
+		render func(context.Context) (string, error)
+	}{
+		{"figure8_quick.golden", func(ctx context.Context) (string, error) {
+			tb, err := Figure8(ctx, opt)
+			if err != nil {
+				return "", err
+			}
+			return tb.String(), nil
+		}},
+		{"pagesize_quick.golden", func(ctx context.Context) (string, error) {
+			tb, err := SensitivityPageSize(ctx, opt)
+			if err != nil {
+				return "", err
+			}
+			return tb.String(), nil
+		}},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.render(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Fatalf("rendered table deviates from the map-based golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

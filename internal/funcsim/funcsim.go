@@ -25,9 +25,10 @@ const wordBytes = 8
 
 // Machine is an n-GPU memory with GPS publish-subscribe semantics.
 type Machine struct {
-	n         int
-	pageBytes uint64
-	lineBytes uint64
+	n            int
+	pageBytes    uint64
+	lineBytes    uint64
+	wordsPerLine int
 
 	replicas []map[uint64]float64 // per GPU: word address -> value
 	queues   []*publishQueue      // per GPU
@@ -38,10 +39,22 @@ type Machine struct {
 	Delivered uint64
 }
 
+// pendingLine is the coalescing buffer for one queued cache line: a dense
+// word-value vector plus a bitmap of which words the GPU actually wrote.
+// Delivery walks the set bits in ascending word order, replacing the old
+// per-line hash map on the store hot path.
+type pendingLine struct {
+	mask []uint64  // bitmap over word slots
+	vals []float64 // indexed by word offset within the line
+}
+
 // publishQueue coalesces pending line writes in insertion order.
 type publishQueue struct {
-	order []uint64                      // line addresses, least recently added first
-	lines map[uint64]map[uint64]float64 // line -> word addr -> value
+	order []uint64                // line addresses, least recently added first
+	lines map[uint64]*pendingLine // resident lines
+	free  []*pendingLine          // drained buffers, recycled by the next store
+	last  uint64                  // most recently stored-to line...
+	lastP *pendingLine            // ...and its buffer (consecutive-store cache)
 }
 
 // NewMachine builds a machine with all GPUs subscribed to every page.
@@ -52,18 +65,38 @@ func NewMachine(n int, pageBytes, lineBytes uint64) (*Machine, error) {
 	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 || pageBytes%lineBytes != 0 {
 		return nil, fmt.Errorf("funcsim: invalid geometry page=%d line=%d", pageBytes, lineBytes)
 	}
+	wpl := int(lineBytes / wordBytes)
+	if wpl == 0 {
+		wpl = 1 // sub-word lines degenerate to one word per line
+	}
 	m := &Machine{
-		n:         n,
-		pageBytes: pageBytes,
-		lineBytes: lineBytes,
-		subs:      map[uint64]uint64{},
-		defSubs:   allMask(n),
+		n:            n,
+		pageBytes:    pageBytes,
+		lineBytes:    lineBytes,
+		wordsPerLine: wpl,
+		subs:         map[uint64]uint64{},
+		defSubs:      allMask(n),
 	}
 	for g := 0; g < n; g++ {
 		m.replicas = append(m.replicas, map[uint64]float64{})
-		m.queues = append(m.queues, &publishQueue{lines: map[uint64]map[uint64]float64{}})
+		m.queues = append(m.queues, &publishQueue{lines: map[uint64]*pendingLine{}})
 	}
 	return m, nil
+}
+
+// get returns a cleared pendingLine, recycling a drained buffer when one is
+// available.
+func (q *publishQueue) get(words int) *pendingLine {
+	if n := len(q.free); n > 0 {
+		p := q.free[n-1]
+		q.free = q.free[:n-1]
+		clear(p.mask)
+		return p
+	}
+	return &pendingLine{
+		mask: make([]uint64, (words+63)/64),
+		vals: make([]float64, words),
+	}
 }
 
 func allMask(n int) uint64 {
@@ -119,11 +152,19 @@ func (m *Machine) Store(gpu int, addr uint64, v float64) {
 	}
 	q := m.queues[gpu]
 	line := addr &^ (m.lineBytes - 1)
-	if _, resident := q.lines[line]; !resident {
-		q.lines[line] = map[uint64]float64{}
-		q.order = append(q.order, line)
+	p := q.lastP
+	if p == nil || q.last != line {
+		p = q.lines[line]
+		if p == nil {
+			p = q.get(m.wordsPerLine)
+			q.lines[line] = p
+			q.order = append(q.order, line)
+		}
+		q.last, q.lastP = line, p
 	}
-	q.lines[line][addr] = v
+	w := (addr - line) / wordBytes
+	p.mask[w>>6] |= 1 << (w & 63)
+	p.vals[w] = v
 }
 
 // Load performs a load by gpu: from the local replica when subscribed,
@@ -151,8 +192,13 @@ func (m *Machine) Drain(gpu int) bool {
 	}
 	line := q.order[0]
 	q.order = q.order[1:]
-	m.deliver(gpu, line, q.lines[line])
+	p := q.lines[line]
+	m.deliver(gpu, line, p)
 	delete(q.lines, line)
+	q.free = append(q.free, p)
+	if q.last == line {
+		q.lastP = nil // the recycled buffer must not shadow a future store
+	}
 	return true
 }
 
@@ -171,14 +217,19 @@ func (m *Machine) Barrier() {
 	}
 }
 
-func (m *Machine) deliver(src int, line uint64, words map[uint64]float64) {
+func (m *Machine) deliver(src int, line uint64, p *pendingLine) {
 	mask := m.subscribers(line)
 	for dst := 0; dst < m.n; dst++ {
 		if dst == src || mask&(1<<dst) == 0 {
 			continue
 		}
-		for addr, v := range words {
-			m.replicas[dst][addr] = v
+		rep := m.replicas[dst]
+		for mw, bitsLeft := range p.mask {
+			for bitsLeft != 0 {
+				w := mw*64 + bits.TrailingZeros64(bitsLeft)
+				bitsLeft &= bitsLeft - 1
+				rep[line+uint64(w)*wordBytes] = p.vals[w]
+			}
 		}
 		m.Delivered++
 	}

@@ -4,7 +4,8 @@ import "fmt"
 
 // GPSPTE is one wide leaf entry of the secondary GPS page table: the
 // physical page number of every subscriber's replica of one virtual page
-// (Section 5.2). Slots for non-subscribers hold NoPPN.
+// (Section 5.2). Slots for non-subscribers hold NoPPN. A nil Replicas slice
+// marks an absent entry (the page is not a GPS page).
 type GPSPTE struct {
 	Subscribers SubscriberSet
 	Replicas    []PPN // indexed by GPU ID, length = system GPU count
@@ -22,11 +23,14 @@ func (e *GPSPTE) ReplicaOn(gpu int) PPN {
 // GPSPageTable is the system-wide secondary page table tracking the multiple
 // physical mappings that coexist for each GPS virtual page. It lies off the
 // critical path: only remote writes drained from the write queue consult it.
+// Like the conventional PageTable, its modeled shape is hierarchical but its
+// storage is a dense PageMap slab, so Lookup is two array indexings.
 type GPSPageTable struct {
 	geom    Geometry
 	numGPUs int
 	levels  int
-	entries map[VPN]*GPSPTE
+	entries *PageMap[GPSPTE]
+	count   int
 }
 
 // NewGPSPageTable builds an empty GPS page table for a system of numGPUs.
@@ -39,7 +43,7 @@ func NewGPSPageTable(geom Geometry, numGPUs int) *GPSPageTable {
 		geom:    geom,
 		numGPUs: numGPUs,
 		levels:  levels,
-		entries: map[VPN]*GPSPTE{},
+		entries: NewPageMap[GPSPTE](geom.PageBytes),
 	}
 }
 
@@ -48,18 +52,37 @@ func NewGPSPageTable(geom Geometry, numGPUs int) *GPSPageTable {
 func (t *GPSPageTable) Levels() int { return t.levels }
 
 // Entries returns the number of GPS pages tracked.
-func (t *GPSPageTable) Entries() int { return len(t.entries) }
+func (t *GPSPageTable) Entries() int { return t.count }
 
 // EntryBits returns the storage size of one wide leaf PTE in bits.
 func (t *GPSPageTable) EntryBits() int { return t.geom.GPSPTEBits(t.numGPUs) }
 
 // Lookup returns the wide PTE for vpn, or nil if vpn is not a GPS page.
-func (t *GPSPageTable) Lookup(vpn VPN) *GPSPTE { return t.entries[vpn] }
+// The translation unit caches the returned pointer in its GPS-TLB, so
+// callers allocating new GPS ranges must Reserve them first to keep slabs
+// from growing underneath cached pointers.
+func (t *GPSPageTable) Lookup(vpn VPN) *GPSPTE {
+	if e := t.entries.Peek(uint64(vpn)); e != nil && e.Replicas != nil {
+		return e
+	}
+	return nil
+}
 
 // Walk is Lookup plus the node-visit count charged by the timing model on a
 // GPS-TLB miss.
 func (t *GPSPageTable) Walk(vpn VPN) (*GPSPTE, int) {
-	return t.entries[vpn], t.levels
+	return t.Lookup(vpn), t.levels
+}
+
+// Reserve pre-sizes the leaf storage for every page of [base, base+size), so
+// Subscribe never grows a slab under a pointer the GPS-TLB has cached.
+func (t *GPSPageTable) Reserve(base VAddr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := t.geom.VPNOf(base)
+	last := t.geom.VPNOf(base + VAddr(size-1))
+	t.entries.Reserve(uint64(first), uint64(last-first)+1)
 }
 
 // Subscribe records gpu as a subscriber of vpn with the given replica frame.
@@ -68,13 +91,13 @@ func (t *GPSPageTable) Subscribe(vpn VPN, gpu int, replica PPN) {
 	if gpu < 0 || gpu >= t.numGPUs {
 		panic(fmt.Sprintf("memsys: GPU %d out of range [0,%d)", gpu, t.numGPUs))
 	}
-	e := t.entries[vpn]
-	if e == nil {
-		e = &GPSPTE{Replicas: make([]PPN, t.numGPUs)}
+	e := t.entries.At(uint64(vpn))
+	if e.Replicas == nil {
+		e.Replicas = make([]PPN, t.numGPUs)
 		for i := range e.Replicas {
 			e.Replicas[i] = NoPPN
 		}
-		t.entries[vpn] = e
+		t.count++
 	}
 	e.Subscribers = e.Subscribers.Add(gpu)
 	e.Replicas[gpu] = replica
@@ -88,7 +111,7 @@ var ErrLastSubscriber = fmt.Errorf("memsys: cannot unsubscribe the last subscrib
 // can now be freed. Removing the final subscriber fails with
 // ErrLastSubscriber.
 func (t *GPSPageTable) Unsubscribe(vpn VPN, gpu int) (PPN, error) {
-	e := t.entries[vpn]
+	e := t.Lookup(vpn)
 	if e == nil || !e.Subscribers.Has(gpu) {
 		return NoPPN, fmt.Errorf("memsys: GPU %d is not subscribed to VPN %#x", gpu, uint64(vpn))
 	}
@@ -103,11 +126,18 @@ func (t *GPSPageTable) Unsubscribe(vpn VPN, gpu int) (PPN, error) {
 
 // Drop removes the entire entry for vpn (used when a page is collapsed to a
 // conventional page after a sys-scoped write, Section 5.3).
-func (t *GPSPageTable) Drop(vpn VPN) { delete(t.entries, vpn) }
-
-// ForEach visits every (vpn, entry) pair in unspecified order.
-func (t *GPSPageTable) ForEach(fn func(vpn VPN, e *GPSPTE)) {
-	for vpn, e := range t.entries {
-		fn(vpn, e)
+func (t *GPSPageTable) Drop(vpn VPN) {
+	if e := t.entries.Peek(uint64(vpn)); e != nil && e.Replicas != nil {
+		*e = GPSPTE{}
+		t.count--
 	}
+}
+
+// ForEach visits every (vpn, entry) pair in ascending VPN order.
+func (t *GPSPageTable) ForEach(fn func(vpn VPN, e *GPSPTE)) {
+	t.entries.ForEach(func(vpn uint64, e *GPSPTE) {
+		if e.Replicas != nil {
+			fn(VPN(vpn), e)
+		}
+	})
 }

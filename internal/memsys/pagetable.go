@@ -15,20 +15,24 @@ type PTE struct {
 
 const radixBits = 9 // 512-ary radix nodes, as in GPU MMU formats
 
-// PageTable is a hierarchical radix page table for one GPU. The number of
-// levels follows from the VPN width at the configured page size (with 64 KB
-// pages and a 49-bit VA this is ceil(33/9) = 4 radix levels below the root
-// pointer, a 5-level walk counting the root).
+// PageTable is the conventional page table for one GPU. Architecturally it
+// is a hierarchical radix table (with 64 KB pages and a 49-bit VA this is
+// ceil(33/9) = 4 radix levels below the root pointer, a 5-level walk
+// counting the root), and Walk still accounts node visits at that modeled
+// depth. The *storage*, however, is a dense PageMap slab — Lookup on the
+// translation hot path is two array indexings, no hashing, no pointer
+// chasing. The radix shape survives only as per-level presence sets that
+// let Walk report how deep a miss travels before hitting a missing node.
 type PageTable struct {
-	geom   Geometry
-	levels int
-	root   *ptNode
-	count  int
-}
-
-type ptNode struct {
-	children map[uint64]*ptNode
-	entries  map[uint64]*PTE // only at leaves
+	geom    Geometry
+	levels  int
+	entries *PageMap[PTE]
+	count   int
+	// present[l] holds the radix prefixes (the VPN's leading (l+1)*radixBits
+	// bits) for which the modeled level-l node exists. Nodes are created by
+	// Map and, as in the map-backed radix table this replaced, never pruned
+	// by Unmap.
+	present []map[uint64]struct{}
 }
 
 // NewPageTable builds an empty page table for the geometry.
@@ -37,11 +41,16 @@ func NewPageTable(geom Geometry) *PageTable {
 	if levels < 1 {
 		levels = 1
 	}
-	return &PageTable{geom: geom, levels: levels, root: newNode()}
-}
-
-func newNode() *ptNode {
-	return &ptNode{children: map[uint64]*ptNode{}, entries: map[uint64]*PTE{}}
+	present := make([]map[uint64]struct{}, levels-1)
+	for i := range present {
+		present[i] = map[uint64]struct{}{}
+	}
+	return &PageTable{
+		geom:    geom,
+		levels:  levels,
+		entries: NewPageMap[PTE](geom.PageBytes),
+		present: present,
+	}
 }
 
 // Levels returns the number of radix levels a full walk traverses.
@@ -50,40 +59,47 @@ func (pt *PageTable) Levels() int { return pt.levels }
 // Entries returns the number of mapped pages.
 func (pt *PageTable) Entries() int { return pt.count }
 
-// indices splits a VPN into per-level radix indices, most significant first.
-func (pt *PageTable) indices(vpn VPN) []uint64 {
-	idx := make([]uint64, pt.levels)
-	v := uint64(vpn)
-	for l := pt.levels - 1; l >= 0; l-- {
-		idx[l] = v & (1<<radixBits - 1)
-		v >>= radixBits
-	}
-	return idx
+// prefix returns the radix-node key after consuming l+1 of the walk's
+// per-level indices, most significant first.
+func (pt *PageTable) prefix(vpn VPN, l int) uint64 {
+	return uint64(vpn) >> (radixBits * (pt.levels - 1 - l))
 }
 
 // Walk performs a full page-table walk and returns the PTE (nil if the page
 // is unmapped) along with the number of node visits the walk required, which
-// the timing model charges for.
+// the timing model charges for. A hit always costs the full modeled depth;
+// a miss stops at the first absent radix node.
 func (pt *PageTable) Walk(vpn VPN) (*PTE, int) {
-	idx := pt.indices(vpn)
-	n := pt.root
-	visits := 0
-	for l := 0; l < pt.levels-1; l++ {
-		visits++
-		next, ok := n.children[idx[l]]
-		if !ok {
-			return nil, visits
-		}
-		n = next
+	if e := pt.entries.Peek(uint64(vpn)); e != nil && e.Valid {
+		return e, pt.levels
 	}
-	visits++
-	return n.entries[idx[pt.levels-1]], visits
+	for l := 0; l < pt.levels-1; l++ {
+		if _, ok := pt.present[l][pt.prefix(vpn, l)]; !ok {
+			return nil, l + 1
+		}
+	}
+	return nil, pt.levels
 }
 
-// Lookup returns the PTE for vpn, or nil.
+// Lookup returns the PTE for vpn, or nil. This is the hot-path entry: it
+// skips the visit accounting entirely.
 func (pt *PageTable) Lookup(vpn VPN) *PTE {
-	pte, _ := pt.Walk(vpn)
-	return pte
+	if e := pt.entries.Peek(uint64(vpn)); e != nil && e.Valid {
+		return e
+	}
+	return nil
+}
+
+// Reserve pre-sizes the leaf storage for every page of [base, base+size),
+// keeping later Map calls from growing slabs (and invalidating outstanding
+// PTE pointers).
+func (pt *PageTable) Reserve(base VAddr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := pt.geom.VPNOf(base)
+	last := pt.geom.VPNOf(base + VAddr(size-1))
+	pt.entries.Reserve(uint64(first), uint64(last-first)+1)
 }
 
 // Map installs or replaces the translation for vpn.
@@ -91,40 +107,23 @@ func (pt *PageTable) Map(vpn VPN, pte PTE) {
 	if !pte.Valid {
 		panic("memsys: mapping an invalid PTE; use Unmap")
 	}
-	idx := pt.indices(vpn)
-	n := pt.root
 	for l := 0; l < pt.levels-1; l++ {
-		next, ok := n.children[idx[l]]
-		if !ok {
-			next = newNode()
-			n.children[idx[l]] = next
-		}
-		n = next
+		pt.present[l][pt.prefix(vpn, l)] = struct{}{}
 	}
-	leaf := idx[pt.levels-1]
-	if n.entries[leaf] == nil {
+	e := pt.entries.At(uint64(vpn))
+	if !e.Valid {
 		pt.count++
 	}
-	cp := pte
-	n.entries[leaf] = &cp
+	*e = pte
 }
 
 // Unmap removes the translation for vpn; it reports whether one existed.
 func (pt *PageTable) Unmap(vpn VPN) bool {
-	idx := pt.indices(vpn)
-	n := pt.root
-	for l := 0; l < pt.levels-1; l++ {
-		next, ok := n.children[idx[l]]
-		if !ok {
-			return false
-		}
-		n = next
-	}
-	leaf := idx[pt.levels-1]
-	if n.entries[leaf] == nil {
+	e := pt.entries.Peek(uint64(vpn))
+	if e == nil || !e.Valid {
 		return false
 	}
-	delete(n.entries, leaf)
+	*e = PTE{}
 	pt.count--
 	return true
 }

@@ -7,11 +7,13 @@ import "fmt"
 // structure backs both the conventional last-level TLB (payload PTE) and the
 // GPS-TLB (payload *GPSPTE, the wide entry with all subscribers' frames).
 type TLB[T any] struct {
-	sets   [][]tlbEntry[T]
-	ways   int
-	clock  uint64
-	hits   uint64
-	misses uint64
+	sets    [][]tlbEntry[T]
+	setMask uint64 // len(sets)-1 when a power of two (the common case)
+	pow2    bool
+	ways    int
+	clock   uint64
+	hits    uint64
+	misses  uint64
 }
 
 type tlbEntry[T any] struct {
@@ -31,10 +33,20 @@ func NewTLB[T any](entries, ways int) *TLB[T] {
 	for i := range sets {
 		sets[i] = make([]tlbEntry[T], ways)
 	}
-	return &TLB[T]{sets: sets, ways: ways}
+	return &TLB[T]{
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		pow2:    numSets&(numSets-1) == 0,
+		ways:    ways,
+	}
 }
 
 func (t *TLB[T]) setOf(vpn VPN) []tlbEntry[T] {
+	// Same set mapping either way; the mask just avoids a hardware divide
+	// on the per-line lookup path.
+	if t.pow2 {
+		return t.sets[uint64(vpn)&t.setMask]
+	}
 	return t.sets[uint64(vpn)%uint64(len(t.sets))]
 }
 

@@ -41,12 +41,18 @@ type gpsModel struct {
 	xu      []*core.TranslationUnit
 	tracker *core.AccessTracker
 
-	mode       gpsMode
-	profiling  bool
-	subHist    map[int]int
-	collapsing map[uint64]bool
-	manual     map[memsys.VPN]bool // pages with pinned manual subscriptions
-	forwarded  uint64              // loads served from the write queue
+	mode      gpsMode
+	profiling bool
+	subHist   map[int]int
+	flags     *memsys.PageMap[gpsPageFlags]
+	forwarded uint64 // loads served from the write queue
+}
+
+// gpsPageFlags is the model's slab-packed per-page bookkeeping outside the
+// page tables proper.
+type gpsPageFlags struct {
+	manual     bool // pinned manual subscriptions: profiling never prunes it
+	collapsing bool // sys-scope collapse already performed
 }
 
 func newGPS(meta trace.Meta, cfg Config, mode gpsMode) (*gpsModel, error) {
@@ -58,11 +64,10 @@ func newGPS(meta trace.Meta, cfg Config, mode gpsMode) (*gpsModel, error) {
 		name = "GPS-unsub-default"
 	}
 	m := &gpsModel{
-		base:       newBase(name, meta, cfg),
-		mode:       mode,
-		collapsing: map[uint64]bool{},
-		manual:     map[memsys.VPN]bool{},
+		base: newBase(name, meta, cfg),
+		mode: mode,
 	}
+	m.flags = memsys.NewPageMap[gpsPageFlags](m.pageBytes)
 	mgr, err := core.NewManager(m.geom, m.n, cfg.Machine.GPU.GlobalMemory)
 	if err != nil {
 		return nil, err
@@ -86,7 +91,7 @@ func newGPS(meta trace.Meta, cfg Config, mode gpsMode) (*gpsModel, error) {
 			}
 			if r.ManualSubscribers != nil {
 				for _, vpn := range m.geom.PagesIn(memsys.VAddr(r.Base), r.Size) {
-					m.manual[vpn] = true
+					m.flags.At(uint64(vpn)).manual = true
 				}
 			}
 		case trace.RegionPrivate:
@@ -171,75 +176,90 @@ func (m *gpsModel) translate(gpu int, vpn uint64) memsys.PTE {
 }
 
 func (m *gpsModel) Access(gpu int, a trace.Access, lines []uint64) {
-	if a.Op == trace.OpFence {
-		if a.Scope == trace.ScopeSys {
-			m.wq[gpu].Flush()
-		}
-		return
-	}
+	m.AccessBatch(gpu, m.singleBatch(a, lines))
+}
+
+// isManual reports whether vpn carries pinned manual subscriptions. Peek
+// suffices: manual flags are all set at allocation time.
+func (m *gpsModel) isManual(vpn uint64) bool {
+	p := m.flags.Peek(vpn)
+	return p != nil && p.manual
+}
+
+func (m *gpsModel) AccessBatch(gpu int, b *engine.Batch) {
 	prof := &m.profiles[gpu]
-	for _, line := range lines {
-		vpn := m.vpn(line)
-		pte := m.translate(gpu, vpn)
-		switch a.Op {
-		case trace.OpLoad:
-			if pte.Owner == gpu {
-				prof.LocalBytes += lineBytes
-				continue
+	wq := m.wq[gpu]
+	for i := range b.Accs {
+		a := &b.Accs[i]
+		if a.Op == trace.OpFence {
+			if a.Scope == trace.ScopeSys {
+				wq.Flush()
 			}
-			if pte.GPS && m.wq[gpu].Contains(memsys.VAddr(line)) {
-				// The pending block in the local write queue forwards its
-				// value (Section 5.1): no interconnect crossing.
-				m.forwarded++
-				prof.LocalBytes += lineBytes
-				continue
-			}
-			if m.mode == gpsUnsubscribedByDefault && m.profiling && pte.GPS && !m.manual[memsys.VPN(vpn)] {
-				// Unsubscribed-by-default profiling: the first read
-				// subscribes this GPU, populating a local replica from an
-				// existing subscriber — a whole-page stall, the cost the
-				// paper cites for rejecting this mode.
-				if err := m.mgr.Subscribe(gpu, m.geom.PageBase(memsys.VAddr(line)), m.geom.PageBytes); err == nil {
-					prof.RemoteRead[pte.Owner] += m.geom.PageBytes
-					prof.Faults++
+			continue
+		}
+		for _, line := range b.LinesOf(i) {
+			vpn := m.vpn(line)
+			pte := m.translate(gpu, vpn)
+			switch a.Op {
+			case trace.OpLoad:
+				if pte.Owner == gpu {
 					prof.LocalBytes += lineBytes
 					continue
 				}
-			}
-			// Not a subscriber: the load issues remotely to one of the
-			// subscribers (Section 3.2) — a penalty, never a fault.
-			prof.RemoteRead[pte.Owner] += lineBytes
-			prof.RemoteReadLines++
-		case trace.OpStore, trace.OpAtomic:
-			if !pte.GPS {
-				// Conventional page: local or plain remote store.
-				if pte.Owner == gpu {
+				if pte.GPS && wq.Contains(memsys.VAddr(line)) {
+					// The pending block in the local write queue forwards its
+					// value (Section 5.1): no interconnect crossing.
+					m.forwarded++
 					prof.LocalBytes += lineBytes
-				} else {
-					prof.Push[pte.Owner] += lineBytes
+					continue
 				}
-				continue
-			}
-			if a.Scope == trace.ScopeSys {
-				// Sys-scoped store to a GPS page: collapse to a single copy
-				// (Section 5.3).
-				if !m.collapsing[vpn] {
-					if err := m.mgr.CollapseSysScoped(gpu, memsys.VPN(vpn)); err == nil {
-						prof.Shootdowns++
-						m.collapsing[vpn] = true
+				if m.mode == gpsUnsubscribedByDefault && m.profiling && pte.GPS && !m.isManual(vpn) {
+					// Unsubscribed-by-default profiling: the first read
+					// subscribes this GPU, populating a local replica from an
+					// existing subscriber — a whole-page stall, the cost the
+					// paper cites for rejecting this mode.
+					if err := m.mgr.Subscribe(gpu, m.geom.PageBase(memsys.VAddr(line)), m.geom.PageBytes); err == nil {
+						prof.RemoteRead[pte.Owner] += m.geom.PageBytes
+						prof.Faults++
+						prof.LocalBytes += lineBytes
+						continue
 					}
 				}
-				prof.LocalBytes += lineBytes
-				continue
-			}
-			if pte.Owner == gpu {
-				// Local replica updated on the store path (W3 in Figure 7).
-				prof.LocalBytes += lineBytes
-			}
-			if a.Op == trace.OpAtomic {
-				m.wq[gpu].PushAtomic(memsys.VAddr(line))
-			} else {
-				m.wq[gpu].PushStore(memsys.VAddr(line))
+				// Not a subscriber: the load issues remotely to one of the
+				// subscribers (Section 3.2) — a penalty, never a fault.
+				prof.RemoteRead[pte.Owner] += lineBytes
+				prof.RemoteReadLines++
+			case trace.OpStore, trace.OpAtomic:
+				if !pte.GPS {
+					// Conventional page: local or plain remote store.
+					if pte.Owner == gpu {
+						prof.LocalBytes += lineBytes
+					} else {
+						prof.Push[pte.Owner] += lineBytes
+					}
+					continue
+				}
+				if a.Scope == trace.ScopeSys {
+					// Sys-scoped store to a GPS page: collapse to a single copy
+					// (Section 5.3).
+					if f := m.flags.At(vpn); !f.collapsing {
+						if err := m.mgr.CollapseSysScoped(gpu, memsys.VPN(vpn)); err == nil {
+							prof.Shootdowns++
+							f.collapsing = true
+						}
+					}
+					prof.LocalBytes += lineBytes
+					continue
+				}
+				if pte.Owner == gpu {
+					// Local replica updated on the store path (W3 in Figure 7).
+					prof.LocalBytes += lineBytes
+				}
+				if a.Op == trace.OpAtomic {
+					wq.PushAtomic(memsys.VAddr(line))
+				} else {
+					wq.PushStore(memsys.VAddr(line))
+				}
 			}
 		}
 	}
@@ -258,7 +278,7 @@ func (m *gpsModel) EndPhase(index int) {
 			// into the subscription tracking mechanism (Section 3.2): GPUs
 			// that never touched a page are unsubscribed, including the
 			// initial host of unsubscribed-by-default pages.
-			m.mgr.ApplyProfile(m.tracker, func(vpn memsys.VPN) bool { return m.manual[vpn] })
+			m.mgr.ApplyProfile(m.tracker, func(vpn memsys.VPN) bool { return m.isManual(uint64(vpn)) })
 		}
 		m.profiling = false
 	}

@@ -2,6 +2,7 @@ package paradigm
 
 import (
 	"gps/internal/engine"
+	"gps/internal/memsys"
 	"gps/internal/trace"
 )
 
@@ -18,8 +19,17 @@ import (
 type memcpyModel struct {
 	base
 	elideTransfers bool
-	pipelined      bool           // overlap broadcasts with compute (expert double buffering)
-	dirty          map[uint64]int // vpn -> last writer this phase
+	pipelined      bool // overlap broadcasts with compute (expert double buffering)
+	pages          *memsys.PageMap[memcpyPage]
+	dirty          []uint64 // pages written this phase, in first-write order
+	epoch          uint32
+}
+
+// memcpyPage records the page's last writer this phase; the stamp marks
+// membership in the current phase's dirty list.
+type memcpyPage struct {
+	writer uint8 // last writer this phase + 1
+	stamp  uint32
 }
 
 func newMemcpy(meta trace.Meta, cfg Config, elideTransfers bool) *memcpyModel {
@@ -27,11 +37,13 @@ func newMemcpy(meta trace.Meta, cfg Config, elideTransfers bool) *memcpyModel {
 	if elideTransfers {
 		name = "infiniteBW"
 	}
-	return &memcpyModel{
+	m := &memcpyModel{
 		base:           newBase(name, meta, cfg),
 		elideTransfers: elideTransfers,
-		dirty:          map[uint64]int{},
 	}
+	m.pages = memsys.NewPageMap[memcpyPage](m.pageBytes)
+	m.epoch = 1 // distinct from the zero value of fresh pages
+	return m
 }
 
 // newMemcpyAsync is the expert double-buffered variant of Section 2.1:
@@ -46,16 +58,42 @@ func newMemcpyAsync(meta trace.Meta, cfg Config) *memcpyModel {
 }
 
 func (m *memcpyModel) Access(gpu int, a trace.Access, lines []uint64) {
-	if a.Op == trace.OpFence {
-		return
-	}
+	m.AccessBatch(gpu, m.singleBatch(a, lines))
+}
+
+func (m *memcpyModel) AccessBatch(gpu int, b *engine.Batch) {
 	prof := &m.profiles[gpu]
-	for _, line := range lines {
-		prof.LocalBytes += lineBytes // every structure is mirrored locally
-		if a.IsWrite() {
-			if r := m.sharedRegion(line); r != nil {
-				m.dirty[m.vpn(line)] = gpu
+	lastSlot, lastVPN := ^uint64(0), ^uint64(0)
+	var region *trace.Region
+	var p *memcpyPage
+	for i := range b.Accs {
+		a := &b.Accs[i]
+		if a.Op == trace.OpFence {
+			continue
+		}
+		lines := b.LinesOf(i)
+		prof.LocalBytes += uint64(len(lines)) * lineBytes // every structure is mirrored locally
+		if !a.IsWrite() {
+			continue
+		}
+		for _, line := range lines {
+			if slot := line >> memsys.RegionSlotShift; slot != lastSlot {
+				lastSlot = slot
+				region = m.regions.SlotRegion(slot)
 			}
+			if region == nil || region.Kind != trace.RegionShared ||
+				line < region.Base || line-region.Base >= region.Size {
+				continue
+			}
+			if vpn := line >> m.vpnShift; vpn != lastVPN {
+				lastVPN = vpn
+				p = m.pages.At(vpn)
+				if p.stamp != m.epoch {
+					p.stamp = m.epoch
+					m.dirty = append(m.dirty, vpn)
+				}
+			}
+			p.writer = uint8(gpu + 1)
 		}
 	}
 }
@@ -65,7 +103,8 @@ func (m *memcpyModel) EndPhase(int) {
 		// Barrier: broadcast every page written this phase from its writer
 		// to every other GPU, keeping all mirrors coherent before the next
 		// kernels launch.
-		for _, src := range m.dirty {
+		for _, vpn := range m.dirty {
+			src := int(m.pages.Peek(vpn).writer) - 1
 			for dst := 0; dst < m.n; dst++ {
 				if dst == src {
 					continue
@@ -80,7 +119,8 @@ func (m *memcpyModel) EndPhase(int) {
 			}
 		}
 	}
-	clear(m.dirty)
+	m.dirty = m.dirty[:0]
+	m.epoch++
 }
 
 func (m *memcpyModel) Finish(*engine.Result) {}

@@ -2,6 +2,7 @@ package paradigm
 
 import (
 	"gps/internal/engine"
+	"gps/internal/memsys"
 	"gps/internal/trace"
 )
 
@@ -15,37 +16,55 @@ import (
 // interconnect every time (the ALS pathology of Section 7.2).
 type rdlModel struct {
 	base
-	lastWriter map[uint64]int // vpn -> most recent writer
+	lastWriter *memsys.PageMap[uint8] // vpn -> most recent writer + 1; 0 = never written
 }
 
 func newRDL(meta trace.Meta, cfg Config) *rdlModel {
-	return &rdlModel{base: newBase("RDL", meta, cfg), lastWriter: map[uint64]int{}}
+	m := &rdlModel{base: newBase("RDL", meta, cfg)}
+	m.lastWriter = memsys.NewPageMap[uint8](m.pageBytes)
+	return m
 }
 
 func (m *rdlModel) Access(gpu int, a trace.Access, lines []uint64) {
-	if a.Op == trace.OpFence {
-		return
-	}
+	m.AccessBatch(gpu, m.singleBatch(a, lines))
+}
+
+func (m *rdlModel) AccessBatch(gpu int, b *engine.Batch) {
 	prof := &m.profiles[gpu]
-	for _, line := range lines {
-		r := m.regions.Lookup(line)
-		if r == nil || r.Kind != trace.RegionShared {
-			prof.LocalBytes += lineBytes
+	lastSlot, lastVPN := ^uint64(0), ^uint64(0)
+	var region *trace.Region
+	var p *uint8
+	for i := range b.Accs {
+		a := &b.Accs[i]
+		if a.Op == trace.OpFence {
 			continue
 		}
-		vpn := m.vpn(line)
-		switch a.Op {
-		case trace.OpLoad:
-			lw, written := m.lastWriter[vpn]
-			if !written || lw == gpu {
-				prof.LocalBytes += lineBytes
-			} else {
-				prof.RemoteRead[lw] += lineBytes
-				prof.RemoteReadLines++
+		for _, line := range b.LinesOf(i) {
+			if slot := line >> memsys.RegionSlotShift; slot != lastSlot {
+				lastSlot = slot
+				region = m.regions.SlotRegion(slot)
 			}
-		case trace.OpStore, trace.OpAtomic:
-			prof.LocalBytes += lineBytes
-			m.lastWriter[vpn] = gpu
+			if region == nil || region.Kind != trace.RegionShared ||
+				line < region.Base || line-region.Base >= region.Size {
+				prof.LocalBytes += lineBytes
+				continue
+			}
+			if vpn := line >> m.vpnShift; vpn != lastVPN {
+				lastVPN = vpn
+				p = m.lastWriter.At(vpn)
+			}
+			switch a.Op {
+			case trace.OpLoad:
+				if lw := *p; lw == 0 || int(lw) == gpu+1 {
+					prof.LocalBytes += lineBytes
+				} else {
+					prof.RemoteRead[int(lw)-1] += lineBytes
+					prof.RemoteReadLines++
+				}
+			case trace.OpStore, trace.OpAtomic:
+				prof.LocalBytes += lineBytes
+				*p = uint8(gpu + 1)
+			}
 		}
 	}
 }

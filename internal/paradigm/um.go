@@ -2,6 +2,7 @@ package paradigm
 
 import (
 	"gps/internal/engine"
+	"gps/internal/memsys"
 	"gps/internal/trace"
 )
 
@@ -19,71 +20,98 @@ import (
 // slowdowns real UM exhibits.
 type umModel struct {
 	base
-	loc    map[uint64]int // vpn -> resident GPU
-	thrash map[uint64]int // vpn -> migrations this phase
-	pinned map[uint64]bool
+	pages *memsys.PageMap[umPage]
+	epoch uint32
+}
+
+// umPage is one page's residency and thrash state, slab-packed. The thrash
+// fields are per phase: instead of sweeping them at every barrier, they are
+// reset lazily when the stamp doesn't match the current epoch.
+type umPage struct {
+	owner  uint8 // resident GPU + 1; 0 = not yet populated
+	thrash uint8 // migrations this phase
+	pinned bool  // thrash-mitigated: accessed remotely, no more migration
+	stamp  uint32
 }
 
 // thrashLimit is the per-phase migration budget before a page is pinned.
 const thrashLimit = 2
 
 func newUM(meta trace.Meta, cfg Config) *umModel {
-	return &umModel{
-		base:   newBase("UM", meta, cfg),
-		loc:    map[uint64]int{},
-		thrash: map[uint64]int{},
-		pinned: map[uint64]bool{},
-	}
+	m := &umModel{base: newBase("UM", meta, cfg)}
+	m.pages = memsys.NewPageMap[umPage](m.pageBytes)
+	return m
 }
 
 func (m *umModel) Access(gpu int, a trace.Access, lines []uint64) {
-	if a.Op == trace.OpFence {
-		return
-	}
+	m.AccessBatch(gpu, m.singleBatch(a, lines))
+}
+
+func (m *umModel) AccessBatch(gpu int, b *engine.Batch) {
 	prof := &m.profiles[gpu]
-	for _, line := range lines {
-		r := m.regions.Lookup(line)
-		if r == nil || r.Kind != trace.RegionShared {
-			prof.LocalBytes += lineBytes
+	lastSlot, lastVPN := ^uint64(0), ^uint64(0)
+	var region *trace.Region
+	var p *umPage
+	for i := range b.Accs {
+		a := &b.Accs[i]
+		if a.Op == trace.OpFence {
 			continue
 		}
-		vpn := m.vpn(line)
-		owner, populated := m.loc[vpn]
-		switch {
-		case !populated:
-			// First touch: populate on the accessor (a minor fault with no
-			// data movement).
-			m.loc[vpn] = gpu
-			prof.Faults++
-			prof.LocalBytes += lineBytes
-		case owner == gpu:
-			prof.LocalBytes += lineBytes
-		case m.pinned[vpn]:
-			// Thrash-mitigated: access the line remotely without migrating.
-			if a.IsWrite() {
-				prof.Push[owner] += lineBytes
-			} else {
-				prof.RemoteRead[owner] += lineBytes
-				prof.RemoteReadLines++
+		isWrite := a.IsWrite()
+		for _, line := range b.LinesOf(i) {
+			if slot := line >> memsys.RegionSlotShift; slot != lastSlot {
+				lastSlot = slot
+				region = m.regions.SlotRegion(slot)
 			}
-		default:
-			// Fault + migrate the page to the accessor.
-			prof.Faults++
-			prof.RemoteRead[owner] += m.pageBytes
-			m.loc[vpn] = gpu
-			prof.LocalBytes += lineBytes
-			m.thrash[vpn]++
-			if m.thrash[vpn] >= thrashLimit {
-				m.pinned[vpn] = true
+			if region == nil || region.Kind != trace.RegionShared ||
+				line < region.Base || line-region.Base >= region.Size {
+				prof.LocalBytes += lineBytes
+				continue
+			}
+			if vpn := line >> m.vpnShift; vpn != lastVPN {
+				lastVPN = vpn
+				p = m.pages.At(vpn)
+				if p.stamp != m.epoch {
+					p.thrash, p.pinned, p.stamp = 0, false, m.epoch
+				}
+			}
+			switch {
+			case p.owner == 0:
+				// First touch: populate on the accessor (a minor fault with no
+				// data movement).
+				p.owner = uint8(gpu + 1)
+				prof.Faults++
+				prof.LocalBytes += lineBytes
+			case int(p.owner) == gpu+1:
+				prof.LocalBytes += lineBytes
+			case p.pinned:
+				// Thrash-mitigated: access the line remotely without migrating.
+				owner := int(p.owner) - 1
+				if isWrite {
+					prof.Push[owner] += lineBytes
+				} else {
+					prof.RemoteRead[owner] += lineBytes
+					prof.RemoteReadLines++
+				}
+			default:
+				// Fault + migrate the page to the accessor.
+				prof.Faults++
+				prof.RemoteRead[int(p.owner)-1] += m.pageBytes
+				p.owner = uint8(gpu + 1)
+				prof.LocalBytes += lineBytes
+				p.thrash++
+				if p.thrash >= thrashLimit {
+					p.pinned = true
+				}
 			}
 		}
 	}
 }
 
 func (m *umModel) EndPhase(int) {
-	// Thrash detection state is periodic in the driver; reset per phase.
-	clear(m.thrash)
-	clear(m.pinned)
+	// Thrash detection state is periodic in the driver; bumping the epoch
+	// invalidates every page's per-phase state without a sweep.
+	m.epoch++
 }
 
 func (m *umModel) Finish(*engine.Result) {}

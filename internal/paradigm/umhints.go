@@ -2,6 +2,7 @@ package paradigm
 
 import (
 	"gps/internal/engine"
+	"gps/internal/memsys"
 	"gps/internal/trace"
 )
 
@@ -16,8 +17,13 @@ import (
 // shootdown — the cost Section 7.1 highlights.
 type hintsModel struct {
 	base
-	home map[uint64]int    // vpn -> preferred location
-	dup  map[uint64]uint64 // vpn -> bitmask of GPUs holding read duplicates
+	pages *memsys.PageMap[hintsPage]
+}
+
+// hintsPage is one page's hint state, slab-packed.
+type hintsPage struct {
+	home uint8  // preferred location + 1; 0 = not yet decided
+	dup  uint64 // bitmask of GPUs holding read duplicates
 }
 
 // prefetchBlockBytes is the granularity of the modeled cudaMemPrefetchAsync
@@ -28,82 +34,96 @@ type hintsModel struct {
 const prefetchBlockBytes = 512 << 10
 
 func newUMHints(meta trace.Meta, cfg Config, sharing map[uint64]*engine.Sharing) *hintsModel {
-	m := &hintsModel{
-		base: newBase("UM+hints", meta, cfg),
-		home: map[uint64]int{},
-		dup:  map[uint64]uint64{},
-	}
+	m := &hintsModel{base: newBase("UM+hints", meta, cfg)}
+	m.pages = memsys.NewPageMap[hintsPage](m.pageBytes)
 	// ScanSharing works at cfg.PageBytes granularity already.
 	for vpn, s := range sharing {
 		if w := s.DominantWriter(); w >= 0 {
-			m.home[vpn] = w
+			m.pages.At(vpn).home = uint8(w + 1)
 		}
 	}
 	return m
 }
 
-func (m *hintsModel) homeOf(vpn uint64, toucher int) int {
-	if h, ok := m.home[vpn]; ok {
-		return h
+// homeOf resolves the page's preferred location, defaulting pages never
+// written in the scanned iteration to their first toucher.
+func (m *hintsModel) homeOf(p *hintsPage, toucher int) int {
+	if p.home == 0 {
+		p.home = uint8(toucher + 1)
 	}
-	// Pages never written in the scanned iteration: preferred location is
-	// their first toucher.
-	m.home[vpn] = toucher
-	return toucher
+	return int(p.home) - 1
 }
 
 func (m *hintsModel) Access(gpu int, a trace.Access, lines []uint64) {
-	if a.Op == trace.OpFence {
-		return
-	}
+	m.AccessBatch(gpu, m.singleBatch(a, lines))
+}
+
+func (m *hintsModel) AccessBatch(gpu int, b *engine.Batch) {
 	prof := &m.profiles[gpu]
-	for _, line := range lines {
-		r := m.regions.Lookup(line)
-		if r == nil || r.Kind != trace.RegionShared {
-			prof.LocalBytes += lineBytes
+	lastSlot, lastVPN := ^uint64(0), ^uint64(0)
+	var region *trace.Region
+	var p *hintsPage
+	for i := range b.Accs {
+		a := &b.Accs[i]
+		if a.Op == trace.OpFence {
 			continue
 		}
-		vpn := m.vpn(line)
-		h := m.homeOf(vpn, gpu)
-		switch a.Op {
-		case trace.OpLoad:
-			switch {
-			case h == gpu:
-				prof.LocalBytes += lineBytes
-			case m.dup[vpn]&(1<<gpu) != 0:
-				// Already prefetched this page.
-				prof.LocalBytes += lineBytes
-			default:
-				// Prefetch hint: duplicate the surrounding block before use.
-				// The coarse copy over-fetches when only part of the block
-				// is consumed.
-				m.prefetchBlock(gpu, line)
-				prof.LocalBytes += lineBytes
+		for _, line := range b.LinesOf(i) {
+			if slot := line >> memsys.RegionSlotShift; slot != lastSlot {
+				lastSlot = slot
+				region = m.regions.SlotRegion(slot)
 			}
-		case trace.OpStore, trace.OpAtomic:
-			if m.dup[vpn] != 0 {
-				// Writing a read-duplicated page collapses it back to the
-				// preferred location: TLB shootdown on the writer's critical
-				// path (Section 2.1).
-				m.dup[vpn] = 0
-				prof.Shootdowns++
-			}
-			if h == gpu {
+			if region == nil || region.Kind != trace.RegionShared ||
+				line < region.Base || line-region.Base >= region.Size {
 				prof.LocalBytes += lineBytes
-			} else {
-				// accessed-by: remote store to the preferred location; does
-				// not stall the writer.
-				prof.Push[h] += lineBytes
+				continue
+			}
+			if vpn := line >> m.vpnShift; vpn != lastVPN {
+				lastVPN = vpn
+				p = m.pages.At(vpn)
+			}
+			h := m.homeOf(p, gpu)
+			switch a.Op {
+			case trace.OpLoad:
+				switch {
+				case h == gpu:
+					prof.LocalBytes += lineBytes
+				case p.dup&(1<<gpu) != 0:
+					// Already prefetched this page.
+					prof.LocalBytes += lineBytes
+				default:
+					// Prefetch hint: duplicate the surrounding block before use.
+					// The coarse copy over-fetches when only part of the block
+					// is consumed. Prefetching may grow the page slab, so the
+					// cached entry pointer must be re-fetched afterwards.
+					m.prefetchBlock(gpu, line, region)
+					lastVPN = ^uint64(0)
+					prof.LocalBytes += lineBytes
+				}
+			case trace.OpStore, trace.OpAtomic:
+				if p.dup != 0 {
+					// Writing a read-duplicated page collapses it back to the
+					// preferred location: TLB shootdown on the writer's critical
+					// path (Section 2.1).
+					p.dup = 0
+					prof.Shootdowns++
+				}
+				if h == gpu {
+					prof.LocalBytes += lineBytes
+				} else {
+					// accessed-by: remote store to the preferred location; does
+					// not stall the writer.
+					prof.Push[h] += lineBytes
+				}
 			}
 		}
 	}
 }
 
-// prefetchBlock duplicates the 1 MB block containing line onto gpu,
-// clipped to the enclosing region, charging the bulk transfer to the
+// prefetchBlock duplicates the 512 KB block containing line onto gpu,
+// clipped to the enclosing region r, charging the bulk transfer to the
 // sending preferred locations.
-func (m *hintsModel) prefetchBlock(gpu int, line uint64) {
-	r := m.regions.Lookup(line)
+func (m *hintsModel) prefetchBlock(gpu int, line uint64, r *trace.Region) {
 	blockLo := line &^ (prefetchBlockBytes - 1)
 	blockHi := blockLo + prefetchBlockBytes
 	if blockLo < r.Base {
@@ -113,12 +133,12 @@ func (m *hintsModel) prefetchBlock(gpu int, line uint64) {
 		blockHi = r.Base + r.Size
 	}
 	for va := blockLo; va < blockHi; va += m.pageBytes {
-		vpn := va / m.pageBytes
-		if m.dup[vpn]&(1<<gpu) != 0 {
+		p := m.pages.At(va >> m.vpnShift)
+		if p.dup&(1<<gpu) != 0 {
 			continue
 		}
-		h := m.homeOf(vpn, gpu)
-		m.dup[vpn] |= 1 << gpu
+		h := m.homeOf(p, gpu)
+		p.dup |= 1 << gpu
 		if h != gpu {
 			m.profiles[h].Bulk[gpu] += m.pageBytes
 		}

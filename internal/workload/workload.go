@@ -183,7 +183,13 @@ func (b *kernelBuilder) grow(n int) {
 	if n <= 0 || cap(b.k.Accesses) >= need {
 		return
 	}
-	buf := make([]trace.Access, len(b.k.Accesses), need)
+	// Grow at least geometrically: a kernel assembled from many emit calls
+	// must not copy its whole prefix on every call.
+	newCap := 2 * cap(b.k.Accesses)
+	if newCap < need {
+		newCap = need
+	}
+	buf := make([]trace.Access, len(b.k.Accesses), newCap)
 	copy(buf, b.k.Accesses)
 	b.k.Accesses = buf
 }

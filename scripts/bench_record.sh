@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench_record.sh: record the perf trajectory of the full experiment suite.
+#
+# Builds gpsbench, runs the complete figure/table matrix single-threaded
+# (-parallel 1, so the number measures the hot path rather than the worker
+# count), and writes BENCH_<n>.json at the repo root: wall clock per figure,
+# headline Section 7.1/7.3 metrics, and cache statistics. Compare against
+# the previous BENCH_*.json to see what a PR bought.
+#
+# Usage: scripts/bench_record.sh [suffix]   (default suffix: 4)
+set -eu
+
+suffix=${1:-4}
+out="BENCH_${suffix}.json"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/gpsbench" ./cmd/gpsbench
+"$workdir/gpsbench" -all -parallel 1 -json "$out" >"$workdir/stdout.txt"
+
+grep '^done in' "$workdir/stdout.txt" || true
+echo "wrote $out"
