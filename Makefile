@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos
+.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke
 
 ## check: full gate — vet, build, the test suite under the race detector,
-## the microbenchmark compile/run smoke, and the chaos gate (fault
-## injection, fuzzing, crash recovery).
-check: vet build race bench-micro chaos
+## the microbenchmark compile/run smoke, the chaos gate (fault injection,
+## fuzzing, crash recovery), and the observability smoke (span traces).
+check: vet build race bench-micro chaos obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,11 @@ bench-record:
 ## HTTP, assert a 200 result, and check the SIGTERM drain path.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+## obs-smoke: run a quick traced matrix and structurally validate the
+## emitted Perfetto trace (balanced events, category nesting) via tracelint.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 ## chaos: the resilience gate — fault-injected suites under -race, a fuzz
 ## pass over the trace decoder, and the SIGKILL crash-recovery smoke.

@@ -11,6 +11,7 @@
 //	gpsbench -all -parallel 8     # run the experiment matrix on 8 workers
 //	gpsbench -fig 8 -json out.json
 //	gpsbench -all -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	gpsbench -fig 8 -trace-out run.trace.json   # Perfetto span trace
 //
 // SIGINT cancels the run: in-flight simulation cells finish, no further
 // cells are issued, and gpsbench exits without emitting partial files.
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"gps/internal/experiments"
+	"gps/internal/obs"
 	"gps/internal/report"
 	"gps/internal/stats"
 )
@@ -47,6 +49,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write headline metrics, per-figure wall clock, rendered tables and cache stats as JSON to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		traceOut = flag.String("trace-out", "", "write a Perfetto-loadable span trace (figures, matrix cells, simulation phases) to this file")
 	)
 	flag.Parse()
 
@@ -88,6 +91,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// With -trace-out every figure, matrix cell and simulation phase below
+	// records a span; the root span brackets the whole invocation. The
+	// tracer's flusher is bound to the signal context, so an interrupt
+	// finalizes the file instead of leaking the writer.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsbench:", err)
+			os.Exit(1)
+		}
+		tracer = obs.NewTracer(ctx, f)
+		ctx = obs.WithTracer(ctx, tracer)
+		var root *obs.Span
+		ctx, root = obs.StartSpan(ctx, obs.CatJob, "gpsbench")
+		defer func() {
+			root.End()
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "gpsbench: trace:", err)
+			}
+			f.Close()
+			fmt.Println("wrote", *traceOut)
+		}()
+	}
+
 	experiments.SetParallelism(*parallel)
 	opt := experiments.Options{Iterations: *iters, Scale: *scale}
 	start := time.Now()
@@ -125,11 +153,15 @@ func main() {
 		ran = true
 	}
 
-	// section times one figure/table body for the JSON report.
-	section := func(name string, fn func()) {
+	// section times one figure/table body for the JSON report and brackets
+	// it in a figure span when tracing; fn receives the span's context so
+	// the cells it fans out nest under the figure.
+	section := func(name string, fn func(ctx context.Context)) {
 		t0 := time.Now()
 		sectionName = name
-		fn()
+		sctx, span := obs.StartSpan(ctx, obs.CatFigure, name)
+		fn(sctx)
+		span.End()
 		sectionName = ""
 		out.Sections = append(out.Sections, report.Section{Name: name, Seconds: time.Since(t0).Seconds()})
 	}
@@ -145,13 +177,13 @@ func main() {
 		ran = true
 	}
 	if want(1) {
-		section("figure1", func() {
+		section("figure1", func(ctx context.Context) {
 			tb, err := experiments.Figure1(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(2) {
-		section("figure2", func() {
+		section("figure2", func(ctx context.Context) {
 			tb, err := experiments.Figure2(ctx, opt)
 			show(tb, err)
 		})
@@ -160,13 +192,13 @@ func main() {
 		show(experiments.Figure3(), nil)
 	}
 	if want(4) {
-		section("figure4", func() {
+		section("figure4", func(ctx context.Context) {
 			tb, err := experiments.Figure4(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(8) {
-		section("figure8", func() {
+		section("figure8", func(ctx context.Context) {
 			tb, err := experiments.Figure8(ctx, opt)
 			if err == nil {
 				g, f, n := experiments.Claims71(tb)
@@ -180,25 +212,25 @@ func main() {
 		})
 	}
 	if want(9) {
-		section("figure9", func() {
+		section("figure9", func(ctx context.Context) {
 			tb, err := experiments.Figure9(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(10) {
-		section("figure10", func() {
+		section("figure10", func(ctx context.Context) {
 			tb, err := experiments.Figure10(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(11) {
-		section("figure11", func() {
+		section("figure11", func(ctx context.Context) {
 			tb, err := experiments.Figure11(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if want(12) {
-		section("figure12", func() {
+		section("figure12", func(ctx context.Context) {
 			tb, err := experiments.Figure12(ctx, opt)
 			if err == nil {
 				g, f := experiments.Claims73(tb)
@@ -211,7 +243,7 @@ func main() {
 		})
 	}
 	if want(13) {
-		section("figure13", func() {
+		section("figure13", func(ctx context.Context) {
 			tb, err := experiments.Figure13(ctx, opt)
 			if err == nil && *chart {
 				show(tb, nil, tb.LineChart(12))
@@ -221,7 +253,7 @@ func main() {
 		})
 	}
 	if want(14) {
-		section("figure14", func() {
+		section("figure14", func(ctx context.Context) {
 			tb, err := experiments.Figure14(ctx, opt)
 			if err == nil && *chart {
 				show(tb, nil, tb.LineChart(12))
@@ -231,49 +263,49 @@ func main() {
 		})
 	}
 	if *all || *sens == "tlb" {
-		section("sens-tlb", func() {
+		section("sens-tlb", func(ctx context.Context) {
 			tb, err := experiments.SensitivityGPSTLB(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "pagesize" {
-		section("sens-pagesize", func() {
+		section("sens-pagesize", func(ctx context.Context) {
 			tb, err := experiments.SensitivityPageSize(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "watermark" {
-		section("sens-watermark", func() {
+		section("sens-watermark", func(ctx context.Context) {
 			tb, err := experiments.AblationWatermark(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "l2" {
-		section("sens-l2", func() {
+		section("sens-l2", func(ctx context.Context) {
 			tb, err := experiments.ValidateL2(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "profilingmode" {
-		section("sens-profilingmode", func() {
+		section("sens-profilingmode", func(ctx context.Context) {
 			tb, err := experiments.AblationProfilingMode(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "control" {
-		section("sens-control", func() {
+		section("sens-control", func(ctx context.Context) {
 			tb, err := experiments.ControlApps(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "pipelined" {
-		section("sens-pipelined", func() {
+		section("sens-pipelined", func(ctx context.Context) {
 			tb, err := experiments.AblationPipelinedMemcpy(ctx, opt)
 			show(tb, err)
 		})
 	}
 	if *all || *sens == "fabrics" {
-		section("sens-fabrics", func() {
+		section("sens-fabrics", func(ctx context.Context) {
 			tb, err := experiments.ExtendedFabrics(ctx, opt)
 			show(tb, err)
 		})
@@ -294,7 +326,7 @@ func main() {
 		ran = true
 	}
 	if *all || *sens == "fabricmodel" {
-		section("sens-fabricmodel", func() {
+		section("sens-fabricmodel", func(ctx context.Context) {
 			tb, err := experiments.ValidateFabricModel(ctx, 50)
 			show(tb, err)
 		})

@@ -13,6 +13,13 @@
 //	gpsd -journal gpsd.journal          # durable job log; crash recovery
 //	gpsd -job-retries 3                 # attempts per job on transient failure
 //	gpsd -pprof 127.0.0.1:6060          # net/http/pprof on a separate listener
+//	gpsd -log-level debug -log-json     # structured logs on stderr
+//	gpsd -trace-dir traces/             # one Perfetto span trace per job
+//
+// Observability: structured logs (slog) go to stderr, correlated by job_id;
+// GET /metrics serves Prometheus text exposition next to the JSON
+// /v1/metrics; -trace-dir writes <job-id>.trace.json span traces loadable
+// in Perfetto (ui.perfetto.dev).
 //
 // Submit and poll with curl:
 //
@@ -39,6 +46,7 @@ import (
 
 	"gps/internal/experiments"
 	"gps/internal/httpapi"
+	"gps/internal/obs"
 	"gps/internal/retry"
 	"gps/internal/service"
 )
@@ -55,8 +63,26 @@ func main() {
 		journalP   = flag.String("journal", "", "job journal path; enables crash recovery (empty = no journal)")
 		jobRetries = flag.Int("job-retries", 3, "attempts per job on transient failure")
 		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this separate listen address (e.g. 127.0.0.1:6060); empty = disabled")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error (debug adds per-cell progress)")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON lines instead of logfmt-style text")
+		traceDir   = flag.String("trace-dir", "", "write one Perfetto span trace per job to this directory (created if missing); empty = disabled")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+	registry := obs.NewRegistry()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *pprofAddr != "" {
 		// Profiling lives on its own listener so it is never reachable through
@@ -100,6 +126,9 @@ func main() {
 		CacheEntries: *cacheN,
 		JobRetry:     retry.Policy{MaxAttempts: *jobRetries, BaseDelay: 250 * time.Millisecond, MaxDelay: 10 * time.Second, Jitter: 0.2},
 		Journal:      journal,
+		Logger:       logger,
+		Registry:     registry,
+		TraceDir:     *traceDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -120,7 +149,7 @@ func main() {
 	// connection (and its goroutine) forever. WriteTimeout is generous
 	// because result bodies for big matrices take real time to render.
 	httpSrv := &http.Server{
-		Handler:           httpapi.New(svc),
+		Handler:           httpapi.New(svc, httpapi.WithLogger(logger), httpapi.WithRegistry(registry)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,

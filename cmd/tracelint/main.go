@@ -1,0 +1,55 @@
+// Command tracelint structurally validates a Chrome trace-event JSON file
+// produced by gpsbench -trace-out or gpsd -trace-dir: the file must parse,
+// every B event must close with a matching E in LIFO order on its track,
+// and spans must nest cell ⊂ figure ⊂ job and phase ⊂ cell by wall time.
+//
+// Usage:
+//
+//	tracelint run.trace.json                  # require job/figure/cell/phase
+//	tracelint -require job,cell run.trace.json
+//	tracelint -require "" run.trace.json      # structure only
+//
+// Exit status 0 on a valid trace; 1 with a diagnostic otherwise. The smoke
+// gate (make obs-smoke) runs it over a fresh gpsbench trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gps/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "job,figure,cell,phase",
+		"comma-separated span categories that must be present (empty = structure only)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-require cats] trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracelint:", err)
+		os.Exit(1)
+	}
+	var cats []string
+	if *require != "" {
+		cats = strings.Split(*require, ",")
+	}
+	sum, err := obs.ValidateTrace(data, cats...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d events, %d spans on %d tracks over %.1fms",
+		flag.Arg(0), sum.Events, sum.Spans, sum.Tracks, sum.DurUS/1e3)
+	for _, cat := range []string{obs.CatJob, obs.CatFigure, obs.CatCell, obs.CatPhase, obs.CatEnginePhase} {
+		if n := sum.ByCat[cat]; n > 0 {
+			fmt.Printf(" %s:%d", cat, n)
+		}
+	}
+	fmt.Println()
+}

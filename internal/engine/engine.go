@@ -184,8 +184,22 @@ type BatchModel interface {
 // hardware. UM page thrashing in particular depends on this interleaving.
 const chunk = 64
 
+// PhaseObserver receives replay lifecycle events from RunObserved: a
+// start/end pair brackets every phase, in phase order. The observability
+// layer uses it to record per-phase spans with real durations; observers
+// must be cheap, they run on the replay hot path (once per phase, not per
+// access).
+type PhaseObserver interface {
+	PhaseStart(index, kernels int)
+	PhaseEnd(index int)
+}
+
 // Run replays prog through m and collects the result.
-func Run(prog trace.Program, m Model) *Result {
+func Run(prog trace.Program, m Model) *Result { return RunObserved(prog, m, nil) }
+
+// RunObserved is Run with an optional phase observer. A nil observer costs
+// one nil check per phase, so the uninstrumented path stays free.
+func RunObserved(prog trace.Program, m Model, po PhaseObserver) *Result {
 	meta := prog.Meta()
 	n := meta.NumGPUs
 	res := &Result{Meta: meta, Paradigm: m.Name()}
@@ -195,6 +209,9 @@ func Run(prog trace.Program, m Model) *Result {
 
 	var cursors []int
 	prog.Phases(func(ph *trace.Phase) bool {
+		if po != nil {
+			po.PhaseStart(ph.Index, len(ph.Kernels))
+		}
 		profiles := newProfiles(n)
 		for _, k := range ph.Kernels {
 			profiles[k.GPU].ComputeOps += k.ComputeOps
@@ -254,6 +271,9 @@ func Run(prog trace.Program, m Model) *Result {
 
 		m.EndPhase(ph.Index)
 		res.Phases = append(res.Phases, PhaseRecord{Index: ph.Index, Profiles: profiles})
+		if po != nil {
+			po.PhaseEnd(ph.Index)
+		}
 		return true
 	})
 	m.Finish(res)

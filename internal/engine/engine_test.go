@@ -242,3 +242,35 @@ func TestRunIsDeterministic(t *testing.T) {
 		t.Fatal("engine replay is not deterministic")
 	}
 }
+
+// phaseRecorder is a PhaseObserver that records the hook sequence.
+type phaseRecorder struct {
+	starts  []int
+	kernels []int
+	ends    []int
+}
+
+func (p *phaseRecorder) PhaseStart(index, kernels int) {
+	p.starts = append(p.starts, index)
+	p.kernels = append(p.kernels, kernels)
+}
+func (p *phaseRecorder) PhaseEnd(index int) { p.ends = append(p.ends, index) }
+
+// TestRunObservedPhaseHooks: the observer sees every phase start before its
+// model callbacks and every end after, with the kernel count, and a nil
+// observer behaves exactly like Run.
+func TestRunObservedPhaseHooks(t *testing.T) {
+	m := &recordingModel{}
+	po := &phaseRecorder{}
+	res := RunObserved(twoGPUProgram(), m, po)
+	if !reflect.DeepEqual(po.starts, []int{0, 1}) || !reflect.DeepEqual(po.ends, []int{0, 1}) {
+		t.Fatalf("observer starts %v / ends %v, want [0 1] each", po.starts, po.ends)
+	}
+	if !reflect.DeepEqual(po.kernels, []int{2, 1}) {
+		t.Fatalf("observer kernel counts %v, want [2 1]", po.kernels)
+	}
+	plain := Run(twoGPUProgram(), &recordingModel{})
+	if !reflect.DeepEqual(res.Phases, plain.Phases) {
+		t.Fatal("RunObserved result differs from Run")
+	}
+}

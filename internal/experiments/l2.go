@@ -33,14 +33,18 @@ func ValidateL2(ctx context.Context, opt Options) (*stats.Table, error) {
 	// Each (app, GPU count) replay is independent; fan them out on the
 	// runner's pool. The traces come from the shared cache, so the 1- and
 	// 4-GPU replays reuse what the figures already built.
-	err := Default.parallelFor(ctx, 2*len(specs), func(i int) error {
+	desc := func(i int) string {
+		gpus := 1 + 3*(i%2)
+		return fmt.Sprintf("l2/%s/%dgpu", specs[i/2].Name, gpus)
+	}
+	err := Default.parallelForDesc(ctx, 2*len(specs), desc, func(ctx context.Context, i int) error {
 		spec, four := specs[i/2], i%2 == 1
 		if !four {
 			sim1, err := simulateL2(spec, opt, 1)
 			if err != nil {
 				return err
 			}
-			prog, err := Default.Trace(spec.Name, opt.workloadConfig(1))
+			prog, err := Default.traceCtx(ctx, spec.Name, opt.workloadConfig(1))
 			if err != nil {
 				return err
 			}

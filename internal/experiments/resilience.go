@@ -126,20 +126,20 @@ func (r *Runner) faultHook() faultinject.Hook {
 // retry policy: attempts that fail with a retryable error (injected faults,
 // explicitly transient errors) re-run with backoff; panics and
 // deterministic errors surface immediately as the index's failure.
-func (r *Runner) runCellResilient(ctx context.Context, i int, desc func(int) string, fn func(int) error) error {
+func (r *Runner) runCellResilient(ctx context.Context, i int, desc func(int) string, fn func(context.Context, int) error) error {
 	_, err := retry.Do(ctx, r.CellRetry(), retry.Sleep, nil, func(attempt int) error {
 		if attempt > 1 {
 			r.cellRetries.Add(1)
 		}
-		return r.fencedAttempt(i, desc, fn)
+		return r.fencedAttempt(ctx, i, desc, fn)
 	})
 	return err
 }
 
-// fencedAttempt runs fn(i) once: the fault hook fires first (its panics
-// exercise the same fence as real ones), then the work, with any panic
-// converted to a typed CellError carrying a truncated stack.
-func (r *Runner) fencedAttempt(i int, desc func(int) string, fn func(int) error) (err error) {
+// fencedAttempt runs fn(ctx, i) once: the fault hook fires first (its
+// panics exercise the same fence as real ones), then the work, with any
+// panic converted to a typed CellError carrying a truncated stack.
+func (r *Runner) fencedAttempt(ctx context.Context, i int, desc func(int) string, fn func(context.Context, int) error) (err error) {
 	describe := func() string {
 		if desc == nil {
 			return ""
@@ -157,7 +157,7 @@ func (r *Runner) fencedAttempt(i int, desc func(int) string, fn func(int) error)
 			return &CellError{Index: i, Desc: describe(), Err: herr}
 		}
 	}
-	return fn(i)
+	return fn(ctx, i)
 }
 
 // resilienceState is embedded in Runner; split out so runner.go stays

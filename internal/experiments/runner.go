@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gps/internal/engine"
 	"gps/internal/interconnect"
+	"gps/internal/obs"
 	"gps/internal/paradigm"
 	"gps/internal/timing"
 	"gps/internal/trace"
@@ -238,6 +241,12 @@ func traceCost(rec *trace.Recorded) uint64 {
 // Trace returns the materialized trace for (app, cfg), building it at most
 // once per configuration and sharing the immutable result across goroutines.
 func (r *Runner) Trace(app string, cfg workload.Config) (*trace.Recorded, error) {
+	return r.traceCtx(context.Background(), app, cfg)
+}
+
+// traceCtx is Trace with the caller's context, so a build that happens
+// under a traced cell records a trace-build phase span.
+func (r *Runner) traceCtx(ctx context.Context, app string, cfg workload.Config) (*trace.Recorded, error) {
 	key := traceKey{app: app, cfg: cfg}
 	r.mu.Lock()
 	r.tick++
@@ -252,6 +261,8 @@ func (r *Runner) Trace(app string, cfg workload.Config) (*trace.Recorded, error)
 	r.mu.Unlock()
 
 	e.once.Do(func() {
+		_, span := obs.StartSpan(ctx, obs.CatPhase, "trace-build", "app", app)
+		defer span.End()
 		spec, err := workload.ByName(app)
 		if err != nil {
 			e.err = err
@@ -296,7 +307,7 @@ func (r *Runner) evictLocked(keep traceKey) {
 // (kind, pcfg), running the replay at most once per key. The result is
 // immutable downstream: timing.Simulate and the figure assemblies only read
 // it, so one result safely prices any number of fabrics.
-func (r *Runner) structural(app string, wcfg workload.Config, kind paradigm.Kind,
+func (r *Runner) structural(ctx context.Context, app string, wcfg workload.Config, kind paradigm.Kind,
 	pcfg paradigm.Config) (*engine.Result, error) {
 	key := resultKey{app: app, wcfg: wcfg, kind: kind, pcfg: pcfg}
 	r.mu.Lock()
@@ -310,7 +321,7 @@ func (r *Runner) structural(app string, wcfg workload.Config, kind paradigm.Kind
 	r.mu.Unlock()
 
 	e.once.Do(func() {
-		prog, err := r.Trace(app, wcfg)
+		prog, err := r.traceCtx(ctx, app, wcfg)
 		if err != nil {
 			e.err = err
 			return
@@ -320,26 +331,72 @@ func (r *Runner) structural(app string, wcfg workload.Config, kind paradigm.Kind
 			e.err = err
 			return
 		}
-		e.res = engine.Run(prog, model)
+		sctx, span := obs.StartSpan(ctx, obs.CatPhase, "engine-replay",
+			"app", app, "paradigm", kind.String())
+		e.res = engine.RunObserved(prog, model, enginePhaseSpans(sctx))
+		span.End()
 		r.engineRuns.Add(1)
 	})
 	return e.res, e.err
 }
 
-// cellObserverKey carries an optional per-cell completion callback in a
-// Context; see WithCellObserver.
+// enginePhaseSpans returns a PhaseObserver that records one engine-phase
+// span per replay phase on the enclosing span's track, or nil when ctx
+// carries no tracer — the nil keeps the replay loop's per-phase cost at a
+// single nil check.
+func enginePhaseSpans(ctx context.Context) engine.PhaseObserver {
+	if obs.TracerFrom(ctx) == nil {
+		return nil
+	}
+	return &phaseSpanObserver{ctx: ctx}
+}
+
+// phaseSpanObserver is used inside one engine.RunObserved call, which
+// replays phases serially, so the single current-span field needs no lock.
+type phaseSpanObserver struct {
+	ctx  context.Context
+	span *obs.Span
+}
+
+func (o *phaseSpanObserver) PhaseStart(index, kernels int) {
+	_, o.span = obs.StartSpan(o.ctx, obs.CatEnginePhase,
+		"phase-"+strconv.Itoa(index), "kernels", strconv.Itoa(kernels))
+}
+
+func (o *phaseSpanObserver) PhaseEnd(int) {
+	o.span.End()
+	o.span = nil
+}
+
+// cellObserverKey carries an optional per-cell callback in a Context; see
+// WithCellObserver.
 type cellObserverKey struct{}
 
-// WithCellObserver returns a context whose matrix runs call fn after every
-// completed cell. The gpsd job scheduler uses it to expose live progress;
-// fn must be safe for concurrent use.
-func WithCellObserver(ctx context.Context, fn func()) context.Context {
+// CellEvent is one cell lifecycle notification: a Start event when the cell
+// is issued to a worker, and a completion event (Start false) carrying the
+// measured wall time and the cell's error, if any. The pair gives observers
+// real durations instead of just completion ticks.
+type CellEvent struct {
+	Index int           // position in the issued work sequence
+	Desc  string        // cell description (app/paradigm/gpus/fabric) when known
+	Start bool          // true at issue, false at completion
+	Dur   time.Duration // wall time; zero on Start events
+	Err   error         // the cell's failure; nil on Start events and successes
+}
+
+// CellObserver receives CellEvents; it must be safe for concurrent use.
+type CellObserver func(CellEvent)
+
+// WithCellObserver returns a context whose matrix runs call fn at the start
+// and completion of every cell. The gpsd job scheduler uses it for live
+// progress and per-cell slog records; fn must be safe for concurrent use.
+func WithCellObserver(ctx context.Context, fn CellObserver) context.Context {
 	return context.WithValue(ctx, cellObserverKey{}, fn)
 }
 
 // cellObserver extracts the observer installed by WithCellObserver, or nil.
-func cellObserver(ctx context.Context) func() {
-	fn, _ := ctx.Value(cellObserverKey{}).(func())
+func cellObserver(ctx context.Context) CellObserver {
+	fn, _ := ctx.Value(cellObserverKey{}).(CellObserver)
 	return fn
 }
 
@@ -347,8 +404,15 @@ func cellObserver(ctx context.Context) func() {
 // result are shared and immutable, only the (cheap) timing pass runs per
 // fabric.
 func (r *Runner) RunCell(c Cell) (*timing.Report, *engine.Result, error) {
+	return r.runCell(context.Background(), c)
+}
+
+// runCell is RunCell under the caller's context: the timing pass records a
+// render phase span, and a trace build or structural replay triggered by
+// this cell records its phase spans too.
+func (r *Runner) runCell(ctx context.Context, c Cell) (*timing.Report, *engine.Result, error) {
 	opt := c.Opt.withDefaults()
-	res, err := r.structural(c.App, opt.workloadConfig(c.GPUs), c.Kind, c.Cfg)
+	res, err := r.structural(ctx, c.App, opt.workloadConfig(c.GPUs), c.Kind, c.Cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -357,7 +421,9 @@ func (r *Runner) RunCell(c Cell) (*timing.Report, *engine.Result, error) {
 		tcfg.PageBytes = c.Cfg.PageBytes
 	}
 	tcfg.UsePacketSim = c.Packet
+	_, span := obs.StartSpan(ctx, obs.CatPhase, "render")
 	rep := timing.Simulate(res, tcfg)
+	span.End()
 	return rep, res, nil
 }
 
@@ -365,6 +431,10 @@ func (r *Runner) RunCell(c Cell) (*timing.Report, *engine.Result, error) {
 // interconnect at all), simulating it at most once per (app, workload
 // config, paradigm config).
 func (r *Runner) Baseline(app string, opt Options, pcfg paradigm.Config) (float64, error) {
+	return r.baselineCtx(context.Background(), app, opt, pcfg)
+}
+
+func (r *Runner) baselineCtx(ctx context.Context, app string, opt Options, pcfg paradigm.Config) (float64, error) {
 	opt = opt.withDefaults()
 	key := baselineKey{app: app, wcfg: opt.workloadConfig(1), pcfg: pcfg}
 	r.mu.Lock()
@@ -378,7 +448,7 @@ func (r *Runner) Baseline(app string, opt Options, pcfg paradigm.Config) (float6
 	r.mu.Unlock()
 
 	e.once.Do(func() {
-		rep, _, err := r.RunCell(Cell{
+		rep, _, err := r.runCell(ctx, Cell{
 			App: app, Kind: paradigm.KindInfinite, GPUs: 1,
 			Fab: interconnect.Infinite(1), Opt: opt, Cfg: pcfg,
 		})
@@ -407,34 +477,56 @@ func (r *Runner) Speedup(app string, kind paradigm.Kind, gpus int, fab *intercon
 	return speedupOf(base, rep), nil
 }
 
-// parallelFor runs fn(0..n-1) on the worker pool. Every index runs even if
-// another fails; the error of the lowest failing index is returned, so
-// behavior is identical at any worker count. Cancellation is checked before
-// each index is issued: once ctx is done no further indices start, and the
-// cancellation error is reported from the first index that was not issued,
-// preserving the lowest-index error convention.
+// parallelFor is the undescribed, context-free form of parallelForDesc:
+// fn(i) runs for 0..n-1 with anonymous cell labels. Tests and simple
+// fan-outs use it; matrix code paths prefer parallelForDesc so errors,
+// spans and observer events name the configuration that produced them.
 func (r *Runner) parallelFor(ctx context.Context, n int, fn func(int) error) error {
-	return r.parallelForDesc(ctx, n, nil, fn)
+	return r.parallelForDesc(ctx, n, nil, func(_ context.Context, i int) error {
+		return fn(i)
+	})
 }
 
-// parallelForDesc is parallelFor with an optional desc(i) used to label
-// CellErrors. Each index runs under the panic fence and the cell retry
-// policy: a panicking index fails with a typed CellError (other indices
-// keep running), and attempts that fail with a retryable error re-run with
-// backoff before the index is declared failed.
-func (r *Runner) parallelForDesc(ctx context.Context, n int, desc func(int) string, fn func(int) error) error {
+// parallelForDesc runs fn(ctx, 0..n-1) on the worker pool, with an optional
+// desc(i) used to label CellErrors, observer events and spans. Every index
+// runs even if another fails; the error of the lowest failing index is
+// returned, so behavior is identical at any worker count. Cancellation is
+// checked before each index is issued: once ctx is done no further indices
+// start, and the cancellation error is reported from the first index that
+// was not issued, preserving the lowest-index error convention.
+//
+// Each index runs under the panic fence and the cell retry policy: a
+// panicking index fails with a typed CellError (other indices keep
+// running), and attempts that fail with a retryable error re-run with
+// backoff before the index is declared failed. When a tracer or cell
+// observer rides on ctx, every index is bracketed by a span on its own
+// track and by Start/completion CellEvents; with neither installed the
+// instrumentation costs two context lookups per matrix.
+func (r *Runner) parallelForDesc(ctx context.Context, n int, desc func(int) string, fn func(context.Context, int) error) error {
 	observe := cellObserver(ctx)
+	tracing := obs.TracerFrom(ctx) != nil
 	step := func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := r.runCellResilient(ctx, i, desc, fn); err != nil {
-			return err
+		if !tracing && observe == nil {
+			return r.runCellResilient(ctx, i, desc, fn)
+		}
+		d := "cell"
+		if desc != nil {
+			d = desc(i)
 		}
 		if observe != nil {
-			observe()
+			observe(CellEvent{Index: i, Desc: d, Start: true})
 		}
-		return nil
+		cctx, span := obs.StartSpanTrack(ctx, obs.CatCell, d, "index", strconv.Itoa(i))
+		start := time.Now()
+		err := r.runCellResilient(cctx, i, desc, fn)
+		span.End()
+		if observe != nil {
+			observe(CellEvent{Index: i, Desc: d, Dur: time.Since(start), Err: err})
+		}
+		return err
 	}
 	workers := r.Workers()
 	if workers > n {
@@ -487,7 +579,7 @@ func (r *Runner) RunCellCtx(ctx context.Context, c Cell) (*timing.Report, *engin
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return r.RunCell(c)
+	return r.runCell(ctx, c)
 }
 
 // describe renders the cell for error messages and journal entries.
@@ -508,8 +600,8 @@ func (c Cell) describe() string {
 func (r *Runner) RunMatrix(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	results := make([]CellResult, len(cells))
 	desc := func(i int) string { return cells[i].describe() }
-	err := r.parallelForDesc(ctx, len(cells), desc, func(i int) error {
-		rep, res, err := r.RunCell(cells[i])
+	err := r.parallelForDesc(ctx, len(cells), desc, func(ctx context.Context, i int) error {
+		rep, res, err := r.runCell(ctx, cells[i])
 		if err != nil {
 			return err
 		}
@@ -535,9 +627,9 @@ func (r *Runner) RunMatrixWithBaselines(ctx context.Context, apps []string, opt 
 		}
 		return cells[i-len(apps)].describe()
 	}
-	err := r.parallelForDesc(ctx, len(apps)+len(cells), desc, func(i int) error {
+	err := r.parallelForDesc(ctx, len(apps)+len(cells), desc, func(ctx context.Context, i int) error {
 		if i < len(apps) {
-			b, err := r.Baseline(apps[i], opt, pcfg)
+			b, err := r.baselineCtx(ctx, apps[i], opt, pcfg)
 			if err != nil {
 				return err
 			}
@@ -545,7 +637,7 @@ func (r *Runner) RunMatrixWithBaselines(ctx context.Context, apps []string, opt 
 			return nil
 		}
 		j := i - len(apps)
-		rep, res, err := r.RunCell(cells[j])
+		rep, res, err := r.runCell(ctx, cells[j])
 		if err != nil {
 			return err
 		}

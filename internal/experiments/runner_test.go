@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"testing"
-
+	"sync"
 	"sync/atomic"
+	"testing"
 
 	"gps/internal/paradigm"
 )
@@ -222,8 +222,9 @@ func TestParallelForCancellation(t *testing.T) {
 	}
 }
 
-// TestCellObserverCounts: the context observer fires once per completed
-// cell, which is how the service reports job progress.
+// TestCellObserverCounts: the context observer fires a start event and a
+// completion event for every cell, which is how the service reports job
+// progress and per-cell timing.
 func TestCellObserverCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulation")
@@ -234,12 +235,37 @@ func TestCellObserverCounts(t *testing.T) {
 		{App: "jacobi", Kind: paradigm.KindGPS, GPUs: 2, Fab: MainFabric(2), Opt: opt, Cfg: paradigm.DefaultConfig()},
 		{App: "jacobi", Kind: paradigm.KindMemcpy, GPUs: 2, Fab: MainFabric(2), Opt: opt, Cfg: paradigm.DefaultConfig()},
 	}
-	var done atomic.Uint64
-	ctx := WithCellObserver(context.Background(), func() { done.Add(1) })
+	var starts, done atomic.Uint64
+	var mu sync.Mutex
+	open := map[int]bool{} // started, not yet completed
+	ctx := WithCellObserver(context.Background(), func(ev CellEvent) {
+		if ev.Desc == "" || ev.Desc == "cell" {
+			t.Errorf("event %+v has no cell description", ev)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Start {
+			starts.Add(1)
+			open[ev.Index] = true
+			return
+		}
+		if !open[ev.Index] {
+			t.Errorf("completion for cell %d without a start event", ev.Index)
+		}
+		delete(open, ev.Index)
+		if ev.Err == nil && ev.Dur <= 0 {
+			t.Errorf("completed cell %d reported non-positive duration %v", ev.Index, ev.Dur)
+		}
+		done.Add(1)
+	})
 	if _, err := r.RunMatrix(ctx, cells); err != nil {
 		t.Fatal(err)
 	}
-	if got := done.Load(); got != uint64(len(cells)) {
-		t.Errorf("observer fired %d times, want %d", got, len(cells))
+	if starts.Load() != uint64(len(cells)) || done.Load() != uint64(len(cells)) {
+		t.Errorf("observer fired %d starts / %d completions, want %d of each",
+			starts.Load(), done.Load(), len(cells))
+	}
+	if len(open) != 0 {
+		t.Errorf("%d cells started but never completed", len(open))
 	}
 }

@@ -7,9 +7,14 @@
 //	GET    /v1/jobs/{id}/result  fetch the report of a done job; 202 while
 //	                          queued/running, 409 canceled, 500 failed
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /v1/healthz        liveness
+//	GET    /v1/healthz        liveness: status (ok | draining), uptime,
+//	                          build info, worker/queue snapshot; 503 while
+//	                          draining
 //	GET    /v1/metrics        queue depth, worker utilization, cache
-//	                          hit/miss, wall-clock accounting
+//	                          hit/miss, wall-clock accounting (JSON)
+//	GET    /metrics           the same counters plus latency histograms in
+//	                          Prometheus text exposition format (only wired
+//	                          when a registry is configured)
 //
 // The result endpoint emits the same report schema as gpsbench -json
 // (internal/report), so CLI and service output are byte-compatible.
@@ -19,20 +24,47 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 
+	"gps/internal/obs"
 	"gps/internal/service"
 )
 
 // Handler serves the REST API for one service.Server.
 type Handler struct {
-	svc *service.Server
-	mux *http.ServeMux
+	svc     *service.Server
+	mux     *http.ServeMux
+	handler http.Handler // mux, possibly wrapped in access logging
+}
+
+// Option customizes a Handler.
+type Option func(*options)
+
+type options struct {
+	logger   *slog.Logger
+	registry *obs.Registry
+}
+
+// WithLogger wraps every request in access logging (method, path, status,
+// bytes, latency) on l at Info level.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) { o.logger = l }
+}
+
+// WithRegistry serves reg in Prometheus text format at GET /metrics and
+// records per-request latency/status counters into it.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(o *options) { o.registry = reg }
 }
 
 // New wires the routes.
-func New(svc *service.Server) *Handler {
+func New(svc *service.Server, opts ...Option) *Handler {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	h := &Handler{svc: svc, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/jobs", h.submit)
 	h.mux.HandleFunc("GET /v1/jobs/{id}", h.status)
@@ -40,10 +72,17 @@ func New(svc *service.Server) *Handler {
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	h.mux.HandleFunc("GET /v1/healthz", h.healthz)
 	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
+	if o.registry != nil {
+		h.mux.Handle("GET /metrics", o.registry.Handler())
+	}
+	h.handler = h.mux
+	if o.logger != nil || o.registry != nil {
+		h.handler = obs.AccessLog(o.logger, o.registry, h.mux)
+	}
 	return h
 }
 
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.handler.ServeHTTP(w, r) }
 
 // writeJSON emits a JSON body with the given status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -157,11 +196,26 @@ func (h *Handler) cancel(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	m := h.svc.Metrics()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	status, code := "ok", http.StatusOK
+	if h.svc.Draining() {
+		// Load balancers reading the status code stop routing here while
+		// in-flight jobs finish.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	bi := obs.ReadBuildInfo()
+	writeJSON(w, code, map[string]any{
+		"status":         status,
 		"uptime_seconds": m.UptimeSeconds,
+		"build": map[string]any{
+			"go_version": bi.GoVersion,
+			"revision":   bi.Revision,
+			"vcs_time":   bi.Time,
+			"modified":   bi.Modified,
+		},
 		"workers":        m.Workers,
+		"busy_workers":   m.BusyWorkers,
 		"queue_depth":    m.QueueDepth,
+		"queue_capacity": m.QueueCapacity,
 	})
 }
 

@@ -1,0 +1,178 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gps/internal/obs"
+	"gps/internal/report"
+	"gps/internal/service"
+)
+
+// syncBuffer serializes writes from server goroutines against test reads:
+// the access log fires after the handler returns, which can race the
+// client's view of the response.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// obsServer wires an instant executor behind a handler carrying a registry
+// and a JSON access log.
+func obsServer(t *testing.T) (*service.Server, *httptest.Server, *obs.Registry, *syncBuffer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	logBuf := &syncBuffer{}
+	logger := obs.NewLogger(logBuf, slog.LevelInfo, true)
+	svc := service.New(service.Config{
+		Workers: 1, QueueDepth: 4, Registry: reg,
+		Execute: func(ctx context.Context, spec service.Spec) (*report.Report, error) {
+			return &report.Report{TotalSeconds: 0.001}, nil
+		},
+	})
+	ts := httptest.NewServer(New(svc, WithLogger(logger), WithRegistry(reg)))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background()) //nolint:errcheck
+	})
+	return svc, ts, reg, logBuf
+}
+
+// TestPrometheusEndpoint: GET /metrics serves the text exposition with the
+// daemon's families, while the JSON /v1/metrics stays intact next to it.
+func TestPrometheusEndpoint(t *testing.T) {
+	_, ts, _, _ := obsServer(t)
+	client := ts.Client()
+
+	var jv jobView
+	resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"tlb"}`, &jv)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	pollTerminal(t, client, ts.URL, jv.ID)
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo := string(body)
+	for _, want := range []string{
+		"# TYPE gpsd_jobs_total counter",
+		`gpsd_jobs_total{event="submitted"} 1`,
+		"# TYPE gpsd_queue_depth gauge",
+		"gpsd_job_exec_seconds_bucket",
+		"http_requests_total{",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, expo)
+		}
+	}
+
+	// The JSON metrics endpoint keeps its schema.
+	var m service.Metrics
+	resp = doJSON(t, client, "GET", ts.URL+"/v1/metrics", "", &m)
+	if resp.StatusCode != http.StatusOK || m.JobsSubmitted != 1 || m.JobsDone != 1 {
+		t.Errorf("/v1/metrics: status %d, submitted %d, done %d", resp.StatusCode, m.JobsSubmitted, m.JobsDone)
+	}
+}
+
+// TestHealthzReportsBuildAndDrain: /v1/healthz carries uptime, build info
+// and the worker/queue snapshot while healthy, and flips to a 503
+// "draining" once shutdown begins.
+func TestHealthzReportsBuildAndDrain(t *testing.T) {
+	svc, ts, _, _ := obsServer(t)
+	client := ts.Client()
+
+	var hz struct {
+		Status        string         `json:"status"`
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Build         map[string]any `json:"build"`
+		Workers       int            `json:"workers"`
+		QueueCapacity int            `json:"queue_capacity"`
+	}
+	resp := doJSON(t, client, "GET", ts.URL+"/v1/healthz", "", &hz)
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz: status %d %q, want 200 ok", resp.StatusCode, hz.Status)
+	}
+	if hz.Build["go_version"] == "" || hz.Workers != 1 || hz.QueueCapacity != 4 {
+		t.Errorf("healthz body incomplete: %+v", hz)
+	}
+
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp = doJSON(t, client, "GET", ts.URL+"/v1/healthz", "", &hz)
+	if resp.StatusCode != http.StatusServiceUnavailable || hz.Status != "draining" {
+		t.Errorf("healthz during drain: status %d %q, want 503 draining", resp.StatusCode, hz.Status)
+	}
+}
+
+// TestHTTPAccessLog: requests through the handler leave structured access
+// records with method, path and status.
+func TestHTTPAccessLog(t *testing.T) {
+	_, ts, _, logBuf := obsServer(t)
+	client := ts.Client()
+
+	resp, err := client.Get(ts.URL + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The record is written just after the handler returns; give it a beat.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		found := false
+		for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+			var rec map[string]any
+			if json.Unmarshal([]byte(line), &rec) != nil {
+				continue
+			}
+			if rec["msg"] == "http request" && rec["path"] == "/v1/jobs/j-999999" {
+				found = true
+				if rec["method"] != "GET" || rec["status"] != float64(http.StatusNotFound) {
+					t.Errorf("access record = %v", rec)
+				}
+			}
+		}
+		if found {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no access-log record for the request:\n%s", logBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

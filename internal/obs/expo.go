@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every family in the text exposition format:
+// families sorted by name, series sorted by label block, histograms with
+// cumulative le buckets plus _sum and _count. The output is deterministic
+// for a deterministic set of values, which the golden test pins.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+		labels := make([]string, 0, len(f.series))
+		// Families and series only grow, and a series' instruments are
+		// immutable once created, so sampling outside the registry lock is
+		// safe: the worst case is missing a series added mid-scrape.
+		r.mu.Lock()
+		for l := range f.series {
+			labels = append(labels, l)
+		}
+		r.mu.Unlock()
+		sort.Strings(labels)
+		for _, l := range labels {
+			r.mu.Lock()
+			s := f.series[l]
+			r.mu.Unlock()
+			writeSeries(bw, f.name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, name string, s *series) {
+	switch {
+	case s.counter != nil:
+		bw.WriteString(name + s.labels + " " + strconv.FormatUint(s.counter.Value(), 10) + "\n")
+	case s.gauge != nil:
+		bw.WriteString(name + s.labels + " " + formatFloat(s.gauge.Value()) + "\n")
+	case s.fn != nil:
+		bw.WriteString(name + s.labels + " " + formatFloat(s.fn()) + "\n")
+	case s.hist != nil:
+		writeHistogram(bw, name, s)
+	}
+}
+
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	// le joins any existing labels inside one block.
+	open := "{"
+	if s.labels != "" {
+		open = s.labels[:len(s.labels)-1] + ","
+	}
+	var cum uint64
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		bw.WriteString(name + "_bucket" + open + `le="` + formatFloat(upper) + `"} ` +
+			strconv.FormatUint(cum, 10) + "\n")
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	bw.WriteString(name + "_bucket" + open + `le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
+	bw.WriteString(name + "_sum" + s.labels + " " + formatFloat(h.Sum()) + "\n")
+	bw.WriteString(name + "_count" + s.labels + " " + strconv.FormatUint(h.Count(), 10) + "\n")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

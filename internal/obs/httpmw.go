@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// statusRecorder captures what the wrapped handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// AccessLog wraps next with a request access log on l and, when reg is
+// non-nil, request counters and a latency histogram. Either l or reg may be
+// nil to get just the other half.
+func AccessLog(l *slog.Logger, reg *Registry, next http.Handler) http.Handler {
+	if l == nil {
+		l = Nop()
+	}
+	var durations *Histogram
+	if reg != nil {
+		durations = reg.Histogram("http_request_duration_seconds",
+			"HTTP request latency by method.", nil)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		l.Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1e3,
+			"remote", r.RemoteAddr,
+		)
+		if reg != nil {
+			durations.Observe(elapsed.Seconds())
+			// Method and status keep cardinality bounded regardless of what
+			// paths clients probe.
+			reg.Counter("http_requests_total", "HTTP requests by method and status.",
+				"method", r.Method, "code", strconv.Itoa(rec.status)).Inc()
+		}
+	})
+}
+
+// BuildInfo is the VCS identity of the running binary, for /v1/healthz.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// ReadBuildInfo extracts the Go version and VCS stamp from the binary's
+// embedded build information, cached after the first call.
+func ReadBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

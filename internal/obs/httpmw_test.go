@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAccessLog: one request produces one structured log record with the
+// method, path, status, byte count and latency, and bumps the labeled
+// request counter plus the latency histogram.
+func TestAccessLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := NewLogger(&logBuf, slog.LevelInfo, true)
+	reg := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout")) //nolint:errcheck
+	})
+	h := AccessLog(logger, reg, inner)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/j-000001", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("middleware altered status: %d", rec.Code)
+	}
+
+	var entry map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log is not one JSON record: %v\n%s", err, logBuf.String())
+	}
+	if entry["msg"] != "http request" || entry["method"] != "GET" ||
+		entry["path"] != "/v1/jobs/j-000001" || entry["status"] != float64(http.StatusTeapot) {
+		t.Errorf("log record = %v", entry)
+	}
+	if entry["bytes"] != float64(len("short and stout")) {
+		t.Errorf("bytes = %v, want %d", entry["bytes"], len("short and stout"))
+	}
+	if _, ok := entry["duration_ms"].(float64); !ok {
+		t.Errorf("duration_ms missing or not a number: %v", entry["duration_ms"])
+	}
+
+	var expo strings.Builder
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), `http_requests_total{code="418",method="GET"} 1`) {
+		t.Errorf("request counter missing from exposition:\n%s", expo.String())
+	}
+	if !strings.Contains(expo.String(), "http_request_duration_seconds_count 1") {
+		t.Errorf("latency histogram missing from exposition:\n%s", expo.String())
+	}
+}
+
+// TestAccessLogDefaultStatus: handlers that never call WriteHeader log 200.
+func TestAccessLogDefaultStatus(t *testing.T) {
+	var logBuf bytes.Buffer
+	h := AccessLog(NewLogger(&logBuf, slog.LevelInfo, true), nil,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("ok")) //nolint:errcheck
+		}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	var entry map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry["status"] != float64(http.StatusOK) {
+		t.Errorf("status = %v, want 200", entry["status"])
+	}
+}
+
+// TestReadBuildInfo: the cached build info carries at least the Go version
+// (VCS stamps are absent in test binaries).
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" {
+		t.Error("BuildInfo.GoVersion is empty")
+	}
+	if again := ReadBuildInfo(); again != bi {
+		t.Error("ReadBuildInfo is not stable across calls")
+	}
+}

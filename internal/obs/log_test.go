@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, nil", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelWarn, false)
+	l.Info("hidden")
+	l.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "visible") {
+		t.Errorf("level filtering broken:\n%s", out)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := Nop()
+	if l.Enabled(nil, slog.LevelError) { //nolint:staticcheck // nil ctx is fine for slog
+		t.Error("Nop logger reports levels enabled")
+	}
+	l.Error("dropped", "k", "v") // must not panic or write anywhere
+	l.With("a", 1).WithGroup("g").Info("still dropped")
+}

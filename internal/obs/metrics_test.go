@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucket semantics: a
+// value equal to an upper bound lands in that bucket, one past it lands in
+// the next, and anything beyond the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.5, 2, 8})
+	for _, v := range []float64{0.25, 0.5, 0.500001, 2, 7.9, 8, 8.1, 100} {
+		h.Observe(v)
+	}
+	// 0.25, 0.5 -> le 0.5 | 0.500001, 2 -> le 2 | 7.9, 8 -> le 8 | 8.1, 100 -> +Inf
+	want := []uint64{2, 2, 2, 2}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("BucketCounts len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d count = %d, want %d (counts %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0.25+0.5+0.500001+2+7.9+8+8.1+100 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+}
+
+// TestHistogramDefaultBuckets: nil bucket list means DefLatencyBuckets.
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := newHistogram(nil)
+	if got, want := len(h.BucketCounts()), len(DefLatencyBuckets)+1; got != want {
+		t.Fatalf("default histogram has %d buckets, want %d", got, want)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// families sorted by name, canonical sorted label blocks, cumulative
+// histogram buckets with merged le labels, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Requests.", "method", "GET", "code", "200").Add(3)
+	reg.Gauge("test_temp", "Temp.").Set(1.5)
+	h := reg.Histogram("test_lat", "Lat.", []float64{0.5, 2})
+	for _, v := range []float64{0.25, 0.5, 1, 4} {
+		h.Observe(v)
+	}
+	reg.CounterFunc("test_fn", "Fn.", func() float64 { return 7 })
+	hl := reg.Histogram("test_labeled_lat", "Labeled lat.", []float64{1}, "op", "put")
+	hl.Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_fn Fn.
+# TYPE test_fn counter
+test_fn 7
+# HELP test_labeled_lat Labeled lat.
+# TYPE test_labeled_lat histogram
+test_labeled_lat_bucket{op="put",le="1"} 1
+test_labeled_lat_bucket{op="put",le="+Inf"} 1
+test_labeled_lat_sum{op="put"} 0.5
+test_labeled_lat_count{op="put"} 1
+# HELP test_lat Lat.
+# TYPE test_lat histogram
+test_lat_bucket{le="0.5"} 2
+test_lat_bucket{le="2"} 3
+test_lat_bucket{le="+Inf"} 4
+test_lat_sum 5.75
+test_lat_count 4
+# HELP test_requests_total Requests.
+# TYPE test_requests_total counter
+test_requests_total{code="200",method="GET"} 3
+# HELP test_temp Temp.
+# TYPE test_temp gauge
+test_temp 1.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping: backslash, quote and newline in label values are
+// escaped per the exposition format.
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_esc_total", "", "path", "a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition %q does not contain %q", sb.String(), want)
+	}
+}
+
+// TestGetOrCreateIdempotent: the same (name, labels) always answers the
+// same instrument, and distinct label sets are distinct series.
+func TestGetOrCreateIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("test_idem_total", "h", "k", "v")
+	b := reg.Counter("test_idem_total", "h", "k", "v")
+	if a != b {
+		t.Error("same name+labels returned different counters")
+	}
+	c := reg.Counter("test_idem_total", "h", "k", "other")
+	if c == a {
+		t.Error("different labels returned the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Errorf("values = %d, %d; want 1, 0", b.Value(), c.Value())
+	}
+}
+
+// TestTypeMismatchPanics: re-registering a name under a different metric
+// type is a programmer error and must fail loudly.
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_mismatch", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge over an existing counter name did not panic")
+		}
+	}()
+	reg.Gauge("test_mismatch", "")
+}
+
+// TestNilRegistry: a nil *Registry hands out working instruments and writes
+// nothing, so instrumented code needs no branches.
+func TestNilRegistry(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Errorf("nil-registry counter = %d, want 1", c.Value())
+	}
+	g := reg.Gauge("x", "")
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Errorf("nil-registry gauge = %v, want 2", g.Value())
+	}
+	h := reg.Histogram("x", "", nil)
+	h.Observe(1)
+	if h.Count() != 1 {
+		t.Errorf("nil-registry histogram count = %d, want 1", h.Count())
+	}
+	reg.CounterFunc("x", "", func() float64 { return 0 })
+	reg.GaugeFunc("x", "", func() float64 { return 0 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil-registry exposition = %q, %v; want empty, nil", sb.String(), err)
+	}
+}
+
+// TestConcurrentInstruments exercises the lock-free update paths under the
+// race detector.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_conc_total", "")
+	g := reg.Gauge("test_conc_gauge", "")
+	h := reg.Histogram("test_conc_lat", "", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counter=%d gauge=%v hist=%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+	if h.Sum() != 4000 {
+		t.Errorf("hist sum = %v, want 4000", h.Sum())
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TraceSummary is what ValidateTrace learned about a trace file.
+type TraceSummary struct {
+	Events int
+	Spans  int
+	ByCat  map[string]int
+	Tracks int
+	DurUS  float64 // wall span of the trace in microseconds
+}
+
+// ValidateTrace checks a Chrome trace-event JSON file for structural
+// sanity: it must parse, every B event must close with a matching E on the
+// same track in LIFO order, and spans must nest by wall time along the
+// category hierarchy cell ⊂ figure ⊂ job and phase ⊂ cell. requireCats, if
+// non-empty, lists categories at least one span of which must be present
+// (the smoke checker demands job, figure, cell and phase).
+func ValidateTrace(data []byte, requireCats ...string) (*TraceSummary, error) {
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("trace is not a JSON event array: %w", err)
+	}
+
+	type span struct {
+		name, cat  string
+		tid        uint64
+		start, end float64
+	}
+
+	// Events are appended B-then-E per span but not globally ordered; sort
+	// by timestamp. The tracer's clock is strictly monotone so ties only
+	// appear in foreign traces; break them B-first, which at worst trades
+	// one validation error message for another.
+	idx := make([]int, len(events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := &events[idx[a]], &events[idx[b]]
+		if ea.Ts != eb.Ts {
+			return ea.Ts < eb.Ts
+		}
+		return ea.Ph == "B" && eb.Ph == "E"
+	})
+
+	sum := &TraceSummary{Events: len(events), ByCat: map[string]int{}}
+	stacks := map[uint64][]*span{} // per-track open spans
+	tracks := map[uint64]bool{}
+	var spans []*span
+	var minTs, maxTs float64
+	for n, i := range idx {
+		e := &events[i]
+		if n == 0 || e.Ts < minTs {
+			minTs = e.Ts
+		}
+		if e.Ts > maxTs {
+			maxTs = e.Ts
+		}
+		tracks[e.Tid] = true
+		switch e.Ph {
+		case "B":
+			s := &span{name: e.Name, cat: e.Cat, tid: e.Tid, start: e.Ts}
+			stacks[e.Tid] = append(stacks[e.Tid], s)
+			spans = append(spans, s)
+		case "E":
+			st := stacks[e.Tid]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("track %d: E %q at %.3fus closes nothing", e.Tid, e.Name, e.Ts)
+			}
+			top := st[len(st)-1]
+			if top.name != e.Name {
+				return nil, fmt.Errorf("track %d: E %q at %.3fus closes open span %q (not LIFO)",
+					e.Tid, e.Name, e.Ts, top.name)
+			}
+			top.end = e.Ts
+			stacks[e.Tid] = st[:len(st)-1]
+		case "M", "X", "i", "I":
+			// Metadata/instant/complete events are legal trace content; the
+			// balance check only concerns B/E pairs.
+		default:
+			return nil, fmt.Errorf("unknown event phase %q", e.Ph)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) > 0 {
+			return nil, fmt.Errorf("track %d: span %q never closed", tid, st[len(st)-1].name)
+		}
+	}
+
+	// Category nesting: each span of a child category must sit inside some
+	// span of its parent category by wall time.
+	parentCat := map[string]string{
+		CatFigure:      CatJob,
+		CatCell:        CatFigure,
+		CatPhase:       CatCell,
+		CatEnginePhase: CatPhase,
+	}
+	byCat := map[string][]*span{}
+	for _, s := range spans {
+		byCat[s.cat] = append(byCat[s.cat], s)
+		sum.ByCat[s.cat]++
+	}
+	for cat, parent := range parentCat {
+		for _, s := range byCat[cat] {
+			if len(byCat[parent]) == 0 {
+				continue // a trace may legitimately lack the outer layer (unit tests)
+			}
+			contained := false
+			for _, p := range byCat[parent] {
+				if p.start <= s.start && s.end <= p.end {
+					contained = true
+					break
+				}
+			}
+			if !contained {
+				return nil, fmt.Errorf("%s span %q [%.3f,%.3f]us not contained in any %s span",
+					cat, s.name, s.start, s.end, parent)
+			}
+		}
+	}
+	for _, cat := range requireCats {
+		if sum.ByCat[cat] == 0 {
+			return nil, fmt.Errorf("trace has no %q spans", cat)
+		}
+	}
+	sum.Spans = len(spans)
+	sum.Tracks = len(tracks)
+	sum.DurUS = maxTs - minTs
+	return sum, nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gps/internal/experiments"
+	"gps/internal/obs"
 	"gps/internal/report"
 	"gps/internal/stats"
 )
@@ -19,9 +20,15 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 	out := &report.Report{ParallelWorkers: experiments.Parallelism()}
 	opt := spec.options()
 
-	section := func(name string, fn func() (*stats.Table, string, error)) error {
+	// section brackets one figure/table body in a figure-category span (a
+	// no-op unless the job context carries a tracer — see Config.TraceDir)
+	// and times it for the report. fn gets the span's context so matrix
+	// cells nest under the figure in the trace.
+	section := func(name string, fn func(context.Context) (*stats.Table, string, error)) error {
 		t0 := time.Now()
-		tb, extra, err := fn()
+		sctx, span := obs.StartSpan(ctx, obs.CatFigure, name)
+		tb, extra, err := fn(sctx)
+		span.End()
 		if err != nil {
 			return err
 		}
@@ -35,8 +42,8 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 	}
 
 	plain := func(name string, fn func(context.Context, experiments.Options) (*stats.Table, error)) error {
-		return section(name, func() (*stats.Table, string, error) {
-			tb, err := fn(ctx, opt)
+		return section(name, func(sctx context.Context) (*stats.Table, string, error) {
+			tb, err := fn(sctx, opt)
 			return tb, "", err
 		})
 	}
@@ -60,14 +67,14 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 		case 2:
 			err = plain(name, experiments.Figure2)
 		case 3:
-			err = section(name, func() (*stats.Table, string, error) {
+			err = section(name, func(context.Context) (*stats.Table, string, error) {
 				return experiments.Figure3(), "", nil
 			})
 		case 4:
 			err = plain(name, experiments.Figure4)
 		case 8:
-			err = section(name, func() (*stats.Table, string, error) {
-				tb, err := experiments.Figure8(ctx, opt)
+			err = section(name, func(sctx context.Context) (*stats.Table, string, error) {
+				tb, err := experiments.Figure8(sctx, opt)
 				if err != nil {
 					return nil, "", err
 				}
@@ -113,8 +120,8 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 		case "fabrics":
 			err = plain(name, experiments.ExtendedFabrics)
 		case "fabricmodel":
-			err = section(name, func() (*stats.Table, string, error) {
-				tb, err := experiments.ValidateFabricModel(ctx, 50)
+			err = section(name, func(sctx context.Context) (*stats.Table, string, error) {
+				tb, err := experiments.ValidateFabricModel(sctx, 50)
 				return tb, "", err
 			})
 		default:
@@ -122,8 +129,8 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 		}
 
 	case "matrix":
-		err = section("matrix", func() (*stats.Table, string, error) {
-			return runMatrixSpec(ctx, spec, opt)
+		err = section("matrix", func(sctx context.Context) (*stats.Table, string, error) {
+			return runMatrixSpec(sctx, spec, opt)
 		})
 
 	default:

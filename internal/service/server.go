@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,6 +15,7 @@ import (
 
 	"gps/internal/experiments"
 	"gps/internal/faultinject"
+	"gps/internal/obs"
 	"gps/internal/report"
 	"gps/internal/retry"
 )
@@ -86,6 +90,20 @@ type Config struct {
 	// transitions are fsynced to it, and New re-enqueues whatever the
 	// journal says was queued or running when the last process died.
 	Journal *Journal
+
+	// Logger receives structured job lifecycle records (submit, start,
+	// terminal transitions, per-cell progress at debug level), all
+	// correlated by job_id. nil discards them.
+	Logger *slog.Logger
+	// Registry, when non-nil, exposes the server's operational counters as
+	// Prometheus metrics and records job wait/execution latency
+	// histograms. nil — the default — costs nothing.
+	Registry *obs.Registry
+	// TraceDir, when non-empty, writes one Perfetto-loadable span trace per
+	// executed job to TraceDir/<job-id>.trace.json: the job span, one span
+	// per figure/section, one per matrix cell, and the trace-build /
+	// engine-replay / render phases inside each cell.
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Sleeper == nil {
 		c.Sleeper = retry.Sleep
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Nop()
 	}
 	return c
 }
@@ -165,6 +186,14 @@ type Server struct {
 	wg         sync.WaitGroup
 	busy       atomic.Int64
 
+	logger   *slog.Logger
+	draining atomic.Bool
+	// jobWait and jobExec are latency histograms bound to cfg.Registry;
+	// with no registry they are plain unregistered histograms (see
+	// obs.Registry nil semantics), so the observe path never branches.
+	jobWait *obs.Histogram
+	jobExec *obs.Histogram
+
 	mu       sync.Mutex
 	closed   bool
 	seq      uint64
@@ -197,6 +226,9 @@ func New(cfg Config) *Server {
 		start:      time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		logger:     cfg.Logger,
+		jobWait:    cfg.Registry.Histogram("gpsd_job_wait_seconds", "Time jobs spend queued before a worker picks them up.", nil),
+		jobExec:    cfg.Registry.Histogram("gpsd_job_exec_seconds", "Wall-clock execution time of finished jobs.", nil),
 		// Replayed jobs ride on extra capacity so recovery can never be
 		// rejected by admission control.
 		queue:    make(chan *Job, cfg.QueueDepth+len(pending)),
@@ -205,12 +237,105 @@ func New(cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheEntries),
 	}
 	s.replayPending(pending)
+	s.registerMetrics(cfg.Registry)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
 }
+
+// registerMetrics binds the server's existing atomic counters into the
+// registry as sampled-at-scrape series, so the Prometheus endpoint and the
+// JSON /v1/metrics read the same state with no double bookkeeping. A nil
+// registry is a no-op.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	u64 := func(f func() uint64) func() float64 {
+		return func() float64 { return float64(f()) }
+	}
+	reg.GaugeFunc("gpsd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("gpsd_workers", "Configured worker pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("gpsd_busy_workers", "Workers currently executing a job.",
+		func() float64 { return float64(s.busy.Load()) })
+	reg.GaugeFunc("gpsd_queue_depth", "Jobs waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("gpsd_queue_capacity", "Admission queue bound.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("gpsd_draining", "1 while a graceful drain is in progress.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
+
+	jobs := func(event string, f func() uint64) {
+		reg.CounterFunc("gpsd_jobs_total", "Job lifecycle events by kind.", u64(f), "event", event)
+	}
+	jobs("submitted", s.submitted.Load)
+	jobs("done", s.jobsDone.Load)
+	jobs("failed", s.jobsFailed.Load)
+	jobs("canceled", s.jobsCancd.Load)
+	jobs("rejected", s.rejected.Load)
+	jobs("coalesced", s.coalesced.Load)
+	jobs("retried", s.jobRetries.Load)
+	jobs("panicked", s.jobPanics.Load)
+	jobs("replayed", s.replayed.Load)
+
+	reg.CounterFunc("gpsd_result_cache_hits_total", "Submissions answered from the result cache.", u64(s.cacheHits.Load))
+	reg.CounterFunc("gpsd_result_cache_misses_total", "Submissions that required execution.", u64(s.cacheMisses.Load))
+	reg.CounterFunc("gpsd_result_cache_write_errors_total", "Result cache commits that failed.", u64(s.cacheWriteErrs.Load))
+	reg.GaugeFunc("gpsd_result_cache_entries", "Resident result cache entries.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.cache.len())
+		})
+	reg.CounterFunc("gpsd_exec_seconds_total", "Total wall-clock seconds spent executing jobs.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.execSeconds
+		})
+	reg.CounterFunc("gpsd_journal_records_total", "Journal records appended by this process.",
+		u64(func() uint64 { return s.cfg.Journal.Records() }))
+
+	// The shared experiments runner: memoization and resilience counters.
+	cache := func(name, help string, f func(experiments.CacheStats) uint64) {
+		reg.CounterFunc(name, help, func() float64 {
+			return float64(f(experiments.Default.CacheStats()))
+		})
+	}
+	cache("gps_runner_trace_builds_total", "Traces generated and materialized.",
+		func(c experiments.CacheStats) uint64 { return c.TraceBuilds })
+	cache("gps_runner_trace_hits_total", "Trace requests served from cache.",
+		func(c experiments.CacheStats) uint64 { return c.TraceHits })
+	cache("gps_runner_trace_evictions_total", "Traces evicted to respect the budget.",
+		func(c experiments.CacheStats) uint64 { return c.TraceEvictions })
+	cache("gps_runner_engine_runs_total", "Structural replays executed.",
+		func(c experiments.CacheStats) uint64 { return c.EngineRuns })
+	cache("gps_runner_engine_hits_total", "Structural results served from cache.",
+		func(c experiments.CacheStats) uint64 { return c.EngineHits })
+	cache("gps_runner_baseline_runs_total", "Baseline simulations executed.",
+		func(c experiments.CacheStats) uint64 { return c.BaselineRuns })
+	cache("gps_runner_baseline_hits_total", "Baseline requests served from cache.",
+		func(c experiments.CacheStats) uint64 { return c.BaselineHits })
+	reg.GaugeFunc("gps_runner_trace_cache_bytes", "Approximate resident bytes of cached traces.",
+		func() float64 { return float64(experiments.Default.CacheStats().TraceBytes) })
+	reg.CounterFunc("gps_runner_cell_panics_total", "Matrix cells that panicked and were fenced.",
+		func() float64 { return float64(experiments.Default.ResilienceStats().CellPanics) })
+	reg.CounterFunc("gps_runner_cell_retries_total", "Matrix cell attempts retried after transient failures.",
+		func() float64 { return float64(experiments.Default.ResilienceStats().CellRetries) })
+}
+
+// Draining reports whether a graceful shutdown is in progress (or done):
+// new submissions are refused and /v1/healthz flips to "draining".
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // replayPending re-enqueues journal-recovered jobs. Runs before the worker
 // pool starts, so no locking is needed yet.
@@ -245,6 +370,7 @@ func (s *Server) replayPending(pending []PendingJob) {
 		s.inflight[hash] = job
 		s.queue <- job
 		s.replayed.Add(1)
+		s.logger.Info("job replayed from journal", "job_id", job.ID, "hash", hash)
 	}
 }
 
@@ -287,12 +413,14 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 		close(job.done)
 		s.retireLocked(job)
 		s.jobsDone.Add(1)
+		s.logger.Info("job cached", "job_id", job.ID, "hash", hash)
 		return job.snapshot(now), OutcomeCached, nil
 	}
 
 	if leader, ok := s.inflight[hash]; ok {
 		leader.Coalesced++
 		s.coalesced.Add(1)
+		s.logger.Info("job coalesced", "job_id", leader.ID, "hash", hash, "riders", leader.Coalesced)
 		return leader.snapshot(now), OutcomeCoalesced, nil
 	}
 
@@ -302,6 +430,7 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 	default:
 		delete(s.jobs, job.ID)
 		s.rejected.Add(1)
+		s.logger.Warn("job rejected: queue full", "hash", hash)
 		return Status{}, OutcomeAccepted, ErrQueueFull
 	}
 	s.inflight[hash] = job
@@ -317,6 +446,7 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 	}
 	s.submitted.Add(1)
 	s.cacheMisses.Add(1)
+	s.logger.Info("job accepted", "job_id", job.ID, "hash", hash, "queue_depth", len(s.queue))
 	return job.snapshot(now), OutcomeAccepted, nil
 }
 
@@ -396,7 +526,9 @@ func (s *Server) Cancel(id string) (Status, error) {
 		s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out; replay would just re-cancel
 		close(job.done)
 		s.retireLocked(job)
+		s.logger.Info("job canceled while queued", "job_id", job.ID)
 	case StateRunning:
+		s.logger.Info("cancel requested", "job_id", job.ID)
 		job.cancel(errJobCanceled)
 	}
 	return job.snapshot(now), nil
@@ -463,11 +595,17 @@ func (s *Server) runJob(job *Job) {
 	job.StartedAt = time.Now()
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
 	job.cancel = cancel
+	wait := job.StartedAt.Sub(job.SubmittedAt)
 	s.mu.Unlock()
 	defer cancel(nil)
 
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
+	if wait < 0 {
+		wait = 0
+	}
+	s.jobWait.Observe(wait.Seconds())
+	s.logger.Info("job started", "job_id", job.ID, "wait_seconds", wait.Seconds())
 
 	// Recovery treats queued and started jobs alike, so the start record
 	// is informational; its loss is harmless.
@@ -479,7 +617,40 @@ func (s *Server) runJob(job *Job) {
 		runCtx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer tcancel()
 	}
-	runCtx = experiments.WithCellObserver(runCtx, func() { job.cellsDone.Add(1) })
+	logger := s.logger
+	runCtx = experiments.WithCellObserver(runCtx, func(ev experiments.CellEvent) {
+		if ev.Start {
+			logger.Debug("cell start", "job_id", job.ID, "cell", ev.Desc)
+			return
+		}
+		if ev.Err == nil {
+			job.cellsDone.Add(1)
+		}
+		logger.Debug("cell done", "job_id", job.ID, "cell", ev.Desc,
+			"seconds", ev.Dur.Seconds(), "err", ev.Err)
+	})
+
+	// With a trace directory configured every executed job writes its own
+	// Perfetto trace. The flusher goroutine is bound to the job's context:
+	// a drain-deadline abort cancels it, so the writer can never outlive
+	// the job (and Close after that is a no-op).
+	if s.cfg.TraceDir != "" {
+		if f, err := os.Create(filepath.Join(s.cfg.TraceDir, job.ID+".trace.json")); err != nil {
+			s.logger.Warn("job trace disabled", "job_id", job.ID, "err", err)
+		} else {
+			tracer := obs.NewTracer(runCtx, f)
+			runCtx = obs.WithTracer(runCtx, tracer)
+			var jobSpan *obs.Span
+			runCtx, jobSpan = obs.StartSpan(runCtx, obs.CatJob, job.ID, "hash", job.Hash)
+			defer func() {
+				jobSpan.End()
+				if err := tracer.Close(); err != nil {
+					s.logger.Warn("job trace write failed", "job_id", job.ID, "err", err)
+				}
+				f.Close()
+			}()
+		}
+	}
 
 	var res *report.Report
 	_, err := retry.Do(runCtx, s.cfg.JobRetry, s.cfg.Sleeper, nil, func(attempt int) error {
@@ -521,13 +692,16 @@ func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report,
 	now := time.Now()
 	cause := context.Cause(runCtx)
 
+	exec := now.Sub(job.StartedAt)
+	s.jobExec.Observe(exec.Seconds())
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.inflight[job.Hash] == job {
 		delete(s.inflight, job.Hash)
 	}
 	job.FinishedAt = now
-	s.execSeconds += now.Sub(job.StartedAt).Seconds()
+	s.execSeconds += exec.Seconds()
 
 	switch {
 	case errors.Is(cause, errJobCanceled):
@@ -562,6 +736,18 @@ func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report,
 		job.Err = err.Error()
 		s.jobsFailed.Add(1)
 		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+	}
+	switch job.State {
+	case StateDone:
+		s.logger.Info("job done", "job_id", job.ID,
+			"exec_seconds", exec.Seconds(), "cells", job.cellsDone.Load(),
+			"attempts", job.attempts.Load())
+	case StateFailed:
+		s.logger.Error("job failed", "job_id", job.ID,
+			"exec_seconds", exec.Seconds(), "attempts", job.attempts.Load(), "err", job.Err)
+	case StateCanceled:
+		s.logger.Info("job canceled", "job_id", job.ID,
+			"exec_seconds", exec.Seconds(), "err", job.Err)
 	}
 	close(job.done)
 	s.retireLocked(job)
@@ -659,9 +845,11 @@ func (s *Server) RetryAfterSeconds() int {
 // cell boundary) and Shutdown reports ctx's error; a clean drain returns
 // nil. Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
+		s.logger.Info("draining", "queued", len(s.queue), "busy", s.busy.Load())
 		// Cancel everything still waiting; workers skip canceled jobs.
 	drain:
 		for {
@@ -694,10 +882,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-finished:
+		s.logger.Info("drained")
 		return nil
 	case <-ctx.Done():
 		s.baseCancel(fmt.Errorf("drain deadline: %w", ctx.Err()))
 		<-finished
+		s.logger.Warn("drain deadline expired; running jobs aborted", "err", ctx.Err())
 		return ctx.Err()
 	}
 }

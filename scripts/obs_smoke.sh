@@ -1,0 +1,15 @@
+#!/bin/sh
+# obs-smoke: end-to-end check of the observability layer. Runs a small
+# gpsbench matrix with -trace-out and validates the emitted Perfetto trace
+# with tracelint: valid JSON, balanced B/E events, spans present and nested
+# for every category down to the engine phases.
+set -eu
+
+trace="${TMPDIR:-/tmp}/gpsbench-obs-smoke.trace.json"
+rm -f "$trace"
+
+go run ./cmd/gpsbench -fig 8 -iters 2 -trace-out "$trace" >/dev/null
+go run ./cmd/tracelint "$trace"
+
+rm -f "$trace"
+echo "obs-smoke: ok"
