@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke
+.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke shard-smoke
 
 ## check: full gate — vet, build, the test suite under the race detector,
 ## the microbenchmark compile/run smoke, the chaos gate (fault injection,
-## fuzzing, crash recovery), and the observability smoke (span traces).
-check: vet build race bench-micro chaos obs-smoke
+## fuzzing, crash recovery), the observability smoke (span traces), and the
+## sharded-replay smoke (byte-identical figures at -shards 4 under -race).
+check: vet build race bench-micro chaos obs-smoke shard-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +34,7 @@ bench-micro:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/engine/ ./internal/memsys/
 
 ## bench-record: record the full suite's wall clock and headline metrics
-## into BENCH_4.json at the repo root (see scripts/bench_record.sh).
+## into BENCH_<n>.json at the repo root (see scripts/bench_record.sh).
 bench-record:
 	sh scripts/bench_record.sh
 
@@ -46,6 +47,14 @@ serve-smoke:
 ## emitted Perfetto trace (balanced events, category nesting) via tracelint.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+## shard-smoke: run a small figure with sharded replay under the race
+## detector. -parallel 1 keeps the cell matrix serial so the shard count is
+## honored exactly even on a small GOMAXPROCS; the equivalence tests in
+## internal/engine and internal/experiments already run under `race`, so
+## this exercises the CLI wiring end to end.
+shard-smoke:
+	$(GO) run -race ./cmd/gpsbench -fig 9 -iters 2 -parallel 1 -shards 4 -json /tmp/gpsbench-shard-smoke.json
 
 ## chaos: the resilience gate — fault-injected suites under -race, a fuzz
 ## pass over the trace decoder, and the SIGKILL crash-recovery smoke.

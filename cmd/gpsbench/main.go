@@ -9,6 +9,8 @@
 //	gpsbench -sens tlb|pagesize|watermark
 //	gpsbench -iters 4 -scale 1    # workload sizing
 //	gpsbench -all -parallel 8     # run the experiment matrix on 8 workers
+//	gpsbench -fig 12 -shards 8    # shard each structural replay across 8 goroutines
+//	gpsbench -sens hier           # 32/64-GPU hierarchical NVSwitch sweep
 //	gpsbench -fig 8 -json out.json
 //	gpsbench -all -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	gpsbench -fig 8 -trace-out run.trace.json   # Perfetto span trace
@@ -38,7 +40,7 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure number to regenerate (1,2,3,4,8,9,10,11,12,13,14)")
 		table    = flag.Int("table", 0, "table number to regenerate (1,2)")
-		sens     = flag.String("sens", "", "sensitivity study: tlb, pagesize, watermark, l2, profilingmode, control, pipelined, fabrics, fabricmodel")
+		sens     = flag.String("sens", "", "sensitivity study: tlb, pagesize, watermark, l2, profilingmode, control, pipelined, fabrics, hier, fabricmodel")
 		all      = flag.Bool("all", false, "regenerate everything")
 		iters    = flag.Int("iters", 4, "execution iterations per application")
 		scale    = flag.Int("scale", 1, "problem size multiplier")
@@ -46,6 +48,7 @@ func main() {
 		rep      = flag.String("report", "", "write a full markdown report to this file")
 		chart    = flag.Bool("chart", false, "also render line-chart views of figures 13 and 14")
 		parallel = flag.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		shards   = flag.Int("shards", 1, "goroutines per structural replay; output is byte-identical at any count, capped so workers x shards fits GOMAXPROCS")
 		jsonOut  = flag.String("json", "", "write headline metrics, per-figure wall clock, rendered tables and cache stats as JSON to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
@@ -117,10 +120,27 @@ func main() {
 	}
 
 	experiments.SetParallelism(*parallel)
+	// Compose -shards with -parallel: with several cell workers the matrix
+	// already fills the machine, so shards are capped to keep workers x
+	// shards within GOMAXPROCS. A serial matrix (-parallel 1) is the
+	// shard-first mode and honors the count exactly; either way the rendered
+	// output is identical, only the schedule changes.
+	shardCount := *shards
+	if workers := experiments.Parallelism(); workers > 1 && shardCount > 1 {
+		if bound := runtime.GOMAXPROCS(0) / workers; shardCount > bound {
+			if bound < 1 {
+				bound = 1
+			}
+			fmt.Fprintf(os.Stderr, "gpsbench: capping -shards %d to %d (%d workers on GOMAXPROCS=%d)\n",
+				shardCount, bound, workers, runtime.GOMAXPROCS(0))
+			shardCount = bound
+		}
+	}
+	experiments.SetShards(shardCount)
 	opt := experiments.Options{Iterations: *iters, Scale: *scale}
 	start := time.Now()
 	ran := false
-	out := report.Report{ParallelWorkers: experiments.Parallelism()}
+	out := report.Report{ParallelWorkers: experiments.Parallelism(), Shards: experiments.Shards()}
 
 	die := func(err error) {
 		if errors.Is(err, context.Canceled) {
@@ -160,10 +180,16 @@ func main() {
 		t0 := time.Now()
 		sectionName = name
 		sctx, span := obs.StartSpan(ctx, obs.CatFigure, name)
-		fn(sctx)
+		var tail experiments.TailTracker
+		fn(experiments.ChainCellObserver(sctx, tail.Observe))
 		span.End()
 		sectionName = ""
-		out.Sections = append(out.Sections, report.Section{Name: name, Seconds: time.Since(t0).Seconds()})
+		sec := report.Section{Name: name, Seconds: time.Since(t0).Seconds()}
+		if d, slowest := tail.Max(); d > 0 {
+			sec.MaxCellSeconds = d.Seconds()
+			sec.SlowestCell = slowest
+		}
+		out.Sections = append(out.Sections, sec)
 	}
 
 	want := func(n int) bool { return *all || *fig == n }
@@ -308,6 +334,16 @@ func main() {
 		section("sens-fabrics", func(ctx context.Context) {
 			tb, err := experiments.ExtendedFabrics(ctx, opt)
 			show(tb, err)
+		})
+	}
+	if *all || *sens == "hier" {
+		section("sens-hier", func(ctx context.Context) {
+			tb, err := experiments.FigureHierarchy(ctx, opt)
+			if err == nil && *chart {
+				show(tb, nil, tb.LineChart(12))
+			} else {
+				show(tb, err)
+			}
 		})
 	}
 

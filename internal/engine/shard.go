@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"sync"
+
+	"gps/internal/trace"
+)
+
+// Sharded replay parallelizes one structural run across goroutines while
+// keeping the Result byte-identical to the sequential replay at any shard
+// count. The trick is that every paradigm's per-access state decomposes
+// along one of two axes:
+//
+//   - ShardByGPU: all mutable state is per-GPU (GPS write queues, TLBs,
+//     translation units). Each shard replays the kernels of the GPUs it
+//     owns with the exact sequential round-robin interleaving; per-GPU
+//     streams never interact during a phase, so per-shard replay is
+//     bit-exact.
+//   - ShardByPage: all mutable state is per-page (UM residency, RDL last
+//     writer, memcpy dirty sets). Each shard replays the full instruction
+//     stream in the sequential global order but only applies the cache
+//     lines whose partition key hashes to it, so every page sees its
+//     accesses in exactly the sequential order.
+//
+// Either way, each shard accumulates into its own Profile vector (backed by
+// a private slab, so shards never share a cache line) and the coordinator
+// merges them with a deterministic sum in shard order at the phase barrier.
+// Cross-shard state (the GPS manager's page tables) is only read during a
+// phase and only mutated at barriers, on the coordinator.
+
+// ShardAxis says how a model's state partitions for parallel replay.
+type ShardAxis int
+
+const (
+	// ShardNone: the model has cross-cutting per-access state and must
+	// replay sequentially (RunSharded falls back to RunObserved).
+	ShardNone ShardAxis = iota
+	// ShardByPage: state is keyed by page; shards own disjoint page sets.
+	ShardByPage
+	// ShardByGPU: state is keyed by GPU; shards own disjoint GPU sets
+	// (GPU g belongs to shard g % shards).
+	ShardByGPU
+)
+
+// ShardPlan describes how to partition a model's replay.
+type ShardPlan struct {
+	Axis ShardAxis
+	// LineShift is the page-axis partition key granularity: line addresses
+	// with equal (line >> LineShift) % shards belong to the same shard. It
+	// must be at least the model's page shift (coarser is fine as long as
+	// the model never couples pages across a 1<<LineShift boundary).
+	LineShift uint
+}
+
+// ShardableModel is a Model that can fork per-shard replicas for parallel
+// replay. Fork(shard, shards) returns a replica that will observe exactly
+// the slice of the access stream its plan assigns to shard; replicas run
+// concurrently on separate goroutines and must not share mutable state with
+// each other (read-only structures of the parent are fine).
+type ShardableModel interface {
+	Model
+	ShardPlan() ShardPlan
+	Fork(shard, shards int) Model
+}
+
+// ShardBarrierModel lets the parent model take over the phase barrier: it
+// is called on the coordinator goroutine after all shards joined, instead
+// of calling EndPhase on each replica. Models that must merge cross-shard
+// state at barriers (the GPS profiling sweep) implement it.
+type ShardBarrierModel interface {
+	ShardableModel
+	EndPhaseSharded(index int, replicas []Model)
+}
+
+// ShardFinishModel lets the parent model assemble the end-of-run statistics
+// from its replicas; without it, the parent's own Finish runs (correct for
+// models whose Finish is a no-op).
+type ShardFinishModel interface {
+	ShardableModel
+	FinishSharded(res *Result, replicas []Model)
+}
+
+// ShardObserver extends PhaseObserver with per-shard events. ShardStart and
+// ShardEnd are called from the shard's goroutine and must be safe for
+// concurrent use across shards.
+type ShardObserver interface {
+	PhaseObserver
+	ShardStart(phase, shard int)
+	ShardEnd(phase, shard int)
+}
+
+// RunSharded replays prog through m on `shards` goroutines. The result is
+// byte-identical to Run at any shard count; shards <= 1, a model without a
+// shard plan, or a ShardNone plan fall back to the sequential replay.
+func RunSharded(prog trace.Program, m Model, shards int) *Result {
+	return RunShardedObserved(prog, m, shards, nil)
+}
+
+// RunShardedObserved is RunSharded with an optional phase observer. If the
+// observer also implements ShardObserver it additionally receives per-shard
+// start/end events from the shard goroutines.
+func RunShardedObserved(prog trace.Program, m Model, shards int, po PhaseObserver) *Result {
+	sm, shardable := m.(ShardableModel)
+	var plan ShardPlan
+	if shardable {
+		plan = sm.ShardPlan()
+	}
+	meta := prog.Meta()
+	n := meta.NumGPUs
+	if plan.Axis == ShardByGPU && shards > n {
+		shards = n // extra GPU shards would own no kernels
+	}
+	if !shardable || plan.Axis == ShardNone || shards <= 1 {
+		return RunObserved(prog, m, po)
+	}
+	so, _ := po.(ShardObserver)
+
+	res := &Result{Meta: meta, Paradigm: m.Name()}
+	reps := make([]Model, shards)
+	workers := make([]*shardWorker, shards)
+	for s := range reps {
+		reps[s] = sm.Fork(s, shards)
+		workers[s] = &shardWorker{exp: NewExpander(LineBytes)}
+	}
+	barrier, hasBarrier := sm.(ShardBarrierModel)
+	panics := make([]any, shards)
+
+	// The coordinator iterates phases on the calling goroutine (a *Phase is
+	// only valid inside the yield) and fans each phase out to the shard
+	// goroutines, which join before the next phase starts.
+	prog.Phases(func(ph *trace.Phase) bool {
+		if po != nil {
+			po.PhaseStart(ph.Index, len(ph.Kernels))
+		}
+		perShard := make([][]Profile, shards)
+		for s := range perShard {
+			perShard[s] = newProfiles(n)
+			reps[s].BeginPhase(ph.Index, perShard[s])
+			panics[s] = nil
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panics[s] = r
+					}
+				}()
+				if so != nil {
+					so.ShardStart(ph.Index, s)
+					defer so.ShardEnd(ph.Index, s)
+				}
+				workers[s].replay(reps[s], ph, plan, s, shards)
+			}(s)
+		}
+		wg.Wait()
+		for _, p := range panics {
+			if p != nil {
+				// Re-panic the lowest shard's original value on the
+				// coordinator, mirroring the sequential replay's behavior
+				// (lowest shard == earliest point in the sequential order).
+				panic(p)
+			}
+		}
+
+		if hasBarrier {
+			barrier.EndPhaseSharded(ph.Index, reps)
+		} else {
+			for _, rep := range reps {
+				rep.EndPhase(ph.Index)
+			}
+		}
+
+		// Deterministic reduction: the canonical vector alone carries the
+		// kernel preloads (replicas start from zero), then every replica's
+		// counters are summed in shard order. Each counter is written by
+		// exactly one shard, so the sum equals the sequential value.
+		profiles := newProfiles(n)
+		for _, k := range ph.Kernels {
+			profiles[k.GPU].ComputeOps += k.ComputeOps
+			profiles[k.GPU].LocalBytes += k.LocalStreamBytes
+		}
+		for s := range perShard {
+			addProfiles(profiles, perShard[s])
+		}
+		res.Phases = append(res.Phases, PhaseRecord{Index: ph.Index, Profiles: profiles})
+		if po != nil {
+			po.PhaseEnd(ph.Index)
+		}
+		return true
+	})
+	if fin, ok := sm.(ShardFinishModel); ok {
+		fin.FinishSharded(res, reps)
+	} else {
+		m.Finish(res)
+	}
+	return res
+}
+
+// addProfiles accumulates src into dst element-wise.
+func addProfiles(dst, src []Profile) {
+	for g := range dst {
+		d, s := &dst[g], &src[g]
+		d.ComputeOps += s.ComputeOps
+		d.LocalBytes += s.LocalBytes
+		d.RemoteReadLines += s.RemoteReadLines
+		d.Faults += s.Faults
+		d.Shootdowns += s.Shootdowns
+		for p := range d.RemoteRead {
+			d.RemoteRead[p] += s.RemoteRead[p]
+			d.Push[p] += s.Push[p]
+			d.Bulk[p] += s.Bulk[p]
+		}
+	}
+}
+
+// shardWorker is one shard's replay scratch: its own expander, batch and
+// cursor state, so shards share nothing on the hot path.
+type shardWorker struct {
+	exp     *Expander
+	batch   Batch
+	tmp     []uint64 // page-axis: unfiltered lines of one instruction
+	cursors []int
+}
+
+// replay runs the shard's slice of one phase. The loop is the sequential
+// round-robin of RunObserved with one of two filters applied:
+//
+//   - GPU axis: kernels of GPUs the shard does not own are skipped whole.
+//     Owned kernels advance through the identical chunk schedule, so each
+//     GPU's stream order matches the sequential replay exactly.
+//   - Page axis: every kernel is replayed in full order, but each
+//     instruction's coalesced lines are filtered to the shard's partition
+//     (empty instructions are kept so fences and batch offsets line up).
+func (w *shardWorker) replay(m Model, ph *trace.Phase, plan ShardPlan, shard, shards int) {
+	byGPU := plan.Axis == ShardByGPU
+	bm, _ := m.(BatchModel)
+	ks := ph.Kernels
+	if cap(w.cursors) < len(ks) {
+		w.cursors = make([]int, len(ks))
+	} else {
+		w.cursors = w.cursors[:len(ks)]
+		for i := range w.cursors {
+			w.cursors[i] = 0
+		}
+	}
+	remaining := 0
+	for ki := range ks {
+		if byGPU && ks[ki].GPU%shards != shard {
+			w.cursors[ki] = len(ks[ki].Accesses) // not ours: mark done
+			continue
+		}
+		if len(ks[ki].Accesses) > 0 {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		for ki := range ks {
+			k := &ks[ki]
+			if w.cursors[ki] >= len(k.Accesses) {
+				continue
+			}
+			end := w.cursors[ki] + chunk
+			if end >= len(k.Accesses) {
+				end = len(k.Accesses)
+				remaining--
+			}
+			accs := k.Accesses[w.cursors[ki]:end]
+			if bm != nil {
+				w.batch.Accs = accs
+				w.batch.Offs = append(w.batch.Offs[:0], 0)
+				w.batch.Lines = w.batch.Lines[:0]
+				for _, a := range accs {
+					if byGPU {
+						w.batch.Lines = w.exp.AppendLines(w.batch.Lines, a)
+					} else {
+						w.tmp = w.exp.AppendLines(w.tmp[:0], a)
+						for _, line := range w.tmp {
+							if (line>>plan.LineShift)%uint64(shards) == uint64(shard) {
+								w.batch.Lines = append(w.batch.Lines, line)
+							}
+						}
+					}
+					w.batch.Offs = append(w.batch.Offs, int32(len(w.batch.Lines)))
+				}
+				bm.AccessBatch(k.GPU, &w.batch)
+			} else {
+				for _, a := range accs {
+					lines := w.exp.Expand(a)
+					if !byGPU {
+						filtered := w.tmp[:0]
+						for _, line := range lines {
+							if (line>>plan.LineShift)%uint64(shards) == uint64(shard) {
+								filtered = append(filtered, line)
+							}
+						}
+						w.tmp = filtered
+						lines = filtered
+					}
+					m.Access(k.GPU, a, lines)
+				}
+			}
+			w.cursors[ki] = end
+		}
+	}
+}

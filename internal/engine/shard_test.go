@@ -1,0 +1,66 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gps/internal/engine"
+	"gps/internal/paradigm"
+	"gps/internal/trace"
+	"gps/internal/workload"
+)
+
+// TestRunShardedMatchesRun proves the sharded replay's core guarantee: for
+// every paradigm and several applications, the Result at any shard count is
+// identical (reflect.DeepEqual, which covers every profile counter, hit
+// rate, and histogram) to the sequential replay's.
+func TestRunShardedMatchesRun(t *testing.T) {
+	cfg := workload.Config{NumGPUs: 4, Iterations: 1, Scale: 1, Seed: 1}
+	for _, app := range []string{"jacobi", "pagerank"} {
+		spec, err := workload.ByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := spec.Build(cfg)
+		for _, kind := range paradigm.Kinds() {
+			want := runWithShards(t, prog, kind, 1)
+			for _, shards := range []int{2, 3, 8} {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", app, kind, shards), func(t *testing.T) {
+					got := runWithShards(t, prog, kind, shards)
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("sharded result diverges from sequential\nseq: %+v\nshr: %+v", want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunShardedOversharded checks the degenerate extremes: more shards
+// than GPUs (GPU axis clamps) and more shards than hot pages (page-axis
+// shards that own nothing still merge cleanly).
+func TestRunShardedOversharded(t *testing.T) {
+	cfg := workload.Config{NumGPUs: 2, Iterations: 1, Scale: 1, Seed: 1}
+	spec, err := workload.ByName("jacobi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := spec.Build(cfg)
+	for _, kind := range []paradigm.Kind{paradigm.KindUM, paradigm.KindGPS} {
+		want := runWithShards(t, prog, kind, 1)
+		got := runWithShards(t, prog, kind, 64)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%v: 64-shard result diverges from sequential", kind)
+		}
+	}
+}
+
+func runWithShards(t *testing.T, prog trace.Program, kind paradigm.Kind, shards int) *engine.Result {
+	t.Helper()
+	model, err := paradigm.New(kind, prog, paradigm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.RunSharded(prog, model, shards)
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+
+	"gps/internal/interconnect"
+	"gps/internal/paradigm"
+	"gps/internal/stats"
+)
+
+// hierarchyApps is the application subset of the large-system sweep: one
+// representative of each communication pattern in Table 2 (peer-to-peer
+// stencil, peer-to-peer graph, all-to-all, plus HIT — the heaviest trace
+// and the cell that bounds gpsbench tail latency).
+var hierarchyApps = []string{"jacobi", "pagerank", "als", "hit"}
+
+// hierarchyGPUCounts is the system-size axis: the paper's largest 16-GPU
+// configuration plus the 32- and 64-GPU pods the simulator can now reach.
+var hierarchyGPUCounts = []int{16, 32, 64}
+
+// FigureHierarchy extends the scaling study past the paper's 16 GPUs: the
+// geometric-mean speedup of each paradigm at 16/32/64 GPUs on a hierarchical
+// NVSwitch fabric (pods of 8 A100-class GPUs at 300 GB/s, joined by a
+// 2x-oversubscribed spine — the multi-level topology of DGX pods). Cross-pod
+// traffic contends on the pod trunks, so paradigms that send less (GPS after
+// unsubscription) separate further from broadcast-everything as the pod
+// count grows.
+func FigureHierarchy(ctx context.Context, opt Options) (*stats.Table, error) {
+	opt = opt.withDefaults()
+	kinds := paradigm.Figure8Kinds()
+	cols := make([]string, len(kinds))
+	for i, k := range kinds {
+		cols[i] = k.String()
+	}
+	tb := stats.NewTable(
+		"Hierarchical scaling: 16/32/64 GPUs on multi-level NVSwitch (geomean speedup over 1 GPU)",
+		"gpus", cols...)
+
+	apps := hierarchyApps
+	var cells []Cell
+	for _, gpus := range hierarchyGPUCounts {
+		for _, k := range kinds {
+			for _, app := range apps {
+				fab := interconnect.HierarchicalNVSwitch(gpus, 8, interconnect.NVLink3Bandwidth, 2)
+				if k == paradigm.KindInfinite {
+					fab = interconnect.Infinite(gpus)
+				}
+				cells = append(cells, Cell{App: app, Kind: k, GPUs: gpus, Fab: fab, Opt: opt, Cfg: paradigm.DefaultConfig()})
+			}
+		}
+	}
+	bases, results, err := Default.RunMatrixWithBaselines(ctx, apps, opt, paradigm.DefaultConfig(), cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, gpus := range hierarchyGPUCounts {
+		row := make([]float64, len(kinds))
+		for i := range kinds {
+			var speedups []float64
+			for _, app := range apps {
+				speedups = append(speedups, speedupOf(bases[app], results[idx].Report))
+				idx++
+			}
+			row[i] = stats.GeoMean(speedups)
+		}
+		tb.AddRow(strconv.Itoa(gpus), row...)
+	}
+	return tb, nil
+}

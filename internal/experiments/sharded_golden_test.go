@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// Sharded replay is a scheduling change, not a modeling change: the figures
+// must render byte-identically at every shard count. Each render gets a
+// fresh runner so the memoization caches cannot serve the sequential result
+// back and make the comparison vacuous.
+func TestShardedRenderByteIdentical(t *testing.T) {
+	renders := []struct {
+		golden string
+		render func(context.Context, Options) (string, error)
+	}{
+		{"figure8_quick.golden", func(ctx context.Context, opt Options) (string, error) {
+			tb, err := Figure8(ctx, opt)
+			if err != nil {
+				return "", err
+			}
+			return tb.String(), nil
+		}},
+		{"pagesize_quick.golden", func(ctx context.Context, opt Options) (string, error) {
+			tb, err := SensitivityPageSize(ctx, opt)
+			if err != nil {
+				return "", err
+			}
+			return tb.String(), nil
+		}},
+	}
+
+	oldDefault := Default
+	defer func() { Default = oldDefault }()
+	opt := Options{Iterations: 2, Quick: true}
+
+	for _, tc := range renders {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shardN := range []int{1, 2, 8} {
+			t.Run(tc.golden+"/shards="+strconv.Itoa(shardN), func(t *testing.T) {
+				Default = NewRunner(1)
+				Default.SetShards(shardN)
+				got, err := tc.render(context.Background(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != string(want) {
+					t.Fatalf("render at %d shards deviates from the sequential golden\n--- got ---\n%s\n--- want ---\n%s",
+						shardN, got, want)
+				}
+			})
+		}
+	}
+}

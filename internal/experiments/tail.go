@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// TailTracker records the slowest completed cell seen by a matrix run. The
+// report surfaces it per section: at any worker count the section's wall
+// clock is bounded below by its slowest cell, so this is the number replay
+// sharding has to shrink. Safe for concurrent use; the zero value is ready.
+type TailTracker struct {
+	mu      sync.Mutex
+	max     time.Duration
+	slowest string
+}
+
+// Observe is a CellObserver; install it with ChainCellObserver.
+func (t *TailTracker) Observe(ev CellEvent) {
+	if ev.Start {
+		return
+	}
+	t.mu.Lock()
+	if ev.Dur > t.max {
+		t.max = ev.Dur
+		t.slowest = ev.Desc
+	}
+	t.mu.Unlock()
+}
+
+// Max returns the slowest completed cell's duration and description.
+func (t *TailTracker) Max() (time.Duration, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.max, t.slowest
+}
+
+// ChainCellObserver installs fn without displacing an observer already on
+// ctx: both receive every event, the pre-existing observer first. The gpsd
+// job runner installs its progress observer on the whole job; Execute chains
+// a per-section tail tracker on top.
+func ChainCellObserver(ctx context.Context, fn CellObserver) context.Context {
+	if prev := cellObserver(ctx); prev != nil {
+		inner := fn
+		fn = func(ev CellEvent) {
+			prev(ev)
+			inner(ev)
+		}
+	}
+	return WithCellObserver(ctx, fn)
+}

@@ -189,6 +189,8 @@ func ByName(name string, gpus int) (*Fabric, error) {
 		return PCIeTree(gpus, PCIe6), nil
 	case "nvswitch":
 		return NVSwitch(gpus, NVLink2Bandwidth), nil
+	case "hnvswitch":
+		return HierarchicalNVSwitch(gpus, 8, NVLink3Bandwidth, 2), nil
 	case "cubemesh":
 		if gpus != 8 {
 			return nil, fmt.Errorf("interconnect: cubemesh is an 8-GPU topology, got %d GPUs", gpus)
@@ -197,7 +199,7 @@ func ByName(name string, gpus int) (*Fabric, error) {
 	case "infinite":
 		return Infinite(gpus), nil
 	}
-	return nil, fmt.Errorf("interconnect: unknown fabric %q (pcie3..pcie6, nvswitch, cubemesh, infinite)", name)
+	return nil, fmt.Errorf("interconnect: unknown fabric %q (pcie3..pcie6, nvswitch, hnvswitch, cubemesh, infinite)", name)
 }
 
 // PCIeTree builds an n-GPU PCIe fabric: every GPU owns one upstream (egress)
@@ -215,6 +217,60 @@ func PCIeTree(n int, gen PCIeGen) *Fabric {
 // DGX-2 and DGX-A100 systems.
 func NVSwitch(n int, perGPU float64) *Fabric {
 	return starFabric(fmt.Sprintf("NVSwitch %.0fGB/s (%d GPUs)", perGPU/1e9, n), n, perGPU, nvlinkLatency)
+}
+
+// HierarchicalNVSwitch builds the multi-level switch topology of 32/64-GPU
+// systems (DGX pods joined by a second switch tier): GPUs are grouped into
+// pods of podSize, each GPU has perGPU bytes/s into its pod switch, and each
+// pod connects to a non-blocking spine through an uplink/downlink pair
+// carrying podSize*perGPU/oversub bytes/s. Intra-pod transfers see the flat
+// NVSwitch path; cross-pod transfers additionally cross both pod trunks and
+// pay a second switch traversal's latency. oversub is the pod-to-spine
+// oversubscription factor (1 = full bisection, 2 = half). With n <= podSize
+// the topology degenerates to the flat crossbar.
+func HierarchicalNVSwitch(n, podSize int, perGPU, oversub float64) *Fabric {
+	if n < 1 {
+		panic("interconnect: fabric needs at least one GPU")
+	}
+	if podSize < 1 {
+		panic("interconnect: pod needs at least one GPU")
+	}
+	if perGPU <= 0 {
+		panic("interconnect: bandwidth must be positive")
+	}
+	if oversub < 1 {
+		panic("interconnect: oversubscription factor below 1")
+	}
+	if n <= podSize {
+		return NVSwitch(n, perGPU)
+	}
+	pods := (n + podSize - 1) / podSize
+	f := &Fabric{
+		name: fmt.Sprintf("NVSwitch %.0fGB/s x%d pods of %d (%d GPUs)",
+			perGPU/1e9, pods, podSize, n),
+		n: n,
+	}
+	egress := make([]LinkID, n)
+	ingress := make([]LinkID, n)
+	for g := 0; g < n; g++ {
+		egress[g] = f.addLink(fmt.Sprintf("gpu%d.tx", g), perGPU, nvlinkLatency/2)
+		ingress[g] = f.addLink(fmt.Sprintf("gpu%d.rx", g), perGPU, nvlinkLatency/2)
+	}
+	trunkBW := float64(podSize) * perGPU / oversub
+	up := make([]LinkID, pods)
+	down := make([]LinkID, pods)
+	for p := 0; p < pods; p++ {
+		up[p] = f.addLink(fmt.Sprintf("pod%d.up", p), trunkBW, nvlinkLatency/2)
+		down[p] = f.addLink(fmt.Sprintf("pod%d.down", p), trunkBW, nvlinkLatency/2)
+	}
+	f.buildPaths(func(src, dst int) []LinkID {
+		sp, dp := src/podSize, dst/podSize
+		if sp == dp {
+			return []LinkID{egress[src], ingress[dst]}
+		}
+		return []LinkID{egress[src], up[sp], down[dp], ingress[dst]}
+	})
+	return f
 }
 
 // starFabric wires each GPU to a non-blocking core with one egress and one

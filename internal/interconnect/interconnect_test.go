@@ -240,3 +240,57 @@ func TestStarFabricDisjointPathsProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestHierarchicalNVSwitch(t *testing.T) {
+	const perGPU = NVLink3Bandwidth
+	f := HierarchicalNVSwitch(32, 8, perGPU, 2)
+	if f.NumGPUs() != 32 {
+		t.Fatalf("NumGPUs = %d, want 32", f.NumGPUs())
+	}
+	// 32 GPU tx/rx pairs plus 4 pod up/down pairs.
+	if f.NumLinks() != 2*32+2*4 {
+		t.Fatalf("NumLinks = %d, want %d", f.NumLinks(), 2*32+2*4)
+	}
+	// Intra-pod: flat two-hop path, one switch traversal of latency.
+	if p := f.Path(0, 7); len(p) != 2 {
+		t.Errorf("intra-pod path length = %d, want 2", len(p))
+	}
+	if got := f.Latency(0, 7); got != nvlinkLatency {
+		t.Errorf("intra-pod latency = %g, want %g", got, nvlinkLatency)
+	}
+	if got := f.PairBandwidth(0, 7); got != perGPU {
+		t.Errorf("intra-pod bandwidth = %g, want %g", got, perGPU)
+	}
+	// Cross-pod: four hops through both trunks, double latency, and the
+	// 2x-oversubscribed trunk (8*300/2 GB/s) is above one GPU's injection
+	// rate, so an isolated pair still sees the per-GPU bandwidth.
+	if p := f.Path(0, 31); len(p) != 4 {
+		t.Errorf("cross-pod path length = %d, want 4", len(p))
+	}
+	if got := f.Latency(0, 31); got != 2*nvlinkLatency {
+		t.Errorf("cross-pod latency = %g, want %g", got, 2*nvlinkLatency)
+	}
+	if got := f.PairBandwidth(0, 31); got != perGPU {
+		t.Errorf("cross-pod pair bandwidth = %g, want %g", got, perGPU)
+	}
+	// The shared trunk is the contention point: its capacity is podSize*perGPU
+	// divided by the oversubscription factor.
+	trunk := f.Link(f.Path(0, 31)[1])
+	if want := 8 * perGPU / 2; trunk.Bandwidth != want {
+		t.Errorf("trunk bandwidth = %g, want %g", trunk.Bandwidth, want)
+	}
+
+	// At or below one pod the topology degenerates to the flat crossbar.
+	if flat := HierarchicalNVSwitch(8, 8, perGPU, 2); flat.NumLinks() != 16 {
+		t.Errorf("degenerate fabric has %d links, want 16", flat.NumLinks())
+	}
+
+	// ByName exposes the 2x-oversubscribed pods-of-8 configuration.
+	byName, err := ByName("hnvswitch", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.NumGPUs() != 64 || byName.NumLinks() != 2*64+2*8 {
+		t.Errorf("hnvswitch(64) = %d GPUs / %d links", byName.NumGPUs(), byName.NumLinks())
+	}
+}

@@ -1,0 +1,239 @@
+package paradigm
+
+import (
+	"gps/internal/core"
+	"gps/internal/engine"
+	"gps/internal/memsys"
+	"gps/internal/trace"
+)
+
+// GPS shards by destination GPU: all of the model's per-access mutable
+// state — conventional TLBs, GPS-TLBs inside the translation units, and the
+// remote write queues — is strictly per-GPU, and the manager's page tables
+// are only read during a phase (subscription changes happen at the
+// profiling barrier, on the coordinator). Each shard therefore forks a
+// replica owning the structures of GPUs g with g % shards == shard and
+// replays exactly those GPUs' kernel streams; per-GPU streams never
+// interact mid-phase, so every hit rate and counter is bit-exact.
+//
+// The profiling barrier is the one cross-shard moment: the coordinator
+// merges the shards' access-tracker bitmaps, widens the remap hook to shoot
+// down replica TLBs as well, and runs ApplyProfile once (deterministic: the
+// GPS page table iterates in ascending order regardless of shard count).
+func (m *gpsModel) ShardPlan() engine.ShardPlan {
+	if m.mode == gpsUnsubscribedByDefault {
+		// Unsubscribed-by-default profiling subscribes pages mid-phase,
+		// mutating the shared page tables on the access path; that cannot be
+		// sharded, so this mode replays sequentially.
+		return engine.ShardPlan{Axis: engine.ShardNone}
+	}
+	return engine.ShardPlan{Axis: engine.ShardByGPU}
+}
+
+func (m *gpsModel) Fork(shard, shards int) engine.Model {
+	r := &gpsShard{
+		parent:  m,
+		shard:   shard,
+		shards:  shards,
+		convTLB: make([]*memsys.TLB[memsys.PTE], m.n),
+		wq:      make([]*core.WriteQueue, m.n),
+		xu:      make([]*core.TranslationUnit, m.n),
+		flags:   memsys.NewPageMap[gpsPageFlags](m.pageBytes),
+	}
+	gpu := m.cfg.Machine.GPU
+	for g := shard; g < m.n; g += shards {
+		r.convTLB[g] = memsys.NewTLB[memsys.PTE](gpu.TLBEntries, gpu.TLBWays)
+		xu := core.NewTranslationUnit(g, m.geom, m.cfg.GPSTLBEntries, m.cfg.GPSTLBWays,
+			m.mgr.GPSPageTable(), func(p core.Packet) {
+				r.profiles[p.SrcGPU].Push[p.DstGPU] += lineBytes
+			})
+		r.xu[g] = xu
+		r.wq[g] = core.NewWriteQueue(g, m.geom, m.cfg.WriteQueueEntries,
+			m.cfg.WriteQueueWatermark, xu.Process)
+	}
+	if m.tracker != nil {
+		lo, hi := sharedSpan(m.meta.Regions)
+		r.tracker = core.NewAccessTracker(m.geom, memsys.VAddr(lo), hi-lo, m.n)
+		r.tracker.Start()
+	}
+	return r
+}
+
+// EndPhaseSharded is the coordinator's phase barrier: flush every replica's
+// write queues (the implicit sys-scoped release), then run the profiling
+// handoff exactly as the sequential EndPhase would.
+func (m *gpsModel) EndPhaseSharded(index int, replicas []engine.Model) {
+	for _, rep := range replicas {
+		rep.EndPhase(index)
+	}
+	if m.profiling && index == m.meta.ProfilePhases-1 {
+		m.tracker.Stop() // cuGPSTrackingStop()
+		for _, rep := range replicas {
+			if sh := rep.(*gpsShard); sh.tracker != nil {
+				sh.tracker.Stop()
+				m.tracker.Merge(sh.tracker)
+			}
+		}
+		if m.mode != gpsNoSubscription {
+			// Unsubscription shoots down stale translations wherever they are
+			// cached — including the replica TLBs that did the profiling
+			// iteration's fills.
+			m.mgr.SetRemapHook(func(vpn memsys.VPN) {
+				for g := 0; g < m.n; g++ {
+					m.convTLB[g].Invalidate(vpn)
+					m.xu[g].InvalidateTLB(vpn)
+				}
+				for _, rep := range replicas {
+					sh := rep.(*gpsShard)
+					for g := sh.shard; g < len(sh.convTLB); g += sh.shards {
+						sh.convTLB[g].Invalidate(vpn)
+						sh.xu[g].InvalidateTLB(vpn)
+					}
+				}
+			})
+			m.mgr.ApplyProfile(m.tracker, func(vpn memsys.VPN) bool { return m.isManual(uint64(vpn)) })
+		}
+		m.profiling = false
+	}
+	if !m.profiling && m.subHist == nil {
+		m.subHist = m.mgr.SubscriberHistogram()
+	}
+}
+
+// FinishSharded assembles the end-of-run statistics from the replicas that
+// own each GPU's structures.
+func (m *gpsModel) FinishSharded(res *engine.Result, replicas []engine.Model) {
+	res.SubscriberHist = m.subHist
+	for _, rep := range replicas {
+		res.ForwardedLoads += rep.(*gpsShard).forwarded
+	}
+	for g := 0; g < m.n; g++ {
+		sh := replicas[g%len(replicas)].(*gpsShard)
+		res.WriteQueueHitRate = append(res.WriteQueueHitRate, sh.wq[g].Stats().HitRate())
+		res.GPSTLBHitRate = append(res.GPSTLBHitRate, sh.xu[g].Stats().HitRate())
+		res.ConvTLBHitRate = append(res.ConvTLBHitRate, sh.convTLB[g].HitRate())
+	}
+}
+
+// gpsShard is one shard's replica of the GPS machinery: private TLBs, write
+// queues and translation units for the GPUs it owns (nil elsewhere), plus a
+// private access tracker and collapse overlay. It reads — never writes —
+// the parent's manager and manual-subscription flags during a phase.
+type gpsShard struct {
+	parent  *gpsModel
+	shard   int
+	shards  int
+	convTLB []*memsys.TLB[memsys.PTE]
+	wq      []*core.WriteQueue
+	xu      []*core.TranslationUnit
+	tracker *core.AccessTracker
+	flags   *memsys.PageMap[gpsPageFlags] // collapse overlay, shard-local
+
+	forwarded uint64
+	profiles  []engine.Profile
+	scratch   engine.Batch
+}
+
+func (r *gpsShard) Name() string { return r.parent.name }
+
+func (r *gpsShard) BeginPhase(index int, profiles []engine.Profile) {
+	r.profiles = profiles
+}
+
+func (r *gpsShard) translate(gpu int, vpn uint64) memsys.PTE {
+	v := memsys.VPN(vpn)
+	if pte, ok := r.convTLB[gpu].Lookup(v); ok {
+		return pte
+	}
+	ptep := r.parent.mgr.PageTable(gpu).Lookup(v)
+	if ptep == nil {
+		return memsys.PTE{Valid: true, Owner: gpu}
+	}
+	pte := *ptep
+	r.convTLB[gpu].Fill(v, pte)
+	if pte.GPS && r.tracker != nil {
+		r.tracker.RecordTLBMiss(gpu, v)
+	}
+	return pte
+}
+
+func (r *gpsShard) Access(gpu int, a trace.Access, lines []uint64) {
+	r.scratch.Accs = append(r.scratch.Accs[:0], a)
+	r.scratch.Offs = append(r.scratch.Offs[:0], 0, int32(len(lines)))
+	r.scratch.Lines = lines
+	r.AccessBatch(gpu, &r.scratch)
+}
+
+// AccessBatch mirrors gpsModel.AccessBatch for the subscribed-by-default
+// and no-subscription modes (the unsubscribed-by-default branch cannot be
+// reached: that mode declines to shard). One documented divergence: a
+// sys-scoped store to a GPS page charges the collapse locally instead of
+// collapsing the shared mapping (which would race with other shards'
+// translations); no current workload emits sys-scoped stores.
+func (r *gpsShard) AccessBatch(gpu int, b *engine.Batch) {
+	m := r.parent
+	prof := &r.profiles[gpu]
+	wq := r.wq[gpu]
+	for i := range b.Accs {
+		a := &b.Accs[i]
+		if a.Op == trace.OpFence {
+			if a.Scope == trace.ScopeSys {
+				wq.Flush()
+			}
+			continue
+		}
+		for _, line := range b.LinesOf(i) {
+			vpn := m.vpn(line)
+			pte := r.translate(gpu, vpn)
+			switch a.Op {
+			case trace.OpLoad:
+				if pte.Owner == gpu {
+					prof.LocalBytes += lineBytes
+					continue
+				}
+				if pte.GPS && wq.Contains(memsys.VAddr(line)) {
+					r.forwarded++
+					prof.LocalBytes += lineBytes
+					continue
+				}
+				prof.RemoteRead[pte.Owner] += lineBytes
+				prof.RemoteReadLines++
+			case trace.OpStore, trace.OpAtomic:
+				if !pte.GPS {
+					if pte.Owner == gpu {
+						prof.LocalBytes += lineBytes
+					} else {
+						prof.Push[pte.Owner] += lineBytes
+					}
+					continue
+				}
+				if a.Scope == trace.ScopeSys {
+					if f := r.flags.At(vpn); !f.collapsing {
+						f.collapsing = true
+						prof.Shootdowns++
+					}
+					prof.LocalBytes += lineBytes
+					continue
+				}
+				if pte.Owner == gpu {
+					prof.LocalBytes += lineBytes
+				}
+				if a.Op == trace.OpAtomic {
+					wq.PushAtomic(memsys.VAddr(line))
+				} else {
+					wq.PushStore(memsys.VAddr(line))
+				}
+			}
+		}
+	}
+}
+
+// EndPhase flushes the owned write queues; the profiling handoff runs on
+// the coordinator in EndPhaseSharded.
+func (r *gpsShard) EndPhase(int) {
+	for g := r.shard; g < len(r.wq); g += r.shards {
+		r.wq[g].Flush()
+	}
+}
+
+func (r *gpsShard) Finish(*engine.Result) {}

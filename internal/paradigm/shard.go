@@ -1,0 +1,72 @@
+package paradigm
+
+import (
+	"gps/internal/engine"
+	"gps/internal/memsys"
+)
+
+// Shard plans for the page-partitioned paradigms. UM, RDL, UM+hints and
+// memcpy keep all mutable replay state per page (residency, last writer,
+// duplicate masks, dirty sets), so the access stream partitions cleanly by
+// page: each shard forks a fresh model and replays the full stream with the
+// lines of other shards' pages filtered out. Within a partition every page
+// still sees its accesses in the sequential global order, so each fork's
+// per-page evolution — and therefore every counter — is bit-exact.
+//
+// GPS shards by GPU instead; see gps_shard.go.
+
+func (m *umModel) ShardPlan() engine.ShardPlan {
+	return engine.ShardPlan{Axis: engine.ShardByPage, LineShift: m.vpnShift}
+}
+
+func (m *umModel) Fork(shard, shards int) engine.Model {
+	return newUM(m.meta, m.cfg)
+}
+
+func (m *rdlModel) ShardPlan() engine.ShardPlan {
+	return engine.ShardPlan{Axis: engine.ShardByPage, LineShift: m.vpnShift}
+}
+
+func (m *rdlModel) Fork(shard, shards int) engine.Model {
+	return newRDL(m.meta, m.cfg)
+}
+
+// hintsModel couples pages within one 512 KB prefetch block: a load that
+// misses duplicates the whole surrounding block. Partitioning at prefetch
+// granularity keeps each block on a single shard (pages never span blocks:
+// either the page is smaller than a block and nested in it, or the page is
+// larger and block transfers stay within one page's partition key).
+func (m *hintsModel) ShardPlan() engine.ShardPlan {
+	shift := m.vpnShift
+	if blockShift := uint(19); shift < blockShift { // log2(prefetchBlockBytes)
+		shift = blockShift
+	}
+	return engine.ShardPlan{Axis: engine.ShardByPage, LineShift: shift}
+}
+
+func (m *hintsModel) Fork(shard, shards int) engine.Model {
+	c := &hintsModel{base: newBase(m.name, m.meta, m.cfg)}
+	c.pages = memsys.NewPageMap[hintsPage](c.pageBytes)
+	// Copy the preferred locations derived from the sharing scan at
+	// construction; the scan itself cannot be replayed here (the program was
+	// consumed), and the preset homes are exactly the state forks must agree
+	// on. First-touch defaults for unset homes replay identically per shard
+	// because each page's stream order is preserved.
+	m.pages.ForEach(func(vpn uint64, p *hintsPage) {
+		if p.home != 0 {
+			c.pages.At(vpn).home = p.home
+		}
+	})
+	return c
+}
+
+func (m *memcpyModel) ShardPlan() engine.ShardPlan {
+	return engine.ShardPlan{Axis: engine.ShardByPage, LineShift: m.vpnShift}
+}
+
+func (m *memcpyModel) Fork(shard, shards int) engine.Model {
+	c := newMemcpy(m.meta, m.cfg, m.elideTransfers)
+	c.name = m.name
+	c.pipelined = m.pipelined
+	return c
+}

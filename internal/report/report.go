@@ -10,10 +10,14 @@ import (
 	"gps/internal/experiments"
 )
 
-// Section records the wall clock one figure/table/study consumed.
+// Section records the wall clock one figure/table/study consumed, plus the
+// single slowest cell inside it — the tail that bounds the section's latency
+// at any worker count and the target the replay sharding attacks.
 type Section struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
+	Name           string  `json:"name"`
+	Seconds        float64 `json:"seconds"`
+	MaxCellSeconds float64 `json:"max_cell_seconds,omitempty"`
+	SlowestCell    string  `json:"slowest_cell,omitempty"`
 }
 
 // Table is one rendered table or figure, plus any derived claim lines.
@@ -32,6 +36,7 @@ type Report struct {
 	VsNextBestX    float64 `json:"vs_next_best_x,omitempty"`
 
 	ParallelWorkers int                    `json:"parallel_workers"`
+	Shards          int                    `json:"shards,omitempty"`
 	TotalSeconds    float64                `json:"total_seconds"`
 	Sections        []Section              `json:"sections"`
 	Tables          []Table                `json:"tables,omitempty"`

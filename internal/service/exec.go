@@ -17,7 +17,7 @@ import (
 // default executor of a Server; tests may substitute their own.
 func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 	start := time.Now()
-	out := &report.Report{ParallelWorkers: experiments.Parallelism()}
+	out := &report.Report{ParallelWorkers: experiments.Parallelism(), Shards: experiments.Shards()}
 	opt := spec.options()
 
 	// section brackets one figure/table body in a figure-category span (a
@@ -27,7 +27,8 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 	section := func(name string, fn func(context.Context) (*stats.Table, string, error)) error {
 		t0 := time.Now()
 		sctx, span := obs.StartSpan(ctx, obs.CatFigure, name)
-		tb, extra, err := fn(sctx)
+		var tail experiments.TailTracker
+		tb, extra, err := fn(experiments.ChainCellObserver(sctx, tail.Observe))
 		span.End()
 		if err != nil {
 			return err
@@ -37,7 +38,12 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 			text += extra + "\n"
 		}
 		out.AddTable(name, text)
-		out.Sections = append(out.Sections, report.Section{Name: name, Seconds: time.Since(t0).Seconds()})
+		sec := report.Section{Name: name, Seconds: time.Since(t0).Seconds()}
+		if d, slowest := tail.Max(); d > 0 {
+			sec.MaxCellSeconds = d.Seconds()
+			sec.SlowestCell = slowest
+		}
+		out.Sections = append(out.Sections, sec)
 		return nil
 	}
 
@@ -119,6 +125,8 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 			err = plain(name, experiments.AblationPipelinedMemcpy)
 		case "fabrics":
 			err = plain(name, experiments.ExtendedFabrics)
+		case "hier":
+			err = plain(name, experiments.FigureHierarchy)
 		case "fabricmodel":
 			err = section(name, func(sctx context.Context) (*stats.Table, string, error) {
 				tb, err := experiments.ValidateFabricModel(sctx, 50)

@@ -325,6 +325,10 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		func(c experiments.CacheStats) uint64 { return c.BaselineRuns })
 	cache("gps_runner_baseline_hits_total", "Baseline requests served from cache.",
 		func(c experiments.CacheStats) uint64 { return c.BaselineHits })
+	cache("gps_runner_sharded_replays_total", "Structural replays executed with more than one shard.",
+		func(c experiments.CacheStats) uint64 { return c.ShardedRuns })
+	reg.GaugeFunc("gps_runner_shards", "Goroutines per structural replay.",
+		func() float64 { return float64(experiments.Shards()) })
 	reg.GaugeFunc("gps_runner_trace_cache_bytes", "Approximate resident bytes of cached traces.",
 		func() float64 { return float64(experiments.Default.CacheStats().TraceBytes) })
 	reg.CounterFunc("gps_runner_cell_panics_total", "Matrix cells that panicked and were fenced.",

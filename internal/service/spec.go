@@ -61,7 +61,7 @@ var Figures = []int{1, 2, 3, 4, 8, 9, 10, 11, 12, 13, 14}
 // Sensitivities lists the named studies a "sensitivity" spec accepts.
 var Sensitivities = []string{
 	"tlb", "pagesize", "watermark", "l2", "profilingmode",
-	"control", "pipelined", "fabrics", "fabricmodel",
+	"control", "pipelined", "fabrics", "hier", "fabricmodel",
 }
 
 // ErrInvalidSpec marks every admission-time validation failure. API layers

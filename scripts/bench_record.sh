@@ -1,22 +1,30 @@
 #!/bin/sh
 # bench_record.sh: record the perf trajectory of the full experiment suite.
 #
-# Builds gpsbench, runs the complete figure/table matrix single-threaded
-# (-parallel 1, so the number measures the hot path rather than the worker
-# count), and writes BENCH_<n>.json at the repo root: wall clock per figure,
-# headline Section 7.1/7.3 metrics, and cache statistics. Compare against
-# the previous BENCH_*.json to see what a PR bought.
+# Builds gpsbench, runs the complete figure/table matrix twice, and writes
+# two reports at the repo root:
 #
-# Usage: scripts/bench_record.sh [suffix]   (default suffix: 4)
+#   BENCH_<n>.json           -parallel 1: single-threaded hot-path number
+#   BENCH_<n>_parallel.json  -parallel 0 -shards 4: the machine-saturating
+#                            configuration (cell workers compose with
+#                            replay shards, capped at GOMAXPROCS)
+#
+# Compare against the previous BENCH_*.json to see what a PR bought.
+#
+# Usage: scripts/bench_record.sh [suffix]   (default suffix: 6)
 set -eu
 
-suffix=${1:-4}
+suffix=${1:-6}
 out="BENCH_${suffix}.json"
+outp="BENCH_${suffix}_parallel.json"
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT INT TERM
 
 go build -o "$workdir/gpsbench" ./cmd/gpsbench
 "$workdir/gpsbench" -all -parallel 1 -json "$out" >"$workdir/stdout.txt"
-
 grep '^done in' "$workdir/stdout.txt" || true
 echo "wrote $out"
+
+"$workdir/gpsbench" -all -parallel 0 -shards 4 -json "$outp" >"$workdir/stdout_parallel.txt"
+grep '^done in' "$workdir/stdout_parallel.txt" || true
+echo "wrote $outp"
