@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke shard-smoke
+.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke shard-smoke cluster-smoke
 
 ## check: full gate — vet, build, the test suite under the race detector,
 ## the microbenchmark compile/run smoke, the chaos gate (fault injection,
-## fuzzing, crash recovery), the observability smoke (span traces), and the
-## sharded-replay smoke (byte-identical figures at -shards 4 under -race).
-check: vet build race bench-micro chaos obs-smoke shard-smoke
+## fuzzing, crash recovery), the observability smoke (span traces), the
+## sharded-replay smoke (byte-identical figures at -shards 4 under -race),
+## and the 3-node cluster smoke (routing, coalescing, owner kill).
+check: vet build race bench-micro chaos obs-smoke shard-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,8 +17,11 @@ vet:
 build:
 	$(GO) build ./...
 
+## The experiments package's golden equivalence suites run close to Go's
+## default 600s per-package timeout under -race on one core; give the
+## gate explicit headroom instead of flaking on loaded machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 test:
 	$(GO) test ./...
@@ -55,6 +59,12 @@ obs-smoke:
 ## this exercises the CLI wiring end to end.
 shard-smoke:
 	$(GO) run -race ./cmd/gpsbench -fig 9 -iters 2 -parallel 1 -shards 4 -json /tmp/gpsbench-shard-smoke.json
+
+## cluster-smoke: boot a 3-node local cluster, submit through a non-owner,
+## SIGKILL the owner mid-job, and assert re-routing plus journal replay
+## complete the job with results byte-identical from every node.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 ## chaos: the resilience gate — fault-injected suites under -race, a fuzz
 ## pass over the trace decoder, and the SIGKILL crash-recovery smoke.

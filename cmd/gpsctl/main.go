@@ -1,0 +1,201 @@
+// Command gpsctl is the CLI for a running gpsd: submit job specs, poll
+// status, fetch results, cancel jobs, and read node health — against a
+// single daemon or any node of a cluster (non-owners forward and proxy
+// transparently, so it never matters which node the flag points at).
+//
+// Usage:
+//
+//	gpsctl -addr http://localhost:8377 submit spec.json   # or "-" for stdin
+//	gpsctl submit -wait spec.json                         # block until terminal
+//	gpsctl status n1-j-000001
+//	gpsctl result n1-j-000001
+//	gpsctl cancel n1-j-000001
+//	gpsctl health
+//
+// Exit status: 0 on success, 1 on API or transport errors, 2 on usage
+// errors. submit -wait exits 1 if the job ends failed or canceled.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gps/internal/client"
+	"gps/internal/retry"
+	"gps/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8377", "gpsd base URL")
+		timeout = flag.Duration("timeout", 0, "overall deadline for the command (0 = none)")
+		retries = flag.Int("retries", 3, "attempts per request on transient failure (429/5xx/transport)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	c := client.New(*addr, client.WithRetry(retry.Policy{
+		MaxAttempts: *retries,
+		BaseDelay:   200 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		Jitter:      0.2,
+	}))
+
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, rest)
+	case "status":
+		err = cmdStatus(ctx, c, rest)
+	case "result":
+		err = cmdResult(ctx, c, rest)
+	case "cancel":
+		err = cmdCancel(ctx, c, rest)
+	case "health":
+		err = cmdHealth(ctx, c)
+	default:
+		fmt.Fprintf(os.Stderr, "gpsctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: gpsctl [flags] <command> [args]
+
+commands:
+  submit [-wait] <spec.json|->   submit a job spec (file or stdin)
+  status <job-id>                print one job's status
+  result <job-id>                print a done job's report
+  cancel <job-id>                cancel a queued or running job
+  health                         print the node's health snapshot
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	wait := fs.Bool("wait", false, "block until the job is terminal; print the report")
+	poll := fs.Duration("poll", 200*time.Millisecond, "status poll interval with -wait")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit wants exactly one spec file (or \"-\" for stdin)")
+	}
+
+	var data []byte
+	var err error
+	if name := fs.Arg(0); name == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(name)
+	}
+	if err != nil {
+		return err
+	}
+	var spec service.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("parse spec: %w", err)
+	}
+
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(sub)
+	}
+	fmt.Fprintf(os.Stderr, "gpsctl: job %s %s (%s); waiting\n", sub.ID, sub.State, sub.Outcome)
+	st, err := c.WaitTerminal(ctx, sub.ID, *poll)
+	if err != nil {
+		return err
+	}
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	rep, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	return rep.Encode(os.Stdout)
+}
+
+func cmdStatus(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status wants exactly one job ID")
+	}
+	st, err := c.Status(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdResult(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("result wants exactly one job ID")
+	}
+	rep, err := c.Result(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	if rep == nil {
+		return fmt.Errorf("job %s is not done yet", args[0])
+	}
+	return rep.Encode(os.Stdout)
+}
+
+func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel wants exactly one job ID")
+	}
+	st, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdHealth(ctx context.Context, c *client.Client) error {
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		// A draining node still returns a health body worth printing.
+		if h.Status != "" {
+			printJSON(h) //nolint:errcheck // best-effort before the error
+		}
+		return err
+	}
+	return printJSON(h)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -43,15 +43,27 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"gps/internal/cluster"
 	"gps/internal/experiments"
 	"gps/internal/httpapi"
 	"gps/internal/obs"
+	"gps/internal/report"
 	"gps/internal/retry"
 	"gps/internal/service"
 )
+
+// remoteResult adapts the cluster's peer result fetch into the service's
+// RemoteResult hook; a nil cluster (single-node mode) yields a nil hook.
+func remoteResult(clu *cluster.Cluster) func(ctx context.Context, hash string) *report.Report {
+	if clu == nil {
+		return nil
+	}
+	return clu.FetchPeerResult
+}
 
 func main() {
 	var (
@@ -69,8 +81,17 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error (debug adds per-cell progress)")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON lines instead of logfmt-style text")
 		traceDir   = flag.String("trace-dir", "", "write one Perfetto span trace per job to this directory (created if missing); empty = disabled")
+		nodeID     = flag.String("node-id", "", "cluster node ID; enables cluster mode (job IDs become <node>-j-NNNNNN)")
+		peersFlag  = flag.String("peers", "", "comma-separated peer list, id=http://host:port each (requires -node-id)")
+		probeIvl   = flag.Duration("probe-interval", 2*time.Second, "peer healthz liveness probe interval (cluster mode)")
+		stealIvl   = flag.Duration("steal-interval", time.Second, "work-steal attempt interval when idle; negative disables stealing (cluster mode)")
 	)
 	flag.Parse()
+
+	if *peersFlag != "" && *nodeID == "" {
+		fmt.Fprintln(os.Stderr, "gpsd: -peers requires -node-id")
+		os.Exit(1)
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -139,6 +160,36 @@ func main() {
 		}
 	}
 	experiments.SetShards(shardCount)
+
+	// Cluster mode: the cluster is built before the service so the service
+	// can resolve peer-cached results, and bound to it after so the steal
+	// loop can execute stolen specs locally.
+	var clu *cluster.Cluster
+	if *nodeID != "" {
+		clu = cluster.New(cluster.Config{
+			Self:          *nodeID,
+			ProbeInterval: *probeIvl,
+			StealInterval: *stealIvl,
+			Logger:        logger,
+			Registry:      registry,
+		})
+		for _, p := range strings.Split(*peersFlag, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			id, url, ok := strings.Cut(p, "=")
+			if !ok || id == "" || url == "" {
+				fmt.Fprintf(os.Stderr, "gpsd: bad -peers entry %q (want id=http://host:port)\n", p)
+				os.Exit(1)
+			}
+			if id == *nodeID {
+				continue // self-entry in a shared config file is fine; skip it
+			}
+			clu.AddPeer(id, url)
+		}
+	}
+
 	svc := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -149,7 +200,12 @@ func main() {
 		Logger:       logger,
 		Registry:     registry,
 		TraceDir:     *traceDir,
+		NodeID:       *nodeID,
+		RemoteResult: remoteResult(clu),
 	})
+	if clu != nil {
+		clu.Bind(svc)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -168,8 +224,12 @@ func main() {
 	// Slow-client protection: a stalled or malicious peer must not pin a
 	// connection (and its goroutine) forever. WriteTimeout is generous
 	// because result bodies for big matrices take real time to render.
+	apiOpts := []httpapi.Option{httpapi.WithLogger(logger), httpapi.WithRegistry(registry)}
+	if clu != nil {
+		apiOpts = append(apiOpts, httpapi.WithCluster(clu))
+	}
 	httpSrv := &http.Server{
-		Handler:           httpapi.New(svc, httpapi.WithLogger(logger), httpapi.WithRegistry(registry)),
+		Handler:           httpapi.New(svc, apiOpts...),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
@@ -180,6 +240,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if clu != nil {
+		peers := clu.Peers()
+		fmt.Printf("gpsd: cluster node %s (%d peers)\n", clu.Self(), len(peers))
+		clu.Start(ctx)
+	}
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,336 @@
+// Package client is the typed Go client for the gpsd JSON REST API. It is
+// the one HTTP surface everything speaks through: the gpsctl CLI, the
+// cluster layer's node-to-node forwarding and peer fetches, and the API
+// test suites. Errors are typed (*APIError carries the status code and the
+// server's error body) and classified for internal/retry, so callers can
+// wrap any call in a retry policy and have 429/5xx/transport failures
+// re-run while 4xx client bugs fail fast.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gps/internal/report"
+	"gps/internal/retry"
+	"gps/internal/service"
+)
+
+// APIError is a non-2xx response from the daemon: the HTTP status code plus
+// the message from the server's JSON error envelope (or the raw body when
+// the envelope didn't parse).
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gpsd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Retryable classifies the failure for internal/retry: queue saturation
+// (429) and server-side errors (5xx) are worth re-running; 4xx client
+// errors are deterministic and are not. 501 is excluded — an unimplemented
+// endpoint stays unimplemented.
+func (e *APIError) Retryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests ||
+		(e.StatusCode >= 500 && e.StatusCode != http.StatusNotImplemented)
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (httptest servers, timeouts).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.http = hc }
+}
+
+// WithRetry sets the retry policy applied to every call. The zero policy
+// (the default) never retries.
+func WithRetry(p retry.Policy) Option {
+	return func(c *Client) { c.policy = p }
+}
+
+// WithSleeper overrides the backoff sleep between retry attempts; tests
+// make schedules instant.
+func WithSleeper(s retry.Sleeper) Option {
+	return func(c *Client) { c.sleep = s }
+}
+
+// WithHeader adds a header to every request the client sends; the cluster
+// layer uses it for the forwarding-loop guard.
+func WithHeader(key, value string) Option {
+	return func(c *Client) { c.headers.Set(key, value) }
+}
+
+// Client talks to one gpsd node.
+type Client struct {
+	base    string
+	http    *http.Client
+	policy  retry.Policy
+	sleep   retry.Sleeper
+	headers http.Header
+}
+
+// New builds a client for the daemon at base (e.g. "http://127.0.0.1:8377";
+// a trailing slash is tolerated).
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    &http.Client{Timeout: 2 * time.Minute},
+		headers: http.Header{},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Base returns the node URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// SubmitResult is what a submit returned: the job snapshot plus what the
+// server did with the spec (accepted | coalesced | cached).
+type SubmitResult struct {
+	service.Status
+	Outcome string `json:"outcome"`
+}
+
+// Submit posts one job spec. Submission is idempotent on the server
+// (content-addressed cache + single-flight coalescing), so retries are safe.
+func (c *Client) Submit(ctx context.Context, spec service.Spec) (SubmitResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return SubmitResult{}, fmt.Errorf("client: encode spec: %w", err)
+	}
+	var out SubmitResult
+	err = c.call(ctx, http.MethodPost, "/v1/jobs", body, &out)
+	return out, err
+}
+
+// Status polls one job.
+func (c *Client) Status(ctx context.Context, id string) (service.Status, error) {
+	var out service.Status
+	err := c.call(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Result fetches the report of a done job. While the job is still queued or
+// running it returns (nil, nil) — poll Status (or WaitTerminal) first.
+func (c *Client) Result(ctx context.Context, id string) (*report.Report, error) {
+	code, body, err := c.roundTrip(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		var rep report.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			return nil, fmt.Errorf("client: decode result: %w", err)
+		}
+		return &rep, nil
+	case http.StatusAccepted:
+		return nil, nil // not terminal yet
+	default:
+		return nil, apiError(code, body)
+	}
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (service.Status, error) {
+	var out service.Status
+	err := c.call(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// PeerHealth is one peer's liveness as reported by /v1/healthz.
+type PeerHealth struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+}
+
+// Health is the /v1/healthz body. Cluster fields are empty on a
+// single-node daemon.
+type Health struct {
+	Status        string        `json:"status"` // ok | draining
+	NodeID        string        `json:"node_id"`
+	Role          string        `json:"role"` // single | cluster
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Build         obsBuild      `json:"build"`
+	Workers       int           `json:"workers"`
+	BusyWorkers   int           `json:"busy_workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Peers         []PeerHealth  `json:"peers,omitempty"`
+	PeersAlive    int           `json:"peers_alive,omitempty"`
+	PeersTotal    int           `json:"peers_total,omitempty"`
+	Cluster       *ClusterStats `json:"cluster,omitempty"`
+}
+
+type obsBuild struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// ClusterStats are the per-node cluster counters surfaced in healthz.
+type ClusterStats struct {
+	Forwards      uint64 `json:"forwards"`
+	ForwardErrors uint64 `json:"forward_errors"`
+	ProxiedReads  uint64 `json:"proxied_reads"`
+	PeerFetches   uint64 `json:"peer_fetches"`
+	StealsThief   uint64 `json:"steals_thief"`
+	StealsVictim  uint64 `json:"steals_victim"`
+	StealErrors   uint64 `json:"steal_errors"`
+}
+
+// Healthz reads the node's health. A draining node answers 503 with the
+// same JSON body; that is returned as (health, *APIError) so callers can
+// distinguish "down" from "draining" by inspecting both.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	code, body, err := c.roundTrip(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	if err != nil {
+		return Health{}, err
+	}
+	var h Health
+	if jerr := json.Unmarshal(body, &h); jerr != nil {
+		if code != http.StatusOK {
+			return Health{}, apiError(code, body)
+		}
+		return Health{}, fmt.Errorf("client: decode healthz: %w", jerr)
+	}
+	if code != http.StatusOK {
+		return h, apiError(code, body)
+	}
+	return h, nil
+}
+
+// WaitTerminal polls a job until it reaches a terminal state (done, failed,
+// canceled), sleeping poll between probes (default 50ms). It returns the
+// final snapshot; ctx bounds the wait.
+func (c *Client) WaitTerminal(ctx context.Context, id string, poll time.Duration) (service.Status, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// call is the JSON round trip with retry and error typing: 2xx decodes into
+// out, anything else becomes *APIError.
+func (c *Client) call(ctx context.Context, method, path string, body []byte, out any) error {
+	code, resp, err := c.roundTrip(ctx, method, path, body, nil)
+	if err != nil {
+		return err
+	}
+	if code < 200 || code >= 300 {
+		return apiError(code, resp)
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp, out); err != nil {
+			return fmt.Errorf("client: %s %s: decode response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// roundTrip performs one request under the retry policy and returns the raw
+// status code and body. Transport failures are wrapped retry.Transient;
+// retryable HTTP codes (429/5xx) re-run under the policy, but the final
+// response is always handed back to the caller for typing.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, hdr http.Header) (int, []byte, error) {
+	var (
+		code int
+		resp []byte
+	)
+	_, err := retry.Do(ctx, c.policy, c.sleep, nil, func(int) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		for k, vs := range c.headers {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		r, err := c.http.Do(req)
+		if err != nil {
+			return retry.Transient(fmt.Errorf("client: %s %s: %w", method, path, err))
+		}
+		defer r.Body.Close()
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			return retry.Transient(fmt.Errorf("client: %s %s: read body: %w", method, path, err))
+		}
+		code, resp = r.StatusCode, data
+		if e := apiError(code, data); e != nil && retry.Retryable(e) {
+			return e // re-run under the policy; last response kept above
+		}
+		return nil
+	})
+	if err != nil {
+		// A retryable *APIError that exhausted its attempts still carries a
+		// usable response; surface it as (code, body) so callers type it.
+		if ae, ok := err.(*APIError); ok {
+			return ae.StatusCode, resp, nil
+		}
+		return 0, nil, err
+	}
+	return code, resp, nil
+}
+
+// Do performs a raw request against the node and returns the status code
+// and body verbatim. The cluster layer uses it to proxy requests between
+// nodes without re-encoding (responses stay byte-identical).
+func (c *Client) Do(ctx context.Context, method, path string, body []byte, hdr http.Header) (int, []byte, error) {
+	return c.roundTrip(ctx, method, path, body, hdr)
+}
+
+// apiError builds the typed error for a non-2xx response; nil otherwise.
+func apiError(code int, body []byte) *APIError {
+	if code >= 200 && code < 300 {
+		return nil
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if err := json.Unmarshal(body, &envelope); err == nil && envelope.Error != "" {
+		msg = envelope.Error
+	}
+	return &APIError{StatusCode: code, Message: msg}
+}

@@ -1,0 +1,181 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gps/internal/retry"
+	"gps/internal/service"
+)
+
+// instant is a Sleeper that never actually sleeps, keeping retry schedules
+// out of test wall-clock.
+func instant(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestAPIErrorRetryable(t *testing.T) {
+	cases := map[int]bool{
+		http.StatusBadRequest:          false,
+		http.StatusNotFound:            false,
+		http.StatusConflict:            false,
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true,
+		http.StatusBadGateway:          true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusNotImplemented:      false, // unimplemented stays unimplemented
+	}
+	for code, want := range cases {
+		e := &APIError{StatusCode: code}
+		if e.Retryable() != want {
+			t.Errorf("Retryable(%d) = %v, want %v", code, e.Retryable(), want)
+		}
+		if !retry.Retryable(e) == want {
+			t.Errorf("retry.Retryable(%d) = %v, want %v", code, retry.Retryable(e), want)
+		}
+	}
+}
+
+// TestRetryOn5xxThenSuccess checks the full loop: two 503s, then a 200,
+// under a 3-attempt policy — the caller sees only the success.
+func TestRetryOn5xxThenSuccess(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`)) //nolint:errcheck
+			return
+		}
+		w.Write([]byte(`{"id":"j-000001","state":"done"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(retry.Policy{MaxAttempts: 3}), WithSleeper(instant))
+	st, err := c.Status(context.Background(), "j-000001")
+	if err != nil {
+		t.Fatalf("Status after retries: %v", err)
+	}
+	if st.State != service.StateDone || hits.Load() != 3 {
+		t.Fatalf("state %s after %d hits, want done after 3", st.State, hits.Load())
+	}
+}
+
+// TestRetryExhaustedSurfacesTypedError checks that a persistent 503 comes
+// back as *APIError with the server's message after the policy gives up.
+func TestRetryExhaustedSurfacesTypedError(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"still draining"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(retry.Policy{MaxAttempts: 3}), WithSleeper(instant))
+	_, err := c.Status(context.Background(), "j-000001")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable || ae.Message != "still draining" {
+		t.Fatalf("err = %v, want typed 503 'still draining'", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server hit %d times, want 3", hits.Load())
+	}
+}
+
+// TestNoRetryOnClientError checks that deterministic 4xx failures do not
+// re-run and carry the server's error message.
+func TestNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad spec"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(retry.Policy{MaxAttempts: 5}), WithSleeper(instant))
+	_, err := c.Submit(context.Background(), service.Spec{Type: "figure"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest || ae.Message != "bad spec" {
+		t.Fatalf("err = %v, want typed 400 'bad spec'", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("400 re-ran %d times, want exactly 1", hits.Load())
+	}
+}
+
+// TestTransportErrorIsTransient checks that a connection failure is wrapped
+// for retry and does not masquerade as an API error.
+func TestTransportErrorIsTransient(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listening anymore
+
+	c := New(ts.URL, WithSleeper(instant))
+	_, err := c.Status(context.Background(), "j-000001")
+	if err == nil {
+		t.Fatal("no error from a closed server")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure typed as APIError: %v", err)
+	}
+	if !retry.Retryable(err) {
+		t.Fatalf("transport failure not retryable: %v", err)
+	}
+}
+
+// TestResultNotReady checks the 202 contract: (nil, nil) while the job is
+// still in flight.
+func TestResultNotReady(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j-000001","state":"running"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	rep, err := New(ts.URL).Result(context.Background(), "j-000001")
+	if err != nil || rep != nil {
+		t.Fatalf("Result on 202 = %v, %v; want nil, nil", rep, err)
+	}
+}
+
+// TestHealthzDraining checks the dual return: a 503 healthz still decodes
+// the body so callers can tell draining from down.
+func TestHealthzDraining(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining","node_id":"n1","role":"cluster"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	h, err := New(ts.URL).Healthz(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want typed 503", err)
+	}
+	if h.Status != "draining" || h.NodeID != "n1" {
+		t.Fatalf("health body = %+v, want draining/n1", h)
+	}
+}
+
+// TestWithHeaderOnEveryRequest checks the forwarding-loop guard mechanism:
+// a configured header rides on every call.
+func TestWithHeaderOnEveryRequest(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-GPS-Forwarded-From"))
+		w.Write([]byte(`{}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithHeader("X-GPS-Forwarded-From", "n1"))
+	if _, err := c.Status(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "n1" {
+		t.Fatalf("header = %q, want n1", got.Load())
+	}
+}

@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gps/internal/client"
+	"gps/internal/obs"
+	"gps/internal/report"
+	"gps/internal/service"
+)
+
+// ForwardHeader marks a request that already crossed one node boundary.
+// Handlers seeing it always act locally — never forward or proxy again —
+// so a stale ring view or a routing bug degrades to local handling instead
+// of a forwarding loop.
+const ForwardHeader = "X-GPS-Forwarded-From"
+
+// Peer is one remote gpsd node: its static identity and address, the
+// client used to reach it, and the liveness state maintained by the probe
+// loop. Peers start dead and are marked alive by their first successful
+// healthz probe.
+type Peer struct {
+	ID  string
+	URL string
+
+	client *client.Client
+	alive  atomic.Bool
+
+	mu     sync.Mutex
+	health client.Health // last successful healthz body, for steal decisions
+}
+
+// Alive reports the last probe's verdict.
+func (p *Peer) Alive() bool { return p.alive.Load() }
+
+// Client returns the typed client for this peer.
+func (p *Peer) Client() *client.Client { return p.client }
+
+func (p *Peer) lastHealth() client.Health {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.health
+}
+
+// Local is the slice of the local service the cluster layer drives: submit
+// and ride stolen work, answer peer result fetches, and hand out queued
+// jobs to thieves. *service.Server implements it.
+type Local interface {
+	Submit(spec service.Spec) (service.Status, service.Outcome, error)
+	WaitResult(ctx context.Context, id string) (service.Status, *report.Report, error)
+	Metrics() service.Metrics
+	ResultByHash(hash string) (*report.Report, bool)
+	Steal(thief string) (service.StolenJob, bool)
+	CompleteStolen(id string, res *report.Report, errMsg string) error
+}
+
+// Config sizes a Cluster.
+type Config struct {
+	// Self is this node's ID; it is always a ring member and always "live".
+	Self string
+	// Vnodes per node on the hash ring (default DefaultVnodes).
+	Vnodes int
+	// ProbeInterval spaces healthz liveness probes (default 2s).
+	ProbeInterval time.Duration
+	// StealInterval spaces work-steal attempts when this node has idle
+	// capacity (default 1s; 0 keeps the default, negative disables the
+	// steal loop).
+	StealInterval time.Duration
+	// Logger receives cluster lifecycle records; nil discards them.
+	Logger Logger
+	// Registry, when non-nil, exposes the cluster counters as Prometheus
+	// series (forwards, proxied reads, peer fetches, steals, peer liveness).
+	Registry *obs.Registry
+}
+
+// Logger is the subset of slog the cluster layer needs (avoids forcing a
+// logger dependency on tests).
+type Logger interface {
+	Info(msg string, args ...any)
+	Warn(msg string, args ...any)
+}
+
+type nopLogger struct{}
+
+func (nopLogger) Info(string, ...any) {}
+func (nopLogger) Warn(string, ...any) {}
+
+// Cluster is one node's view of the sharded service: the ring, the peer
+// table, and the counters. The ring and peer set are fixed at startup
+// (static peer config); only liveness changes at runtime.
+type Cluster struct {
+	cfg   Config
+	self  string
+	ring  *Ring
+	local Local
+	log   Logger
+
+	mu    sync.RWMutex
+	peers map[string]*Peer
+	order []string // peer IDs in AddPeer order, for stable iteration
+
+	forwards, forwardErrs  atomic.Uint64
+	proxiedReads           atomic.Uint64
+	peerFetches            atomic.Uint64
+	stealsThief, stealErrs atomic.Uint64
+}
+
+// New builds a single-member cluster around Self; AddPeer grows it. Bind
+// attaches the local service before Start.
+func New(cfg Config) *Cluster {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.StealInterval == 0 {
+		cfg.StealInterval = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = nopLogger{}
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		self:  cfg.Self,
+		ring:  NewRing(cfg.Vnodes),
+		log:   cfg.Logger,
+		peers: map[string]*Peer{},
+	}
+	c.ring.Add(cfg.Self)
+	c.registerMetrics(cfg.Registry)
+	return c
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.self }
+
+// AddPeer registers a remote node and adds it to the ring. The peer's
+// client carries the forwarding-loop guard header on every request it
+// sends. Adding self or a duplicate ID is a no-op.
+func (c *Cluster) AddPeer(id, url string) {
+	if id == c.self {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.peers[id]; ok {
+		return
+	}
+	p := &Peer{
+		ID:  id,
+		URL: url,
+		client: client.New(url,
+			client.WithHeader(ForwardHeader, c.self),
+			client.WithHTTPClient(&http.Client{Timeout: 2 * time.Minute})),
+	}
+	c.peers[id] = p
+	c.order = append(c.order, id)
+	c.ring.Add(id)
+}
+
+// Bind attaches the local service the steal loop and peer endpoints drive.
+func (c *Cluster) Bind(local Local) { c.local = local }
+
+// Peer looks up a peer by node ID.
+func (c *Cluster) Peer(id string) (*Peer, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.peers[id]
+	return p, ok
+}
+
+// Peers returns the remote nodes in registration order.
+func (c *Cluster) Peers() []*Peer {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Peer, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.peers[id])
+	}
+	return out
+}
+
+// PeersHealth summarizes peer liveness for /v1/healthz.
+func (c *Cluster) PeersHealth() (list []client.PeerHealth, alive int) {
+	for _, p := range c.Peers() {
+		ph := client.PeerHealth{ID: p.ID, URL: p.URL, Alive: p.Alive()}
+		if ph.Alive {
+			alive++
+		}
+		list = append(list, ph)
+	}
+	return list, alive
+}
+
+// live reports whether a node is usable as an owner right now: self always
+// is; peers must have a passing probe.
+func (c *Cluster) live(node string) bool {
+	if node == c.self {
+		return true
+	}
+	p, ok := c.Peer(node)
+	return ok && p.Alive()
+}
+
+// Owner routes a canonical spec hash: the ring owner among live nodes.
+// Every node that agrees on the liveness set routes the hash identically,
+// so a dead owner's keys land deterministically on its ring successor
+// until it returns.
+func (c *Cluster) Owner(hash string) string {
+	owner := c.ring.OwnerAmong(hash, c.live)
+	if owner == "" {
+		owner = c.self // every peer down: serve locally rather than refuse
+	}
+	return owner
+}
+
+// Stats snapshots the cluster counters for /v1/healthz.
+func (c *Cluster) Stats() client.ClusterStats {
+	return client.ClusterStats{
+		Forwards:      c.forwards.Load(),
+		ForwardErrors: c.forwardErrs.Load(),
+		ProxiedReads:  c.proxiedReads.Load(),
+		PeerFetches:   c.peerFetches.Load(),
+		StealsThief:   c.stealsThief.Load(),
+		StealsVictim:  c.victimSteals(),
+		StealErrors:   c.stealErrs.Load(),
+	}
+}
+
+func (c *Cluster) victimSteals() uint64 {
+	if c.local == nil {
+		return 0
+	}
+	return c.local.Metrics().JobsStolen
+}
+
+// registerMetrics binds the cluster counters into the Prometheus registry.
+func (c *Cluster) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	u64 := func(f func() uint64) func() float64 {
+		return func() float64 { return float64(f()) }
+	}
+	reg.CounterFunc("gpsd_cluster_forwards_total", "Submits forwarded to their owner node.", u64(c.forwards.Load))
+	reg.CounterFunc("gpsd_cluster_forward_errors_total", "Forwarded submits that failed in transit.", u64(c.forwardErrs.Load))
+	reg.CounterFunc("gpsd_cluster_proxied_reads_total", "Status/result/cancel requests proxied to the owning node.", u64(c.proxiedReads.Load))
+	reg.CounterFunc("gpsd_cluster_peer_fetches_total", "Results fetched from a peer's content-addressed cache.", u64(c.peerFetches.Load))
+	reg.CounterFunc("gpsd_cluster_steals_total", "Work-steal outcomes by role.", u64(c.stealsThief.Load), "role", "thief")
+	reg.CounterFunc("gpsd_cluster_steals_total", "Work-steal outcomes by role.", u64(c.victimSteals), "role", "victim")
+	reg.CounterFunc("gpsd_cluster_steal_errors_total", "Steal attempts that failed in transit or on the thief.", u64(c.stealErrs.Load))
+	reg.GaugeFunc("gpsd_cluster_peers_alive", "Peers whose last healthz probe passed.",
+		func() float64 { _, alive := c.PeersHealth(); return float64(alive) })
+	reg.GaugeFunc("gpsd_cluster_peers_total", "Configured remote peers.",
+		func() float64 { return float64(len(c.Peers())) })
+}
+
+// ProbeOnce runs one liveness sweep: every peer gets a healthz probe with a
+// short per-probe timeout. A draining peer counts as dead for routing (it
+// refuses new submissions) even though its healthz body still parses.
+func (c *Cluster) ProbeOnce(ctx context.Context) {
+	for _, p := range c.Peers() {
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		h, err := p.client.Healthz(pctx)
+		cancel()
+		up := err == nil && h.Status == "ok"
+		was := p.alive.Swap(up)
+		if was != up {
+			if up {
+				c.log.Info("peer up", "peer", p.ID, "url", p.URL)
+			} else {
+				c.log.Warn("peer down", "peer", p.ID, "url", p.URL, "err", err)
+			}
+		}
+		if err == nil {
+			p.mu.Lock()
+			p.health = h
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Start runs the probe loop (and the steal loop, unless disabled) until
+// ctx is canceled. The first probe sweep runs synchronously so routing has
+// a liveness view before the daemon accepts traffic.
+func (c *Cluster) Start(ctx context.Context) {
+	c.ProbeOnce(ctx)
+	go func() {
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.ProbeOnce(ctx)
+			}
+		}
+	}()
+	if c.cfg.StealInterval > 0 && c.local != nil {
+		go func() {
+			t := time.NewTicker(c.cfg.StealInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					c.StealOnce(ctx)
+				}
+			}
+		}()
+	}
+}
+
+// ForwardSubmit relays a raw submit body to the owner node and returns its
+// response verbatim (status code and body bytes), so the client sees
+// exactly what the owner answered. The transport error (owner unreachable)
+// is returned for the caller to fall back on.
+func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, body []byte) (int, []byte, error) {
+	p, ok := c.Peer(owner)
+	if !ok {
+		return 0, nil, &client.APIError{StatusCode: http.StatusBadGateway, Message: "unknown owner node " + owner}
+	}
+	code, resp, err := p.client.Do(ctx, http.MethodPost, "/v1/jobs", body, nil)
+	if err != nil {
+		c.forwardErrs.Add(1)
+		p.alive.Store(false) // fail fast until the next probe
+		return 0, nil, err
+	}
+	c.forwards.Add(1)
+	return code, resp, nil
+}
+
+// ProxyJob relays a status/result/cancel request to the node owning the
+// job ID and returns its response verbatim.
+func (c *Cluster) ProxyJob(ctx context.Context, node, method, path string) (int, []byte, error) {
+	p, ok := c.Peer(node)
+	if !ok {
+		return 0, nil, &client.APIError{StatusCode: http.StatusBadGateway, Message: "unknown node " + node}
+	}
+	code, resp, err := p.client.Do(ctx, method, path, nil, nil)
+	if err != nil {
+		p.alive.Store(false)
+		return 0, nil, err
+	}
+	c.proxiedReads.Add(1)
+	return code, resp, nil
+}
+
+// FetchPeerResult asks every live peer's content-addressed cache for a
+// canonical spec hash, returning the first hit. It backs
+// service.Config.RemoteResult, so it runs at most once per job execution.
+func (c *Cluster) FetchPeerResult(ctx context.Context, hash string) *report.Report {
+	for _, p := range c.Peers() {
+		if !p.Alive() {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		code, body, err := p.client.Do(pctx, http.MethodGet, "/v1/peer/results/"+hash, nil, nil)
+		cancel()
+		if err != nil || code != http.StatusOK {
+			continue
+		}
+		var rep report.Report
+		if jerr := json.Unmarshal(body, &rep); jerr != nil {
+			c.log.Warn("peer result undecodable", "peer", p.ID, "hash", hash, "err", jerr)
+			continue
+		}
+		c.peerFetches.Add(1)
+		c.log.Info("peer result fetched", "peer", p.ID, "hash", hash)
+		return &rep
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Package cluster turns N gpsd nodes into one sharded service. A
+// consistent-hash ring over the canonical spec hash assigns every job an
+// owner node; non-owners forward submits to the owner and proxy reads back,
+// the owner's existing single-flight table deduplicates identical
+// submissions arriving anywhere in the cluster, a peer result-fetch path
+// backed by the content-addressed caches lets any node serve any completed
+// spec, and an idle node can steal queued jobs from an overloaded peer.
+//
+// Membership is static peer configuration (gpsd -node-id/-peers); liveness
+// is probed over /v1/healthz. A dead owner does not stall the ring: routing
+// walks clockwise to the first live node, so submissions re-route
+// deterministically until the owner returns (and its journal replay
+// finishes whatever it was mid-flight on).
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per physical node. 128 points
+// per node keeps the key distribution within a few percent of fair for
+// single-digit cluster sizes while the ring stays a ~1k-entry sorted array.
+const DefaultVnodes = 128
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// physical node.
+type ringPoint struct {
+	pos  uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Keys and node
+// positions both come from SHA-256, so placement is stable across
+// processes, platforms, and restarts. Ring is immutable after the last
+// Add/Remove; concurrent Owner lookups need no locking (the Cluster builds
+// its ring once from static peer config).
+type Ring struct {
+	vnodes int
+	points []ringPoint
+	nodes  map[string]struct{}
+}
+
+// NewRing builds an empty ring; vnodes <= 0 takes DefaultVnodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]struct{}{}}
+}
+
+// ringHash maps a string onto the ring: the first 8 bytes of its SHA-256.
+// Spec hashes are already hex SHA-256 digests, so this is SHA-256 over the
+// canonical spec hash, as stable as the content address itself.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node's virtual points. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			pos:  ringHash(fmt.Sprintf("%s#%d", node, i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+}
+
+// Remove deletes a node's virtual points. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the member node IDs, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of physical nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning key: the first virtual point clockwise from
+// the key's ring position. An empty ring answers "".
+func (r *Ring) Owner(key string) string {
+	return r.OwnerAmong(key, nil)
+}
+
+// OwnerAmong returns the first node clockwise from key for which ok answers
+// true (nil accepts every node). Dead-node fallback is deterministic: every
+// node that agrees on the liveness set routes the key identically. If no
+// node qualifies it answers "".
+func (r *Ring) OwnerAmong(key string, ok func(node string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	pos := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	// Walk clockwise over virtual points until an acceptable physical node
+	// appears; cap the walk at one full revolution.
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if ok == nil || ok(p.node) {
+			return p.node
+		}
+	}
+	return ""
+}

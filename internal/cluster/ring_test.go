@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// ringKeys returns n synthetic spec-hash-shaped keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("spec-hash-%06d", i)
+	}
+	return keys
+}
+
+func ringOf(nodes ...string) *Ring {
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+// TestRingDistribution checks that 128 vnodes/node keep the key share of
+// every node within 30% of fair for the cluster sizes we actually run.
+func TestRingDistribution(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{3, 5, 8} {
+		nodes := nodeNames(n)
+		r := ringOf(nodes...)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, node := range nodes {
+			got := float64(counts[node])
+			if got < 0.70*fair || got > 1.30*fair {
+				t.Errorf("%d nodes: %s owns %.0f keys, fair share %.0f (outside ±30%%)",
+					n, node, got, fair)
+			}
+		}
+	}
+}
+
+// TestRingRemapBounded checks the consistent-hashing contract: adding a
+// node moves only keys that land on the new node (roughly 1/(n+1) of them),
+// and removing a node moves only the removed node's keys.
+func TestRingRemapBounded(t *testing.T) {
+	keys := ringKeys(20000)
+	nodes := nodeNames(5)
+	before := ringOf(nodes...)
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		owners[k] = before.Owner(k)
+	}
+
+	// Join: every moved key must move TO the joiner, and the moved fraction
+	// stays near 1/6 (generous factor-of-two bound).
+	joined := ringOf(append(nodeNames(5), "joiner")...)
+	moved := 0
+	for _, k := range keys {
+		now := joined.Owner(k)
+		if now == owners[k] {
+			continue
+		}
+		moved++
+		if now != "joiner" {
+			t.Fatalf("join moved %s from %s to %s, not to the joiner", k, owners[k], now)
+		}
+	}
+	fair := float64(len(keys)) / 6
+	if f := float64(moved); f < fair/2 || f > fair*2 {
+		t.Errorf("join remapped %d keys, want around %.0f", moved, fair)
+	}
+
+	// Leave: keys not owned by the leaver keep their owner.
+	left := ringOf(nodes...)
+	left.Remove("node-2")
+	for _, k := range keys {
+		now := left.Owner(k)
+		if owners[k] != "node-2" && now != owners[k] {
+			t.Fatalf("leave moved %s from %s to %s despite its owner surviving",
+				k, owners[k], now)
+		}
+		if owners[k] == "node-2" && now == "node-2" {
+			t.Fatalf("leave left %s on the removed node", k)
+		}
+	}
+}
+
+// TestRingDeterministicOwnership checks that independently built rings with
+// the same membership agree on every key, and that concurrent lookups are
+// safe (run under -race) and stable.
+func TestRingDeterministicOwnership(t *testing.T) {
+	keys := ringKeys(2000)
+	a := ringOf("n1", "n2", "n3")
+	b := ringOf("n3", "n1", "n2") // different insertion order
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("insertion order changed ownership of %s: %s vs %s",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, k := range keys {
+				if got, want := a.Owner(k), b.Owner(k); got != want {
+					t.Errorf("concurrent Owner(%s) = %s, want %s", k, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestOwnerAmongFallback checks dead-owner fallback: keys owned by a dead
+// node re-route to a live one deterministically, keys with live owners stay
+// put, and an all-dead ring answers "".
+func TestOwnerAmongFallback(t *testing.T) {
+	r := ringOf("n1", "n2", "n3")
+	keys := ringKeys(2000)
+	live := func(dead string) func(string) bool {
+		return func(n string) bool { return n != dead }
+	}
+	sawFallback := false
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if got := r.OwnerAmong(k, live(owner)); got == owner || got == "" {
+			t.Fatalf("key %s still routed to dead owner %s (got %q)", k, owner, got)
+		} else {
+			sawFallback = true
+		}
+		// A key whose owner is alive must not move when some other node dies.
+		for _, dead := range []string{"n1", "n2", "n3"} {
+			if dead == owner {
+				continue
+			}
+			if got := r.OwnerAmong(k, live(dead)); got != owner {
+				t.Fatalf("key %s moved from %s to %s when unrelated %s died",
+					k, owner, got, dead)
+			}
+		}
+	}
+	if !sawFallback {
+		t.Fatal("no fallback exercised")
+	}
+	if got := r.OwnerAmong("anything", func(string) bool { return false }); got != "" {
+		t.Fatalf("all-dead ring answered %q, want empty", got)
+	}
+}
+
+// TestRingAddRemoveIdempotent checks double add/remove are no-ops.
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := ringOf("n1", "n2")
+	r.Add("n1")
+	if got := len(r.points); got != 2*r.vnodes {
+		t.Fatalf("double add grew the ring to %d points, want %d", got, 2*r.vnodes)
+	}
+	r.Remove("nope")
+	if r.Len() != 2 {
+		t.Fatalf("removing an absent node changed membership: %v", r.Nodes())
+	}
+	r.Remove("n2")
+	r.Remove("n2")
+	if r.Len() != 1 || len(r.points) != r.vnodes {
+		t.Fatalf("remove left %d nodes / %d points", r.Len(), len(r.points))
+	}
+	if got := NewRing(0); got.Owner("key") != "" {
+		t.Fatal("empty ring must answer empty owner")
+	}
+}

@@ -7,27 +7,43 @@
 //	GET    /v1/jobs/{id}/result  fetch the report of a done job; 202 while
 //	                          queued/running, 409 canceled, 500 failed
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /v1/healthz        liveness: status (ok | draining), uptime,
-//	                          build info, worker/queue snapshot; 503 while
-//	                          draining
+//	GET    /v1/healthz        liveness: status (ok | draining), node
+//	                          identity, cluster role, peer liveness summary,
+//	                          uptime, build info, worker/queue snapshot; 503
+//	                          with the same JSON body while draining
 //	GET    /v1/metrics        queue depth, worker utilization, cache
 //	                          hit/miss, wall-clock accounting (JSON)
 //	GET    /metrics           the same counters plus latency histograms in
 //	                          Prometheus text exposition format (only wired
 //	                          when a registry is configured)
 //
+// With a cluster configured (gpsd -node-id/-peers) the handler also routes:
+// a submit whose canonical hash is owned by a peer is forwarded there, and
+// status/result/cancel requests for a job ID carrying another node's prefix
+// are proxied to that node — both guarded against forwarding loops by the
+// X-GPS-Forwarded-From header. Three internal endpoints carry the
+// node-to-node traffic:
+//
+//	GET    /v1/peer/results/{hash}       content-addressed cache lookup
+//	POST   /v1/peer/steal?thief={node}   check one queued job out (work steal)
+//	POST   /v1/peer/jobs/{id}/complete   land a stolen job's outcome back
+//
 // The result endpoint emits the same report schema as gpsbench -json
 // (internal/report), so CLI and service output are byte-compatible.
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
 
+	"gps/internal/client"
+	"gps/internal/cluster"
 	"gps/internal/obs"
 	"gps/internal/service"
 )
@@ -35,6 +51,7 @@ import (
 // Handler serves the REST API for one service.Server.
 type Handler struct {
 	svc     *service.Server
+	cluster *cluster.Cluster // nil on a single-node daemon
 	mux     *http.ServeMux
 	handler http.Handler // mux, possibly wrapped in access logging
 }
@@ -45,6 +62,7 @@ type Option func(*options)
 type options struct {
 	logger   *slog.Logger
 	registry *obs.Registry
+	cluster  *cluster.Cluster
 }
 
 // WithLogger wraps every request in access logging (method, path, status,
@@ -59,19 +77,31 @@ func WithRegistry(reg *obs.Registry) Option {
 	return func(o *options) { o.registry = reg }
 }
 
+// WithCluster enables cluster routing: consistent-hash ownership on
+// submit, read proxying by job-ID prefix, and the internal /v1/peer/*
+// endpoints.
+func WithCluster(c *cluster.Cluster) Option {
+	return func(o *options) { o.cluster = c }
+}
+
 // New wires the routes.
 func New(svc *service.Server, opts ...Option) *Handler {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	h := &Handler{svc: svc, mux: http.NewServeMux()}
+	h := &Handler{svc: svc, cluster: o.cluster, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/jobs", h.submit)
 	h.mux.HandleFunc("GET /v1/jobs/{id}", h.status)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	h.mux.HandleFunc("GET /v1/healthz", h.healthz)
 	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
+	if o.cluster != nil {
+		h.mux.HandleFunc("GET /v1/peer/results/{hash}", h.peerResult)
+		h.mux.HandleFunc("POST /v1/peer/steal", h.peerSteal)
+		h.mux.HandleFunc("POST /v1/peer/jobs/{id}/complete", h.peerComplete)
+	}
 	if o.registry != nil {
 		h.mux.Handle("GET /metrics", o.registry.Handler())
 	}
@@ -93,6 +123,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
+// writeRaw passes a proxied response through byte-for-byte, so a report
+// served via another node is identical to one served by the owner.
+func writeRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body) //nolint:errcheck // client gone; nothing to do
+}
+
 // errorBody is the uniform error envelope.
 type errorBody struct {
 	Error string `json:"error"`
@@ -111,10 +149,8 @@ type submitResponse struct {
 }
 
 func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
-	var spec service.Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
@@ -124,6 +160,34 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
 		return
 	}
+	var spec service.Spec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad spec: " + err.Error()})
+		return
+	}
+
+	// Cluster routing: the canonical hash names the owner node. A request
+	// that already crossed a node boundary (the loop-guard header) is
+	// always handled locally, so inconsistent ring views cannot loop; an
+	// unreachable owner degrades to local handling — this node is the
+	// hash's live-set successor once the probe marks the owner dead.
+	if h.cluster != nil && r.Header.Get(cluster.ForwardHeader) == "" {
+		if canon, cerr := spec.Canonicalize(); cerr == nil {
+			if owner := h.cluster.Owner(canon.Hash()); owner != h.cluster.Self() {
+				code, resp, ferr := h.cluster.ForwardSubmit(r.Context(), owner, body)
+				if ferr == nil {
+					writeRaw(w, code, resp)
+					return
+				}
+				// fall through: serve locally as the fallback owner
+			}
+		}
+		// Canonicalization errors fall through too: the local Submit
+		// produces the proper 400.
+	}
+
 	st, outcome, err := h.svc.Submit(spec)
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
@@ -157,8 +221,37 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// proxied relays a job read/cancel to the node named in the job ID's
+// prefix when that is a known peer. It reports true when it handled the
+// request. Requests already carrying the loop-guard header and IDs owned
+// locally (or with no recognizable prefix) are handled locally.
+func (h *Handler) proxied(w http.ResponseWriter, r *http.Request, id, suffix string) bool {
+	if h.cluster == nil || r.Header.Get(cluster.ForwardHeader) != "" {
+		return false
+	}
+	node := service.JobNode(id)
+	if node == "" || node == h.cluster.Self() {
+		return false
+	}
+	if _, ok := h.cluster.Peer(node); !ok {
+		return false // unknown prefix: treat as a local (unknown) job ID
+	}
+	code, body, err := h.cluster.ProxyJob(r.Context(), node, r.Method, "/v1/jobs/"+id+suffix)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway,
+			errorBody{Error: fmt.Sprintf("node %s unreachable: %v", node, err)})
+		return true
+	}
+	writeRaw(w, code, body)
+	return true
+}
+
 func (h *Handler) status(w http.ResponseWriter, r *http.Request) {
-	st, err := h.svc.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	if h.proxied(w, r, id, "") {
+		return
+	}
+	st, err := h.svc.Job(id)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 		return
@@ -167,7 +260,11 @@ func (h *Handler) status(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) result(w http.ResponseWriter, r *http.Request) {
-	st, res, err := h.svc.Result(r.PathValue("id"))
+	id := r.PathValue("id")
+	if h.proxied(w, r, id, "/result") {
+		return
+	}
+	st, res, err := h.svc.Result(id)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 		return
@@ -186,7 +283,11 @@ func (h *Handler) result(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) cancel(w http.ResponseWriter, r *http.Request) {
-	st, err := h.svc.Cancel(r.PathValue("id"))
+	id := r.PathValue("id")
+	if h.proxied(w, r, id, "") {
+		return
+	}
+	st, err := h.svc.Cancel(id)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 		return
@@ -199,24 +300,96 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if h.svc.Draining() {
 		// Load balancers reading the status code stop routing here while
-		// in-flight jobs finish.
+		// in-flight jobs finish; the body stays the full JSON health
+		// snapshot so operators can still see identity and progress.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	bi := obs.ReadBuildInfo()
-	writeJSON(w, code, map[string]any{
-		"status":         status,
-		"uptime_seconds": m.UptimeSeconds,
-		"build": map[string]any{
-			"go_version": bi.GoVersion,
-			"revision":   bi.Revision,
-			"vcs_time":   bi.Time,
-			"modified":   bi.Modified,
-		},
-		"workers":        m.Workers,
-		"busy_workers":   m.BusyWorkers,
-		"queue_depth":    m.QueueDepth,
-		"queue_capacity": m.QueueCapacity,
-	})
+	hz := client.Health{
+		Status:        status,
+		NodeID:        h.svc.NodeID(),
+		Role:          "single",
+		UptimeSeconds: m.UptimeSeconds,
+		Workers:       m.Workers,
+		BusyWorkers:   m.BusyWorkers,
+		QueueDepth:    m.QueueDepth,
+		QueueCapacity: m.QueueCapacity,
+	}
+	hz.Build.GoVersion = bi.GoVersion
+	hz.Build.Revision = bi.Revision
+	hz.Build.VCSTime = bi.Time
+	hz.Build.Modified = bi.Modified
+	if h.cluster != nil {
+		hz.Role = "cluster"
+		hz.NodeID = h.cluster.Self()
+		peers, alive := h.cluster.PeersHealth()
+		hz.Peers, hz.PeersAlive, hz.PeersTotal = peers, alive, len(peers)
+		stats := h.cluster.Stats()
+		hz.Cluster = &stats
+	}
+	writeJSON(w, code, hz)
+}
+
+// peerResult serves the content-addressed cache by canonical spec hash:
+// the cluster's peer result-fetch path. 404 means "not cached here", which
+// callers treat as a miss, not an error.
+func (h *Handler) peerResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := h.svc.ResultByHash(r.PathValue("hash"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "hash not cached on this node"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	res.Encode(w) //nolint:errcheck // client gone; nothing to do
+}
+
+// peerSteal checks one queued job out to the requesting thief node. The
+// victim only gives work away while genuinely overloaded (all workers busy
+// and a non-empty queue); otherwise 204.
+func (h *Handler) peerSteal(w http.ResponseWriter, r *http.Request) {
+	thief := r.URL.Query().Get("thief")
+	if thief == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing thief parameter"})
+		return
+	}
+	m := h.svc.Metrics()
+	if bin := (cluster.Bin{Capacity: m.Workers, Busy: m.BusyWorkers, Queued: m.QueueDepth}); !bin.Overloaded() {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	stolen, ok := h.svc.Steal(thief)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, stolen)
+}
+
+// maxCompleteBytes caps a stolen job's completion body. Reports for big
+// matrices run to megabytes of rendered tables; 64 MiB is far above any
+// real report while still bounding a hostile peer.
+const maxCompleteBytes = 64 << 20
+
+// peerComplete lands a stolen job's outcome back on this (victim) node.
+func (h *Handler) peerComplete(w http.ResponseWriter, r *http.Request) {
+	var pay cluster.CompletePayload
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCompleteBytes)).Decode(&pay); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad completion: " + err.Error()})
+		return
+	}
+	id := r.PathValue("id")
+	var err error
+	if pay.Declined {
+		err = h.svc.DeclineStolen(id)
+	} else {
+		err = h.svc.CompleteStolen(id, pay.Result, pay.Error)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {

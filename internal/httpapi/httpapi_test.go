@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,11 +13,15 @@ import (
 	"testing"
 	"time"
 
+	"gps/internal/client"
 	"gps/internal/report"
 	"gps/internal/service"
 )
 
-// doJSON issues one request and decodes the JSON body into out (if non-nil).
+// doJSON issues one raw request and decodes the JSON body into out (if
+// non-nil). The typed API surface is covered through internal/client; this
+// helper stays for protocol-level assertions (headers, malformed bodies,
+// exact encodings) the typed client deliberately hides.
 func doJSON(t *testing.T, client *http.Client, method, url string, body string, out any) *http.Response {
 	t.Helper()
 	var rd io.Reader
@@ -44,41 +49,32 @@ func doJSON(t *testing.T, client *http.Client, method, url string, body string, 
 	return resp
 }
 
-// jobView mirrors the submit/status response shape.
-type jobView struct {
-	ID        string       `json:"id"`
-	Hash      string       `json:"hash"`
-	State     string       `json:"state"`
-	Outcome   string       `json:"outcome"`
-	CellsDone uint64       `json:"cells_done"`
-	CacheHit  bool         `json:"cache_hit"`
-	Error     string       `json:"error"`
-	Spec      service.Spec `json:"spec"`
-}
-
-// pollTerminal polls a job until it leaves queued/running.
-func pollTerminal(t *testing.T, client *http.Client, base, id string) jobView {
+// waitDone blocks until the job is terminal and asserts it finished done.
+func waitDone(t *testing.T, c *client.Client, id string) service.Status {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		var jv jobView
-		resp := doJSON(t, client, "GET", base+"/v1/jobs/"+id, "", &jv)
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("poll %s: status %d", id, resp.StatusCode)
-		}
-		if jv.State == "done" || jv.State == "failed" || jv.State == "canceled" {
-			return jv
-		}
-		time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.WaitTerminal(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
 	}
-	t.Fatalf("job %s did not finish", id)
-	return jobView{}
+	return st
 }
 
-// TestEndToEndSubmitPollResult drives the full API against real simulations:
-// N concurrent submissions on a bounded worker pool, then a repeated
-// identical spec served from the content-addressed cache with no second
-// execution.
+// apiStatus unwraps the typed error's status code (0 when err is nil or
+// untyped).
+func apiStatus(err error) int {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode
+	}
+	return 0
+}
+
+// TestEndToEndSubmitPollResult drives the full API against real simulations
+// through the typed client: N concurrent submissions on a bounded worker
+// pool, then a repeated identical spec served from the content-addressed
+// cache with no second execution.
 func TestEndToEndSubmitPollResult(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulation")
@@ -87,31 +83,31 @@ func TestEndToEndSubmitPollResult(t *testing.T) {
 	defer svc.Shutdown(context.Background())
 	ts := httptest.NewServer(New(svc))
 	defer ts.Close()
-	client := ts.Client()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
 
 	// One tiny real-simulation matrix spec plus instant static specs,
 	// submitted concurrently to exercise the pool under -race.
-	specs := []string{
-		`{"type":"matrix","iterations":1,"cells":[
-		   {"app":"jacobi","paradigm":"GPS","gpus":2,"fabric":"pcie4"},
-		   {"app":"jacobi","paradigm":"memcpy","gpus":2,"fabric":"pcie4"}]}`,
-		`{"type":"table","table":1}`,
-		`{"type":"table","table":2}`,
-		`{"type":"figure","figure":3}`,
+	specs := []service.Spec{
+		{Type: "matrix", Iterations: 1, Cells: []service.CellSpec{
+			{App: "jacobi", Paradigm: "GPS", GPUs: 2, Fabric: "pcie4"},
+			{App: "jacobi", Paradigm: "memcpy", GPUs: 2, Fabric: "pcie4"},
+		}},
+		{Type: "table", Table: 1},
+		{Type: "table", Table: 2},
+		{Type: "figure", Figure: 3},
 	}
 	ids := make([]string, len(specs))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
 		wg.Add(1)
-		go func(i int, spec string) {
+		go func(i int, spec service.Spec) {
 			defer wg.Done()
-			var jv jobView
-			resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", spec, &jv)
-			if resp.StatusCode != http.StatusAccepted {
-				t.Errorf("submit %d: status %d", i, resp.StatusCode)
+			sub, err := c.Submit(context.Background(), spec)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
 				return
 			}
-			ids[i] = jv.ID
+			ids[i] = sub.ID
 		}(i, spec)
 	}
 	wg.Wait()
@@ -120,24 +116,24 @@ func TestEndToEndSubmitPollResult(t *testing.T) {
 	}
 
 	for _, id := range ids {
-		jv := pollTerminal(t, client, ts.URL, id)
-		if jv.State != "done" {
-			t.Fatalf("job %s finished %s: %s", id, jv.State, jv.Error)
+		if st := waitDone(t, c, id); st.State != service.StateDone {
+			t.Fatalf("job %s finished %s: %s", id, st.State, st.Error)
 		}
 	}
 
 	// The matrix job's progress counter saw both cells.
-	var matrixStatus jobView
-	doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+ids[0], "", &matrixStatus)
+	matrixStatus, err := c.Status(context.Background(), ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if matrixStatus.CellsDone != 2 {
 		t.Errorf("matrix cells_done = %d, want 2", matrixStatus.CellsDone)
 	}
 
 	// Its result is the shared report schema with one rendered table.
-	var rep report.Report
-	resp := doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+ids[0]+"/result", "", &rep)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("result: status %d", resp.StatusCode)
+	rep, err := c.Result(context.Background(), ids[0])
+	if err != nil || rep == nil {
+		t.Fatalf("result: %v (report %v)", err, rep)
 	}
 	if len(rep.Tables) != 1 || !strings.Contains(rep.Tables[0].Text, "jacobi/GPS/2gpu/pcie4") {
 		t.Fatalf("result tables missing matrix rows: %+v", rep.Tables)
@@ -146,15 +142,16 @@ func TestEndToEndSubmitPollResult(t *testing.T) {
 		t.Error("result cache stats empty, want runner counters")
 	}
 
-	// Resubmitting the identical spec (differently spelled) is a cache hit:
-	// no execution, job born done, counter incremented.
+	// Resubmitting the identical spec (differently spelled, raw JSON so the
+	// server does the canonicalization) is a cache hit: no execution, job
+	// born done, counter incremented.
 	before := svc.Metrics()
-	var cached jobView
-	resp = doJSON(t, client, "POST", ts.URL+"/v1/jobs",
+	var cached client.SubmitResult
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/jobs",
 		`{"type":"MATRIX","iterations":1,"cells":[
 		   {"app":"jacobi","paradigm":"gps","gpus":2,"fabric":"PCIE4"},
 		   {"app":"jacobi","paradigm":"MEMCPY","gpus":2,"fabric":"pcie4"}]}`, &cached)
-	if resp.StatusCode != http.StatusOK || cached.Outcome != "cached" || cached.State != "done" {
+	if resp.StatusCode != http.StatusOK || cached.Outcome != "cached" || cached.State != service.StateDone {
 		t.Fatalf("repeat submit: status %d outcome %s state %s, want 200/cached/done",
 			resp.StatusCode, cached.Outcome, cached.State)
 	}
@@ -168,18 +165,18 @@ func TestEndToEndSubmitPollResult(t *testing.T) {
 
 	// Metrics and health endpoints respond.
 	var m service.Metrics
-	if resp := doJSON(t, client, "GET", ts.URL+"/v1/metrics", "", &m); resp.StatusCode != http.StatusOK {
+	if resp := doJSON(t, ts.Client(), "GET", ts.URL+"/v1/metrics", "", &m); resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics: status %d", resp.StatusCode)
 	}
 	if m.QueueCapacity != 16 || m.Workers != 2 {
 		t.Errorf("metrics queue/workers = %d/%d, want 16/2", m.QueueCapacity, m.Workers)
 	}
-	var hz map[string]any
-	if resp := doJSON(t, client, "GET", ts.URL+"/v1/healthz", "", &hz); resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: status %d", resp.StatusCode)
+	hz, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
-	if hz["status"] != "ok" {
-		t.Errorf("healthz = %v", hz)
+	if hz.Status != "ok" || hz.Role != "single" || hz.NodeID != "" {
+		t.Errorf("healthz = %+v, want ok/single with no node identity", hz)
 	}
 }
 
@@ -213,35 +210,40 @@ func TestQueueSaturationReturns429(t *testing.T) {
 		ts.Close()
 		svc.Shutdown(context.Background())
 	}()
-	client := ts.Client()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
 
-	submit := func(body string) (*http.Response, jobView) {
-		var jv jobView
-		resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", body, &jv)
-		return resp, jv
-	}
-
-	if resp, _ := submit(`{"type":"sensitivity","sensitivity":"tlb"}`); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit 1: %d", resp.StatusCode)
+	if _, err := c.Submit(ctx, service.Spec{Type: "sensitivity", Sensitivity: "tlb"}); err != nil {
+		t.Fatalf("submit 1: %v", err)
 	}
 	<-started // worker occupied
-	if resp, _ := submit(`{"type":"sensitivity","sensitivity":"pagesize"}`); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit 2: %d", resp.StatusCode)
+	if _, err := c.Submit(ctx, service.Spec{Type: "sensitivity", Sensitivity: "pagesize"}); err != nil {
+		t.Fatalf("submit 2: %v", err)
 	}
 
-	resp, _ := submit(`{"type":"sensitivity","sensitivity":"watermark"}`)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated submit: %d, want 429", resp.StatusCode)
+	_, err := c.Submit(ctx, service.Spec{Type: "sensitivity", Sensitivity: "watermark"})
+	if apiStatus(err) != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit err = %v, want typed 429", err)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Error("429 without Retry-After header")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || !ae.Retryable() {
+		t.Errorf("429 must be classified retryable, got %v", err)
+	}
+	// The raw response carries Retry-After for clients that honor it.
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"watermark"}`, nil)
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("raw saturated submit: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
 
-	// Invalid specs are rejected up front, not queued.
-	if resp, _ := submit(`{"type":"figure","figure":99}`); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("invalid spec: %d, want 400", resp.StatusCode)
+	// Invalid specs are rejected up front, not queued — and not retryable.
+	_, err = c.Submit(ctx, service.Spec{Type: "figure", Figure: 99})
+	if apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("invalid spec err = %v, want typed 400", err)
 	}
-	if resp, _ := submit(`{"type":"figure","bogus":1}`); resp.StatusCode != http.StatusBadRequest {
+	if errors.As(err, &ae) && ae.Retryable() {
+		t.Error("400 must not be retryable")
+	}
+	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/jobs", `{"type":"figure","bogus":1}`, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field: %d, want 400", resp.StatusCode)
 	}
 }
@@ -253,46 +255,56 @@ func TestCancelMidRun(t *testing.T) {
 		ts.Close()
 		svc.Shutdown(context.Background())
 	}()
-	client := ts.Client()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
 
-	var jv jobView
-	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"tlb"}`, &jv)
+	sub, err := c.Submit(ctx, service.Spec{Type: "sensitivity", Sensitivity: "tlb"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	<-started // mid-run
 
-	if resp := doJSON(t, client, "DELETE", ts.URL+"/v1/jobs/"+jv.ID, "", nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel: %d", resp.StatusCode)
+	if _, err := c.Cancel(ctx, sub.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
 	}
-	got := pollTerminal(t, client, ts.URL, jv.ID)
-	if got.State != "canceled" {
-		t.Fatalf("state after cancel = %s, want canceled", got.State)
+	got, err := c.WaitTerminal(ctx, sub.ID, 10*time.Millisecond)
+	if err != nil || got.State != service.StateCanceled {
+		t.Fatalf("state after cancel = %s (%v), want canceled", got.State, err)
 	}
-	if resp := doJSON(t, client, "GET", ts.URL+"/v1/jobs/"+jv.ID+"/result", "", nil); resp.StatusCode != http.StatusConflict {
-		t.Errorf("result of canceled job: %d, want 409", resp.StatusCode)
+	if _, err := c.Result(ctx, sub.ID); apiStatus(err) != http.StatusConflict {
+		t.Errorf("result of canceled job err = %v, want typed 409", err)
 	}
-	if resp := doJSON(t, client, "GET", ts.URL+"/v1/jobs/nope", "", nil); resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	if _, err := c.Status(ctx, "nope"); apiStatus(err) != http.StatusNotFound {
+		t.Errorf("unknown job err = %v, want typed 404", err)
 	}
 }
 
 // TestGracefulDrain mirrors gpsd's SIGTERM path: running jobs finish under
-// the drain deadline, queued jobs are canceled, late submissions get 503.
+// the drain deadline, queued jobs are canceled, late submissions get 503
+// and healthz flips to a draining body.
 func TestGracefulDrain(t *testing.T) {
 	svc, ts, release, started := blockedServer(t, 1, 4)
 	defer ts.Close()
-	client := ts.Client()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
 
-	var running, queued jobView
-	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"tlb"}`, &running)
+	running, err := c.Submit(ctx, service.Spec{Type: "sensitivity", Sensitivity: "tlb"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	<-started
-	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"pagesize"}`, &queued)
+	queued, err := c.Submit(ctx, service.Spec{Type: "sensitivity", Sensitivity: "pagesize"})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	go func() {
 		time.Sleep(30 * time.Millisecond)
 		close(release)
 	}()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
-	if err := svc.Shutdown(ctx); err != nil {
+	if err := svc.Shutdown(sctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
 
@@ -302,14 +314,19 @@ func TestGracefulDrain(t *testing.T) {
 	if st, _ := svc.Job(queued.ID); st.State != service.StateCanceled {
 		t.Errorf("queued job drained to %s, want canceled", st.State)
 	}
-	resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"table","table":1}`, nil)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("submit after drain: %d, want 503", resp.StatusCode)
+	if _, err := c.Submit(ctx, service.Spec{Type: "table", Table: 1}); apiStatus(err) != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain err = %v, want typed 503", err)
+	}
+	// Healthz answers 503 with a full body, not an empty response.
+	hz, err := c.Healthz(ctx)
+	if apiStatus(err) != http.StatusServiceUnavailable || hz.Status != "draining" {
+		t.Errorf("healthz during drain = %+v / %v, want draining body with typed 503", hz, err)
 	}
 }
 
 // TestResultSchemaMatchesCLI asserts byte-compatibility of the service
 // result payload with gpsbench -json: both are report.Report encodings.
+// This check is raw on purpose: the typed client would decode the bytes.
 func TestResultSchemaMatchesCLI(t *testing.T) {
 	want := report.Report{ParallelWorkers: 3}
 	want.AddTable("figure3", "x")
@@ -329,14 +346,16 @@ func TestResultSchemaMatchesCLI(t *testing.T) {
 	defer svc.Shutdown(context.Background())
 	ts := httptest.NewServer(New(svc))
 	defer ts.Close()
-	client := ts.Client()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
 
-	var jv jobView
-	doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"figure","figure":3}`, &jv)
-	pollTerminal(t, client, ts.URL, jv.ID)
+	sub, err := c.Submit(context.Background(), service.Spec{Type: "figure", Figure: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c, sub.ID)
 
-	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+jv.ID+"/result", nil)
-	resp, err := client.Do(req)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+sub.ID+"/result", nil)
+	resp, err := ts.Client().Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	apiclient "gps/internal/client"
 	"gps/internal/obs"
 	"gps/internal/report"
 	"gps/internal/service"
@@ -65,12 +66,12 @@ func TestPrometheusEndpoint(t *testing.T) {
 	_, ts, _, _ := obsServer(t)
 	client := ts.Client()
 
-	var jv jobView
-	resp := doJSON(t, client, "POST", ts.URL+"/v1/jobs", `{"type":"sensitivity","sensitivity":"tlb"}`, &jv)
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: status %d", resp.StatusCode)
+	c := apiclient.New(ts.URL, apiclient.WithHTTPClient(client))
+	sub, err := c.Submit(context.Background(), service.Spec{Type: "sensitivity", Sensitivity: "tlb"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
-	pollTerminal(t, client, ts.URL, jv.ID)
+	waitDone(t, c, sub.ID)
 
 	resp, err := client.Get(ts.URL + "/metrics")
 	if err != nil {

@@ -11,6 +11,9 @@ import (
 	"gps/internal/stats"
 )
 
+// ExecuteFunc is the executor contract: run one canonical spec to a report.
+type ExecuteFunc func(ctx context.Context, spec Spec) (*report.Report, error)
+
 // Execute runs one canonicalized spec on the shared experiments runner and
 // assembles the same report.Report that gpsbench -json writes, so the CLI
 // and the service emit byte-compatible JSON for identical work. It is the

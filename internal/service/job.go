@@ -34,6 +34,7 @@ func (s State) Terminal() bool {
 type Job struct {
 	ID   string
 	Hash string
+	Node string // owning node ID; empty on a single-node daemon
 	Spec Spec
 
 	State       State
@@ -42,27 +43,33 @@ type Job struct {
 	CacheHit    bool   // served from the content-addressed cache at submit
 	Coalesced   uint64 // extra submissions that rode on this execution
 	Replayed    bool   // re-enqueued from the journal after a crash
+	StolenBy    string // peer node executing this job after a work steal
+	PeerFetched bool   // result fetched from a peer's cache, no local execution
 	SubmittedAt time.Time
 	StartedAt   time.Time
 	FinishedAt  time.Time
 
-	cellsDone atomic.Uint64
-	attempts  atomic.Uint64           // execution attempts, bumped by the retry loop
-	cancel    context.CancelCauseFunc // non-nil once running
-	done      chan struct{}           // closed on reaching a terminal state
+	cellsDone  atomic.Uint64
+	attempts   atomic.Uint64           // execution attempts, bumped by the retry loop
+	cancel     context.CancelCauseFunc // non-nil once running locally (nil while stolen)
+	stealTimer *time.Timer             // reclaim watchdog while stolen; guarded by the server mutex
+	done       chan struct{}           // closed on reaching a terminal state
 }
 
 // Status is the JSON snapshot the API returns when polling a job.
 type Status struct {
 	ID          string  `json:"id"`
 	Hash        string  `json:"hash"`
+	NodeID      string  `json:"node_id,omitempty"` // node that owns the execution
 	State       State   `json:"state"`
 	Spec        Spec    `json:"spec"`
 	CellsDone   uint64  `json:"cells_done"`
 	Attempts    uint64  `json:"attempts,omitempty"` // executions incl. retries
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 	Coalesced   uint64  `json:"coalesced,omitempty"`
-	Replayed    bool    `json:"replayed,omitempty"` // recovered from the journal
+	Replayed    bool    `json:"replayed,omitempty"`     // recovered from the journal
+	StolenBy    string  `json:"stolen_by,omitempty"`    // peer executing this job after a steal
+	PeerFetched bool    `json:"peer_fetched,omitempty"` // result served from a peer's cache
 	Error       string  `json:"error,omitempty"`
 	SubmittedAt string  `json:"submitted_at"`
 	WaitSeconds float64 `json:"wait_seconds"`           // queued -> started (or now)
@@ -74,6 +81,7 @@ func (j *Job) snapshot(now time.Time) Status {
 	st := Status{
 		ID:          j.ID,
 		Hash:        j.Hash,
+		NodeID:      j.Node,
 		State:       j.State,
 		Spec:        j.Spec,
 		CellsDone:   j.cellsDone.Load(),
@@ -81,6 +89,8 @@ func (j *Job) snapshot(now time.Time) Status {
 		CacheHit:    j.CacheHit,
 		Coalesced:   j.Coalesced,
 		Replayed:    j.Replayed,
+		StolenBy:    j.StolenBy,
+		PeerFetched: j.PeerFetched,
 		Error:       j.Err,
 		SubmittedAt: j.SubmittedAt.UTC().Format(time.RFC3339Nano),
 	}

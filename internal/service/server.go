@@ -71,7 +71,24 @@ type Config struct {
 	RetainJobs int
 	// Execute runs one canonical spec. Defaults to Execute (the shared
 	// experiments runner); tests substitute stubs to script timing.
-	Execute func(context.Context, Spec) (*report.Report, error)
+	Execute ExecuteFunc
+
+	// NodeID, when non-empty, names this node in a gpsd cluster: job IDs
+	// become "<node>-j-NNNNNN" so any peer can route a read to the owning
+	// node from the ID alone, and the node appears on job snapshots, logs,
+	// and spans. Empty — the default — is single-node operation with the
+	// classic "j-NNNNNN" IDs.
+	NodeID string
+	// RemoteResult, when non-nil, is consulted once per job right before
+	// the first execution attempt: if any peer's content-addressed cache
+	// already holds the canonical hash, the job completes with that report
+	// and the engine never runs. The cluster layer wires this to
+	// GET /v1/peer/results/{hash} across live peers; nil skips the lookup.
+	RemoteResult func(ctx context.Context, hash string) *report.Report
+	// StealTimeout bounds how long a stolen job may stay checked out to a
+	// thief node before the victim reclaims and re-enqueues it (default
+	// 2m). Completions arriving after the reclaim are dropped.
+	StealTimeout time.Duration
 
 	// JobRetry schedules job-level re-execution: a job whose attempt fails
 	// with a retryable error (injected faults, explicitly transient errors)
@@ -128,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.Sleeper == nil {
 		c.Sleeper = retry.Sleep
 	}
+	if c.StealTimeout <= 0 {
+		c.StealTimeout = 2 * time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = obs.Nop()
 	}
@@ -158,6 +178,15 @@ type Metrics struct {
 	JobsReplayed           uint64 `json:"jobs_replayed"`
 	ResultCacheWriteErrors uint64 `json:"result_cache_write_errors"`
 	JournalRecords         uint64 `json:"journal_records,omitempty"`
+
+	// Cluster counters (zero on a single-node daemon): jobs handed to a
+	// thief peer, stolen jobs completed by the thief, stolen jobs reclaimed
+	// after the steal timeout, and jobs answered from a peer's cache
+	// instead of executing.
+	JobsStolen      uint64 `json:"jobs_stolen,omitempty"`
+	StealsCompleted uint64 `json:"steals_completed,omitempty"`
+	StealReclaims   uint64 `json:"steal_reclaims,omitempty"`
+	JobsPeerFetched uint64 `json:"jobs_peer_fetched,omitempty"`
 
 	ResultCacheHits    uint64 `json:"result_cache_hits"`
 	ResultCacheMisses  uint64 `json:"result_cache_misses"`
@@ -207,6 +236,8 @@ type Server struct {
 	cacheHits, cacheMisses          atomic.Uint64
 	jobRetries, jobPanics           atomic.Uint64
 	replayed, cacheWriteErrs        atomic.Uint64
+	jobsStolen, stealsCompleted     atomic.Uint64
+	stealReclaims, peerFetched      atomic.Uint64
 	execSeconds                     float64 // guarded by mu
 }
 
@@ -286,6 +317,10 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	jobs("retried", s.jobRetries.Load)
 	jobs("panicked", s.jobPanics.Load)
 	jobs("replayed", s.replayed.Load)
+	jobs("stolen", s.jobsStolen.Load)
+	jobs("steal_completed", s.stealsCompleted.Load)
+	jobs("steal_reclaimed", s.stealReclaims.Load)
+	jobs("peer_fetched", s.peerFetched.Load)
 
 	reg.CounterFunc("gpsd_result_cache_hits_total", "Submissions answered from the result cache.", u64(s.cacheHits.Load))
 	reg.CounterFunc("gpsd_result_cache_misses_total", "Submissions that required execution.", u64(s.cacheMisses.Load))
@@ -341,6 +376,9 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 // new submissions are refused and /v1/healthz flips to "draining".
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// NodeID reports the configured cluster node identity ("" single-node).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
 // replayPending re-enqueues journal-recovered jobs. Runs before the worker
 // pool starts, so no locking is needed yet.
 func (s *Server) replayPending(pending []PendingJob) {
@@ -364,6 +402,7 @@ func (s *Server) replayPending(pending []PendingJob) {
 		job := &Job{
 			ID:          p.ID,
 			Hash:        hash,
+			Node:        s.cfg.NodeID,
 			Spec:        canon,
 			State:       StateQueued,
 			Replayed:    true,
@@ -378,14 +417,29 @@ func (s *Server) replayPending(pending []PendingJob) {
 	}
 }
 
-// jobSeq parses the numeric suffix of a job ID ("j-000042" -> 42) so the
-// sequence counter resumes past replayed IDs; malformed IDs answer 0.
+// jobSeq parses the numeric suffix of a job ID ("j-000042" -> 42,
+// "node1-j-000042" -> 42) so the sequence counter resumes past replayed
+// IDs; malformed IDs answer 0.
 func jobSeq(id string) uint64 {
-	n, err := strconv.ParseUint(strings.TrimPrefix(id, "j-"), 10, 64)
+	if i := strings.LastIndex(id, "j-"); i >= 0 {
+		id = id[i+len("j-"):]
+	}
+	n, err := strconv.ParseUint(id, 10, 64)
 	if err != nil {
 		return 0
 	}
 	return n
+}
+
+// JobNode extracts the node prefix of a cluster job ID ("node1-j-000042" ->
+// "node1"); single-node IDs ("j-000042") answer "". The cluster layer uses
+// it to route status and result reads to the owning node.
+func JobNode(id string) string {
+	i := strings.LastIndex(id, "-j-")
+	if i < 0 {
+		return ""
+	}
+	return id[:i]
 }
 
 // Submit admits one spec. It returns the job snapshot to poll plus what
@@ -457,9 +511,14 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 // newJobLocked allocates and registers a queued job. Callers hold s.mu.
 func (s *Server) newJobLocked(spec Spec, hash string, now time.Time) *Job {
 	s.seq++
+	id := fmt.Sprintf("j-%06d", s.seq)
+	if s.cfg.NodeID != "" {
+		id = s.cfg.NodeID + "-" + id
+	}
 	job := &Job{
-		ID:          fmt.Sprintf("j-%06d", s.seq),
+		ID:          id,
 		Hash:        hash,
+		Node:        s.cfg.NodeID,
 		Spec:        spec,
 		State:       StateQueued,
 		SubmittedAt: now,
@@ -532,6 +591,23 @@ func (s *Server) Cancel(id string) (Status, error) {
 		s.retireLocked(job)
 		s.logger.Info("job canceled while queued", "job_id", job.ID)
 	case StateRunning:
+		if job.cancel == nil {
+			// Stolen by a peer: there is no local execution to preempt.
+			// Cancel the job here; the thief's late completion is dropped.
+			s.stopStealTimerLocked(job)
+			job.State = StateCanceled
+			job.Err = errJobCanceled.Error()
+			job.FinishedAt = now
+			if s.inflight[job.Hash] == job {
+				delete(s.inflight, job.Hash)
+			}
+			s.jobsCancd.Add(1)
+			s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+			close(job.done)
+			s.retireLocked(job)
+			s.logger.Info("stolen job canceled", "job_id", job.ID, "thief", job.StolenBy)
+			break
+		}
 		s.logger.Info("cancel requested", "job_id", job.ID)
 		job.cancel(errJobCanceled)
 	}
@@ -644,8 +720,12 @@ func (s *Server) runJob(job *Job) {
 		} else {
 			tracer := obs.NewTracer(runCtx, f)
 			runCtx = obs.WithTracer(runCtx, tracer)
+			kv := []string{"hash", job.Hash}
+			if s.cfg.NodeID != "" {
+				kv = append(kv, "node_id", s.cfg.NodeID)
+			}
 			var jobSpan *obs.Span
-			runCtx, jobSpan = obs.StartSpan(runCtx, obs.CatJob, job.ID, "hash", job.Hash)
+			runCtx, jobSpan = obs.StartSpan(runCtx, obs.CatJob, job.ID, kv...)
 			defer func() {
 				jobSpan.End()
 				if err := tracer.Close(); err != nil {
@@ -653,6 +733,20 @@ func (s *Server) runJob(job *Job) {
 				}
 				f.Close()
 			}()
+		}
+	}
+
+	// In a cluster, a peer may already hold this spec's result (ownership
+	// moved after a node join/leave, or a thief executed it elsewhere): one
+	// lookup across live peers before the first execution attempt turns the
+	// job into a fetch instead of a replay.
+	if s.cfg.RemoteResult != nil {
+		if res := s.cfg.RemoteResult(runCtx, job.Hash); res != nil {
+			s.peerFetched.Add(1)
+			job.PeerFetched = true
+			s.logger.Info("job result fetched from peer", "job_id", job.ID, "hash", job.Hash)
+			s.finishJob(job, runCtx, res, nil)
+			return
 		}
 	}
 
@@ -811,6 +905,11 @@ func (s *Server) Metrics() Metrics {
 		JobsReplayed:           s.replayed.Load(),
 		ResultCacheWriteErrors: s.cacheWriteErrs.Load(),
 		JournalRecords:         s.cfg.Journal.Records(),
+
+		JobsStolen:      s.jobsStolen.Load(),
+		StealsCompleted: s.stealsCompleted.Load(),
+		StealReclaims:   s.stealReclaims.Load(),
+		JobsPeerFetched: s.peerFetched.Load(),
 
 		ResultCacheHits:    s.cacheHits.Load(),
 		ResultCacheMisses:  s.cacheMisses.Load(),

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gps/internal/report"
+)
+
+// blockedStealServer builds a 1-worker server whose executor parks jobs
+// until release closes, so the queue can be loaded deterministically.
+func blockedStealServer(t *testing.T, timeout time.Duration) (*Server, chan struct{}, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s := New(Config{
+		NodeID:       "victim",
+		Workers:      1,
+		QueueDepth:   8,
+		StealTimeout: timeout,
+		Execute: func(ctx context.Context, spec Spec) (*report.Report, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+				return &report.Report{ParallelWorkers: 1}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	return s, release, started
+}
+
+// loadTwo submits one job that occupies the worker and one that stays
+// queued, returning the queued job's status.
+func loadTwo(t *testing.T, s *Server, started chan struct{}) Status {
+	t.Helper()
+	if _, _, err := s.Submit(Spec{Type: "table", Table: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker occupied
+	queued, _, err := s.Submit(Spec{Type: "table", Table: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return queued
+}
+
+func TestStealAndComplete(t *testing.T) {
+	s, release, started := blockedStealServer(t, time.Minute)
+	defer func() {
+		close(release)
+		s.Shutdown(context.Background())
+	}()
+	queued := loadTwo(t, s, started)
+
+	stolen, ok := s.Steal("thief")
+	if !ok || stolen.ID != queued.ID || stolen.Hash != queued.Hash {
+		t.Fatalf("Steal = %+v, %v; want job %s", stolen, ok, queued.ID)
+	}
+	if st, _ := s.Job(stolen.ID); st.State != StateRunning || st.StolenBy != "thief" {
+		t.Fatalf("stolen job state %s stolen_by %q, want running/thief", st.State, st.StolenBy)
+	}
+
+	rep := &report.Report{ParallelWorkers: 7}
+	if err := s.CompleteStolen(stolen.ID, rep, ""); err != nil {
+		t.Fatal(err)
+	}
+	st, got, err := s.Result(stolen.ID)
+	if err != nil || st.State != StateDone || got == nil || got.ParallelWorkers != 7 {
+		t.Fatalf("after complete: state %s report %+v err %v", st.State, got, err)
+	}
+
+	// The completion landed in the content-addressed cache too: an identical
+	// resubmit is a cache hit, and ResultByHash serves peers directly.
+	if cached, ok := s.ResultByHash(stolen.Hash); !ok || cached.ParallelWorkers != 7 {
+		t.Fatalf("ResultByHash after steal completion = %+v, %v", cached, ok)
+	}
+	dup, outcome, err := s.Submit(stolen.Spec)
+	if err != nil || outcome != OutcomeCached {
+		t.Fatalf("resubmit after steal: outcome %v err %v, want cached", outcome, err)
+	}
+	if dup.State != StateDone {
+		t.Fatalf("cached resubmit state %s, want done", dup.State)
+	}
+
+	m := s.Metrics()
+	if m.JobsStolen != 1 || m.StealsCompleted != 1 {
+		t.Fatalf("steal counters = %d/%d, want 1/1", m.JobsStolen, m.StealsCompleted)
+	}
+}
+
+func TestStealFailureLandsOnVictim(t *testing.T) {
+	s, release, started := blockedStealServer(t, time.Minute)
+	defer func() {
+		close(release)
+		s.Shutdown(context.Background())
+	}()
+	queued := loadTwo(t, s, started)
+
+	stolen, ok := s.Steal("thief")
+	if !ok {
+		t.Fatal("nothing stolen")
+	}
+	if err := s.CompleteStolen(stolen.ID, nil, "thief blew up"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Job(queued.ID); st.State != StateFailed || st.Error != "thief blew up" {
+		t.Fatalf("failed completion: state %s err %q", st.State, st.Error)
+	}
+}
+
+func TestDeclineStolenRequeues(t *testing.T) {
+	s, release, started := blockedStealServer(t, time.Minute)
+	defer s.Shutdown(context.Background())
+	queued := loadTwo(t, s, started)
+
+	stolen, ok := s.Steal("thief")
+	if !ok {
+		t.Fatal("nothing stolen")
+	}
+	if err := s.DeclineStolen(stolen.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Job(queued.ID); st.State != StateQueued || st.StolenBy != "" {
+		t.Fatalf("declined job state %s stolen_by %q, want queued again", st.State, st.StolenBy)
+	}
+	if got := s.Metrics().StealReclaims; got != 1 {
+		t.Fatalf("steal reclaims = %d, want 1", got)
+	}
+
+	// The re-queued job still executes locally once the worker frees up.
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, _, err := s.WaitResult(ctx, queued.ID)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("declined job finished %s err %v, want done", st.State, err)
+	}
+}
+
+func TestStealWatchdogReclaims(t *testing.T) {
+	s, release, started := blockedStealServer(t, 30*time.Millisecond)
+	defer s.Shutdown(context.Background())
+	queued := loadTwo(t, s, started)
+
+	if _, ok := s.Steal("ghost"); !ok {
+		t.Fatal("nothing stolen")
+	}
+	// The thief never answers; the watchdog must re-queue the job, and the
+	// local worker then completes it.
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, _, err := s.WaitResult(ctx, queued.ID)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("reclaimed job finished %s err %v, want done", st.State, err)
+	}
+	if got := s.Metrics().StealReclaims; got != 1 {
+		t.Fatalf("steal reclaims = %d, want 1", got)
+	}
+	// A completion arriving after the reclaim is dropped, not an error.
+	if err := s.CompleteStolen(queued.ID, &report.Report{}, ""); err != nil {
+		t.Fatalf("late completion errored: %v", err)
+	}
+}
+
+func TestCancelStolenJob(t *testing.T) {
+	s, release, started := blockedStealServer(t, time.Minute)
+	defer func() {
+		close(release)
+		s.Shutdown(context.Background())
+	}()
+	queued := loadTwo(t, s, started)
+
+	if _, ok := s.Steal("thief"); !ok {
+		t.Fatal("nothing stolen")
+	}
+	st, err := s.Cancel(queued.ID)
+	if err != nil || st.State != StateCanceled {
+		t.Fatalf("cancel stolen: state %s err %v, want canceled", st.State, err)
+	}
+	// The thief's late completion is dropped silently; the cancel stands.
+	if err := s.CompleteStolen(queued.ID, &report.Report{}, ""); err != nil {
+		t.Fatalf("late completion errored: %v", err)
+	}
+	if got, _ := s.Job(queued.ID); got.State != StateCanceled {
+		t.Fatalf("state after late completion = %s, want canceled", got.State)
+	}
+}
+
+func TestStealEdgeCases(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, Execute: func(ctx context.Context, spec Spec) (*report.Report, error) {
+		return &report.Report{}, nil
+	}})
+	defer s.Shutdown(context.Background())
+
+	if _, ok := s.Steal("thief"); ok {
+		t.Fatal("stole from an empty queue")
+	}
+	if err := s.CompleteStolen("nope", nil, "x"); err != ErrNotFound {
+		t.Fatalf("unknown completion err = %v, want ErrNotFound", err)
+	}
+	if err := s.DeclineStolen("nope"); err != ErrNotFound {
+		t.Fatalf("unknown decline err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestJobNode checks the ID-prefix routing helper for both cluster and
+// single-node ID shapes.
+func TestJobNode(t *testing.T) {
+	cases := map[string]string{
+		"n1-j-000042":     "n1",
+		"node-7-j-000001": "node-7",
+		"j-000001":        "",
+		"weird":           "",
+		"nX-j-1-j-000009": "nX-j-1", // last "-j-" wins
+	}
+	for id, want := range cases {
+		if got := JobNode(id); got != want {
+			t.Errorf("JobNode(%q) = %q, want %q", id, got, want)
+		}
+	}
+}

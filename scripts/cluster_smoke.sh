@@ -1,0 +1,179 @@
+#!/bin/sh
+# cluster_smoke.sh: end-to-end smoke test of gpsd cluster mode.
+#
+# Boots a 3-node local cluster on fixed loopback ports, then checks the
+# cluster invariants end to end with curl and gpsctl:
+#
+#   1. a spec submitted through any node lands on its ring owner (job IDs
+#      carry the owner's node prefix) and the same spec submitted through a
+#      second node coalesces onto the same job — the engine runs once;
+#   2. the finished report is byte-identical no matter which node serves it
+#      (owner directly, the others by proxy);
+#   3. SIGKILL of an owner mid-job is survivable: the surviving nodes keep
+#      serving, a re-submit of the dead owner's spec re-routes to a live
+#      node, and restarting the owner on its journal replays the orphaned
+#      job to completion under its original ID.
+#
+# Needs only a POSIX shell and curl.
+set -eu
+
+workdir=$(mktemp -d)
+bin="$workdir/gpsd"
+ctl="$workdir/gpsctl"
+
+# Fixed ports (the peer list must be known before any node starts). Derived
+# from the PID to avoid collisions between concurrent checkouts.
+p1=$((21000 + $$ % 10000))
+p2=$((p1 + 1))
+p3=$((p1 + 2))
+peers="n1=http://127.0.0.1:$p1,n2=http://127.0.0.1:$p2,n3=http://127.0.0.1:$p3"
+
+pid1="" pid2="" pid3=""
+
+cleanup() {
+    for p in "$pid1" "$pid2" "$pid3"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin" ./cmd/gpsd
+go build -o "$ctl" ./cmd/gpsctl
+
+# start_node <n> <port>: boot node n$n and wait for its listen line.
+start_node() {
+    n=$1 port=$2
+    : >"$workdir/n$n.log"
+    "$bin" -addr "127.0.0.1:$port" -node-id "n$n" -peers "$peers" \
+        -workers 1 -queue 8 -journal "$workdir/n$n.journal" \
+        -probe-interval 200ms >"$workdir/n$n.log" 2>&1 &
+    eval "pid$n=\$!"
+    for _ in $(seq 1 50); do
+        grep -q "listening on" "$workdir/n$n.log" && return 0
+        eval "kill -0 \$pid$n" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "cluster-smoke: node n$n failed to start:"
+    cat "$workdir/n$n.log"
+    exit 1
+}
+
+base_of() {
+    case "$1" in
+    n1) echo "http://127.0.0.1:$p1" ;;
+    n2) echo "http://127.0.0.1:$p2" ;;
+    n3) echo "http://127.0.0.1:$p3" ;;
+    esac
+}
+
+# poll_done <base> <id>: wait until the job is terminal and assert done.
+poll_done() {
+    state=""
+    for _ in $(seq 1 600); do
+        curl -s "$1/v1/jobs/$2" >"$workdir/status" || true
+        state=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' "$workdir/status" | head -n 1)
+        case "$state" in done | failed | canceled) break ;; esac
+        sleep 0.1
+    done
+    [ "$state" = done ] || {
+        echo "cluster-smoke: job $2 ended '$state' (via $1):"
+        cat "$workdir/status"
+        exit 1
+    }
+}
+
+start_node 1 "$p1"
+start_node 2 "$p2"
+start_node 3 "$p3"
+echo "cluster-smoke: 3 nodes up on ports $p1/$p2/$p3"
+
+# Healthz must show cluster identity and (after the first probe sweep) all
+# peers alive.
+sleep 0.5
+curl -s "$(base_of n1)/v1/healthz" >"$workdir/hz"
+grep -q '"node_id": "n1"' "$workdir/hz" || { echo "cluster-smoke: healthz missing node_id:"; cat "$workdir/hz"; exit 1; }
+grep -q '"role": "cluster"' "$workdir/hz" || { echo "cluster-smoke: healthz missing cluster role:"; cat "$workdir/hz"; exit 1; }
+grep -q '"peers_alive": 2' "$workdir/hz" || { echo "cluster-smoke: expected 2 live peers:"; cat "$workdir/hz"; exit 1; }
+
+# --- 1: ownership routing + cross-node coalescing -------------------------
+specA='{"type":"matrix","iterations":2,"cells":[{"app":"jacobi","paradigm":"GPS","gpus":2,"fabric":"pcie4"}]}'
+code=$(curl -s -o "$workdir/subA" -w '%{http_code}' -d "$specA" "$(base_of n1)/v1/jobs")
+[ "$code" = 202 ] || { echo "cluster-smoke: submit A returned $code:"; cat "$workdir/subA"; exit 1; }
+idA=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subA" | head -n 1)
+ownerA=${idA%%-j-*}
+[ -n "$idA" ] && [ "$ownerA" != "$idA" ] || { echo "cluster-smoke: job id '$idA' lacks a node prefix"; exit 1; }
+echo "cluster-smoke: spec A owned by $ownerA (job $idA, submitted via n1)"
+
+# The same spec through a different node must land on the same job.
+other=n2
+[ "$ownerA" = n2 ] && other=n3
+# 202 if it raced in before the owner started the job, 200 once coalesced
+# or answered from cache — never a second execution.
+code=$(curl -s -o "$workdir/subA2" -w '%{http_code}' -d "$specA" "$(base_of $other)/v1/jobs")
+case "$code" in 200 | 202) ;; *) echo "cluster-smoke: re-submit A via $other returned $code"; cat "$workdir/subA2"; exit 1 ;; esac
+grep -Eq '"outcome": "(coalesced|cached)"' "$workdir/subA2" || {
+    echo "cluster-smoke: duplicate submit was not coalesced:"
+    cat "$workdir/subA2"
+    exit 1
+}
+idA2=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subA2" | head -n 1)
+[ "$idA2" = "$idA" ] || {
+    echo "cluster-smoke: duplicate submit got a different job ($idA2 != $idA)"
+    exit 1
+}
+echo "cluster-smoke: duplicate submit via $other coalesced onto $idA"
+
+# --- 2: byte-identical results from every node ----------------------------
+poll_done "$(base_of n3)" "$idA" # poll via a proxy path on purpose
+for n in n1 n2 n3; do
+    code=$(curl -s -o "$workdir/resA.$n" -w '%{http_code}' "$(base_of $n)/v1/jobs/$idA/result")
+    [ "$code" = 200 ] || { echo "cluster-smoke: result from $n returned $code"; exit 1; }
+done
+cmp -s "$workdir/resA.n1" "$workdir/resA.n2" || { echo "cluster-smoke: n1/n2 results differ"; exit 1; }
+cmp -s "$workdir/resA.n1" "$workdir/resA.n3" || { echo "cluster-smoke: n1/n3 results differ"; exit 1; }
+grep -q '"tables"' "$workdir/resA.n1" || { echo "cluster-smoke: result missing tables"; exit 1; }
+echo "cluster-smoke: result for $idA byte-identical from all 3 nodes"
+
+# The gpsctl CLI must see the same state through any node.
+"$ctl" -addr "$(base_of n2)" status "$idA" >"$workdir/ctl.status"
+grep -q '"state": "done"' "$workdir/ctl.status" || { echo "cluster-smoke: gpsctl status wrong:"; cat "$workdir/ctl.status"; exit 1; }
+
+# --- 3: SIGKILL the owner mid-job; re-route + journal replay --------------
+specB='{"type":"matrix","iterations":2,"cells":[{"app":"diffusion","paradigm":"GPS","gpus":4,"fabric":"nvswitch"}]}'
+code=$(curl -s -o "$workdir/subB" -w '%{http_code}' -d "$specB" "$(base_of n1)/v1/jobs")
+[ "$code" = 202 ] || { echo "cluster-smoke: submit B returned $code"; cat "$workdir/subB"; exit 1; }
+idB=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subB" | head -n 1)
+ownerB=${idB%%-j-*}
+echo "cluster-smoke: spec B owned by $ownerB (job $idB); killing $ownerB with SIGKILL"
+
+eval "opid=\$pid$(echo "$ownerB" | tr -d n)"
+kill -9 "$opid"
+wait "$opid" 2>/dev/null || true
+eval "pid$(echo "$ownerB" | tr -d n)=''"
+
+# A survivor re-routes the dead owner's spec to a live node and completes it.
+surv=n1
+[ "$ownerB" = n1 ] && surv=n2
+code=$(curl -s -o "$workdir/subB2" -w '%{http_code}' -d "$specB" "$(base_of $surv)/v1/jobs")
+[ "$code" = 202 ] || { echo "cluster-smoke: re-route submit via $surv returned $code"; cat "$workdir/subB2"; exit 1; }
+idB2=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subB2" | head -n 1)
+[ "${idB2%%-j-*}" != "$ownerB" ] || { echo "cluster-smoke: re-route still assigned dead owner ($idB2)"; exit 1; }
+poll_done "$(base_of $surv)" "$idB2"
+echo "cluster-smoke: re-routed job $idB2 completed while $ownerB was down"
+
+# Restart the dead owner on its journal: the orphaned job replays to
+# completion under its original ID.
+start_node "$(echo "$ownerB" | tr -d n)" "$(base_of "$ownerB" | sed 's/.*://')"
+grep -q 'jobs recovered' "$workdir/$ownerB.log" || { echo "cluster-smoke: no recovery line:"; cat "$workdir/$ownerB.log"; exit 1; }
+poll_done "$(base_of $surv)" "$idB" # proxied read through a survivor
+echo "cluster-smoke: journal replay completed $idB on restarted $ownerB"
+
+for n in n1 n2 n3; do
+    code=$(curl -s -o "$workdir/resB.$n" -w '%{http_code}' "$(base_of $n)/v1/jobs/$idB/result")
+    [ "$code" = 200 ] || { echo "cluster-smoke: post-restart result from $n returned $code"; exit 1; }
+done
+cmp -s "$workdir/resB.n1" "$workdir/resB.n2" || { echo "cluster-smoke: post-restart n1/n2 results differ"; exit 1; }
+cmp -s "$workdir/resB.n1" "$workdir/resB.n3" || { echo "cluster-smoke: post-restart n1/n3 results differ"; exit 1; }
+
+echo "cluster-smoke: PASS"
