@@ -11,8 +11,12 @@ GO ?= go
 ## and the 3-node cluster smoke (routing, coalescing, owner kill).
 check: vet build race bench-micro chaos obs-smoke shard-smoke cluster-smoke
 
+## vet: static checks — go vet plus a gofmt cleanliness gate (gofmt ships
+## with the toolchain, so this adds no dependency).
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -61,8 +65,10 @@ shard-smoke:
 	$(GO) run -race ./cmd/gpsbench -fig 9 -iters 2 -parallel 1 -shards 4 -json /tmp/gpsbench-shard-smoke.json
 
 ## cluster-smoke: boot a 3-node local cluster, submit through a non-owner,
-## SIGKILL the owner mid-job, and assert re-routing plus journal replay
-## complete the job with results byte-identical from every node.
+## then permanently SIGKILL an owner mid-queue and assert the self-healing
+## invariants: every accepted job reaches done on a survivor (takeover under
+## original IDs, exactly-once execution), results byte-identical from both
+## survivors, and a resurrected node reconciles instead of re-running.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 

@@ -74,6 +74,8 @@ func main() {
 		err = cmdCancel(ctx, c, rest)
 	case "health":
 		err = cmdHealth(ctx, c)
+	case "cluster":
+		err = cmdCluster(ctx, c)
 	default:
 		fmt.Fprintf(os.Stderr, "gpsctl: unknown command %q\n", cmd)
 		usage()
@@ -94,6 +96,8 @@ commands:
   result <job-id>                print a done job's report
   cancel <job-id>                cancel a queued or running job
   health                         print the node's health snapshot
+  cluster                        print ring ownership, peer liveness and
+                                 suspicion, and replication/takeover counters
 
 flags:
 `)
@@ -192,6 +196,54 @@ func cmdHealth(ctx context.Context, c *client.Client) error {
 		return err
 	}
 	return printJSON(h)
+}
+
+// cmdCluster renders the node's cluster view for operators: who it thinks
+// is alive (and how suspicious it is of everyone else), where a sample of
+// ring keys currently routes, and the self-healing counters — replication
+// lag toward its successor and takeovers it has run for dead peers.
+func cmdCluster(ctx context.Context, c *client.Client) error {
+	h, err := c.Healthz(ctx)
+	if err != nil && h.Status == "" {
+		return err // unreachable; a draining node still yields a body below
+	}
+	if h.Role != "cluster" {
+		return fmt.Errorf("node %s is not in cluster mode", h.NodeID)
+	}
+	fmt.Printf("node %s (%s)\n", h.NodeID, h.Status)
+	fmt.Printf("peers: %d/%d alive\n", h.PeersAlive, h.PeersTotal)
+	for _, p := range h.Peers {
+		state := "down"
+		switch {
+		case p.Alive && p.Suspect:
+			state = fmt.Sprintf("suspect (%d consecutive failures)", p.Fails)
+		case p.Alive:
+			state = "alive"
+		}
+		fmt.Printf("  %-12s %-28s %s\n", p.ID, p.URL, state)
+	}
+	if cs := h.Cluster; cs != nil {
+		fmt.Println("replication:")
+		target := cs.ReplicationTarget
+		if target == "" {
+			target = "(no live successor)"
+		}
+		fmt.Printf("  successor %s  replicated %d  lag %d  errors %d\n",
+			target, cs.ReplicatedRecords, cs.ReplicationLag, cs.ReplicationErrors)
+		fmt.Printf("  ingested %d  replica_jobs_held %d\n", cs.ReplicatedIngested, cs.ReplicaJobsHeld)
+		fmt.Printf("takeovers: %d sweeps, %d jobs promoted\n", cs.Takeovers, cs.TakeoverJobs)
+		fmt.Printf("routing: forwards %d (errors %d)  proxied_reads %d  peer_fetches %d\n",
+			cs.Forwards, cs.ForwardErrors, cs.ProxiedReads, cs.PeerFetches)
+		fmt.Printf("steals: thief %d  victim %d  errors %d\n",
+			cs.StealsThief, cs.StealsVictim, cs.StealErrors)
+	}
+	if len(h.Ring) > 0 {
+		fmt.Println("ring sample:")
+		for _, ro := range h.Ring {
+			fmt.Printf("  %-16s -> %s\n", ro.Key, ro.Owner)
+		}
+	}
+	return err // non-nil when draining: body printed, exit code still 1
 }
 
 func printJSON(v any) error {

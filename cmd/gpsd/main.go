@@ -65,6 +65,16 @@ func remoteResult(clu *cluster.Cluster) func(ctx context.Context, hash string) *
 	return clu.FetchPeerResult
 }
 
+// reconcile adapts the cluster's resurrection handshake into the service's
+// Reconcile hook: journal-replayed jobs that our takeover successor already
+// adopted are delegated to it instead of re-run locally.
+func reconcile(clu *cluster.Cluster) func(p service.PendingJob) string {
+	if clu == nil {
+		return nil
+	}
+	return clu.Reconcile
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":8377", "listen address (host:port; port 0 picks one)")
@@ -85,6 +95,7 @@ func main() {
 		peersFlag  = flag.String("peers", "", "comma-separated peer list, id=http://host:port each (requires -node-id)")
 		probeIvl   = flag.Duration("probe-interval", 2*time.Second, "peer healthz liveness probe interval (cluster mode)")
 		stealIvl   = flag.Duration("steal-interval", time.Second, "work-steal attempt interval when idle; negative disables stealing (cluster mode)")
+		suspicion  = flag.Int("suspicion", 3, "consecutive failed probes before a peer is declared dead (cluster mode)")
 	)
 	flag.Parse()
 
@@ -167,11 +178,12 @@ func main() {
 	var clu *cluster.Cluster
 	if *nodeID != "" {
 		clu = cluster.New(cluster.Config{
-			Self:          *nodeID,
-			ProbeInterval: *probeIvl,
-			StealInterval: *stealIvl,
-			Logger:        logger,
-			Registry:      registry,
+			Self:               *nodeID,
+			ProbeInterval:      *probeIvl,
+			StealInterval:      *stealIvl,
+			SuspicionThreshold: *suspicion,
+			Logger:             logger,
+			Registry:           registry,
 		})
 		for _, p := range strings.Split(*peersFlag, ",") {
 			p = strings.TrimSpace(p)
@@ -188,6 +200,10 @@ func main() {
 			}
 			clu.AddPeer(id, url)
 		}
+		// One synchronous probe sweep before the service replays its journal:
+		// the resurrection handshake (Reconcile) needs a liveness view to ask
+		// the ring successor which replayed jobs it already adopted.
+		clu.ProbeOnce(context.Background())
 	}
 
 	svc := service.New(service.Config{
@@ -202,9 +218,17 @@ func main() {
 		TraceDir:     *traceDir,
 		NodeID:       *nodeID,
 		RemoteResult: remoteResult(clu),
+		Reconcile:    reconcile(clu),
 	})
 	if clu != nil {
 		clu.Bind(svc)
+		if journal != nil {
+			// Attach the replication stream: every journal record committed
+			// from here on is mirrored to the ring successor. Records replayed
+			// above are covered by the initial full-snapshot flush.
+			journal.SetSink(clu)
+			clu.EnableReplication()
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

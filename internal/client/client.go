@@ -154,6 +154,11 @@ type PeerHealth struct {
 	ID    string `json:"id"`
 	URL   string `json:"url"`
 	Alive bool   `json:"alive"`
+	// Fails counts consecutive failed probes (or transport errors); a peer
+	// is declared dead only once it reaches the suspicion threshold.
+	Fails int `json:"fails,omitempty"`
+	// Suspect marks a peer still routed to but accumulating failures.
+	Suspect bool `json:"suspect,omitempty"`
 }
 
 // Health is the /v1/healthz body. Cluster fields are empty on a
@@ -172,6 +177,15 @@ type Health struct {
 	PeersAlive    int           `json:"peers_alive,omitempty"`
 	PeersTotal    int           `json:"peers_total,omitempty"`
 	Cluster       *ClusterStats `json:"cluster,omitempty"`
+	Ring          []RingOwner   `json:"ring_sample,omitempty"`
+}
+
+// RingOwner is one sample point of the consistent-hash ring: which node a
+// representative key routes to after liveness fallback. gpsctl cluster uses
+// a handful of these to visualize ownership spread.
+type RingOwner struct {
+	Key   string `json:"key"`
+	Owner string `json:"owner"`
 }
 
 type obsBuild struct {
@@ -190,6 +204,16 @@ type ClusterStats struct {
 	StealsThief   uint64 `json:"steals_thief"`
 	StealsVictim  uint64 `json:"steals_victim"`
 	StealErrors   uint64 `json:"steal_errors"`
+
+	// Self-healing counters (PRs with journal replication enabled).
+	ReplicationTarget  string `json:"replication_target,omitempty"` // current ring successor
+	ReplicatedRecords  uint64 `json:"replicated_records"`           // records acknowledged by a successor
+	ReplicationErrors  uint64 `json:"replication_errors"`           // flushes that failed in transit
+	ReplicationLag     uint64 `json:"replication_lag"`              // committed records not yet acknowledged
+	ReplicaJobsHeld    uint64 `json:"replica_jobs_held"`            // peers' live jobs replicated onto this node
+	ReplicatedIngested uint64 `json:"replicated_ingested"`          // records accepted from peers' streams
+	Takeovers          uint64 `json:"takeovers"`                    // dead-peer takeover sweeps that promoted jobs
+	TakeoverJobs       uint64 `json:"takeover_jobs"`                // jobs promoted across all takeovers
 }
 
 // Healthz reads the node's health. A draining node answers 503 with the

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -30,13 +31,20 @@ type Peer struct {
 
 	client *client.Client
 	alive  atomic.Bool
+	fails  atomic.Int32 // consecutive failed probes / transport errors
 
 	mu     sync.Mutex
 	health client.Health // last successful healthz body, for steal decisions
 }
 
-// Alive reports the last probe's verdict.
+// Alive reports the current liveness verdict. A peer flips to dead only
+// after SuspicionThreshold consecutive failures, and back to alive on a
+// single successful probe.
 func (p *Peer) Alive() bool { return p.alive.Load() }
+
+// Fails reports the consecutive-failure count feeding the suspicion
+// threshold; zero for a healthy peer.
+func (p *Peer) Fails() int { return int(p.fails.Load()) }
 
 // Client returns the typed client for this peer.
 func (p *Peer) Client() *client.Client { return p.client }
@@ -48,8 +56,10 @@ func (p *Peer) lastHealth() client.Health {
 }
 
 // Local is the slice of the local service the cluster layer drives: submit
-// and ride stolen work, answer peer result fetches, and hand out queued
-// jobs to thieves. *service.Server implements it.
+// and ride stolen work, answer peer result fetches, hand out queued jobs to
+// thieves, and — for self-healing — adopt a dead peer's replicated jobs,
+// snapshot pending work for replication resync, and land or reclaim
+// delegated outcomes. *service.Server implements it.
 type Local interface {
 	Submit(spec service.Spec) (service.Status, service.Outcome, error)
 	WaitResult(ctx context.Context, id string) (service.Status, *report.Report, error)
@@ -57,6 +67,10 @@ type Local interface {
 	ResultByHash(hash string) (*report.Report, bool)
 	Steal(thief string) (service.StolenJob, bool)
 	CompleteStolen(id string, res *report.Report, errMsg string) error
+	DeclineStolen(id string) error
+	Cancel(id string) (service.Status, error)
+	Adopt(origin, id string, spec service.Spec) (service.AdoptOutcome, error)
+	PendingJobs() []service.PendingJob
 }
 
 // Config sizes a Cluster.
@@ -71,6 +85,10 @@ type Config struct {
 	// capacity (default 1s; 0 keeps the default, negative disables the
 	// steal loop).
 	StealInterval time.Duration
+	// SuspicionThreshold is how many consecutive probe (or transport)
+	// failures a peer accumulates before it is declared dead (default 3).
+	// One dropped probe therefore never flaps routing or triggers takeover.
+	SuspicionThreshold int
 	// Logger receives cluster lifecycle records; nil discards them.
 	Logger Logger
 	// Registry, when non-nil, exposes the cluster counters as Prometheus
@@ -108,6 +126,24 @@ type Cluster struct {
 	proxiedReads           atomic.Uint64
 	peerFetches            atomic.Uint64
 	stealsThief, stealErrs atomic.Uint64
+
+	// Replication stream state (this node as origin), guarded by replMu.
+	// replMu is held across the flush POST so records reach the successor
+	// in journal-commit order.
+	replMu         sync.Mutex
+	outbox         []ReplRecord
+	needSnapshot   bool
+	replGen        uint64 // bumped per sink record; detects stale snapshots
+	lastReplTarget string
+	runCtx         context.Context // set by Start; delegation watchers run under it
+	delegated      []delegation    // parked until Start provides runCtx
+
+	// Replica state (this node as successor) and self-healing counters.
+	replEnabled             atomic.Bool
+	replicas                *replicaStore
+	replSent, replErrs      atomic.Uint64
+	replIngested            atomic.Uint64
+	takeovers, takeoverJobs atomic.Uint64
 }
 
 // New builds a single-member cluster around Self; AddPeer grows it. Bind
@@ -119,6 +155,9 @@ func New(cfg Config) *Cluster {
 	if cfg.StealInterval == 0 {
 		cfg.StealInterval = time.Second
 	}
+	if cfg.SuspicionThreshold <= 0 {
+		cfg.SuspicionThreshold = 3
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = nopLogger{}
 	}
@@ -128,6 +167,12 @@ func New(cfg Config) *Cluster {
 		ring:  NewRing(cfg.Vnodes),
 		log:   cfg.Logger,
 		peers: map[string]*Peer{},
+		// The first successful flush is always a snapshot: it clears any
+		// stale replica state a previous incarnation of this node left at
+		// the successor, and covers journal records replayed before the
+		// sink was attached.
+		needSnapshot: true,
+		replicas:     newReplicaStore(),
 	}
 	c.ring.Add(cfg.Self)
 	c.registerMetrics(cfg.Registry)
@@ -186,13 +231,25 @@ func (c *Cluster) Peers() []*Peer {
 // PeersHealth summarizes peer liveness for /v1/healthz.
 func (c *Cluster) PeersHealth() (list []client.PeerHealth, alive int) {
 	for _, p := range c.Peers() {
-		ph := client.PeerHealth{ID: p.ID, URL: p.URL, Alive: p.Alive()}
+		ph := client.PeerHealth{ID: p.ID, URL: p.URL, Alive: p.Alive(), Fails: p.Fails()}
+		ph.Suspect = ph.Alive && ph.Fails > 0
 		if ph.Alive {
 			alive++
 		}
 		list = append(list, ph)
 	}
 	return list, alive
+}
+
+// RingSample routes n synthetic keys through Owner, showing how ownership
+// is spread across live nodes right now (gpsctl cluster renders it).
+func (c *Cluster) RingSample(n int) []client.RingOwner {
+	out := make([]client.RingOwner, 0, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("ring-sample-%02d", i)
+		out = append(out, client.RingOwner{Key: key, Owner: c.Owner(key)})
+	}
+	return out
 }
 
 // live reports whether a node is usable as an owner right now: self always
@@ -205,16 +262,36 @@ func (c *Cluster) live(node string) bool {
 	return ok && p.Alive()
 }
 
-// Owner routes a canonical spec hash: the ring owner among live nodes.
-// Every node that agrees on the liveness set routes the hash identically,
-// so a dead owner's keys land deterministically on its ring successor
-// until it returns.
+// Owner routes a canonical spec hash. The raw (liveness-blind) ring owner
+// is used when live; a dead owner's keys all route to its single ring
+// successor — the same node that holds its replicated journal and runs the
+// takeover — so re-routed re-submits and adopted jobs meet on one node and
+// the local single-flight table deduplicates them. Every node that agrees
+// on the liveness set routes identically.
 func (c *Cluster) Owner(hash string) string {
-	owner := c.ring.OwnerAmong(hash, c.live)
+	owner := c.ring.Owner(hash)
 	if owner == "" {
-		owner = c.self // every peer down: serve locally rather than refuse
+		return c.self
 	}
-	return owner
+	if c.live(owner) {
+		return owner
+	}
+	if succ := c.ring.Successor(owner, c.live); succ != "" {
+		return succ
+	}
+	return c.self // every peer down: serve locally rather than refuse
+}
+
+// SuccessorSelf reports this node's current replication target: its ring
+// successor among live nodes ("" when no peer is live).
+func (c *Cluster) SuccessorSelf() string {
+	return c.ring.Successor(c.self, c.live)
+}
+
+// TakeoverTarget reports which live node promotes origin's jobs if origin
+// is dead — the node the ID-prefix proxy path falls back to.
+func (c *Cluster) TakeoverTarget(origin string) string {
+	return c.ring.Successor(origin, c.live)
 }
 
 // Stats snapshots the cluster counters for /v1/healthz.
@@ -227,6 +304,15 @@ func (c *Cluster) Stats() client.ClusterStats {
 		StealsThief:   c.stealsThief.Load(),
 		StealsVictim:  c.victimSteals(),
 		StealErrors:   c.stealErrs.Load(),
+
+		ReplicationTarget:  c.SuccessorSelf(),
+		ReplicatedRecords:  c.replSent.Load(),
+		ReplicationErrors:  c.replErrs.Load(),
+		ReplicationLag:     c.replicationLag(),
+		ReplicaJobsHeld:    uint64(c.replicas.jobs()),
+		ReplicatedIngested: c.replIngested.Load(),
+		Takeovers:          c.takeovers.Load(),
+		TakeoverJobs:       c.takeoverJobs.Load(),
 	}
 }
 
@@ -256,38 +342,139 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) {
 		func() float64 { _, alive := c.PeersHealth(); return float64(alive) })
 	reg.GaugeFunc("gpsd_cluster_peers_total", "Configured remote peers.",
 		func() float64 { return float64(len(c.Peers())) })
+	reg.CounterFunc("gpsd_cluster_journal_replicated_total", "Journal records acknowledged by a ring successor.", u64(c.replSent.Load))
+	reg.CounterFunc("gpsd_cluster_replication_errors_total", "Replication flushes that failed in transit or were refused.", u64(c.replErrs.Load))
+	reg.CounterFunc("gpsd_cluster_journal_ingested_total", "Replicated journal records accepted from peers.", u64(c.replIngested.Load))
+	reg.GaugeFunc("gpsd_cluster_replication_lag_records", "Committed journal records not yet acknowledged by a successor.",
+		func() float64 { return float64(c.replicationLag()) })
+	reg.GaugeFunc("gpsd_cluster_replica_jobs", "Peers' live jobs currently replicated onto this node.",
+		func() float64 { return float64(c.replicas.jobs()) })
+	reg.CounterFunc("gpsd_cluster_takeovers_total", "Takeover sweeps that promoted a dead peer's jobs.", u64(c.takeovers.Load))
+	reg.CounterFunc("gpsd_cluster_takeover_jobs_total", "Jobs promoted from dead peers' replicated journals.", u64(c.takeoverJobs.Load))
 }
 
-// ProbeOnce runs one liveness sweep: every peer gets a healthz probe with a
-// short per-probe timeout. A draining peer counts as dead for routing (it
-// refuses new submissions) even though its healthz body still parses.
-func (c *Cluster) ProbeOnce(ctx context.Context) {
-	for _, p := range c.Peers() {
-		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
-		h, err := p.client.Healthz(pctx)
-		cancel()
-		up := err == nil && h.Status == "ok"
-		was := p.alive.Swap(up)
-		if was != up {
-			if up {
-				c.log.Info("peer up", "peer", p.ID, "url", p.URL)
-			} else {
-				c.log.Warn("peer down", "peer", p.ID, "url", p.URL, "err", err)
-			}
+// probeOne sends one healthz probe to one peer and folds the outcome into
+// the suspicion state. A draining peer counts as dead for routing (it
+// refuses new submissions) even though its healthz body still parses. A
+// single success resets the failure streak; declaring death takes
+// SuspicionThreshold consecutive failures.
+func (c *Cluster) probeOne(ctx context.Context, p *Peer) {
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	h, err := p.client.Healthz(pctx)
+	cancel()
+	if err == nil && h.Status == "ok" {
+		p.fails.Store(0)
+		if !p.alive.Swap(true) {
+			c.log.Info("peer up", "peer", p.ID, "url", p.URL)
 		}
-		if err == nil {
-			p.mu.Lock()
-			p.health = h
-			p.mu.Unlock()
+		p.mu.Lock()
+		p.health = h
+		p.mu.Unlock()
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("peer draining (status %q)", h.Status)
+	}
+	c.markFailure(p, err, false)
+}
+
+// suspect records a transport-level failure (forward, proxy, or replication
+// flush) against a peer. One error never flaps routing; consecutive errors
+// reach the same threshold as failed probes, so a genuinely dead owner
+// stops attracting traffic before the next probe sweep confirms it.
+func (c *Cluster) suspect(p *Peer, err error) {
+	// The takeover sweep runs async here because suspect can fire while
+	// replMu is held (a failed replication flush); checkTakeovers adopts
+	// jobs, which journals, which re-enters the replication stream.
+	c.markFailure(p, err, true)
+}
+
+// markFailure bumps a peer's failure streak and declares it dead at the
+// suspicion threshold, triggering the takeover sweep for its replicas.
+func (c *Cluster) markFailure(p *Peer, err error, asyncTakeover bool) {
+	n := p.fails.Add(1)
+	if int(n) < c.cfg.SuspicionThreshold {
+		if p.Alive() {
+			c.log.Warn("peer suspect", "peer", p.ID, "fails", n,
+				"threshold", c.cfg.SuspicionThreshold, "err", err)
+		}
+		return
+	}
+	if p.alive.Swap(false) {
+		c.log.Warn("peer down", "peer", p.ID, "url", p.URL, "fails", n, "err", err)
+		if asyncTakeover {
+			go c.checkTakeovers()
+		} else {
+			c.checkTakeovers()
 		}
 	}
 }
 
-// Start runs the probe loop (and the steal loop, unless disabled) until
-// ctx is canceled. The first probe sweep runs synchronously so routing has
-// a liveness view before the daemon accepts traffic.
+// ProbeOnce runs one synchronous liveness sweep over every peer, then a
+// takeover sweep. Tests and startup use it; steady-state probing runs on
+// the per-peer jittered loops Start launches.
+func (c *Cluster) ProbeOnce(ctx context.Context) {
+	for _, p := range c.Peers() {
+		c.probeOne(ctx, p)
+	}
+	c.checkTakeovers()
+}
+
+// probeSchedule derives a deterministic per-peer probe schedule: the first
+// probe is offset into the interval and the period is skewed ±10%, both
+// from the (self, peer) pair's ring hash, so N nodes probing each other
+// never sweep in lockstep and a transient network hiccup doesn't fail every
+// pair's probe in the same instant.
+func probeSchedule(self, peer string, interval time.Duration) (offset, period time.Duration) {
+	h := ringHash(self + "->" + peer)
+	period = interval
+	if interval >= 100*time.Millisecond {
+		span := uint64(interval / 5) // ±10% of the interval
+		period = interval - interval/10 + time.Duration(h%span)
+		offset = time.Duration((h >> 32) % uint64(interval))
+	}
+	return offset, period
+}
+
+// Start runs the liveness, replication, and steal loops until ctx is
+// canceled. The first probe sweep runs synchronously so routing has a
+// liveness view before the daemon accepts traffic; after that each peer is
+// probed on its own jittered schedule.
 func (c *Cluster) Start(ctx context.Context) {
 	c.ProbeOnce(ctx)
+
+	// Adopt the run context and release any delegation watchers that were
+	// registered during journal replay, before the loops existed.
+	c.replMu.Lock()
+	c.runCtx = ctx
+	parked := c.delegated
+	c.delegated = nil
+	c.replMu.Unlock()
+	for _, d := range parked {
+		go c.watchDelegation(ctx, d)
+	}
+
+	for _, p := range c.Peers() {
+		p := p
+		go func() {
+			offset, period := probeSchedule(c.self, p.ID, c.cfg.ProbeInterval)
+			t := time.NewTimer(offset)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+				c.probeOne(ctx, p)
+				c.checkTakeovers()
+				t.Reset(period)
+			}
+		}()
+	}
+
+	// Replication flusher: drains records buffered while no successor was
+	// reachable, and pushes the initial snapshot once a successor is live.
 	go func() {
 		t := time.NewTicker(c.cfg.ProbeInterval)
 		defer t.Stop()
@@ -296,10 +483,11 @@ func (c *Cluster) Start(ctx context.Context) {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				c.ProbeOnce(ctx)
+				c.FlushReplication(ctx)
 			}
 		}
 	}()
+
 	if c.cfg.StealInterval > 0 && c.local != nil {
 		go func() {
 			t := time.NewTicker(c.cfg.StealInterval)
@@ -328,7 +516,7 @@ func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, body []byte) 
 	code, resp, err := p.client.Do(ctx, http.MethodPost, "/v1/jobs", body, nil)
 	if err != nil {
 		c.forwardErrs.Add(1)
-		p.alive.Store(false) // fail fast until the next probe
+		c.suspect(p, err) // one error raises suspicion, not a routing flap
 		return 0, nil, err
 	}
 	c.forwards.Add(1)
@@ -344,7 +532,7 @@ func (c *Cluster) ProxyJob(ctx context.Context, node, method, path string) (int,
 	}
 	code, resp, err := p.client.Do(ctx, method, path, nil, nil)
 	if err != nil {
-		p.alive.Store(false)
+		c.suspect(p, err)
 		return 0, nil, err
 	}
 	c.proxiedReads.Add(1)

@@ -129,3 +129,15 @@ func (r *Ring) OwnerAmong(key string, ok func(node string) bool) string {
 	}
 	return ""
 }
+
+// Successor returns node's ring successor: the first physical node other
+// than node itself, clockwise from node's primary position, for which ok
+// answers true (nil accepts every node). It anchors journal replication and
+// takeover — every member that agrees on the liveness set computes the same
+// single successor for a given node, so exactly one survivor promotes a
+// dead node's replicated jobs. Answers "" when no other node qualifies.
+func (r *Ring) Successor(node string, ok func(node string) bool) string {
+	return r.OwnerAmong(node, func(n string) bool {
+		return n != node && (ok == nil || ok(n))
+	})
+}

@@ -23,24 +23,28 @@ import (
 // cluster view, the HTTP server, and an execution counter proving where the
 // engine actually ran.
 type clusterNode struct {
-	id   string
-	svc  *service.Server
-	clu  *cluster.Cluster
-	ts   *httptest.Server
-	exec atomic.Int64
-	c    *client.Client
+	id      string
+	svc     *service.Server
+	clu     *cluster.Cluster
+	ts      *httptest.Server
+	exec    atomic.Int64
+	c       *client.Client
+	jpath   string
+	journal *service.Journal
 }
 
-// newTestCluster boots len(ids) fully wired nodes. mkExec builds each
-// node's executor around its counter; nil uses a fast deterministic one
-// that renders the spec into the report (so byte-identity across nodes is a
-// meaningful check).
+// newTestCluster boots len(ids) fully wired nodes, each with a journal and
+// the replication stream enabled (as gpsd -journal in cluster mode). mkExec
+// builds each node's executor around its counter; nil uses a fast
+// deterministic one that renders the spec into the report (so byte-identity
+// across nodes is a meaningful check).
 func newTestCluster(t *testing.T, ids []string,
 	mkExec func(id string, n *clusterNode) service.ExecuteFunc) map[string]*clusterNode {
 	t.Helper()
+	dir := t.TempDir()
 	nodes := make(map[string]*clusterNode, len(ids))
 	for _, id := range ids {
-		n := &clusterNode{id: id}
+		n := &clusterNode{id: id, jpath: dir + "/" + id + ".journal"}
 		n.clu = cluster.New(cluster.Config{Self: id})
 		exec := mkExec(id, n)
 		if exec == nil {
@@ -51,14 +55,22 @@ func newTestCluster(t *testing.T, ids []string,
 				return r, nil
 			}
 		}
+		j, err := service.OpenJournal(n.jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.journal = j
 		n.svc = service.New(service.Config{
 			NodeID:       id,
 			Workers:      1,
 			QueueDepth:   8,
 			Execute:      exec,
+			Journal:      j,
 			RemoteResult: n.clu.FetchPeerResult,
 		})
 		n.clu.Bind(n.svc)
+		n.journal.SetSink(n.clu)
+		n.clu.EnableReplication()
 		n.ts = httptest.NewServer(New(n.svc, WithCluster(n.clu)))
 		n.c = client.New(n.ts.URL)
 		nodes[id] = n
@@ -71,12 +83,14 @@ func newTestCluster(t *testing.T, ids []string,
 		}
 	}
 	probeAll(nodes)
+	flushAll(nodes) // initial snapshot flush arms the inline stream
 	t.Cleanup(func() {
 		for _, n := range nodes {
 			n.ts.Close()
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			n.svc.Shutdown(ctx)
 			cancel()
+			n.journal.Close()
 		}
 	})
 	return nodes
@@ -85,6 +99,37 @@ func newTestCluster(t *testing.T, ids []string,
 func probeAll(nodes map[string]*clusterNode) {
 	for _, n := range nodes {
 		n.clu.ProbeOnce(context.Background())
+	}
+}
+
+// flushAll pushes each node's pending replication state (the initial
+// full-state snapshot, or anything buffered while a successor was down).
+func flushAll(nodes map[string]*clusterNode) {
+	for _, n := range nodes {
+		n.clu.FlushReplication(context.Background())
+	}
+}
+
+// killNode simulates a SIGKILL: the listener drops with no drain and no
+// journal close, and the survivors probe until the suspicion threshold
+// declares the victim dead (which triggers their takeover sweeps).
+func killNode(t *testing.T, nodes map[string]*clusterNode, victim string) {
+	t.Helper()
+	nodes[victim].ts.Close()
+	for i := 0; i < 4; i++ { // past the default threshold of 3
+		for id, n := range nodes {
+			if id != victim {
+				n.clu.ProbeOnce(context.Background())
+			}
+		}
+	}
+	for id, n := range nodes {
+		if id == victim {
+			continue
+		}
+		if p, ok := n.clu.Peer(victim); !ok || p.Alive() {
+			t.Fatalf("%s still considers %s alive after threshold probes", id, victim)
+		}
 	}
 }
 
@@ -253,12 +298,9 @@ func TestClusterNodeDownReroute(t *testing.T) {
 		t.Fatalf("pre-kill job: %s %v", st.State, err)
 	}
 
-	// SIGKILL equivalent for an httptest node: the listener drops.
-	nodes["b"].ts.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	nodes["b"].svc.Shutdown(ctx)
-	cancel()
-	probeAll(nodes)
+	// SIGKILL equivalent for an httptest node: the listener drops with no
+	// drain, and the survivors probe past the suspicion threshold.
+	killNode(t, nodes, "b")
 
 	// A fresh spec whose full-ring owner is the dead b must re-route to a
 	// live node and complete.
@@ -283,10 +325,13 @@ func TestClusterNodeDownReroute(t *testing.T) {
 		t.Fatalf("re-routed job: %s %v", st.State, err)
 	}
 
-	// Reads of the dead node's jobs answer 502 from any survivor.
+	// Reads of the dead node's job IDs no longer 502: they fall back to the
+	// takeover target. pre.ID finished before the kill, so its replicated
+	// record was pruned and no survivor adopted it — the fallback answers a
+	// clean 404 instead of an endless bad gateway.
 	code, body := rawGet(t, nodes["a"], "/v1/jobs/"+pre.ID)
-	if code != http.StatusBadGateway {
-		t.Fatalf("read of dead node's job: %d (%s), want 502", code, body)
+	if code != http.StatusNotFound {
+		t.Fatalf("read of dead node's done job: %d (%s), want 404", code, body)
 	}
 
 	// Healthz on a survivor reflects the dead peer.

@@ -27,6 +27,12 @@
 //	GET    /v1/peer/results/{hash}       content-addressed cache lookup
 //	POST   /v1/peer/steal?thief={node}   check one queued job out (work steal)
 //	POST   /v1/peer/jobs/{id}/complete   land a stolen job's outcome back
+//	POST   /v1/peer/journal              ingest a peer's replicated journal
+//	                                     records (self-healing stream)
+//
+// When a job ID's prefix names a dead node, reads and cancels fall back to
+// that node's takeover successor — the live node that adopted (or is about
+// to adopt) its replicated jobs — instead of failing with 502.
 //
 // The result endpoint emits the same report schema as gpsbench -json
 // (internal/report), so CLI and service output are byte-compatible.
@@ -101,6 +107,7 @@ func New(svc *service.Server, opts ...Option) *Handler {
 		h.mux.HandleFunc("GET /v1/peer/results/{hash}", h.peerResult)
 		h.mux.HandleFunc("POST /v1/peer/steal", h.peerSteal)
 		h.mux.HandleFunc("POST /v1/peer/jobs/{id}/complete", h.peerComplete)
+		h.mux.HandleFunc("POST /v1/peer/journal", h.peerJournal)
 	}
 	if o.registry != nil {
 		h.mux.Handle("GET /metrics", o.registry.Handler())
@@ -224,7 +231,10 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 // proxied relays a job read/cancel to the node named in the job ID's
 // prefix when that is a known peer. It reports true when it handled the
 // request. Requests already carrying the loop-guard header and IDs owned
-// locally (or with no recognizable prefix) are handled locally.
+// locally (or with no recognizable prefix) are handled locally. A dead
+// prefix node's requests fall back to its takeover successor — the node
+// holding its replicated journal — which serves the adopted job under the
+// original ID (locally, when this node is that successor).
 func (h *Handler) proxied(w http.ResponseWriter, r *http.Request, id, suffix string) bool {
 	if h.cluster == nil || r.Header.Get(cluster.ForwardHeader) != "" {
 		return false
@@ -233,13 +243,21 @@ func (h *Handler) proxied(w http.ResponseWriter, r *http.Request, id, suffix str
 	if node == "" || node == h.cluster.Self() {
 		return false
 	}
-	if _, ok := h.cluster.Peer(node); !ok {
+	p, ok := h.cluster.Peer(node)
+	if !ok {
 		return false // unknown prefix: treat as a local (unknown) job ID
 	}
-	code, body, err := h.cluster.ProxyJob(r.Context(), node, r.Method, "/v1/jobs/"+id+suffix)
+	target := node
+	if !p.Alive() {
+		target = h.cluster.TakeoverTarget(node)
+		if target == "" || target == h.cluster.Self() {
+			return false // we are the successor (or alone): answer locally
+		}
+	}
+	code, body, err := h.cluster.ProxyJob(r.Context(), target, r.Method, "/v1/jobs/"+id+suffix)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway,
-			errorBody{Error: fmt.Sprintf("node %s unreachable: %v", node, err)})
+			errorBody{Error: fmt.Sprintf("node %s unreachable: %v", target, err)})
 		return true
 	}
 	writeRaw(w, code, body)
@@ -326,6 +344,7 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 		hz.Peers, hz.PeersAlive, hz.PeersTotal = peers, alive, len(peers)
 		stats := h.cluster.Stats()
 		hz.Cluster = &stats
+		hz.Ring = h.cluster.RingSample(ringSamplePoints)
 	}
 	writeJSON(w, code, hz)
 }
@@ -370,6 +389,31 @@ func (h *Handler) peerSteal(w http.ResponseWriter, r *http.Request) {
 // matrices run to megabytes of rendered tables; 64 MiB is far above any
 // real report while still bounding a hostile peer.
 const maxCompleteBytes = 64 << 20
+
+// ringSamplePoints is how many synthetic keys healthz routes through the
+// ring to show ownership spread (gpsctl cluster renders them).
+const ringSamplePoints = 8
+
+// maxJournalBytes caps one replicated journal batch. Specs are tiny; even a
+// full-snapshot Reset batch for thousands of pending jobs fits comfortably.
+const maxJournalBytes = 8 << 20
+
+// peerJournal ingests one peer's replicated journal records — the receive
+// side of the self-healing stream. The records land in this node's replica
+// store; they turn into real jobs only if the origin dies and this node is
+// its ring successor at that moment.
+func (h *Handler) peerJournal(w http.ResponseWriter, r *http.Request) {
+	var batch cluster.ReplBatch
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJournalBytes)).Decode(&batch); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad journal batch: " + err.Error()})
+		return
+	}
+	if err := h.cluster.ApplyReplicaBatch(batch); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
 
 // peerComplete lands a stolen job's outcome back on this (victim) node.
 func (h *Handler) peerComplete(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,249 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"gps/internal/cluster"
+	"gps/internal/report"
+	"gps/internal/service"
+)
+
+// specsOwnedBy returns n distinct canonical specs whose ring owner is the
+// given node (per the submitting node's current liveness view).
+func specsOwnedBy(t *testing.T, n *clusterNode, owner string, count int) []service.Spec {
+	t.Helper()
+	var specs []service.Spec
+	for seed := int64(1); seed < 65536 && len(specs) < count; seed++ {
+		spec := service.Spec{Type: "figure", Figure: 3, Seed: seed}
+		canon, err := spec.Canonicalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.clu.Owner(canon.Hash()) == owner {
+			specs = append(specs, spec)
+		}
+	}
+	if len(specs) < count {
+		t.Fatalf("found only %d/%d seeds owned by %s", len(specs), count, owner)
+	}
+	return specs
+}
+
+// TestClusterTakeoverPermanentKill is the permanent-kill chaos scenario:
+// three nodes, the owner of a batch of jobs is SIGKILLed mid-queue (one job
+// running, the rest queued) and never restarted. Every accepted job must
+// reach done on the ring successor under its ORIGINAL ID, results must read
+// byte-identical through both survivors, and the engine-run counters must
+// prove each job executed exactly once.
+func TestClusterTakeoverPermanentKill(t *testing.T) {
+	release := make(chan struct{})
+	var released bool
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	nodes := newTestCluster(t, []string{"a", "b", "c"},
+		func(id string, n *clusterNode) service.ExecuteFunc {
+			if id != "b" {
+				return nil // fast deterministic default
+			}
+			// b's engine parks until released, wedging its queue so the kill
+			// happens with work genuinely in flight.
+			return func(ctx context.Context, spec service.Spec) (*report.Report, error) {
+				n.exec.Add(1)
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				r := &report.Report{ParallelWorkers: 1}
+				r.AddTable("spec", "should never finish on b")
+				return r, nil
+			}
+		})
+
+	const jobs = 3
+	specs := specsOwnedBy(t, nodes["a"], "b", jobs)
+	ids := make([]string, 0, jobs)
+	for _, spec := range specs {
+		sub := submitVia(t, nodes["a"], spec)
+		if service.JobNode(sub.ID) != "b" {
+			t.Fatalf("job %s not owned by b", sub.ID)
+		}
+		ids = append(ids, sub.ID)
+	}
+	// Give b's worker a moment to pick up (and wedge on) the first job so
+	// the kill catches a mix of running and queued work. The submit records
+	// were replicated synchronously inside each Submit, so nothing below
+	// depends on this timing.
+	time.Sleep(50 * time.Millisecond)
+
+	killNode(t, nodes, "b")
+
+	succ := nodes["a"].clu.TakeoverTarget("b")
+	if succ == "" || succ == "b" {
+		t.Fatalf("no takeover target for b: %q", succ)
+	}
+	if got := nodes["c"].clu.TakeoverTarget("b"); got != succ {
+		t.Fatalf("survivors disagree on b's successor: a says %s, c says %s", succ, got)
+	}
+	adopter, other := nodes[succ], nodes["a"]
+	if succ == "a" {
+		other = nodes["c"]
+	}
+
+	// Every job completes under its original b-prefixed ID, visible through
+	// both survivors, marked as adopted from the dead node.
+	for _, id := range ids {
+		for _, n := range []*clusterNode{adopter, other} {
+			st, err := n.c.WaitTerminal(context.Background(), id, 5*time.Millisecond)
+			if err != nil || st.State != service.StateDone {
+				t.Fatalf("job %s via %s: state %s err %v", id, n.id, st.State, err)
+			}
+			if st.AdoptedFrom != "b" {
+				t.Fatalf("job %s via %s: adopted_from %q, want b", id, n.id, st.AdoptedFrom)
+			}
+		}
+		codeA, bodyA := rawGet(t, adopter, "/v1/jobs/"+id+"/result")
+		codeB, bodyB := rawGet(t, other, "/v1/jobs/"+id+"/result")
+		if codeA != 200 || codeB != 200 {
+			t.Fatalf("job %s results: %d via %s, %d via %s", id, codeA, adopter.id, codeB, other.id)
+		}
+		if !bytes.Equal(bodyA, bodyB) {
+			t.Fatalf("job %s result bytes differ between survivors", id)
+		}
+	}
+
+	// Exactly-once execution: the successor ran all of them, the other
+	// survivor ran none, and b's wedged attempt never completed.
+	if got := adopter.exec.Load(); got != jobs {
+		t.Fatalf("successor %s executed %d jobs, want %d", adopter.id, got, jobs)
+	}
+	if got := other.exec.Load(); got != 0 {
+		t.Fatalf("survivor %s executed %d jobs, want 0", other.id, got)
+	}
+
+	// Takeover counters surface on the successor only.
+	if st := adopter.clu.Stats(); st.TakeoverJobs != jobs || st.Takeovers == 0 {
+		t.Fatalf("successor stats: takeovers=%d takeover_jobs=%d, want >0/%d",
+			st.Takeovers, st.TakeoverJobs, jobs)
+	}
+	if st := other.clu.Stats(); st.TakeoverJobs != 0 {
+		t.Fatalf("survivor %s reports %d takeover jobs, want 0", other.id, st.TakeoverJobs)
+	}
+
+	// Cross-node single-flight survives the takeover: resubmitting one of
+	// the dead node's specs through the other survivor routes to the
+	// successor and answers from cache — no re-execution anywhere.
+	sub := submitVia(t, other, specs[0])
+	if service.JobNode(sub.ID) != succ {
+		t.Fatalf("post-takeover resubmit routed to %s, want %s", service.JobNode(sub.ID), succ)
+	}
+	st, err := other.c.WaitTerminal(context.Background(), sub.ID, 5*time.Millisecond)
+	if err != nil || st.State != service.StateDone {
+		t.Fatalf("post-takeover resubmit: %s %v", st.State, err)
+	}
+	if got := adopter.exec.Load(); got != jobs {
+		t.Fatalf("resubmit re-executed: successor count %d, want %d", got, jobs)
+	}
+}
+
+// TestClusterResurrectionDuringTakeover covers the return of the dead: a
+// node is killed with jobs in flight, its successor adopts and finishes
+// them, and then the node comes back with the same journal. The replayed
+// jobs must NOT re-execute locally — the resurrection handshake delegates
+// them to the successor and lands its results.
+func TestClusterResurrectionDuringTakeover(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	nodes := newTestCluster(t, []string{"a", "b", "c"},
+		func(id string, n *clusterNode) service.ExecuteFunc {
+			if id != "b" {
+				return nil
+			}
+			return func(ctx context.Context, spec service.Spec) (*report.Report, error) {
+				n.exec.Add(1)
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return &report.Report{ParallelWorkers: 1}, nil
+			}
+		})
+
+	specs := specsOwnedBy(t, nodes["a"], "b", 2)
+	ids := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		ids = append(ids, submitVia(t, nodes["a"], spec).ID)
+	}
+	time.Sleep(50 * time.Millisecond) // let b wedge on the first job
+
+	killNode(t, nodes, "b")
+	succ := nodes["a"].clu.TakeoverTarget("b")
+	for _, id := range ids {
+		st, err := nodes[succ].c.WaitTerminal(context.Background(), id, 5*time.Millisecond)
+		if err != nil || st.State != service.StateDone {
+			t.Fatalf("adopted job %s: %s %v", id, st.State, err)
+		}
+	}
+
+	// Resurrect b from its own journal. The pre-kill process still exists
+	// (its worker is wedged); OpenJournal's compacting rewrite renames the
+	// file away, so any late writes from the zombie land on an unlinked
+	// inode — exactly the isolation a real restart gets from a new PID.
+	j2, err := service.OpenJournal(nodes["b"].jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	clu2 := cluster.New(cluster.Config{Self: "b", ProbeInterval: 100 * time.Millisecond, StealInterval: -1})
+	clu2.AddPeer("a", nodes["a"].ts.URL)
+	clu2.AddPeer("c", nodes["c"].ts.URL)
+	clu2.ProbeOnce(context.Background()) // liveness view before reconcile, as gpsd does
+	var reexec int64
+	svc2 := service.New(service.Config{
+		NodeID:     "b",
+		Workers:    1,
+		QueueDepth: 8,
+		Execute: func(ctx context.Context, spec service.Spec) (*report.Report, error) {
+			reexec++
+			return &report.Report{ParallelWorkers: 1}, nil
+		},
+		Journal:      j2,
+		Reconcile:    clu2.Reconcile,
+		RemoteResult: clu2.FetchPeerResult,
+	})
+	clu2.Bind(svc2)
+	j2.SetSink(clu2)
+	clu2.EnableReplication()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clu2.Start(ctx) // drains the parked delegations into watchers
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		svc2.Shutdown(sctx)
+		scancel()
+	}()
+
+	// Every replayed job must land the successor's outcome without running
+	// the engine here.
+	for _, id := range ids {
+		wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		st, rep, err := svc2.WaitResult(wctx, id)
+		wcancel()
+		if err != nil || st.State != service.StateDone || rep == nil {
+			t.Fatalf("resurrected %s: state %s rep=%v err %v", id, st.State, rep != nil, err)
+		}
+		if st.StolenBy != succ {
+			t.Fatalf("resurrected %s: stolen_by %q, want delegation to %s", id, st.StolenBy, succ)
+		}
+	}
+	if reexec != 0 {
+		t.Fatalf("resurrected node re-executed %d delegated jobs, want 0", reexec)
+	}
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"sort"
+	"time"
+)
+
+// Takeover, successor side. When a cluster peer dies permanently, the ring
+// successor holds replicated journal records for every job the dead node
+// had accepted but not finished. Adopt promotes one such record: the job is
+// re-enqueued here under its original (foreign-prefixed) ID, so clients
+// polling the handle they already hold keep working once reads for the dead
+// prefix fall back to this node. Adoption is idempotent and single-flight
+// aware: an ID already known is left alone, a spec already cached completes
+// instantly, and a spec already in flight locally rides on that execution
+// instead of running a second time.
+
+// AdoptOutcome classifies what Adopt did with a replicated record.
+type AdoptOutcome string
+
+const (
+	// AdoptQueued: a fresh execution was queued under the original ID.
+	AdoptQueued AdoptOutcome = "queued"
+	// AdoptCached: the result cache already held the spec; the job is born
+	// done under the original ID with no execution.
+	AdoptCached AdoptOutcome = "cached"
+	// AdoptCoalesced: an identical spec is already queued or running here
+	// (e.g. a client re-submitted after the owner died and re-routing landed
+	// it on this node); the adopted ID rides on that execution.
+	AdoptCoalesced AdoptOutcome = "coalesced"
+	// AdoptExists: the ID is already registered (an earlier takeover sweep
+	// adopted it); nothing to do.
+	AdoptExists AdoptOutcome = "exists"
+)
+
+// Adopt promotes one replicated journal record from the dead node origin.
+// The job keeps its original ID. Fresh adoptions are journaled locally, so
+// if this successor also dies its own journal (and replication stream)
+// carry the job onward.
+func (s *Server) Adopt(origin, id string, spec Spec) (AdoptOutcome, error) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	hash := canon.Hash()
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrShuttingDown
+	}
+	if _, ok := s.jobs[id]; ok {
+		return AdoptExists, nil
+	}
+
+	job := &Job{
+		ID:          id,
+		Hash:        hash,
+		Node:        s.cfg.NodeID,
+		Spec:        canon,
+		State:       StateQueued,
+		AdoptedFrom: origin,
+		SubmittedAt: now,
+		done:        make(chan struct{}),
+	}
+
+	if res, ok := s.cache.get(hash); ok {
+		s.cacheHits.Add(1)
+		job.State = StateDone
+		job.CacheHit = true
+		job.StartedAt, job.FinishedAt = now, now
+		job.Result = res
+		s.jobs[id] = job
+		close(job.done)
+		s.retireLocked(job)
+		s.jobsAdopted.Add(1)
+		s.jobsDone.Add(1)
+		s.logger.Info("adopted job served from cache", "job_id", id, "origin", origin, "hash", hash)
+		return AdoptCached, nil
+	}
+
+	if leader, ok := s.inflight[hash]; ok {
+		// Cross-node single-flight on the successor: the spec is already
+		// executing here (a re-routed re-submit beat the takeover sweep).
+		// The adopted ID becomes a rider that mirrors the leader's outcome.
+		s.jobs[id] = job
+		s.coalesced.Add(1)
+		s.jobsAdopted.Add(1)
+		leader.Coalesced++
+		go s.finishAdoptedRider(job, leader)
+		s.logger.Info("adopted job coalesced onto in-flight spec",
+			"job_id", id, "origin", origin, "leader", leader.ID, "hash", hash)
+		return AdoptCoalesced, nil
+	}
+
+	s.jobs[id] = job
+	s.inflight[hash] = job
+	// Durability first, like Submit — but an adoption that cannot be
+	// journaled still proceeds: the origin is dead, so refusing would strand
+	// the job entirely. The replicated copy on our own successor is the
+	// remaining safety net.
+	if jerr := s.cfg.Journal.record(OpSubmit, id, &job.Spec, ""); jerr != nil {
+		s.logger.Warn("adopted job not journaled", "job_id", id, "err", jerr)
+	}
+	select {
+	case s.queue <- job:
+	default:
+		// The admission queue is full. Takeover work must not be rejected —
+		// the clients of the dead node are owed these jobs — so run it on a
+		// dedicated goroutine outside the worker pool.
+		go s.runJobIsolated(job)
+	}
+	s.jobsAdopted.Add(1)
+	s.cacheMisses.Add(1)
+	s.logger.Info("job adopted from dead peer", "job_id", id, "origin", origin, "hash", hash)
+	return AdoptQueued, nil
+}
+
+// finishAdoptedRider mirrors the leader's terminal state onto an adopted
+// rider job once the leader finishes.
+func (s *Server) finishAdoptedRider(job, leader *Job) {
+	<-leader.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if job.State.Terminal() { // canceled while riding
+		return
+	}
+	now := time.Now()
+	job.StartedAt, job.FinishedAt = leader.StartedAt, now
+	job.State = leader.State
+	job.Err = leader.Err
+	job.Result = leader.Result
+	switch leader.State {
+	case StateDone:
+		s.jobsDone.Add(1)
+		s.cfg.Journal.record(OpDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
+	case StateCanceled:
+		s.jobsCancd.Add(1)
+		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+	default:
+		job.State = StateFailed
+		s.jobsFailed.Add(1)
+		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+	}
+	close(job.done)
+	s.retireLocked(job)
+	s.logger.Info("adopted rider finished", "job_id", job.ID, "leader", leader.ID, "state", string(job.State))
+}
+
+// PendingJobs snapshots every non-terminal job (queued, running, stolen, or
+// delegated), in ID order. The cluster's replicator uses it as the full-state
+// resync payload when the replication successor changes or recovers.
+func (s *Server) PendingJobs() []PendingJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []PendingJob
+	for _, job := range s.jobs {
+		if job.State.Terminal() {
+			continue
+		}
+		out = append(out, PendingJob{ID: job.ID, Spec: job.Spec, Started: job.State == StateRunning})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

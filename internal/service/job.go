@@ -44,6 +44,7 @@ type Job struct {
 	Coalesced   uint64 // extra submissions that rode on this execution
 	Replayed    bool   // re-enqueued from the journal after a crash
 	StolenBy    string // peer node executing this job after a work steal
+	AdoptedFrom string // dead peer whose replicated journal this job came from
 	PeerFetched bool   // result fetched from a peer's cache, no local execution
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -69,6 +70,7 @@ type Status struct {
 	Coalesced   uint64  `json:"coalesced,omitempty"`
 	Replayed    bool    `json:"replayed,omitempty"`     // recovered from the journal
 	StolenBy    string  `json:"stolen_by,omitempty"`    // peer executing this job after a steal
+	AdoptedFrom string  `json:"adopted_from,omitempty"` // dead peer this job was taken over from
 	PeerFetched bool    `json:"peer_fetched,omitempty"` // result served from a peer's cache
 	Error       string  `json:"error,omitempty"`
 	SubmittedAt string  `json:"submitted_at"`
@@ -90,6 +92,7 @@ func (j *Job) snapshot(now time.Time) Status {
 		Coalesced:   j.Coalesced,
 		Replayed:    j.Replayed,
 		StolenBy:    j.StolenBy,
+		AdoptedFrom: j.AdoptedFrom,
 		PeerFetched: j.PeerFetched,
 		Error:       j.Err,
 		SubmittedAt: j.SubmittedAt.UTC().Format(time.RFC3339Nano),

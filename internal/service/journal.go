@@ -22,13 +22,16 @@ import (
 // The journal assumes a single daemon per file; there is no inter-process
 // locking.
 
-// Journal transition ops.
+// Journal transition ops. Exported because the cluster's replication layer
+// speaks the same vocabulary: a JournalSink receives these op strings, and
+// the successor's replica store interprets them (submit adds, the terminal
+// ops prune).
 const (
-	opSubmit = "submit"
-	opStart  = "start"
-	opDone   = "done"
-	opFail   = "fail"
-	opCancel = "cancel"
+	OpSubmit = "submit"
+	OpStart  = "start"
+	OpDone   = "done"
+	OpFail   = "fail"
+	OpCancel = "cancel"
 )
 
 // journalRecord is one JSON line of the journal.
@@ -49,6 +52,17 @@ type PendingJob struct {
 	Started bool // it was mid-execution, not just queued
 }
 
+// JournalSink receives every record committed to the journal, after its
+// local fsync. The cluster layer implements it to replicate submit and
+// terminal records to the ring successor, so a permanently dead node's
+// accepted jobs can be promoted and re-run elsewhere. The sink is invoked
+// outside the journal lock; per-job ordering (submit before its terminal
+// record) still holds because a job only becomes visible to workers after
+// its submit record — sink call included — returns.
+type JournalSink interface {
+	JournalRecord(op, id string, spec *Spec, errStr string)
+}
+
 // Journal is the durable job log. All methods are safe for concurrent use.
 type Journal struct {
 	mu      sync.Mutex
@@ -56,6 +70,7 @@ type Journal struct {
 	f       *os.File
 	pending []PendingJob
 	records uint64
+	sink    JournalSink
 }
 
 // OpenJournal opens (or creates) the journal at path, replays it, compacts
@@ -81,12 +96,12 @@ func OpenJournal(path string) (*Journal, error) {
 	now := time.Now().UTC().Format(time.RFC3339Nano)
 	for i := range pending {
 		p := &pending[i]
-		if err := writeRecord(w, journalRecord{Op: opSubmit, ID: p.ID, Spec: &p.Spec, Time: now}); err != nil {
+		if err := writeRecord(w, journalRecord{Op: OpSubmit, ID: p.ID, Spec: &p.Spec, Time: now}); err != nil {
 			f.Close()
 			return nil, err
 		}
 		if p.Started {
-			if err := writeRecord(w, journalRecord{Op: opStart, ID: p.ID, Time: now}); err != nil {
+			if err := writeRecord(w, journalRecord{Op: OpStart, ID: p.ID, Time: now}); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -135,7 +150,7 @@ func replayJournal(data []byte) []PendingJob {
 			continue // torn write or corruption: drop the line
 		}
 		switch rec.Op {
-		case opSubmit:
+		case OpSubmit:
 			if rec.Spec == nil || rec.ID == "" {
 				continue
 			}
@@ -144,11 +159,11 @@ func replayJournal(data []byte) []PendingJob {
 			}
 			states[rec.ID] = &state{spec: *rec.Spec}
 			order = append(order, rec.ID)
-		case opStart:
+		case OpStart:
 			if st, ok := states[rec.ID]; ok {
 				st.started = true
 			}
-		case opDone, opFail, opCancel:
+		case OpDone, OpFail, OpCancel:
 			if st, ok := states[rec.ID]; ok {
 				st.terminal = true
 			}
@@ -188,6 +203,20 @@ func syncDir(path string) {
 	d.Close()
 }
 
+// SetSink attaches (or replaces) the replication sink. A nil journal or nil
+// sink is fine; replication simply stays off. Records appended before the
+// sink was attached are not re-emitted — the cluster layer covers that gap
+// by pushing a full snapshot of the service's live jobs on its first
+// successful replication flush.
+func (j *Journal) SetSink(s JournalSink) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sink = s
+}
+
 // TakePending hands the replayed pending jobs to the consumer exactly once.
 func (j *Journal) TakePending() []PendingJob {
 	j.mu.Lock()
@@ -214,17 +243,27 @@ func (j *Journal) record(op, id string, spec *Spec, errStr string) error {
 	}
 	data = append(data, '\n')
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.f == nil {
+		j.mu.Unlock()
 		return fmt.Errorf("service: journal closed")
 	}
 	if _, err := j.f.Write(data); err != nil {
+		j.mu.Unlock()
 		return fmt.Errorf("service: journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.mu.Unlock()
 		return fmt.Errorf("service: journal: %w", err)
 	}
 	j.records++
+	sink := j.sink
+	j.mu.Unlock()
+	// Replication runs after the local commit and outside the journal lock:
+	// a slow successor throttles the job that caused the record, not every
+	// concurrent journal append. Sink failures never undo a local commit.
+	if sink != nil {
+		sink.JournalRecord(op, id, spec, errStr)
+	}
 	return nil
 }
 

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// captureSink records every journal record it receives, in order.
+type captureSink struct {
+	mu   sync.Mutex
+	recs []struct {
+		op, id  string
+		hasSpec bool
+	}
+}
+
+func (c *captureSink) JournalRecord(op, id string, spec *Spec, errStr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recs = append(c.recs, struct {
+		op, id  string
+		hasSpec bool
+	}{op, id, spec != nil})
+}
+
+func (c *captureSink) snapshot() []struct {
+	op, id  string
+	hasSpec bool
+} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append(c.recs[:0:0], c.recs...)
+}
+
+// TestJournalSinkReplicationStream: every record the journal commits reaches
+// the sink, in per-job order (submit, then start, then terminal), with the
+// spec attached exactly where the replica store needs it — on submits.
+// After a crash and compacting reopen, nothing is re-emitted for the
+// survivors (the cluster covers that gap with a snapshot flush), the
+// pending set equals exactly the sink's submits-without-terminals (no
+// record loss across compaction), and post-restart records flow to the
+// fresh sink.
+func TestJournalSinkReplicationStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gpsd.journal")
+	sink := &captureSink{}
+	j1 := openTestJournal(t, path)
+	j1.SetSink(sink)
+
+	// First life: one running job, one queued, then the process "dies".
+	exec1 := newBlockingExec()
+	s1 := New(Config{Workers: 1, QueueDepth: 4, Execute: exec1.exec, Journal: j1})
+	t.Cleanup(func() {
+		close(exec1.release)
+		s1.Shutdown(context.Background())
+	})
+	running, _, err := s1.Submit(sensSpec("tlb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-exec1.started
+	queued, _, err := s1.Submit(sensSpec("pagesize"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := sink.snapshot()
+	seen := map[string][]string{}
+	for _, r := range recs {
+		seen[r.id] = append(seen[r.id], r.op)
+		if (r.op == OpSubmit) != r.hasSpec {
+			t.Fatalf("record %s/%s: spec presence wrong", r.op, r.id)
+		}
+	}
+	if got := seen[running.ID]; len(got) != 2 || got[0] != OpSubmit || got[1] != OpStart {
+		t.Fatalf("running job stream = %v, want [submit start]", got)
+	}
+	if got := seen[queued.ID]; len(got) != 1 || got[0] != OpSubmit {
+		t.Fatalf("queued job stream = %v, want [submit]", got)
+	}
+
+	// Second life: the compacting reopen must not replay anything into the
+	// new sink — and must owe exactly the jobs whose sink stream has a
+	// submit but no terminal record.
+	sink2 := &captureSink{}
+	j2 := openTestJournal(t, path)
+	j2.SetSink(sink2)
+	if got := sink2.snapshot(); len(got) != 0 {
+		t.Fatalf("compaction re-emitted %d records into the sink", len(got))
+	}
+
+	exec2 := newBlockingExec()
+	close(exec2.release)
+	s2 := New(Config{Workers: 1, QueueDepth: 4, Execute: exec2.exec, Journal: j2})
+	defer s2.Shutdown(context.Background())
+
+	for _, want := range []struct {
+		id      string
+		started bool
+	}{{running.ID, true}, {queued.ID, false}} {
+		st := waitTerminal(t, s2, want.id)
+		if st.State != StateDone || !st.Replayed {
+			t.Fatalf("replayed %s: state=%s replayed=%v", want.id, st.State, st.Replayed)
+		}
+	}
+
+	// The restart's stream re-starts and finishes both jobs; it never
+	// re-emits their submits (the successor's replica state for this node is
+	// refreshed by snapshot, not by the append stream).
+	ops := map[string]int{}
+	for _, r := range sink2.snapshot() {
+		ops[r.op]++
+		if r.id != running.ID && r.id != queued.ID {
+			t.Fatalf("unexpected record for %s in restart stream", r.id)
+		}
+	}
+	if ops[OpSubmit] != 0 || ops[OpStart] != 2 || ops[OpDone] != 2 {
+		t.Fatalf("restart stream ops = %v, want 0 submits, 2 starts, 2 dones", ops)
+	}
+}

@@ -89,6 +89,14 @@ type Config struct {
 	// thief node before the victim reclaims and re-enqueues it (default
 	// 2m). Completions arriving after the reclaim are dropped.
 	StealTimeout time.Duration
+	// Reconcile, when non-nil, is the resurrection handshake: it is asked
+	// about every journal-recovered pending job before it is re-enqueued.
+	// Returning "" replays the job locally as usual; returning a node ID
+	// delegates it — the job registers as running on that peer (the cluster
+	// layer drives its completion) instead of executing a second time here.
+	// A node returning from the dead uses this to reconcile against the
+	// successor that took its jobs over while it was gone.
+	Reconcile func(p PendingJob) string
 
 	// JobRetry schedules job-level re-execution: a job whose attempt fails
 	// with a retryable error (injected faults, explicitly transient errors)
@@ -187,6 +195,7 @@ type Metrics struct {
 	StealsCompleted uint64 `json:"steals_completed,omitempty"`
 	StealReclaims   uint64 `json:"steal_reclaims,omitempty"`
 	JobsPeerFetched uint64 `json:"jobs_peer_fetched,omitempty"`
+	JobsAdopted     uint64 `json:"jobs_adopted,omitempty"`
 
 	ResultCacheHits    uint64 `json:"result_cache_hits"`
 	ResultCacheMisses  uint64 `json:"result_cache_misses"`
@@ -238,6 +247,7 @@ type Server struct {
 	replayed, cacheWriteErrs        atomic.Uint64
 	jobsStolen, stealsCompleted     atomic.Uint64
 	stealReclaims, peerFetched      atomic.Uint64
+	jobsAdopted                     atomic.Uint64
 	execSeconds                     float64 // guarded by mu
 }
 
@@ -321,6 +331,7 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	jobs("steal_completed", s.stealsCompleted.Load)
 	jobs("steal_reclaimed", s.stealReclaims.Load)
 	jobs("peer_fetched", s.peerFetched.Load)
+	jobs("adopted", s.jobsAdopted.Load)
 
 	reg.CounterFunc("gpsd_result_cache_hits_total", "Submissions answered from the result cache.", u64(s.cacheHits.Load))
 	reg.CounterFunc("gpsd_result_cache_misses_total", "Submissions that required execution.", u64(s.cacheMisses.Load))
@@ -388,12 +399,12 @@ func (s *Server) replayPending(pending []PendingJob) {
 		if err != nil {
 			// The journaled spec no longer validates (e.g. a workload was
 			// removed). Close it out so compaction drops it next boot.
-			s.cfg.Journal.record(opFail, p.ID, nil, "replay: "+err.Error()) //nolint:errcheck // best-effort close-out
+			s.cfg.Journal.record(OpFail, p.ID, nil, "replay: "+err.Error()) //nolint:errcheck // best-effort close-out
 			continue
 		}
 		hash := canon.Hash()
 		if _, ok := s.inflight[hash]; ok {
-			s.cfg.Journal.record(opCancel, p.ID, nil, "replay: duplicate of recovered spec") //nolint:errcheck // best-effort close-out
+			s.cfg.Journal.record(OpCancel, p.ID, nil, "replay: duplicate of recovered spec") //nolint:errcheck // best-effort close-out
 			continue
 		}
 		if n := jobSeq(p.ID); n > s.seq {
@@ -408,6 +419,25 @@ func (s *Server) replayPending(pending []PendingJob) {
 			Replayed:    true,
 			SubmittedAt: now,
 			done:        make(chan struct{}),
+		}
+		if s.cfg.Reconcile != nil {
+			if delegate := s.cfg.Reconcile(p); delegate != "" {
+				// The successor adopted this job while we were dead. Register
+				// it as running there — exactly the shape of a stolen job, so
+				// cancel, the reclaim watchdog, and CompleteStolen all work
+				// unchanged — and let the cluster's delegation watcher land
+				// the successor's outcome (or reclaim on successor death).
+				job.State = StateRunning
+				job.StolenBy = delegate
+				job.StartedAt = now
+				job.stealTimer = time.AfterFunc(s.cfg.StealTimeout, func() { s.reclaimStolen(job) })
+				s.jobs[job.ID] = job
+				s.inflight[hash] = job
+				s.replayed.Add(1)
+				s.logger.Info("job delegated to takeover successor",
+					"job_id", job.ID, "hash", hash, "successor", delegate)
+				continue
+			}
 		}
 		s.jobs[job.ID] = job
 		s.inflight[hash] = job
@@ -492,7 +522,7 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 		return Status{}, OutcomeAccepted, ErrQueueFull
 	}
 	s.inflight[hash] = job
-	if jerr := s.cfg.Journal.record(opSubmit, job.ID, &job.Spec, ""); jerr != nil {
+	if jerr := s.cfg.Journal.record(OpSubmit, job.ID, &job.Spec, ""); jerr != nil {
 		// Durability is the contract: a submission we cannot journal is
 		// refused. The job is voided under the lock before any worker can
 		// run it (workers skip non-queued jobs).
@@ -586,7 +616,7 @@ func (s *Server) Cancel(id string) (Status, error) {
 			delete(s.inflight, job.Hash)
 		}
 		s.jobsCancd.Add(1)
-		s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out; replay would just re-cancel
+		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out; replay would just re-cancel
 		close(job.done)
 		s.retireLocked(job)
 		s.logger.Info("job canceled while queued", "job_id", job.ID)
@@ -602,7 +632,7 @@ func (s *Server) Cancel(id string) (Status, error) {
 				delete(s.inflight, job.Hash)
 			}
 			s.jobsCancd.Add(1)
-			s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+			s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 			close(job.done)
 			s.retireLocked(job)
 			s.logger.Info("stolen job canceled", "job_id", job.ID, "thief", job.StolenBy)
@@ -652,7 +682,7 @@ func (s *Server) failPanickedJob(job *Job, cause error) {
 		job.Err = cause.Error()
 		job.FinishedAt = time.Now()
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 		s.retireLocked(job)
 	}
 	select {
@@ -689,7 +719,7 @@ func (s *Server) runJob(job *Job) {
 
 	// Recovery treats queued and started jobs alike, so the start record
 	// is informational; its loss is harmless.
-	s.cfg.Journal.record(opStart, job.ID, nil, "") //nolint:errcheck
+	s.cfg.Journal.record(OpStart, job.ID, nil, "") //nolint:errcheck
 
 	runCtx := ctx
 	if s.cfg.JobTimeout > 0 {
@@ -807,7 +837,7 @@ func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report,
 		job.State = StateCanceled
 		job.Err = errJobCanceled.Error()
 		s.jobsCancd.Add(1)
-		s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	case err == nil:
 		job.State = StateDone
 		job.Result = res
@@ -817,23 +847,23 @@ func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report,
 			s.cacheWriteErrs.Add(1)
 		}
 		s.jobsDone.Add(1)
-		s.cfg.Journal.record(opDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
 	case errors.Is(err, context.DeadlineExceeded):
 		job.State = StateFailed
 		job.Err = fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout)
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	case errors.Is(err, context.Canceled):
 		// Server drain deadline forced the abort.
 		job.State = StateCanceled
 		job.Err = "canceled: " + cause.Error()
 		s.jobsCancd.Add(1)
-		s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	default:
 		job.State = StateFailed
 		job.Err = err.Error()
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 	}
 	switch job.State {
 	case StateDone:
@@ -910,6 +940,7 @@ func (s *Server) Metrics() Metrics {
 		StealsCompleted: s.stealsCompleted.Load(),
 		StealReclaims:   s.stealReclaims.Load(),
 		JobsPeerFetched: s.peerFetched.Load(),
+		JobsAdopted:     s.jobsAdopted.Load(),
 
 		ResultCacheHits:    s.cacheHits.Load(),
 		ResultCacheMisses:  s.cacheMisses.Load(),
@@ -966,7 +997,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 						delete(s.inflight, job.Hash)
 					}
 					s.jobsCancd.Add(1)
-					s.cfg.Journal.record(opCancel, job.ID, nil, job.Err) //nolint:errcheck // drain close-out
+					s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // drain close-out
 					close(job.done)
 					s.retireLocked(job)
 				}

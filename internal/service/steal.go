@@ -50,7 +50,7 @@ func (s *Server) Steal(thief string) (StolenJob, bool) {
 		job.StartedAt = time.Now()
 		job.stealTimer = time.AfterFunc(s.cfg.StealTimeout, func() { s.reclaimStolen(job) })
 		s.jobsStolen.Add(1)
-		s.cfg.Journal.record(opStart, job.ID, nil, "") //nolint:errcheck // informational; replay re-runs either way
+		s.cfg.Journal.record(OpStart, job.ID, nil, "") //nolint:errcheck // informational; replay re-runs either way
 		s.logger.Info("job stolen", "job_id", job.ID, "thief", thief)
 		out := StolenJob{ID: job.ID, Hash: job.Hash, Spec: job.Spec}
 		s.mu.Unlock()
@@ -90,7 +90,7 @@ func (s *Server) CompleteStolen(id string, res *report.Report, errMsg string) er
 		}
 		s.jobsDone.Add(1)
 		s.stealsCompleted.Add(1)
-		s.cfg.Journal.record(opDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
 		s.logger.Info("stolen job done", "job_id", job.ID, "thief", job.StolenBy,
 			"exec_seconds", exec.Seconds())
 	default:
@@ -100,7 +100,7 @@ func (s *Server) CompleteStolen(id string, res *report.Report, errMsg string) er
 		job.State = StateFailed
 		job.Err = errMsg
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 		s.logger.Error("stolen job failed", "job_id", job.ID, "thief", job.StolenBy, "err", errMsg)
 	}
 	close(job.done)
@@ -144,7 +144,7 @@ func (s *Server) reclaimStolen(job *Job) {
 		if s.inflight[job.Hash] == job {
 			delete(s.inflight, job.Hash)
 		}
-		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 		close(job.done)
 		s.retireLocked(job)
 		return
@@ -164,7 +164,7 @@ func (s *Server) reclaimStolen(job *Job) {
 		if s.inflight[job.Hash] == job {
 			delete(s.inflight, job.Hash)
 		}
-		s.cfg.Journal.record(opFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
 		close(job.done)
 		s.retireLocked(job)
 	}

@@ -45,9 +45,12 @@ go build -o "$ctl" ./cmd/gpsctl
 start_node() {
     n=$1 port=$2
     : >"$workdir/n$n.log"
+    # Stealing is off so the exactly-once accounting below is attributable:
+    # a stolen job legitimately counts one completion on the victim and one
+    # execution on the thief, which would make the per-node deltas ambiguous.
     "$bin" -addr "127.0.0.1:$port" -node-id "n$n" -peers "$peers" \
         -workers 1 -queue 8 -journal "$workdir/n$n.journal" \
-        -probe-interval 200ms >"$workdir/n$n.log" 2>&1 &
+        -probe-interval 200ms -steal-interval -1s >"$workdir/n$n.log" 2>&1 &
     eval "pid$n=\$!"
     for _ in $(seq 1 50); do
         grep -q "listening on" "$workdir/n$n.log" && return 0
@@ -139,41 +142,134 @@ echo "cluster-smoke: result for $idA byte-identical from all 3 nodes"
 "$ctl" -addr "$(base_of n2)" status "$idA" >"$workdir/ctl.status"
 grep -q '"state": "done"' "$workdir/ctl.status" || { echo "cluster-smoke: gpsctl status wrong:"; cat "$workdir/ctl.status"; exit 1; }
 
-# --- 3: SIGKILL the owner mid-job; re-route + journal replay --------------
-specB='{"type":"matrix","iterations":2,"cells":[{"app":"diffusion","paradigm":"GPS","gpus":4,"fabric":"nvswitch"}]}'
-code=$(curl -s -o "$workdir/subB" -w '%{http_code}' -d "$specB" "$(base_of n1)/v1/jobs")
-[ "$code" = 202 ] || { echo "cluster-smoke: submit B returned $code"; cat "$workdir/subB"; exit 1; }
-idB=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subB" | head -n 1)
-ownerB=${idB%%-j-*}
-echo "cluster-smoke: spec B owned by $ownerB (job $idB); killing $ownerB with SIGKILL"
+# --- 3: permanent kill mid-queue; successor takeover ----------------------
+# Submit a batch of distinct specs, SIGKILL the owner of the first one, and
+# never restart it. Every accepted job — the dead node's included — must
+# reach done on a survivor, with byte-identical results from both survivors
+# and no double execution (summed engine-run deltas match the batch size).
 
-eval "opid=\$pid$(echo "$ownerB" | tr -d n)"
+# done_count <node>: the node's completed-job counter from the Prometheus
+# exposition (the engine-run proxy: every execution ends in exactly one
+# done/failed/canceled transition, and this batch only ever completes).
+done_count() {
+    dc=$(curl -s "$(base_of "$1")/metrics" |
+        sed -n 's/^gpsd_jobs_total{event="done"} \([0-9][0-9]*\).*/\1/p' | head -n 1)
+    echo "${dc:-0}"
+}
+
+pre_n1=$(done_count n1) pre_n2=$(done_count n2) pre_n3=$(done_count n3)
+
+ids=""
+for i in 1 2 3 4 5; do
+    specB="{\"type\":\"matrix\",\"iterations\":2,\"seed\":$i,\"cells\":[{\"app\":\"diffusion\",\"paradigm\":\"GPS\",\"gpus\":4,\"fabric\":\"nvswitch\"}]}"
+    code=$(curl -s -o "$workdir/subB.$i" -w '%{http_code}' -d "$specB" "$(base_of n1)/v1/jobs")
+    [ "$code" = 202 ] || { echo "cluster-smoke: submit B$i returned $code"; cat "$workdir/subB.$i"; exit 1; }
+    ids="$ids $(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subB.$i" | head -n 1)"
+done
+victim=$(echo "$ids" | awk '{print $1}')
+victim=${victim%%-j-*}
+echo "cluster-smoke: batch accepted ($ids); killing $victim with SIGKILL, never to return"
+
+eval "opid=\$pid$(echo "$victim" | tr -d n)"
 kill -9 "$opid"
 wait "$opid" 2>/dev/null || true
-eval "pid$(echo "$ownerB" | tr -d n)=''"
+eval "pid$(echo "$victim" | tr -d n)=''"
 
-# A survivor re-routes the dead owner's spec to a live node and completes it.
-surv=n1
-[ "$ownerB" = n1 ] && surv=n2
-code=$(curl -s -o "$workdir/subB2" -w '%{http_code}' -d "$specB" "$(base_of $surv)/v1/jobs")
-[ "$code" = 202 ] || { echo "cluster-smoke: re-route submit via $surv returned $code"; cat "$workdir/subB2"; exit 1; }
-idB2=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subB2" | head -n 1)
-[ "${idB2%%-j-*}" != "$ownerB" ] || { echo "cluster-smoke: re-route still assigned dead owner ($idB2)"; exit 1; }
-poll_done "$(base_of $surv)" "$idB2"
-echo "cluster-smoke: re-routed job $idB2 completed while $ownerB was down"
-
-# Restart the dead owner on its journal: the orphaned job replays to
-# completion under its original ID.
-start_node "$(echo "$ownerB" | tr -d n)" "$(base_of "$ownerB" | sed 's/.*://')"
-grep -q 'jobs recovered' "$workdir/$ownerB.log" || { echo "cluster-smoke: no recovery line:"; cat "$workdir/$ownerB.log"; exit 1; }
-poll_done "$(base_of $surv)" "$idB" # proxied read through a survivor
-echo "cluster-smoke: journal replay completed $idB on restarted $ownerB"
-
+surv1="" surv2=""
 for n in n1 n2 n3; do
-    code=$(curl -s -o "$workdir/resB.$n" -w '%{http_code}' "$(base_of $n)/v1/jobs/$idB/result")
-    [ "$code" = 200 ] || { echo "cluster-smoke: post-restart result from $n returned $code"; exit 1; }
+    [ "$n" = "$victim" ] && continue
+    [ -z "$surv1" ] && surv1=$n || surv2=$n
 done
-cmp -s "$workdir/resB.n1" "$workdir/resB.n2" || { echo "cluster-smoke: post-restart n1/n2 results differ"; exit 1; }
-cmp -s "$workdir/resB.n1" "$workdir/resB.n3" || { echo "cluster-smoke: post-restart n1/n3 results differ"; exit 1; }
+
+# One dropped probe must not flap; the suspicion threshold (3 consecutive
+# failures at 200ms probes) declares death within a couple of seconds.
+deadline=$(($(date +%s) + 15))
+while :; do
+    curl -s "$(base_of $surv1)/v1/healthz" >"$workdir/hz1" || true
+    grep -q '"peers_alive": 1' "$workdir/hz1" && break
+    [ "$(date +%s)" -lt "$deadline" ] || {
+        echo "cluster-smoke: $surv1 never declared $victim dead:"
+        cat "$workdir/hz1"
+        exit 1
+    }
+    sleep 0.2
+done
+echo "cluster-smoke: $surv1 declared $victim dead"
+
+# Every accepted job finishes, the dead node's under their ORIGINAL IDs via
+# takeover; their results read byte-identical through both survivors.
+promoted=0
+for id in $ids; do
+    poll_done "$(base_of $surv1)" "$id"
+    if [ "${id%%-j-*}" = "$victim" ]; then
+        promoted=$((promoted + 1))
+        grep -q "\"adopted_from\": \"$victim\"" "$workdir/status" || {
+            echo "cluster-smoke: takeover job $id not marked adopted:"
+            cat "$workdir/status"
+            exit 1
+        }
+    fi
+    for n in $surv1 $surv2; do
+        code=$(curl -s -o "$workdir/res.$n" -w '%{http_code}' "$(base_of $n)/v1/jobs/$id/result")
+        [ "$code" = 200 ] || { echo "cluster-smoke: result for $id from $n returned $code"; exit 1; }
+    done
+    cmp -s "$workdir/res.$surv1" "$workdir/res.$surv2" || {
+        echo "cluster-smoke: $surv1/$surv2 results differ for $id"
+        exit 1
+    }
+done
+[ "$promoted" -ge 1 ] || { echo "cluster-smoke: no job was owned by the victim; batch too small"; exit 1; }
+echo "cluster-smoke: all 5 jobs done; $promoted promoted from $victim, results byte-identical"
+
+# No double execution: the survivors' completed-job deltas sum to exactly
+# the batch size (the victim's partial run died with it).
+eval "pre1=\$pre_$surv1" && eval "pre2=\$pre_$surv2"
+d1=$(($(done_count $surv1) - pre1))
+d2=$(($(done_count $surv2) - pre2))
+[ $((d1 + d2)) -eq 5 ] || {
+    echo "cluster-smoke: survivors completed $d1+$d2 jobs for a batch of 5 (double execution?)"
+    exit 1
+}
+
+# The takeover shows up in the successor's metrics, and a fresh spec routed
+# at the dead owner lands on a live node.
+curl -s "$(base_of $surv1)/metrics" >"$workdir/m1"
+curl -s "$(base_of $surv2)/metrics" >"$workdir/m2"
+grep -h '^gpsd_cluster_takeover_jobs_total' "$workdir/m1" "$workdir/m2" | grep -qv ' 0$' || {
+    echo "cluster-smoke: no survivor reports takeover jobs"
+    exit 1
+}
+specC='{"type":"matrix","iterations":2,"seed":99,"cells":[{"app":"jacobi","paradigm":"GPS","gpus":2,"fabric":"pcie5"}]}'
+code=$(curl -s -o "$workdir/subC" -w '%{http_code}' -d "$specC" "$(base_of $surv1)/v1/jobs")
+[ "$code" = 202 ] || { echo "cluster-smoke: post-kill submit returned $code"; cat "$workdir/subC"; exit 1; }
+idC=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$workdir/subC" | head -n 1)
+[ "${idC%%-j-*}" != "$victim" ] || { echo "cluster-smoke: fresh spec still routed to dead $victim ($idC)"; exit 1; }
+poll_done "$(base_of $surv2)" "$idC"
+echo "cluster-smoke: post-kill submit re-routed to ${idC%%-j-*} and completed"
+
+# The operator view agrees: gpsctl cluster on a survivor shows the death
+# and the takeover counters.
+"$ctl" -addr "$(base_of $surv1)" cluster >"$workdir/ctl.cluster"
+grep -q "peers: 1/2 alive" "$workdir/ctl.cluster" || { echo "cluster-smoke: gpsctl cluster wrong peers:"; cat "$workdir/ctl.cluster"; exit 1; }
+grep -q "takeovers:" "$workdir/ctl.cluster" || { echo "cluster-smoke: gpsctl cluster missing takeovers:"; cat "$workdir/ctl.cluster"; exit 1; }
+
+# --- 4: resurrection — the victim returns and reconciles ------------------
+# The permanent-kill checks are all settled; now bring the victim back on
+# its journal. Its replayed jobs were adopted elsewhere, so the resurrection
+# handshake must land the successor's results without re-running anything:
+# reads through the restarted node converge on the same bytes.
+start_node "$(echo "$victim" | tr -d n)" "$(base_of "$victim" | sed 's/.*://')"
+for id in $ids; do
+    [ "${id%%-j-*}" = "$victim" ] || continue
+    poll_done "$(base_of "$victim")" "$id"
+    code=$(curl -s -o "$workdir/res.back" -w '%{http_code}' "$(base_of "$victim")/v1/jobs/$id/result")
+    [ "$code" = 200 ] || { echo "cluster-smoke: resurrected $victim result for $id returned $code"; exit 1; }
+    curl -s -o "$workdir/res.surv" "$(base_of $surv1)/v1/jobs/$id/result"
+    cmp -s "$workdir/res.back" "$workdir/res.surv" || {
+        echo "cluster-smoke: resurrected $victim disagrees with $surv1 on $id"
+        exit 1
+    }
+done
+echo "cluster-smoke: resurrected $victim reconciled its jobs against the successor"
 
 echo "cluster-smoke: PASS"
