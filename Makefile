@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke shard-smoke cluster-smoke
+.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke shard-smoke spill-smoke cluster-smoke
 
 ## check: full gate — vet, build, the test suite under the race detector,
 ## the microbenchmark compile/run smoke, the chaos gate (fault injection,
 ## fuzzing, crash recovery), the observability smoke (span traces), the
 ## sharded-replay smoke (byte-identical figures at -shards 4 under -race),
-## and the 3-node cluster smoke (routing, coalescing, owner kill).
-check: vet build race bench-micro chaos obs-smoke shard-smoke cluster-smoke
+## the trace-spill smoke (tiny -trace-budget forcing disk spill), and the
+## 3-node cluster smoke (routing, coalescing, owner kill).
+check: vet build race bench-micro chaos obs-smoke shard-smoke spill-smoke cluster-smoke
 
 ## vet: static checks — go vet plus a gofmt cleanliness gate (gofmt ships
 ## with the toolchain, so this adds no dependency).
@@ -39,7 +40,7 @@ bench-smoke:
 ## bench-micro: compile and run every microbenchmark exactly once, so the
 ## hot-path benchmarks cannot rot without failing the gate.
 bench-micro:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/engine/ ./internal/memsys/
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/trace/ ./internal/engine/ ./internal/memsys/
 
 ## bench-record: record the full suite's wall clock and headline metrics
 ## into BENCH_<n>.json at the repo root (see scripts/bench_record.sh).
@@ -64,6 +65,13 @@ obs-smoke:
 shard-smoke:
 	$(GO) run -race ./cmd/gpsbench -fig 9 -iters 2 -parallel 1 -shards 4 -json /tmp/gpsbench-shard-smoke.json
 
+## spill-smoke: run a small figure with a trace budget far below any quick
+## trace's compressed footprint, so the cache spills every trace to disk and
+## replays read blocks back; reportlint asserts from the JSON report that the
+## spill tier actually ran and the figures still rendered.
+spill-smoke:
+	sh scripts/spill_smoke.sh
+
 ## cluster-smoke: boot a 3-node local cluster, submit through a non-owner,
 ## then permanently SIGKILL an owner mid-queue and assert the self-healing
 ## invariants: every accepted job reaches done on a survivor (takeover under
@@ -80,4 +88,5 @@ chaos:
 	$(GO) test -race -run 'Chaos|Journal|Panic|Fault|Injected' ./internal/service/
 	$(GO) test -race -run 'ZeroCell|Oversized|JournalFailure' ./internal/httpapi/
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz=FuzzColumnBlock -fuzztime=10s ./internal/trace/
 	sh scripts/chaos_smoke.sh

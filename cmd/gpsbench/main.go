@@ -49,6 +49,7 @@ func main() {
 		chart    = flag.Bool("chart", false, "also render line-chart views of figures 13 and 14")
 		parallel = flag.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		shards   = flag.Int("shards", 1, "goroutines per structural replay; output is byte-identical at any count, capped so workers x shards fits GOMAXPROCS")
+		budget   = flag.Int64("trace-budget", 0, "trace cache resident byte budget; compressed blocks spill to a temp file beyond it (0 = default 4 GiB)")
 		jsonOut  = flag.String("json", "", "write headline metrics, per-figure wall clock, rendered tables and cache stats as JSON to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
@@ -137,6 +138,9 @@ func main() {
 		}
 	}
 	experiments.SetShards(shardCount)
+	if *budget > 0 {
+		experiments.Default.SetTraceBudget(uint64(*budget))
+	}
 	opt := experiments.Options{Iterations: *iters, Scale: *scale}
 	start := time.Now()
 	ran := false

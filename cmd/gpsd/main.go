@@ -96,6 +96,7 @@ func main() {
 		probeIvl   = flag.Duration("probe-interval", 2*time.Second, "peer healthz liveness probe interval (cluster mode)")
 		stealIvl   = flag.Duration("steal-interval", time.Second, "work-steal attempt interval when idle; negative disables stealing (cluster mode)")
 		suspicion  = flag.Int("suspicion", 3, "consecutive failed probes before a peer is declared dead (cluster mode)")
+		budget     = flag.Int64("trace-budget", 0, "trace cache resident byte budget; compressed blocks spill to a temp file beyond it (0 = default 4 GiB)")
 	)
 	flag.Parse()
 
@@ -171,6 +172,9 @@ func main() {
 		}
 	}
 	experiments.SetShards(shardCount)
+	if *budget > 0 {
+		experiments.Default.SetTraceBudget(uint64(*budget))
+	}
 
 	// Cluster mode: the cluster is built before the service so the service
 	// can resolve peer-cached results, and bound to it after so the steal

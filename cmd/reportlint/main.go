@@ -1,0 +1,63 @@
+// Command reportlint validates a machine-readable experiment report produced
+// by gpsbench -json or the gpsd result endpoint: the file must parse into the
+// report schema, record a positive wall clock, and carry the runner's cache
+// counters. With -spill it additionally requires proof that the trace spill
+// tier ran: traces spilled, blocks read back from the spill file, and the
+// compressed resident accounting strictly below the logical 24 B/record
+// stream size.
+//
+// Usage:
+//
+//	reportlint run.json
+//	reportlint -spill run.json
+//
+// Exit status 0 on a valid report; 1 with a diagnostic otherwise. The smoke
+// gate (make spill-smoke) runs it over a budget-constrained gpsbench run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gps/internal/report"
+)
+
+func main() {
+	spill := flag.Bool("spill", false, "require evidence the trace spill tier ran")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reportlint [-spill] report.json")
+		os.Exit(2)
+	}
+	rep, err := report.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reportlint: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "reportlint: %s: %s\n", flag.Arg(0), fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	if rep.TotalSeconds <= 0 {
+		die("total_seconds %v not positive", rep.TotalSeconds)
+	}
+	c := rep.Cache
+	if c.TraceBuilds == 0 {
+		die("no traces were built: %+v", c)
+	}
+	if c.TraceLogicalBytes > 0 && c.TraceBytes > c.TraceLogicalBytes {
+		die("compressed resident bytes %d exceed logical bytes %d", c.TraceBytes, c.TraceLogicalBytes)
+	}
+	if *spill {
+		if c.TraceSpills == 0 || c.TraceSpillBytes == 0 {
+			die("budget never forced a spill: %+v", c)
+		}
+		if c.SpillBlockReads == 0 || c.SpillReadBytes == 0 {
+			die("no blocks were read back from the spill file: %+v", c)
+		}
+	}
+	fmt.Printf("%s: %.1fs, %d sections, traces %d built / %d hits, %d spilled (%d block reads)\n",
+		flag.Arg(0), rep.TotalSeconds, len(rep.Sections),
+		c.TraceBuilds, c.TraceHits, c.TraceSpills, c.SpillBlockReads)
+}

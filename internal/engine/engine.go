@@ -208,6 +208,7 @@ func RunObserved(prog trace.Program, m Model, po PhaseObserver) *Result {
 	var batch Batch
 
 	var cursors []int
+	var readers []blockCursor
 	prog.Phases(func(ph *trace.Phase) bool {
 		if po != nil {
 			po.PhaseStart(ph.Index, len(ph.Kernels))
@@ -220,8 +221,9 @@ func RunObserved(prog trace.Program, m Model, po PhaseObserver) *Result {
 		m.BeginPhase(ph.Index, profiles)
 
 		// Round-robin the kernels' instruction streams in chunks. The cursor
-		// scratch is reused across phases (profiles cannot be: they live on
-		// in the Result).
+		// and block-reader scratch is reused across phases — each kernel slot
+		// keeps its own reader so decode buffers survive the interleaving —
+		// (profiles cannot be: they live on in the Result).
 		if cap(cursors) < len(ph.Kernels) {
 			cursors = make([]int, len(ph.Kernels))
 		} else {
@@ -230,27 +232,35 @@ func RunObserved(prog trace.Program, m Model, po PhaseObserver) *Result {
 				cursors[i] = 0
 			}
 		}
+		for len(readers) < len(ph.Kernels) {
+			readers = append(readers, blockCursor{})
+		}
+		rs := readers[:len(ph.Kernels)]
+		for ki := range ph.Kernels {
+			rs[ki].reset(&ph.Kernels[ki])
+		}
 		// Only kernels with instructions await completion: an empty kernel
 		// never reaches the end-of-stream decrement below, and counting it
 		// would spin the round-robin loop forever.
 		remaining := 0
-		for ki := range ph.Kernels {
-			if len(ph.Kernels[ki].Accesses) > 0 {
+		for ki := range rs {
+			if rs[ki].n > 0 {
 				remaining++
 			}
 		}
 		for remaining > 0 {
 			for ki := range ph.Kernels {
 				k := &ph.Kernels[ki]
-				if cursors[ki] >= len(k.Accesses) {
+				r := &rs[ki]
+				if cursors[ki] >= r.n {
 					continue
 				}
 				end := cursors[ki] + chunk
-				if end >= len(k.Accesses) {
-					end = len(k.Accesses)
+				if end >= r.n {
+					end = r.n
 					remaining--
 				}
-				accs := k.Accesses[cursors[ki]:end]
+				accs := r.window(cursors[ki], end)
 				if bm != nil {
 					batch.Accs = accs
 					batch.Offs = append(batch.Offs[:0], 0)
@@ -326,38 +336,45 @@ func ScanSharing(prog trace.Program, phases int, pageBytes uint64) map[uint64]*S
 	var lastRegion *trace.Region
 	lastVPN := ^uint64(0)
 	var lastSharing *Sharing
+	var dec trace.BlockDecoder
 	prog.Phases(func(ph *trace.Phase) bool {
 		if ph.Index >= phases {
 			return false
 		}
 		for ki := range ph.Kernels {
 			k := &ph.Kernels[ki]
-			for _, a := range k.Accesses {
-				if a.Op == trace.OpFence {
-					continue
-				}
-				for _, line := range exp.Expand(a) {
-					if slot := line >> regionSlotShift; slot != lastSlot {
-						lastSlot = slot
-						lastRegion = shared.SlotRegion(slot)
-					}
-					r := lastRegion
-					if r == nil || r.Kind != trace.RegionShared ||
-						line < r.Base || line-r.Base >= r.Size {
+			err := k.EachBlock(&dec, func(accs []trace.Access) bool {
+				for _, a := range accs {
+					if a.Op == trace.OpFence {
 						continue
 					}
-					vpn := line >> pageShift
-					if vpn != lastVPN {
-						lastVPN = vpn
-						lastSharing = acc.At(vpn)
-					}
-					if a.IsWrite() {
-						lastSharing.Writers |= 1 << k.GPU
-						lastSharing.WriteCount[k.GPU]++
-					} else {
-						lastSharing.Readers |= 1 << k.GPU
+					for _, line := range exp.Expand(a) {
+						if slot := line >> regionSlotShift; slot != lastSlot {
+							lastSlot = slot
+							lastRegion = shared.SlotRegion(slot)
+						}
+						r := lastRegion
+						if r == nil || r.Kind != trace.RegionShared ||
+							line < r.Base || line-r.Base >= r.Size {
+							continue
+						}
+						vpn := line >> pageShift
+						if vpn != lastVPN {
+							lastVPN = vpn
+							lastSharing = acc.At(vpn)
+						}
+						if a.IsWrite() {
+							lastSharing.Writers |= 1 << k.GPU
+							lastSharing.WriteCount[k.GPU]++
+						} else {
+							lastSharing.Readers |= 1 << k.GPU
+						}
 					}
 				}
+				return true
+			})
+			if err != nil {
+				panic(fmt.Sprintf("engine: scanning kernel %q: %v", k.Name, err))
 			}
 		}
 		return true

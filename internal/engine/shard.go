@@ -216,13 +216,17 @@ func addProfiles(dst, src []Profile) {
 	}
 }
 
-// shardWorker is one shard's replay scratch: its own expander, batch and
-// cursor state, so shards share nothing on the hot path.
+// shardWorker is one shard's replay scratch: its own expander, batch,
+// cursor, and block-decode state, so shards share nothing on the hot path.
+// (Columnar blocks are decoded independently per shard: the page axis needs
+// every shard to see the full stream anyway, and the GPU axis never decodes
+// kernels the shard does not own.)
 type shardWorker struct {
 	exp     *Expander
 	batch   Batch
 	tmp     []uint64 // page-axis: unfiltered lines of one instruction
 	cursors []int
+	readers []blockCursor
 }
 
 // replay runs the shard's slice of one phase. The loop is the sequential
@@ -246,28 +250,36 @@ func (w *shardWorker) replay(m Model, ph *trace.Phase, plan ShardPlan, shard, sh
 			w.cursors[i] = 0
 		}
 	}
+	for len(w.readers) < len(ks) {
+		w.readers = append(w.readers, blockCursor{})
+	}
+	rs := w.readers[:len(ks)]
+	for ki := range ks {
+		rs[ki].reset(&ks[ki])
+	}
 	remaining := 0
 	for ki := range ks {
 		if byGPU && ks[ki].GPU%shards != shard {
-			w.cursors[ki] = len(ks[ki].Accesses) // not ours: mark done
+			w.cursors[ki] = rs[ki].n // not ours: mark done, never decoded
 			continue
 		}
-		if len(ks[ki].Accesses) > 0 {
+		if rs[ki].n > 0 {
 			remaining++
 		}
 	}
 	for remaining > 0 {
 		for ki := range ks {
 			k := &ks[ki]
-			if w.cursors[ki] >= len(k.Accesses) {
+			r := &rs[ki]
+			if w.cursors[ki] >= r.n {
 				continue
 			}
 			end := w.cursors[ki] + chunk
-			if end >= len(k.Accesses) {
-				end = len(k.Accesses)
+			if end >= r.n {
+				end = r.n
 				remaining--
 			}
-			accs := k.Accesses[w.cursors[ki]:end]
+			accs := r.window(w.cursors[ki], end)
 			if bm != nil {
 				w.batch.Accs = accs
 				w.batch.Offs = append(w.batch.Offs[:0], 0)

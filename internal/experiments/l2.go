@@ -82,6 +82,8 @@ func simulateL2(spec workload.Spec, opt Options, gpus int) (float64, error) {
 		paths[g] = gpu.NewMemoryPath(g, gpu.V100L2())
 	}
 	exp := engine.NewExpander(engine.LineBytes)
+	var dec trace.BlockDecoder
+	var decErr error
 	prog.Phases(func(ph *trace.Phase) bool {
 		if ph.Index == meta.ProfilePhases {
 			// Steady state begins: measure from here.
@@ -89,23 +91,33 @@ func simulateL2(spec workload.Spec, opt Options, gpus int) (float64, error) {
 				p.L2.ResetStats()
 			}
 		}
-		for _, k := range ph.Kernels {
+		for ki := range ph.Kernels {
+			k := &ph.Kernels[ki]
 			path := paths[k.GPU]
-			for _, a := range k.Accesses {
-				if a.Op == trace.OpFence {
-					continue
-				}
-				for _, line := range exp.Expand(a) {
-					if a.IsWrite() {
-						path.Store(line)
-					} else {
-						path.Load(line)
+			decErr = k.EachBlock(&dec, func(accs []trace.Access) bool {
+				for _, a := range accs {
+					if a.Op == trace.OpFence {
+						continue
+					}
+					for _, line := range exp.Expand(a) {
+						if a.IsWrite() {
+							path.Store(line)
+						} else {
+							path.Load(line)
+						}
 					}
 				}
+				return true
+			})
+			if decErr != nil {
+				return false
 			}
 		}
 		return true
 	})
+	if decErr != nil {
+		return 0, fmt.Errorf("experiments: %s: %w", spec.Name, decErr)
+	}
 	var sum float64
 	for _, p := range paths {
 		s := p.L2.Stats()

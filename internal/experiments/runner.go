@@ -60,12 +60,20 @@ type CacheStats struct {
 	TraceBuilds    uint64 // traces generated and materialized
 	TraceHits      uint64 // trace requests served from cache
 	TraceEvictions uint64 // traces dropped to respect the memory budget
-	TraceBytes     uint64 // approximate bytes of resident cached traces
-	EngineRuns     uint64 // structural replays executed
-	EngineHits     uint64 // structural results served from cache
-	ShardedRuns    uint64 // structural replays executed with >1 shard
-	BaselineRuns   uint64 // single-GPU baseline simulations executed
-	BaselineHits   uint64 // baseline requests served from cache
+	TraceBytes     uint64 // approximate bytes of resident cached traces (compressed)
+	// TraceLogicalBytes is what the resident traces would occupy in the flat
+	// 24 B/record layout: TraceLogicalBytes / TraceBytes is the columnar
+	// compression ratio of the cache.
+	TraceLogicalBytes uint64
+	TraceSpills       uint64 // traces whose blocks moved to the spill file under budget pressure
+	TraceSpillBytes   uint64 // compressed bytes written to the spill file
+	SpillBlockReads   uint64 // block reads served from the spill file during replay
+	SpillReadBytes    uint64 // bytes read back from the spill file
+	EngineRuns        uint64 // structural replays executed
+	EngineHits        uint64 // structural results served from cache
+	ShardedRuns       uint64 // structural replays executed with >1 shard
+	BaselineRuns      uint64 // single-GPU baseline simulations executed
+	BaselineHits      uint64 // baseline requests served from cache
 }
 
 type traceKey struct {
@@ -78,6 +86,8 @@ type traceEntry struct {
 	rec     *trace.Recorded
 	err     error
 	cost    uint64 // approximate resident bytes once built
+	logical uint64 // flat 24 B/record equivalent bytes
+	spilled bool   // blocks moved to the runner's spill file
 	lastUse uint64 // monotone tick for LRU eviction
 }
 
@@ -124,11 +134,20 @@ type Runner struct {
 	results   map[resultKey]*resultEntry
 	baselines map[baselineKey]*baselineEntry
 	resident  uint64 // sum of built trace costs
-	budget    uint64 // eviction threshold for resident
+	logical   uint64 // sum of built traces' flat-equivalent bytes
+	budget    uint64 // spill/eviction threshold for resident
+
+	// spill is the shared anonymous temp file trace blocks move to under
+	// budget pressure, created lazily on the first spill. It is never closed
+	// explicitly: evicted traces may still be replaying from it, the file is
+	// already unlinked, and the fd is reclaimed with the Runner.
+	spill       *trace.SpillFile
+	spillBroken bool // spill file creation failed; fall back to eviction
 
 	traceBuilds    atomic.Uint64
 	traceHits      atomic.Uint64
 	traceEvictions atomic.Uint64
+	traceSpills    atomic.Uint64
 	engineRuns     atomic.Uint64
 	engineHits     atomic.Uint64
 	shardedRuns    atomic.Uint64
@@ -225,18 +244,28 @@ func (r *Runner) SetTraceBudget(bytes uint64) {
 func (r *Runner) CacheStats() CacheStats {
 	r.mu.Lock()
 	resident := r.resident
+	logical := r.logical
+	sf := r.spill
 	r.mu.Unlock()
-	return CacheStats{
-		TraceBuilds:    r.traceBuilds.Load(),
-		TraceHits:      r.traceHits.Load(),
-		TraceEvictions: r.traceEvictions.Load(),
-		TraceBytes:     resident,
-		EngineRuns:     r.engineRuns.Load(),
-		EngineHits:     r.engineHits.Load(),
-		ShardedRuns:    r.shardedRuns.Load(),
-		BaselineRuns:   r.baselineRuns.Load(),
-		BaselineHits:   r.baselineHits.Load(),
+	cs := CacheStats{
+		TraceBuilds:       r.traceBuilds.Load(),
+		TraceHits:         r.traceHits.Load(),
+		TraceEvictions:    r.traceEvictions.Load(),
+		TraceBytes:        resident,
+		TraceLogicalBytes: logical,
+		TraceSpills:       r.traceSpills.Load(),
+		EngineRuns:        r.engineRuns.Load(),
+		EngineHits:        r.engineHits.Load(),
+		ShardedRuns:       r.shardedRuns.Load(),
+		BaselineRuns:      r.baselineRuns.Load(),
+		BaselineHits:      r.baselineHits.Load(),
 	}
+	if sf != nil {
+		cs.TraceSpillBytes = uint64(sf.Size())
+		cs.SpillBlockReads = sf.Reads()
+		cs.SpillReadBytes = sf.ReadBytes()
+	}
+	return cs
 }
 
 // ResetCaches drops all cached traces, structural results and baselines and
@@ -247,10 +276,16 @@ func (r *Runner) ResetCaches() {
 	r.results = map[resultKey]*resultEntry{}
 	r.baselines = map[baselineKey]*baselineEntry{}
 	r.resident = 0
+	r.logical = 0
+	// Drop the spill file reference: dropped traces may still be replaying
+	// from it, so the fd is left to the garbage collector rather than closed.
+	r.spill = nil
+	r.spillBroken = false
 	r.mu.Unlock()
 	r.traceBuilds.Store(0)
 	r.traceHits.Store(0)
 	r.traceEvictions.Store(0)
+	r.traceSpills.Store(0)
 	r.engineRuns.Store(0)
 	r.engineHits.Store(0)
 	r.shardedRuns.Store(0)
@@ -258,17 +293,41 @@ func (r *Runner) ResetCaches() {
 	r.baselineHits.Store(0)
 }
 
-// traceCost approximates the resident bytes of a materialized trace.
+// accessBytes is unsafe.Sizeof(trace.Access{}): the per-record cost of the
+// flat array-of-structs layout, used as the logical-size baseline.
+const accessBytes = 24
+
+// traceCost approximates the resident heap bytes of a materialized trace.
+// Columnar kernels count their compressed block bytes — or just their block
+// index once spilled — so the cache budget admits far more traces than the
+// flat layout would.
 func traceCost(rec *trace.Recorded) uint64 {
-	const accessBytes = 24 // unsafe.Sizeof(trace.Access{})
 	var cost uint64 = 4 << 10
 	for i := range rec.Ph {
 		cost += 1 << 10
 		for k := range rec.Ph[i].Kernels {
-			cost += 256 + uint64(len(rec.Ph[i].Kernels[k].Accesses))*accessBytes
+			kn := &rec.Ph[i].Kernels[k]
+			cost += 256
+			if kn.Col != nil {
+				cost += kn.Col.ResidentBytes()
+			} else {
+				cost += uint64(len(kn.Accesses)) * accessBytes
+			}
 		}
 	}
 	return cost
+}
+
+// traceLogical is the flat-layout size of a trace's access streams: the
+// bytes the cache would hold without columnar compression.
+func traceLogical(rec *trace.Recorded) uint64 {
+	var b uint64
+	for i := range rec.Ph {
+		for k := range rec.Ph[i].Kernels {
+			b += uint64(rec.Ph[i].Kernels[k].NumAccesses()) * accessBytes
+		}
+	}
+	return b
 }
 
 // Trace returns the materialized trace for (app, cfg), building it at most
@@ -303,19 +362,58 @@ func (r *Runner) traceCtx(ctx context.Context, app string, cfg workload.Config) 
 		}
 		e.rec = trace.Collect(spec.Build(cfg))
 		e.cost = traceCost(e.rec)
+		e.logical = traceLogical(e.rec)
 		r.traceBuilds.Add(1)
 		r.mu.Lock()
 		r.resident += e.cost
+		r.logical += e.logical
 		r.evictLocked(key)
 		r.mu.Unlock()
 	})
 	return e.rec, e.err
 }
 
-// evictLocked drops least-recently-used built traces until the cache fits
-// the budget, never touching keep (the entry just inserted). Callers hold
-// r.mu.
+// evictLocked brings the cache back under budget in two passes. Pass 1
+// spills: the least-recently-used entries with resident columnar blocks
+// (including the entry just inserted — under a tiny budget even the newest
+// trace belongs on disk) move their blocks to the shared spill file, keeping
+// the trace cached and replayable at a fraction of the cost. Pass 2 evicts:
+// if spilling every candidate still leaves the cache over budget (flat
+// traces, the per-trace index overhead, or a broken spill file), the LRU
+// entries other than keep are dropped entirely and must be rebuilt on the
+// next request. Callers hold r.mu.
 func (r *Runner) evictLocked(keep traceKey) {
+	for r.resident > r.budget {
+		var victim *traceEntry
+		for _, e := range r.traces {
+			if e.cost == 0 || e.spilled || e.rec == nil { // cost 0: still building
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.spilled = true
+		sf := r.spillFileLocked()
+		if sf == nil {
+			break // no spill tier available: eviction only
+		}
+		freed, err := victim.rec.Spill(sf)
+		if freed > 0 {
+			r.traceSpills.Add(1)
+		}
+		// Recompute rather than trust freed: a partial spill (write error)
+		// leaves some kernels resident, and the recompute prices exactly
+		// what stayed on the heap.
+		newCost := traceCost(victim.rec)
+		r.resident += newCost
+		r.resident -= victim.cost
+		victim.cost = newCost
+		_ = err // unreadable spilled blocks surface as cell errors at replay
+	}
 	for r.resident > r.budget && len(r.traces) > 1 {
 		var victimKey traceKey
 		var victim *traceEntry
@@ -332,8 +430,24 @@ func (r *Runner) evictLocked(keep traceKey) {
 		}
 		delete(r.traces, victimKey)
 		r.resident -= victim.cost
+		r.logical -= victim.logical
 		r.traceEvictions.Add(1)
 	}
+}
+
+// spillFileLocked lazily creates the runner's shared spill file; nil means
+// the spill tier is unavailable (creation failed once; do not retry per
+// victim). Callers hold r.mu.
+func (r *Runner) spillFileLocked() *trace.SpillFile {
+	if r.spill == nil && !r.spillBroken {
+		sf, err := trace.NewSpillFile("")
+		if err != nil {
+			r.spillBroken = true
+		} else {
+			r.spill = sf
+		}
+	}
+	return r.spill
 }
 
 // structural returns the engine.Result of replaying (app, wcfg) under

@@ -85,7 +85,7 @@ func TestPageMapReserveKeepsPointersStable(t *testing.T) {
 	p := pm.At(first)
 	*p = 7
 	for off := uint64(0); off < 10000; off++ {
-		*pm.At(first+off) = off
+		*pm.At(first + off) = off
 	}
 	if p != pm.At(first) {
 		t.Fatal("At after Reserve moved a reserved entry")

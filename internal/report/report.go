@@ -6,6 +6,7 @@ package report
 import (
 	"encoding/json"
 	"io"
+	"os"
 
 	"gps/internal/experiments"
 )
@@ -46,6 +47,19 @@ type Report struct {
 // AddTable appends a rendered table under the given section name.
 func (r *Report) AddTable(name, text string) {
 	r.Tables = append(r.Tables, Table{Name: name, Text: text})
+}
+
+// Load reads and parses a report file written by Encode.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }
 
 // Encode writes the report as indented JSON followed by a newline — the

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gps/internal/experiments"
+)
+
+// The cache block is the only place a run's storage behavior surfaces in the
+// JSON report: pin the columnar/spill counters into the schema so a rename
+// shows up as a test failure, not a silently vanished field.
+func TestReportCarriesSpillCounters(t *testing.T) {
+	r := Report{
+		ParallelWorkers: 1,
+		Cache: experiments.CacheStats{
+			TraceBuilds:       3,
+			TraceBytes:        1 << 20,
+			TraceLogicalBytes: 8 << 20,
+			TraceSpills:       2,
+			TraceSpillBytes:   1 << 19,
+			SpillBlockReads:   40,
+			SpillReadBytes:    1 << 18,
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"TraceBytes", "TraceLogicalBytes", "TraceSpills",
+		"TraceSpillBytes", "SpillBlockReads", "SpillReadBytes",
+	} {
+		if !strings.Contains(buf.String(), `"`+field+`"`) {
+			t.Fatalf("report JSON lost the %s counter:\n%s", field, buf.String())
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cache != r.Cache {
+		t.Fatalf("cache stats did not round-trip: %+v", back.Cache)
+	}
+}

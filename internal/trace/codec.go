@@ -49,7 +49,9 @@ func Encode(w io.Writer, p Program) error {
 	rec := Collect(p)
 	putUvarint(bw, uint64(len(rec.Ph)))
 	for i := range rec.Ph {
-		encodePhase(bw, &rec.Ph[i])
+		if err := encodePhase(bw, &rec.Ph[i]); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

@@ -40,12 +40,50 @@ func FuzzDecodeTrace(f *testing.F) {
 		if err := Encode(&out, p); err != nil {
 			t.Fatalf("decoded trace does not re-encode: %v", err)
 		}
+		encoded := append([]byte{}, out.Bytes()...)
 		p2, err := Decode(&out)
 		if err != nil {
 			t.Fatalf("re-encoded trace does not decode: %v", err)
 		}
 		if !reflect.DeepEqual(p, p2) {
 			t.Fatal("accepted trace does not round-trip bit-exactly")
+		}
+		// The columnar storage form must encode to the same bytes and carry
+		// the same stream.
+		var colOut bytes.Buffer
+		if err := Encode(&colOut, Columnize(p)); err != nil {
+			t.Fatalf("columnized trace does not encode: %v", err)
+		}
+		if !bytes.Equal(encoded, colOut.Bytes()) {
+			t.Fatal("columnar kernels encode differently from flat kernels")
+		}
+	})
+}
+
+// FuzzColumnBlock drives the columnar block decoder with arbitrary bytes: it
+// must never panic, and any block it accepts must re-encode into a block that
+// decodes to the same accesses.
+func FuzzColumnBlock(f *testing.F) {
+	f.Add(appendBlock(nil, randomAccesses(500, 1)))
+	f.Add(appendBlock(nil, stencilAccesses(BlockAccesses)))
+	f.Add(appendBlock(nil, []Access{{Op: OpFence, Scope: ScopeSys}}))
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := make([]Access, BlockAccesses)
+		accs, err := decodeBlock(data, buf) // must not panic
+		if err != nil {
+			return
+		}
+		re := appendBlock(nil, accs)
+		got, err := decodeBlock(re, make([]Access, BlockAccesses))
+		if err != nil {
+			t.Fatalf("accepted block does not re-encode: %v", err)
+		}
+		if !reflect.DeepEqual(accs, got) {
+			t.Fatal("accepted block does not round-trip")
 		}
 	})
 }

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// SpillFile is an append-only temp file holding spilled columnar blocks.
+// The file is unlinked immediately after creation, so the OS reclaims the
+// space when the process exits (or the fd is closed) even on a crash —
+// there is nothing to clean up and nothing another process can observe.
+//
+// Appends are serialized; reads use ReadAt and are safe from any number of
+// goroutines concurrently with appends (spilled regions are immutable).
+type SpillFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+
+	reads     atomic.Uint64
+	readBytes atomic.Uint64
+}
+
+// NewSpillFile creates an anonymous spill file in dir (or the default temp
+// directory if dir is empty).
+func NewSpillFile(dir string) (*SpillFile, error) {
+	f, err := os.CreateTemp(dir, "gps-trace-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("trace: creating spill file: %w", err)
+	}
+	// Unlink while keeping the fd: the usual anonymous-temp-file idiom.
+	os.Remove(f.Name())
+	return &SpillFile{f: f}, nil
+}
+
+// append writes b at the end of the file and returns its offset.
+func (s *SpillFile) append(b []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, fmt.Errorf("trace: spill file closed")
+	}
+	off := s.size
+	if _, err := s.f.WriteAt(b, off); err != nil {
+		return 0, fmt.Errorf("trace: spill write at %d: %w", off, err)
+	}
+	s.size += int64(len(b))
+	return off, nil
+}
+
+// readAt fills p from offset off, counting the read.
+func (s *SpillFile) readAt(p []byte, off int64) error {
+	if _, err := s.f.ReadAt(p, off); err != nil {
+		return err
+	}
+	s.reads.Add(1)
+	s.readBytes.Add(uint64(len(p)))
+	return nil
+}
+
+// Size returns the bytes written so far.
+func (s *SpillFile) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Reads returns the number of block reads served from the file.
+func (s *SpillFile) Reads() uint64 { return s.reads.Load() }
+
+// ReadBytes returns the bytes read back from the file.
+func (s *SpillFile) ReadBytes() uint64 { return s.readBytes.Load() }
+
+// Close releases the fd. Any ColumnAccesses still pointing at the file will
+// fail reads afterwards, so callers only close once all traces referencing
+// the file are unreachable.
+func (s *SpillFile) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -55,7 +55,10 @@ func (e *StreamEncoder) WritePhase(ph *Phase) error {
 		return e.err
 	}
 	e.w.WriteByte('P')
-	encodePhase(e.w, ph)
+	if err := encodePhase(e.w, ph); err != nil {
+		e.err = err
+		return err
+	}
 	e.err = e.w.Flush()
 	return e.err
 }
@@ -70,30 +73,42 @@ func (e *StreamEncoder) Close() error {
 	return e.w.Flush()
 }
 
-// encodePhase writes one phase in the batch format's phase layout.
-func encodePhase(bw *bufio.Writer, ph *Phase) {
+// encodePhase writes one phase in the batch format's phase layout. The wire
+// format is storage-agnostic: columnar kernels are decoded block by block
+// and written as the same flat record stream, so both kernel forms produce
+// identical bytes.
+func encodePhase(bw *bufio.Writer, ph *Phase) error {
 	putUvarint(bw, uint64(ph.Index))
 	putString(bw, ph.Label)
 	putUvarint(bw, uint64(len(ph.Kernels)))
-	for _, k := range ph.Kernels {
+	var dec BlockDecoder
+	for i := range ph.Kernels {
+		k := &ph.Kernels[i]
 		putUvarint(bw, uint64(k.GPU))
 		putString(bw, k.Name)
 		putUvarint(bw, k.ComputeOps)
 		putUvarint(bw, k.LocalStreamBytes)
-		putUvarint(bw, uint64(len(k.Accesses)))
+		putUvarint(bw, uint64(k.NumAccesses()))
 		prevAddr := uint64(0)
-		for _, a := range k.Accesses {
-			bw.WriteByte(byte(a.Op))
-			bw.WriteByte(byte(a.Scope))
-			bw.WriteByte(byte(a.Pattern))
-			bw.WriteByte(a.Threads)
-			bw.WriteByte(a.ElemBytes)
-			putUvarint(bw, uint64(a.Stride))
-			putUvarint(bw, uint64(a.Seed))
-			putVarint(bw, int64(a.Addr)-int64(prevAddr))
-			prevAddr = a.Addr
+		err := k.EachBlock(&dec, func(accs []Access) bool {
+			for _, a := range accs {
+				bw.WriteByte(byte(a.Op))
+				bw.WriteByte(byte(a.Scope))
+				bw.WriteByte(byte(a.Pattern))
+				bw.WriteByte(a.Threads)
+				bw.WriteByte(a.ElemBytes)
+				putUvarint(bw, uint64(a.Stride))
+				putUvarint(bw, uint64(a.Seed))
+				putVarint(bw, int64(a.Addr)-int64(prevAddr))
+				prevAddr = a.Addr
+			}
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("trace: encoding kernel %q: %w", k.Name, err)
 		}
 	}
+	return nil
 }
 
 // StreamDecoder reads a streamed trace phase by phase. It implements

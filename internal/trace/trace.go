@@ -157,7 +157,63 @@ type Kernel struct {
 	// than as per-line records to keep traces compact; no paradigm ever
 	// moves it between GPUs.
 	LocalStreamBytes uint64
-	Accesses         []Access
+	// Exactly one of Accesses and Col describes the instruction stream.
+	// Accesses is the flat array-of-structs form (hand-built traces, the
+	// binary codec); Col is the compressed columnar form internal/workload
+	// emits. Consumers that replay sequentially should use EachBlock or a
+	// BlockDecoder, which handle both.
+	Accesses []Access
+	Col      *ColumnAccesses
+}
+
+// NumAccesses returns the kernel's instruction count in either storage form.
+func (k *Kernel) NumAccesses() int {
+	if k.Col != nil {
+		return k.Col.Len()
+	}
+	return len(k.Accesses)
+}
+
+// EachBlock yields the kernel's access stream in decode-order chunks: the
+// whole flat slice at once, or one decoded block at a time through dec
+// (whose buffer each yielded slice aliases). Iteration stops early if yield
+// returns false. The only possible errors are spill-file I/O and internal
+// codec corruption.
+func (k *Kernel) EachBlock(dec *BlockDecoder, yield func([]Access) bool) error {
+	if k.Col == nil {
+		if len(k.Accesses) > 0 {
+			yield(k.Accesses)
+		}
+		return nil
+	}
+	for i := 0; i < k.Col.NumBlocks(); i++ {
+		accs, err := dec.Decode(k.Col, i)
+		if err != nil {
+			return err
+		}
+		if !yield(accs) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FlatAccesses materializes the kernel's stream as one flat slice. Flat
+// kernels return their slice directly (no copy); columnar kernels decode
+// every block. Intended for tests and inspection tools, not replay.
+func (k *Kernel) FlatAccesses() []Access {
+	if k.Col == nil {
+		return k.Accesses
+	}
+	out := make([]Access, 0, k.Col.Len())
+	var dec BlockDecoder
+	if err := k.EachBlock(&dec, func(accs []Access) bool {
+		out = append(out, accs...)
+		return true
+	}); err != nil {
+		panic(fmt.Sprintf("trace: decoding columnar kernel %q: %v", k.Name, err))
+	}
+	return out
 }
 
 // Phase groups the kernels that run concurrently between two global
@@ -305,7 +361,9 @@ func (r *Recorded) Phases(yield func(*Phase) bool) {
 	}
 }
 
-// Collect materializes any Program into a Recorded trace.
+// Collect materializes any Program into a Recorded trace. Flat access
+// slices are deep-copied; columnar stores are shared by pointer (their
+// encoded blocks are immutable).
 func Collect(p Program) *Recorded {
 	rec := &Recorded{M: p.Meta()}
 	p.Phases(func(ph *Phase) bool {
@@ -313,6 +371,9 @@ func Collect(p Program) *Recorded {
 		cp.Kernels = make([]Kernel, len(ph.Kernels))
 		copy(cp.Kernels, ph.Kernels)
 		for i := range cp.Kernels {
+			if cp.Kernels[i].Col != nil {
+				continue
+			}
 			acc := make([]Access, len(ph.Kernels[i].Accesses))
 			copy(acc, ph.Kernels[i].Accesses)
 			cp.Kernels[i].Accesses = acc
@@ -320,6 +381,58 @@ func Collect(p Program) *Recorded {
 		rec.Ph = append(rec.Ph, cp)
 		return true
 	})
+	return rec
+}
+
+// Spill moves every columnar kernel's blocks into s, returning the heap
+// bytes freed. Kernels already spilled (or flat) are skipped. On a write
+// error the remaining kernels stay resident and the first error is returned
+// alongside whatever was freed; the trace remains fully readable either way.
+func (r *Recorded) Spill(s *SpillFile) (freed uint64, err error) {
+	for pi := range r.Ph {
+		for ki := range r.Ph[pi].Kernels {
+			f, e := r.Ph[pi].Kernels[ki].Col.SpillTo(s)
+			freed += f
+			if e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	return freed, err
+}
+
+// Columnize materializes p with every kernel's stream re-encoded into
+// compressed columnar blocks. Used by tests to cross-check the two replay
+// paths and by tools converting flat traces.
+func Columnize(p Program) *Recorded {
+	rec := Collect(p)
+	for pi := range rec.Ph {
+		for ki := range rec.Ph[pi].Kernels {
+			k := &rec.Ph[pi].Kernels[ki]
+			if k.Col != nil || len(k.Accesses) == 0 {
+				continue
+			}
+			k.Col = EncodeColumns(k.Accesses)
+			k.Accesses = nil
+		}
+	}
+	return rec
+}
+
+// Flatten materializes p with every kernel in the flat array-of-structs
+// form, decoding columnar kernels. The inverse of Columnize.
+func Flatten(p Program) *Recorded {
+	rec := Collect(p)
+	for pi := range rec.Ph {
+		for ki := range rec.Ph[pi].Kernels {
+			k := &rec.Ph[pi].Kernels[ki]
+			if k.Col == nil {
+				continue
+			}
+			k.Accesses = k.FlatAccesses()
+			k.Col = nil
+		}
+	}
 	return rec
 }
 
@@ -336,29 +449,37 @@ type Stats struct {
 	Bytes     uint64
 }
 
-// Summarize scans a program and tallies instruction counts.
+// Summarize scans a program and tallies instruction counts. Columnar
+// kernels are decoded block by block with constant memory.
 func Summarize(p Program) Stats {
 	var s Stats
+	var dec BlockDecoder
 	p.Phases(func(ph *Phase) bool {
 		s.Phases++
 		s.Kernels += len(ph.Kernels)
-		for _, k := range ph.Kernels {
-			for _, a := range k.Accesses {
-				s.Accesses++
-				s.Bytes += a.Bytes()
-				switch a.Op {
-				case OpLoad:
-					s.Loads++
-				case OpStore:
-					s.Stores++
-				case OpAtomic:
-					s.Atomics++
-				case OpFence:
-					s.Fences++
+		for i := range ph.Kernels {
+			err := ph.Kernels[i].EachBlock(&dec, func(accs []Access) bool {
+				for _, a := range accs {
+					s.Accesses++
+					s.Bytes += a.Bytes()
+					switch a.Op {
+					case OpLoad:
+						s.Loads++
+					case OpStore:
+						s.Stores++
+					case OpAtomic:
+						s.Atomics++
+					case OpFence:
+						s.Fences++
+					}
+					if a.Scope == ScopeSys {
+						s.SysScoped++
+					}
 				}
-				if a.Scope == ScopeSys {
-					s.SysScoped++
-				}
+				return true
+			})
+			if err != nil {
+				panic(fmt.Sprintf("trace: summarizing kernel %q: %v", ph.Kernels[i].Name, err))
 			}
 		}
 		return true

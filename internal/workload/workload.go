@@ -164,34 +164,24 @@ func (a *app) Phases(yield func(*trace.Phase) bool) {
 	}
 }
 
-// kernelBuilder accumulates the access stream of one kernel.
+// kernelBuilder accumulates the access stream of one kernel, compressing it
+// into columnar blocks as it goes: the builder holds at most one block of
+// pending records, so even multi-million-instruction kernels are built in
+// constant memory and never exist in flat form.
 type kernelBuilder struct {
-	k trace.Kernel
+	k   trace.Kernel
+	enc trace.ColumnEncoder
 }
 
 func newKernel(gpu int, name string, computeOps uint64) *kernelBuilder {
 	return &kernelBuilder{k: trace.Kernel{GPU: gpu, Name: name, ComputeOps: computeOps}}
 }
 
-func (b *kernelBuilder) build() trace.Kernel { return b.k }
+func (b *kernelBuilder) add(a trace.Access) { b.enc.Append(a) }
 
-// grow reserves room for n more accesses so the emit loops below append
-// without repeated slice regrowth (the builders know their counts exactly,
-// and access streams run to millions of entries).
-func (b *kernelBuilder) grow(n int) {
-	need := len(b.k.Accesses) + n
-	if n <= 0 || cap(b.k.Accesses) >= need {
-		return
-	}
-	// Grow at least geometrically: a kernel assembled from many emit calls
-	// must not copy its whole prefix on every call.
-	newCap := 2 * cap(b.k.Accesses)
-	if newCap < need {
-		newCap = need
-	}
-	buf := make([]trace.Access, len(b.k.Accesses), newCap)
-	copy(buf, b.k.Accesses)
-	b.k.Accesses = buf
+func (b *kernelBuilder) build() trace.Kernel {
+	b.k.Col = b.enc.Finish()
+	return b.k
 }
 
 // loads emits contiguous warp loads covering [base, base+bytes): one
@@ -202,9 +192,8 @@ func (b *kernelBuilder) loads(base, bytes uint64) { b.rangeOps(trace.OpLoad, bas
 func (b *kernelBuilder) stores(base, bytes uint64) { b.rangeOps(trace.OpStore, base, bytes) }
 
 func (b *kernelBuilder) rangeOps(op trace.Op, base, bytes uint64) {
-	b.grow(int((bytes + LineBytes - 1) / LineBytes))
 	for off := uint64(0); off < bytes; off += LineBytes {
-		b.k.Accesses = append(b.k.Accesses, trace.Access{
+		b.add(trace.Access{
 			Op: op, Scope: trace.ScopeWeak, Pattern: trace.PatContiguous,
 			Threads: 32, ElemBytes: 4, Addr: base + off,
 		})
@@ -231,7 +220,6 @@ func (b *kernelBuilder) storesMultiPassSet(base, bytes uint64, passes int, block
 		panic("workload: empty block set")
 	}
 	lines := bytes / LineBytes
-	b.grow(int(lines) * passes)
 	blockIdx := 0
 	for blockStart := uint64(0); blockStart < lines; {
 		blockLines := uint64(blockSet[blockIdx%len(blockSet)])
@@ -242,7 +230,7 @@ func (b *kernelBuilder) storesMultiPassSet(base, bytes uint64, passes int, block
 		}
 		for p := 0; p < passes; p++ {
 			for l := blockStart; l < blockEnd; l++ {
-				b.k.Accesses = append(b.k.Accesses, trace.Access{
+				b.add(trace.Access{
 					Op: trace.OpStore, Scope: trace.ScopeWeak, Pattern: trace.PatContiguous,
 					Threads: 32, ElemBytes: 4, Addr: base + l*LineBytes,
 				})
@@ -273,7 +261,6 @@ func (b *kernelBuilder) scatteredLanes(op trace.Op, base, windowBytes uint64, co
 	if count <= 0 {
 		return
 	}
-	b.grow(count)
 	numSeg := int(windowBytes / scatterSegmentBytes)
 	if numSeg < 1 {
 		numSeg = 1
@@ -296,7 +283,7 @@ func (b *kernelBuilder) scatteredLanes(op trace.Op, base, windowBytes uint64, co
 		if segLines > (1<<32)-1 {
 			panic("workload: scatter window too large")
 		}
-		b.k.Accesses = append(b.k.Accesses, trace.Access{
+		b.add(trace.Access{
 			Op: op, Scope: trace.ScopeWeak, Pattern: trace.PatScattered,
 			Threads: lanes, ElemBytes: 4,
 			Stride: uint32(segLines),

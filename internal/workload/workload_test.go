@@ -89,10 +89,10 @@ func TestEveryAppProducesValidTraces(t *testing.T) {
 					if k.ComputeOps == 0 {
 						t.Fatalf("kernel %s has no compute", k.Name)
 					}
-					if len(k.Accesses) == 0 {
+					if k.NumAccesses() == 0 {
 						t.Fatalf("kernel %s has no accesses", k.Name)
 					}
-					for _, a := range k.Accesses {
+					for _, a := range k.FlatAccesses() {
 						if err := a.Validate(); err != nil {
 							t.Fatalf("invalid access: %v", err)
 						}
@@ -131,7 +131,7 @@ func TestStrongScalingPreservesTotalWork(t *testing.T) {
 	writeBytes := func(p trace.Program) (w, r uint64) {
 		p.Phases(func(ph *trace.Phase) bool {
 			for _, k := range ph.Kernels {
-				for _, a := range k.Accesses {
+				for _, a := range k.FlatAccesses() {
 					if a.IsWrite() {
 						w += a.Bytes()
 					} else if a.Op == trace.OpLoad {
@@ -184,7 +184,7 @@ func TestJacobiSingleVisitStores(t *testing.T) {
 	p.Phases(func(ph *trace.Phase) bool {
 		for _, k := range ph.Kernels {
 			seen := map[uint64]bool{}
-			for _, a := range k.Accesses {
+			for _, a := range k.FlatAccesses() {
 				if a.Op != trace.OpStore {
 					continue
 				}
@@ -211,7 +211,7 @@ func TestMultiPassStoresRevisitWithinBlock(t *testing.T) {
 	var gaps []int
 	lastPos := map[uint64]int{}
 	pos := 0
-	for _, a := range firstKernel.Accesses {
+	for _, a := range firstKernel.FlatAccesses() {
 		if a.Op != trace.OpStore {
 			continue
 		}
@@ -302,10 +302,10 @@ func TestControlCatalogValidTraces(t *testing.T) {
 			p.Phases(func(ph *trace.Phase) bool {
 				phases++
 				for _, k := range ph.Kernels {
-					if k.ComputeOps == 0 || len(k.Accesses) == 0 {
+					if k.ComputeOps == 0 || k.NumAccesses() == 0 {
 						t.Fatalf("kernel %s incomplete", k.Name)
 					}
-					for _, a := range k.Accesses {
+					for _, a := range k.FlatAccesses() {
 						if err := a.Validate(); err != nil {
 							t.Fatal(err)
 						}
@@ -332,7 +332,7 @@ func TestControlAppsAreComputeBound(t *testing.T) {
 		p.Phases(func(ph *trace.Phase) bool {
 			for _, k := range ph.Kernels {
 				ops += k.ComputeOps
-				for _, a := range k.Accesses {
+				for _, a := range k.FlatAccesses() {
 					bytes += a.Bytes()
 				}
 			}
@@ -360,13 +360,15 @@ func TestScatteredAccessesHaveSegmentLocality(t *testing.T) {
 	kb := newKernel(0, "k", 1)
 	window := uint64(6 << 20)
 	kb.scattered(trace.OpAtomic, 0, window, 120, 1)
-	if len(kb.k.Accesses) != 120 {
-		t.Fatalf("emitted %d instructions", len(kb.k.Accesses))
+	k := kb.build()
+	accs := k.FlatAccesses()
+	if len(accs) != 120 {
+		t.Fatalf("emitted %d instructions", len(accs))
 	}
 	segs := map[uint64]bool{}
 	changes := 0
 	prev := uint64(1 << 62)
-	for _, a := range kb.k.Accesses {
+	for _, a := range accs {
 		seg := a.Addr / scatterSegmentBytes
 		segs[seg] = true
 		if seg != prev {
