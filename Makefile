@@ -2,15 +2,17 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke shard-smoke spill-smoke cluster-smoke
+.PHONY: check vet build race test bench-smoke bench-micro bench-record serve-smoke chaos obs-smoke shard-smoke spill-smoke cluster-smoke trace-cluster-smoke benchgate
 
 ## check: full gate — vet, build, the test suite under the race detector,
 ## the microbenchmark compile/run smoke, the chaos gate (fault injection,
 ## fuzzing, crash recovery), the observability smoke (span traces), the
 ## sharded-replay smoke (byte-identical figures at -shards 4 under -race),
-## the trace-spill smoke (tiny -trace-budget forcing disk spill), and the
-## 3-node cluster smoke (routing, coalescing, owner kill).
-check: vet build race bench-micro chaos obs-smoke shard-smoke spill-smoke cluster-smoke
+## the trace-spill smoke (tiny -trace-budget forcing disk spill), the
+## 3-node cluster smoke (routing, coalescing, owner kill), the distributed
+## tracing smoke (one cross-node trace through tracelint -cluster), and the
+## perf regression gate against the committed BENCH baseline.
+check: vet build race bench-micro chaos obs-smoke shard-smoke spill-smoke cluster-smoke trace-cluster-smoke benchgate
 
 ## vet: static checks — go vet plus a gofmt cleanliness gate (gofmt ships
 ## with the toolchain, so this adds no dependency).
@@ -79,6 +81,24 @@ spill-smoke:
 ## survivors, and a resurrected node reconciles instead of re-running.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+## trace-cluster-smoke: boot a 3-node cluster with per-node trace dirs and
+## stealing on, overload one node so peers steal its queue, then validate
+## the per-node Perfetto files as one cluster with tracelint -cluster -cross:
+## every parent span link resolves across files and at least one trace spans
+## 2+ nodes.
+trace-cluster-smoke:
+	sh scripts/trace_cluster_smoke.sh
+
+## benchgate: the perf regression gate — run the full experiment suite and
+## compare its report against the committed baseline. Deterministic headline
+## metrics and memoization work counters are gated tightly; wall-clock
+## loosely (1.5x ratio AND a 0.5s floor), so machine noise cannot fail the
+## gate. Intended changes: `make bench-record` re-blesses the baseline.
+BENCH_BASELINE ?= BENCH_10.json
+benchgate:
+	$(GO) run ./cmd/gpsbench -all -parallel 1 -json /tmp/gpsbench-gate.json
+	$(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE) -v /tmp/gpsbench-gate.json
 
 ## chaos: the resilience gate — fault-injected suites under -race, a fuzz
 ## pass over the trace decoder, and the SIGKILL crash-recovery smoke.

@@ -75,7 +75,9 @@ func main() {
 	case "health":
 		err = cmdHealth(ctx, c)
 	case "cluster":
-		err = cmdCluster(ctx, c)
+		err = cmdCluster(ctx, c, rest)
+	case "top":
+		err = cmdTop(ctx, c, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "gpsctl: unknown command %q\n", cmd)
 		usage()
@@ -96,8 +98,14 @@ commands:
   result <job-id>                print a done job's report
   cancel <job-id>                cancel a queued or running job
   health                         print the node's health snapshot
-  cluster                        print ring ownership, peer liveness and
-                                 suspicion, and replication/takeover counters
+  cluster [-json]                print ring ownership, peer liveness and
+                                 suspicion, per-node load (queue, in-flight,
+                                 cache hit rate), and replication/takeover
+                                 counters
+  top [-interval d] [-once] [-json]
+                                 live per-node operator view: queue depth,
+                                 workers, cache hit rate, steal/adoption
+                                 counters, e2e latency p50/p99
 
 flags:
 `)
@@ -199,10 +207,14 @@ func cmdHealth(ctx context.Context, c *client.Client) error {
 }
 
 // cmdCluster renders the node's cluster view for operators: who it thinks
-// is alive (and how suspicious it is of everyone else), where a sample of
-// ring keys currently routes, and the self-healing counters — replication
-// lag toward its successor and takeovers it has run for dead peers.
-func cmdCluster(ctx context.Context, c *client.Client) error {
+// is alive (and how suspicious it is of everyone else), per-node load from
+// the federated metrics endpoint, where a sample of ring keys currently
+// routes, and the self-healing counters — replication lag toward its
+// successor and takeovers it has run for dead peers.
+func cmdCluster(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit health + federated metrics as JSON")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
 	h, err := c.Healthz(ctx)
 	if err != nil && h.Status == "" {
 		return err // unreachable; a draining node still yields a body below
@@ -210,7 +222,34 @@ func cmdCluster(ctx context.Context, c *client.Client) error {
 	if h.Role != "cluster" {
 		return fmt.Errorf("node %s is not in cluster mode", h.NodeID)
 	}
-	fmt.Printf("node %s (%s)\n", h.NodeID, h.Status)
+	// The federated view is best-effort decoration: a node predating the
+	// endpoint (404) still renders the health-derived table.
+	cm, cmErr := c.ClusterMetrics(ctx)
+	byNode := map[string]*service.Metrics{}
+	if cmErr == nil {
+		for i := range cm.Nodes {
+			byNode[cm.Nodes[i].Node] = cm.Nodes[i].Metrics
+		}
+	}
+	if *jsonOut {
+		out := struct {
+			Health  client.Health             `json:"health"`
+			Metrics client.ClusterMetricsResp `json:"cluster_metrics"`
+		}{Health: h, Metrics: cm}
+		if perr := printJSON(out); perr != nil {
+			return perr
+		}
+		return err
+	}
+	load := func(node string) string {
+		m := byNode[node]
+		if m == nil {
+			return ""
+		}
+		return fmt.Sprintf("queue %d  in-flight %d  cache-hit %s",
+			m.QueueDepth, m.JobsInFlight, hitRate(m))
+	}
+	fmt.Printf("node %s (%s)  %s\n", h.NodeID, h.Status, load(h.NodeID))
 	fmt.Printf("peers: %d/%d alive\n", h.PeersAlive, h.PeersTotal)
 	for _, p := range h.Peers {
 		state := "down"
@@ -220,7 +259,7 @@ func cmdCluster(ctx context.Context, c *client.Client) error {
 		case p.Alive:
 			state = "alive"
 		}
-		fmt.Printf("  %-12s %-28s %s\n", p.ID, p.URL, state)
+		fmt.Printf("  %-12s %-28s %-8s %s\n", p.ID, p.URL, state, load(p.ID))
 	}
 	if cs := h.Cluster; cs != nil {
 		fmt.Println("replication:")
@@ -244,6 +283,75 @@ func cmdCluster(ctx context.Context, c *client.Client) error {
 		}
 	}
 	return err // non-nil when draining: body printed, exit code still 1
+}
+
+// hitRate renders a node's result-cache hit rate ("-" before any lookup).
+func hitRate(m *service.Metrics) string {
+	total := m.ResultCacheHits + m.ResultCacheMisses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(m.ResultCacheHits)/float64(total))
+}
+
+// cmdTop is the polling operator view: one row per cluster node with queue
+// depth, worker occupancy, cache hit rate, steal/adoption counters, and
+// end-to-end latency percentiles, refreshed until interrupted.
+func cmdTop(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	jsonOut := fs.Bool("json", false, "emit the raw federated metrics as JSON")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	for {
+		cm, err := c.ClusterMetrics(ctx)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *jsonOut:
+			if perr := printJSON(cm); perr != nil {
+				return perr
+			}
+		default:
+			if !*once {
+				fmt.Print("\033[H\033[2J") // home + clear, like top(1)
+			}
+			renderTop(cm)
+		}
+		if *once {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+func renderTop(cm client.ClusterMetricsResp) {
+	fmt.Printf("%-12s %-6s %6s %10s %8s %5s %6s %7s %8s %10s %10s\n",
+		"NODE", "STATE", "QUEUE", "IN-FLIGHT", "WORKERS", "BUSY", "HIT%", "STOLEN", "ADOPTED", "E2E-P50", "E2E-P99")
+	for _, n := range cm.Nodes {
+		if n.Metrics == nil {
+			state := "down"
+			if n.Error != "" {
+				state = "error"
+			}
+			fmt.Printf("%-12s %-6s %s\n", n.Node, state, n.Error)
+			continue
+		}
+		m := n.Metrics
+		p50, p99 := "-", "-"
+		if m.JobE2E != nil {
+			p50 = fmt.Sprintf("%.3fs", m.JobE2E.P50)
+			p99 = fmt.Sprintf("%.3fs", m.JobE2E.P99)
+		}
+		fmt.Printf("%-12s %-6s %6d %10d %8d %5d %6s %7d %8d %10s %10s\n",
+			n.Node, "up", m.QueueDepth, m.JobsInFlight, m.Workers, m.BusyWorkers,
+			hitRate(m), m.JobsStolen, m.JobsAdopted, p50, p99)
+	}
 }
 
 func printJSON(v any) error {

@@ -1,5 +1,5 @@
-// Command tracelint structurally validates a Chrome trace-event JSON file
-// produced by gpsbench -trace-out or gpsd -trace-dir: the file must parse,
+// Command tracelint structurally validates Chrome trace-event JSON files
+// produced by gpsbench -trace-out or gpsd -trace-dir: each file must parse,
 // every B event must close with a matching E in LIFO order on its track,
 // and spans must nest cell ⊂ figure ⊂ job and phase ⊂ cell by wall time.
 //
@@ -9,14 +9,23 @@
 //	tracelint -require job,cell run.trace.json
 //	tracelint -require "" run.trace.json      # structure only
 //
+// Cluster mode validates a set of per-node trace files together: every
+// span carrying a trace_id must link to a parent span_id resolvable in
+// some file of the same trace, and every trace must have a root span.
+//
+//	tracelint -cluster node-a/*.json node-b/*.json
+//	tracelint -cluster -cross ...             # require a 2+ node trace
+//	tracelint -cluster -merge merged.json ... # emit one Perfetto timeline
+//
 // Exit status 0 on a valid trace; 1 with a diagnostic otherwise. The smoke
-// gate (make obs-smoke) runs it over a fresh gpsbench trace.
+// gates (make obs-smoke, make trace-cluster-smoke) run both modes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gps/internal/obs"
@@ -24,10 +33,22 @@ import (
 
 func main() {
 	require := flag.String("require", "job,figure,cell,phase",
-		"comma-separated span categories that must be present (empty = structure only)")
+		"comma-separated span categories that must be present (empty = structure only; single-file mode)")
+	clusterMode := flag.Bool("cluster", false,
+		"validate multiple per-node trace files as one distributed trace set")
+	cross := flag.Bool("cross", false,
+		"with -cluster: require at least one trace spanning 2+ nodes")
+	mergeOut := flag.String("merge", "",
+		"with -cluster: also write the merged multi-node timeline to this path")
 	flag.Parse()
+
+	if *clusterMode {
+		runCluster(flag.Args(), *cross, *mergeOut)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracelint [-require cats] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-require cats] trace.json\n"+
+			"       tracelint -cluster [-cross] [-merge out.json] trace.json...")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -52,4 +73,59 @@ func main() {
 		}
 	}
 	fmt.Println()
+}
+
+// runCluster validates a set of per-node trace files as one distributed
+// trace: per-file structure plus cross-file parent/child identity linkage.
+func runCluster(paths []string, cross bool, mergeOut string) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "tracelint: -cluster needs at least one trace file")
+		os.Exit(2)
+	}
+	files := map[string][]byte{}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracelint:", err)
+			os.Exit(1)
+		}
+		// Key by a short name but keep it unique when basenames collide
+		// across node directories.
+		key := filepath.Base(p)
+		if _, dup := files[key]; dup {
+			key = p
+		}
+		files[key] = data
+	}
+	sum, err := obs.ValidateClusterTraces(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracelint: cluster:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cluster: %d files, %d identity spans, %d traces, %d cross-node\n",
+		sum.Files, sum.Spans, len(sum.Traces), sum.CrossNode)
+	for _, ct := range sum.Traces {
+		marker := " "
+		if ct.CrossNode() {
+			marker = "*"
+		}
+		fmt.Printf(" %s trace %s: %d spans, %d roots, nodes %s\n",
+			marker, ct.TraceID, ct.Spans, ct.Roots, strings.Join(ct.Nodes, ","))
+	}
+	if cross && sum.CrossNode == 0 {
+		fmt.Fprintln(os.Stderr, "tracelint: cluster: -cross required a trace spanning 2+ nodes; none found")
+		os.Exit(1)
+	}
+	if mergeOut != "" {
+		merged, merr := obs.MergeTraces(files)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "tracelint: merge:", merr)
+			os.Exit(1)
+		}
+		if werr := os.WriteFile(mergeOut, merged, 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "tracelint: merge:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("merged timeline written to %s\n", mergeOut)
+	}
 }

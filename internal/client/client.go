@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"gps/internal/obs"
 	"gps/internal/report"
 	"gps/internal/retry"
 	"gps/internal/service"
@@ -104,14 +105,30 @@ type SubmitResult struct {
 
 // Submit posts one job spec. Submission is idempotent on the server
 // (content-addressed cache + single-flight coalescing), so retries are safe.
+// Unless the client was configured with an explicit traceparent header, each
+// submit mints a fresh trace ID and sends it as X-GPS-Traceparent, making
+// the submitting client the root of the job's distributed trace.
 func (c *Client) Submit(ctx context.Context, spec service.Spec) (SubmitResult, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return SubmitResult{}, fmt.Errorf("client: encode spec: %w", err)
 	}
+	var hdr http.Header
+	if c.headers.Get(obs.TraceparentHeader) == "" {
+		hdr = http.Header{obs.TraceparentHeader: {obs.TraceContext{TraceID: obs.NewTraceID()}.Traceparent()}}
+	}
+	code, resp, err := c.roundTrip(ctx, http.MethodPost, "/v1/jobs", body, hdr)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	if code < 200 || code >= 300 {
+		return SubmitResult{}, apiError(code, resp)
+	}
 	var out SubmitResult
-	err = c.call(ctx, http.MethodPost, "/v1/jobs", body, &out)
-	return out, err
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return SubmitResult{}, fmt.Errorf("client: POST /v1/jobs: decode response: %w", err)
+	}
+	return out, nil
 }
 
 // Status polls one job.

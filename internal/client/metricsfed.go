@@ -1,0 +1,42 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"gps/internal/service"
+)
+
+// NodeMetrics is one node's slice of the federated metrics view served by
+// GET /v1/cluster/metrics: the node's identity, whether it was reachable
+// when the view was assembled, and its full /v1/metrics snapshot (nil when
+// the fetch failed — Error says why).
+type NodeMetrics struct {
+	Node    string           `json:"node"`
+	URL     string           `json:"url,omitempty"`
+	Alive   bool             `json:"alive"`
+	Error   string           `json:"error,omitempty"`
+	Metrics *service.Metrics `json:"metrics,omitempty"`
+}
+
+// ClusterMetricsResp is the body of GET /v1/cluster/metrics: every ring
+// member's metrics snapshot, the answering node first. A single-node daemon
+// serves a one-entry list, so gpsctl top works against any deployment.
+type ClusterMetricsResp struct {
+	Nodes []NodeMetrics `json:"nodes"`
+}
+
+// Metrics reads one node's /v1/metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (service.Metrics, error) {
+	var out service.Metrics
+	err := c.call(ctx, http.MethodGet, "/v1/metrics", nil, &out)
+	return out, err
+}
+
+// ClusterMetrics reads the federated metrics view: the target node fans the
+// request out to its live peers and merges the answers.
+func (c *Client) ClusterMetrics(ctx context.Context) (ClusterMetricsResp, error) {
+	var out ClusterMetricsResp
+	err := c.call(ctx, http.MethodGet, "/v1/cluster/metrics", nil, &out)
+	return out, err
+}

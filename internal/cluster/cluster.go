@@ -61,7 +61,7 @@ func (p *Peer) lastHealth() client.Health {
 // snapshot pending work for replication resync, and land or reclaim
 // delegated outcomes. *service.Server implements it.
 type Local interface {
-	Submit(spec service.Spec) (service.Status, service.Outcome, error)
+	SubmitTraced(spec service.Spec, parent obs.TraceContext) (service.Status, service.Outcome, error)
 	WaitResult(ctx context.Context, id string) (service.Status, *report.Report, error)
 	Metrics() service.Metrics
 	ResultByHash(hash string) (*report.Report, bool)
@@ -69,7 +69,7 @@ type Local interface {
 	CompleteStolen(id string, res *report.Report, errMsg string) error
 	DeclineStolen(id string) error
 	Cancel(id string) (service.Status, error)
-	Adopt(origin, id string, spec service.Spec) (service.AdoptOutcome, error)
+	Adopt(origin, id string, spec service.Spec, trace obs.TraceInfo) (service.AdoptOutcome, error)
 	PendingJobs() []service.PendingJob
 }
 
@@ -127,6 +127,10 @@ type Cluster struct {
 	peerFetches            atomic.Uint64
 	stealsThief, stealErrs atomic.Uint64
 
+	// Per-hop latency histograms: how long one cross-node leg of a job's
+	// journey takes (forward POST, steal round trip, takeover adoption).
+	hopForward, hopSteal, hopAdopt *obs.Histogram
+
 	// Replication stream state (this node as origin), guarded by replMu.
 	// replMu is held across the flush POST so records reach the successor
 	// in journal-commit order.
@@ -175,6 +179,12 @@ func New(cfg Config) *Cluster {
 		replicas:     newReplicaStore(),
 	}
 	c.ring.Add(cfg.Self)
+	// Registry.Histogram tolerates a nil registry (returns a working,
+	// unregistered histogram), so the hop timers are always usable.
+	const hopHelp = "Latency of one cross-node hop in a job's lifecycle."
+	c.hopForward = cfg.Registry.Histogram("gpsd_cluster_hop_seconds", hopHelp, nil, "hop", "forward")
+	c.hopSteal = cfg.Registry.Histogram("gpsd_cluster_hop_seconds", hopHelp, nil, "hop", "steal")
+	c.hopAdopt = cfg.Registry.Histogram("gpsd_cluster_hop_seconds", hopHelp, nil, "hop", "adopt")
 	c.registerMetrics(cfg.Registry)
 	return c
 }
@@ -504,33 +514,47 @@ func (c *Cluster) Start(ctx context.Context) {
 	}
 }
 
+// traceHeader builds the header set carrying a traceparent value between
+// nodes; nil when there is no trace to propagate.
+func traceHeader(traceparent string) http.Header {
+	if traceparent == "" {
+		return nil
+	}
+	return http.Header{obs.TraceparentHeader: {traceparent}}
+}
+
 // ForwardSubmit relays a raw submit body to the owner node and returns its
 // response verbatim (status code and body bytes), so the client sees
-// exactly what the owner answered. The transport error (owner unreachable)
-// is returned for the caller to fall back on.
-func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, body []byte) (int, []byte, error) {
+// exactly what the owner answered. traceparent (when non-empty) rides along
+// so the owner mints the job under the submitting client's trace. The
+// transport error (owner unreachable) is returned for the caller to fall
+// back on.
+func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, body []byte, traceparent string) (int, []byte, error) {
 	p, ok := c.Peer(owner)
 	if !ok {
 		return 0, nil, &client.APIError{StatusCode: http.StatusBadGateway, Message: "unknown owner node " + owner}
 	}
-	code, resp, err := p.client.Do(ctx, http.MethodPost, "/v1/jobs", body, nil)
+	start := time.Now()
+	code, resp, err := p.client.Do(ctx, http.MethodPost, "/v1/jobs", body, traceHeader(traceparent))
 	if err != nil {
 		c.forwardErrs.Add(1)
 		c.suspect(p, err) // one error raises suspicion, not a routing flap
 		return 0, nil, err
 	}
+	c.hopForward.Observe(time.Since(start).Seconds())
 	c.forwards.Add(1)
 	return code, resp, nil
 }
 
 // ProxyJob relays a status/result/cancel request to the node owning the
-// job ID and returns its response verbatim.
-func (c *Cluster) ProxyJob(ctx context.Context, node, method, path string) (int, []byte, error) {
+// job ID and returns its response verbatim. An incoming traceparent is
+// propagated so the serving node can associate the read with the trace.
+func (c *Cluster) ProxyJob(ctx context.Context, node, method, path, traceparent string) (int, []byte, error) {
 	p, ok := c.Peer(node)
 	if !ok {
 		return 0, nil, &client.APIError{StatusCode: http.StatusBadGateway, Message: "unknown node " + node}
 	}
-	code, resp, err := p.client.Do(ctx, method, path, nil, nil)
+	code, resp, err := p.client.Do(ctx, method, path, nil, traceHeader(traceparent))
 	if err != nil {
 		c.suspect(p, err)
 		return 0, nil, err

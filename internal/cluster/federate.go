@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gps/internal/client"
+	"gps/internal/service"
+)
+
+// federateTimeout bounds one peer's metrics fetch during a federation
+// fan-out; a slow peer delays the view by at most this long (fetches run
+// concurrently).
+const federateTimeout = 5 * time.Second
+
+// FederatedMetrics assembles the cluster-wide metrics view behind
+// GET /v1/cluster/metrics: this node's own snapshot first, then every
+// configured peer's /v1/metrics fetched concurrently. Dead peers appear
+// with Alive=false and no metrics rather than being omitted, so operators
+// see the full ring.
+func (c *Cluster) FederatedMetrics(ctx context.Context) client.ClusterMetricsResp {
+	var nodes []client.NodeMetrics
+	if c.local != nil {
+		m := c.local.Metrics()
+		nodes = append(nodes, client.NodeMetrics{Node: c.self, Alive: true, Metrics: &m})
+	}
+	peers := c.Peers()
+	peerNodes := make([]client.NodeMetrics, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		nm := client.NodeMetrics{Node: p.ID, URL: p.URL, Alive: p.Alive()}
+		if !p.Alive() {
+			peerNodes[i] = nm
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *Peer, nm client.NodeMetrics) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, federateTimeout)
+			defer cancel()
+			code, body, err := p.client.Do(pctx, http.MethodGet, "/v1/metrics", nil, nil)
+			switch {
+			case err != nil:
+				nm.Error = err.Error()
+			case code != http.StatusOK:
+				nm.Error = fmt.Sprintf("peer answered %d", code)
+			default:
+				var m service.Metrics
+				if jerr := json.Unmarshal(body, &m); jerr != nil {
+					nm.Error = "undecodable metrics: " + jerr.Error()
+				} else {
+					nm.Metrics = &m
+				}
+			}
+			peerNodes[i] = nm
+		}(i, p, nm)
+	}
+	wg.Wait()
+	return client.ClusterMetricsResp{Nodes: append(nodes, peerNodes...)}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"gps/internal/obs"
 	"gps/internal/report"
 	"gps/internal/service"
 )
@@ -60,9 +61,10 @@ const (
 
 // ReplRecord is one replicated journal record.
 type ReplRecord struct {
-	Op   string        `json:"op"`
-	ID   string        `json:"id"`
-	Spec *service.Spec `json:"spec,omitempty"` // on submit
+	Op    string         `json:"op"`
+	ID    string         `json:"id"`
+	Spec  *service.Spec  `json:"spec,omitempty"`  // on submit
+	Trace *obs.TraceInfo `json:"trace,omitempty"` // on submit: distributed trace identity
 }
 
 // ReplBatch is the wire payload of POST /v1/peer/journal: one origin's
@@ -77,6 +79,7 @@ type ReplBatch struct {
 type replicaJob struct {
 	ID      string
 	Spec    service.Spec
+	Trace   obs.TraceInfo // original trace identity, carried into adoption
 	Started bool
 }
 
@@ -119,7 +122,11 @@ func (st *replicaStore) apply(b ReplBatch) int {
 			if _, ok := jobs[r.ID]; ok {
 				continue
 			}
-			jobs[r.ID] = &replicaJob{ID: r.ID, Spec: *r.Spec}
+			rj := &replicaJob{ID: r.ID, Spec: *r.Spec}
+			if r.Trace != nil {
+				rj.Trace = *r.Trace
+			}
+			jobs[r.ID] = rj
 			st.order[b.Origin] = append(st.order[b.Origin], r.ID)
 			applied++
 		case service.OpStart:
@@ -180,8 +187,8 @@ func (st *replicaStore) jobs() int {
 // is owed, records are deliberately dropped here: the job's state is
 // already registered in the service before its record commits, so the
 // snapshot the background flusher captures later covers it.
-func (c *Cluster) JournalRecord(op, id string, spec *service.Spec, errStr string) {
-	_ = errStr // the replica store only needs op+id+spec; errors stay local
+func (c *Cluster) JournalRecord(op, id string, spec *service.Spec, trace *obs.TraceInfo, errStr string) {
+	_ = errStr // the replica store only needs op+id+spec+trace; errors stay local
 	if !c.replEnabled.Load() || c.ring.Len() <= 1 {
 		return // stream off, or single-node cluster: nowhere to replicate
 	}
@@ -197,7 +204,7 @@ func (c *Cluster) JournalRecord(op, id string, spec *service.Spec, errStr string
 	if c.needSnapshot {
 		return // the pending snapshot supersedes this record
 	}
-	c.outbox = append(c.outbox, ReplRecord{Op: op, ID: id, Spec: spec})
+	c.outbox = append(c.outbox, ReplRecord{Op: op, ID: id, Spec: spec, Trace: trace})
 	c.flushReplicationLocked(context.Background(), nil)
 }
 
@@ -276,7 +283,12 @@ func (c *Cluster) flushReplicationLocked(ctx context.Context, snap []service.Pen
 		batch.Reset = true
 		for _, p := range snap {
 			spec := p.Spec
-			batch.Records = append(batch.Records, ReplRecord{Op: service.OpSubmit, ID: p.ID, Spec: &spec})
+			rec := ReplRecord{Op: service.OpSubmit, ID: p.ID, Spec: &spec}
+			if p.Trace.TraceID != "" {
+				tr := p.Trace
+				rec.Trace = &tr
+			}
+			batch.Records = append(batch.Records, rec)
 			if p.Started {
 				batch.Records = append(batch.Records, ReplRecord{Op: service.OpStart, ID: p.ID})
 			}
@@ -371,11 +383,13 @@ func (c *Cluster) checkTakeovers() {
 		}
 		adopted := 0
 		for _, rj := range jobs {
-			out, err := c.local.Adopt(p.ID, rj.ID, rj.Spec)
+			start := time.Now()
+			out, err := c.local.Adopt(p.ID, rj.ID, rj.Spec, rj.Trace)
 			if err != nil {
 				c.log.Warn("takeover: adopt failed", "origin", p.ID, "job_id", rj.ID, "err", err)
 				continue // entry stays; retried next sweep
 			}
+			c.hopAdopt.Observe(time.Since(start).Seconds())
 			c.replicas.remove(p.ID, rj.ID)
 			if out != service.AdoptExists {
 				adopted++

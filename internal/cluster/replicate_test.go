@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"gps/internal/obs"
 	"gps/internal/report"
 	"gps/internal/service"
 )
@@ -21,7 +22,7 @@ type adoptRecorder struct {
 	adopted []string // "origin/id"
 }
 
-func (a *adoptRecorder) Adopt(origin, id string, spec service.Spec) (service.AdoptOutcome, error) {
+func (a *adoptRecorder) Adopt(origin, id string, spec service.Spec, trace obs.TraceInfo) (service.AdoptOutcome, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.adopted = append(a.adopted, origin+"/"+id)
@@ -34,7 +35,7 @@ func (a *adoptRecorder) calls() []string {
 	return append([]string(nil), a.adopted...)
 }
 
-func (a *adoptRecorder) Submit(service.Spec) (service.Status, service.Outcome, error) {
+func (a *adoptRecorder) SubmitTraced(service.Spec, obs.TraceContext) (service.Status, service.Outcome, error) {
 	return service.Status{}, 0, fmt.Errorf("not implemented")
 }
 func (a *adoptRecorder) WaitResult(context.Context, string) (service.Status, *report.Report, error) {

@@ -95,6 +95,7 @@ func (c *Cluster) StealOnce(ctx context.Context) bool {
 	self.Place()
 
 	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	start := time.Now()
 	code, body, err := victim.client.Do(sctx, http.MethodPost, "/v1/peer/steal?thief="+c.self, nil, nil)
 	cancel()
 	if err != nil {
@@ -111,6 +112,7 @@ func (c *Cluster) StealOnce(ctx context.Context) bool {
 		c.log.Warn("steal response undecodable", "victim", victim.ID, "err", err)
 		return false
 	}
+	c.hopSteal.Observe(time.Since(start).Seconds())
 	c.stealsThief.Add(1)
 	c.log.Info("stole job", "victim", victim.ID, "job_id", stolen.ID, "hash", stolen.Hash)
 
@@ -119,12 +121,14 @@ func (c *Cluster) StealOnce(ctx context.Context) bool {
 }
 
 // runStolen executes a stolen spec locally and lands the outcome back on
-// the victim. Every failure mode still attempts a completion push so the
+// the victim. The local submit continues the victim job's trace (the thief
+// job becomes a child span of it), so the two nodes' trace files merge into
+// one timeline. Every failure mode still attempts a completion push so the
 // victim can close the job out; if the push itself fails, the victim's
 // steal watchdog reclaims the job.
 func (c *Cluster) runStolen(ctx context.Context, victim *Peer, stolen service.StolenJob) {
 	pay := func() CompletePayload {
-		st, _, err := c.local.Submit(stolen.Spec)
+		st, _, err := c.local.SubmitTraced(stolen.Spec, stolen.Trace)
 		if err != nil {
 			// Local admission refused the spec (queue full, drain): give the
 			// job back rather than fail it — the victim re-queues instantly.
@@ -154,7 +158,7 @@ func (c *Cluster) runStolen(ctx context.Context, victim *Peer, stolen service.St
 	pctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	code, _, perr := victim.client.Do(pctx, http.MethodPost,
-		"/v1/peer/jobs/"+stolen.ID+"/complete", payload, nil)
+		"/v1/peer/jobs/"+stolen.ID+"/complete", payload, traceHeader(stolen.Trace.Traceparent()))
 	if perr != nil || code != http.StatusOK {
 		c.stealErrs.Add(1)
 		c.log.Warn("steal completion push failed", "victim", victim.ID,

@@ -2,18 +2,21 @@ package experiments
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 )
 
-// TailTracker records the slowest completed cell seen by a matrix run. The
-// report surfaces it per section: at any worker count the section's wall
-// clock is bounded below by its slowest cell, so this is the number replay
-// sharding has to shrink. Safe for concurrent use; the zero value is ready.
+// TailTracker records every completed cell duration seen by a matrix run,
+// plus the slowest cell's identity. The report surfaces it per section: at
+// any worker count the section's wall clock is bounded below by its slowest
+// cell, and the p50/p99 spread shows how heavy that tail is relative to the
+// typical cell. Safe for concurrent use; the zero value is ready.
 type TailTracker struct {
 	mu      sync.Mutex
 	max     time.Duration
 	slowest string
+	durs    []time.Duration
 }
 
 // Observe is a CellObserver; install it with ChainCellObserver.
@@ -22,6 +25,7 @@ func (t *TailTracker) Observe(ev CellEvent) {
 		return
 	}
 	t.mu.Lock()
+	t.durs = append(t.durs, ev.Dur)
 	if ev.Dur > t.max {
 		t.max = ev.Dur
 		t.slowest = ev.Desc
@@ -34,6 +38,37 @@ func (t *TailTracker) Max() (time.Duration, string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.max, t.slowest
+}
+
+// Count reports how many cell completions were observed.
+func (t *TailTracker) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.durs)
+}
+
+// Quantiles returns the exact p50 and p99 cell durations (nearest-rank over
+// every observed completion; zero when nothing completed). Cells per section
+// number in the dozens, so exact order statistics are cheap — no bucketing.
+func (t *TailTracker) Quantiles() (p50, p99 time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.durs) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), t.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p float64) time.Duration {
+		idx := int(p*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return rank(0.50), rank(0.99)
 }
 
 // ChainCellObserver installs fn without displacing an observer already on

@@ -39,7 +39,8 @@ type clusterNode struct {
 // deterministic one that renders the spec into the report (so byte-identity
 // across nodes is a meaningful check).
 func newTestCluster(t *testing.T, ids []string,
-	mkExec func(id string, n *clusterNode) service.ExecuteFunc) map[string]*clusterNode {
+	mkExec func(id string, n *clusterNode) service.ExecuteFunc,
+	cfgFns ...func(*service.Config)) map[string]*clusterNode {
 	t.Helper()
 	dir := t.TempDir()
 	nodes := make(map[string]*clusterNode, len(ids))
@@ -60,14 +61,18 @@ func newTestCluster(t *testing.T, ids []string,
 			t.Fatal(err)
 		}
 		n.journal = j
-		n.svc = service.New(service.Config{
+		cfg := service.Config{
 			NodeID:       id,
 			Workers:      1,
 			QueueDepth:   8,
 			Execute:      exec,
 			Journal:      j,
 			RemoteResult: n.clu.FetchPeerResult,
-		})
+		}
+		for _, fn := range cfgFns {
+			fn(&cfg)
+		}
+		n.svc = service.New(cfg)
 		n.clu.Bind(n.svc)
 		n.journal.SetSink(n.clu)
 		n.clu.EnableReplication()

@@ -103,6 +103,7 @@ func New(svc *service.Server, opts ...Option) *Handler {
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	h.mux.HandleFunc("GET /v1/healthz", h.healthz)
 	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
+	h.mux.HandleFunc("GET /v1/cluster/metrics", h.clusterMetrics)
 	if o.cluster != nil {
 		h.mux.HandleFunc("GET /v1/peer/results/{hash}", h.peerResult)
 		h.mux.HandleFunc("POST /v1/peer/steal", h.peerSteal)
@@ -183,7 +184,8 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 	if h.cluster != nil && r.Header.Get(cluster.ForwardHeader) == "" {
 		if canon, cerr := spec.Canonicalize(); cerr == nil {
 			if owner := h.cluster.Owner(canon.Hash()); owner != h.cluster.Self() {
-				code, resp, ferr := h.cluster.ForwardSubmit(r.Context(), owner, body)
+				code, resp, ferr := h.cluster.ForwardSubmit(r.Context(), owner, body,
+					r.Header.Get(obs.TraceparentHeader))
 				if ferr == nil {
 					writeRaw(w, code, resp)
 					return
@@ -195,7 +197,11 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 		// produces the proper 400.
 	}
 
-	st, outcome, err := h.svc.Submit(spec)
+	// The incoming traceparent (from the client, or stamped by the node
+	// that forwarded here) becomes the job's trace parent; without one a
+	// fresh trace is minted at admission.
+	parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	st, outcome, err := h.svc.SubmitTraced(spec, parent)
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(h.svc.RetryAfterSeconds()))
@@ -212,6 +218,11 @@ func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 		// could not be committed): the daemon's fault, not the spec's.
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
+	}
+	if st.Trace != nil {
+		// Echo the job's trace position so callers can correlate follow-up
+		// requests (and their own spans) with the job's distributed trace.
+		w.Header().Set(obs.TraceparentHeader, st.Trace.Context().Traceparent())
 	}
 	resp := submitResponse{Status: st}
 	code := http.StatusAccepted
@@ -254,7 +265,8 @@ func (h *Handler) proxied(w http.ResponseWriter, r *http.Request, id, suffix str
 			return false // we are the successor (or alone): answer locally
 		}
 	}
-	code, body, err := h.cluster.ProxyJob(r.Context(), target, r.Method, "/v1/jobs/"+id+suffix)
+	code, body, err := h.cluster.ProxyJob(r.Context(), target, r.Method, "/v1/jobs/"+id+suffix,
+		r.Header.Get(obs.TraceparentHeader))
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway,
 			errorBody{Error: fmt.Sprintf("node %s unreachable: %v", target, err)})
@@ -438,4 +450,18 @@ func (h *Handler) peerComplete(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.svc.Metrics())
+}
+
+// clusterMetrics serves the federated metrics view: this node plus every
+// peer's /v1/metrics snapshot. A single-node daemon answers with a
+// one-entry list, so gpsctl top works against any deployment.
+func (h *Handler) clusterMetrics(w http.ResponseWriter, r *http.Request) {
+	if h.cluster == nil {
+		m := h.svc.Metrics()
+		writeJSON(w, http.StatusOK, client.ClusterMetricsResp{
+			Nodes: []client.NodeMetrics{{Node: h.svc.NodeID(), Alive: true, Metrics: &m}},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, h.cluster.FederatedMetrics(r.Context()))
 }

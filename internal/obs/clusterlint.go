@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Cluster trace validation. One job that hops nodes (submit forwarding,
+// work stealing, successor adoption) leaves a span fragment in every
+// involved node's trace file, all sharing a trace_id and linked by
+// span_id/parent_span_id args. ValidateClusterTraces checks that the
+// fragments knit back into connected trees; MergeTraces renders them as a
+// single Perfetto-loadable timeline with one process track per node.
+//
+// Cross-file checks are identity-based, not time-based: each tracer's
+// clock is relative to its own start, so wall-time containment is only
+// enforced within a file (by ValidateTrace). Duplicate span_ids across
+// files are legal — an adopted or replayed job re-emits its job span under
+// the original identity on the surviving node.
+
+// ClusterTrace summarizes one trace_id group across files.
+type ClusterTrace struct {
+	TraceID string
+	Spans   int
+	Roots   int      // spans with no parent_span_id
+	Nodes   []string // distinct node names, sorted
+	Files   []string // distinct source files, sorted
+}
+
+// CrossNode reports whether the trace has spans from 2+ distinct nodes.
+func (ct *ClusterTrace) CrossNode() bool { return len(ct.Nodes) >= 2 }
+
+// ClusterSummary is what ValidateClusterTraces learned.
+type ClusterSummary struct {
+	Files     int
+	Spans     int // spans carrying trace identity
+	Traces    []ClusterTrace
+	CrossNode int // traces spanning 2+ nodes
+}
+
+type clusterSpan struct {
+	traceID, spanID, parentID string
+	node, file, cat, name     string
+}
+
+// ValidateClusterTraces validates each per-node trace file structurally
+// (ValidateTrace), then groups identity-carrying spans by trace_id and
+// verifies every parent_span_id resolves to a span_id within its trace —
+// across files — and that every trace has at least one root span.
+func ValidateClusterTraces(files map[string][]byte) (*ClusterSummary, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var spans []clusterSpan
+	for _, name := range names {
+		if _, err := ValidateTrace(files[name]); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fs, err := fileSpans(name, files[name])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		spans = append(spans, fs...)
+	}
+
+	byTrace := map[string][]clusterSpan{}
+	for _, s := range spans {
+		byTrace[s.traceID] = append(byTrace[s.traceID], s)
+	}
+	ids := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	sum := &ClusterSummary{Files: len(files), Spans: len(spans)}
+	for _, id := range ids {
+		group := byTrace[id]
+		known := map[string]bool{}
+		for _, s := range group {
+			if s.spanID != "" {
+				known[s.spanID] = true
+			}
+		}
+		ct := ClusterTrace{TraceID: id, Spans: len(group)}
+		nodes, filesSeen := map[string]bool{}, map[string]bool{}
+		for _, s := range group {
+			nodes[s.node] = true
+			filesSeen[s.file] = true
+			switch {
+			case s.parentID == "":
+				ct.Roots++
+			case !known[s.parentID]:
+				return nil, fmt.Errorf("trace %s: span %q (%s, %s) has parent_span_id %s not found in any file",
+					id, s.name, s.spanID, s.file, s.parentID)
+			}
+		}
+		if ct.Roots == 0 {
+			return nil, fmt.Errorf("trace %s: no root span (every span claims a parent)", id)
+		}
+		for n := range nodes {
+			ct.Nodes = append(ct.Nodes, n)
+		}
+		for f := range filesSeen {
+			ct.Files = append(ct.Files, f)
+		}
+		sort.Strings(ct.Nodes)
+		sort.Strings(ct.Files)
+		if ct.CrossNode() {
+			sum.CrossNode++
+		}
+		sum.Traces = append(sum.Traces, ct)
+	}
+	return sum, nil
+}
+
+// fileSpans extracts the identity-carrying spans (B events with a trace_id
+// arg) of one file, tagged with the file's node name from process_name
+// metadata (falling back to the file key).
+func fileSpans(file string, data []byte) ([]clusterSpan, error) {
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, err
+	}
+	node := file
+	for i := range events {
+		if events[i].Ph == "M" && events[i].Name == "process_name" {
+			if n := events[i].Args["name"]; n != "" {
+				node = n
+			}
+			break
+		}
+	}
+	var spans []clusterSpan
+	for i := range events {
+		e := &events[i]
+		if e.Ph != "B" || e.Args["trace_id"] == "" {
+			continue
+		}
+		spans = append(spans, clusterSpan{
+			traceID:  e.Args["trace_id"],
+			spanID:   e.Args["span_id"],
+			parentID: e.Args["parent_span_id"],
+			node:     node, file: file, cat: e.Cat, name: e.Name,
+		})
+	}
+	return spans, nil
+}
+
+// MergeTraces concatenates per-node trace files into one Chrome trace-event
+// array. Each file keeps (or is assigned) a distinct pid so nodes render as
+// separate process tracks, and files carrying trace_start metadata are
+// shifted onto a common wall-clock axis so cross-node spans line up.
+func MergeTraces(files map[string][]byte) ([]byte, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type parsed struct {
+		name   string
+		events []event
+		epoch  int64 // unix microseconds from trace_start meta, 0 if absent
+	}
+	var (
+		ps       []parsed
+		minEpoch int64
+	)
+	for _, name := range names {
+		var events []event
+		if err := json.Unmarshal(files[name], &events); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		p := parsed{name: name, events: events}
+		for i := range events {
+			if events[i].Ph == "M" && events[i].Name == "trace_start" {
+				p.epoch, _ = strconv.ParseInt(events[i].Args["unix_us"], 10, 64)
+				break
+			}
+		}
+		if p.epoch > 0 && (minEpoch == 0 || p.epoch < minEpoch) {
+			minEpoch = p.epoch
+		}
+		ps = append(ps, p)
+	}
+
+	// Detect pid collisions (files written without SetProcess all use pid
+	// 1); colliding files get a synthetic per-file pid instead.
+	used := map[int]int{} // pid -> file count
+	for _, p := range ps {
+		seen := map[int]bool{}
+		for i := range p.events {
+			if pid := p.events[i].Pid; !seen[pid] {
+				seen[pid] = true
+				used[pid]++
+			}
+		}
+	}
+	var merged []event
+	for fi, p := range ps {
+		shift := 0.0
+		if p.epoch > 0 && minEpoch > 0 {
+			shift = float64(p.epoch - minEpoch) // µs
+		}
+		remap := map[int]int{}
+		for i := range p.events {
+			e := p.events[i]
+			if used[e.Pid] > 1 {
+				if _, ok := remap[e.Pid]; !ok {
+					remap[e.Pid] = 1_000_000 + fi + 1
+				}
+				e.Pid = remap[e.Pid]
+				if e.Ph == "M" && e.Name == "process_name" {
+					e.Args = map[string]string{"name": p.name}
+				}
+			}
+			if e.Ph != "M" {
+				e.Ts += shift
+			}
+			merged = append(merged, e)
+		}
+	}
+	out, err := json.MarshalIndent(merged, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -116,6 +116,67 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation within the landing bucket, Prometheus
+// histogram_quantile-style. With no observations it returns 0; ranks
+// landing in the +Inf bucket return the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.uppers) { // +Inf bucket
+			if len(h.uppers) == 0 {
+				return 0
+			}
+			return h.uppers[len(h.uppers)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.uppers[i-1]
+		}
+		frac := (rank - (cum - float64(c))) / float64(c)
+		return lower + (h.uppers[i]-lower)*frac
+	}
+	if len(h.uppers) == 0 {
+		return 0
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
+// HistSummary is a JSON-friendly snapshot of a histogram for the federation
+// endpoint and `gpsctl top`: count, sum and interpolated percentiles.
+type HistSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary snapshots the histogram. The snapshot is not atomic across
+// buckets; it is for operator dashboards, not invariants.
+func (h *Histogram) Summary() HistSummary {
+	return HistSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
 // metric type names used in TYPE lines and for mismatch checks.
 const (
 	typeCounter   = "counter"

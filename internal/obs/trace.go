@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,7 @@ type event struct {
 type Tracer struct {
 	mu      sync.Mutex
 	w       io.Writer
+	pid     int // trace-event pid; node-derived via SetProcess, default 1
 	start   time.Time
 	lastNs  atomic.Int64 // strictly monotone event clock, nanoseconds
 	pending []event
@@ -79,6 +81,7 @@ const flushEvery = 250 * time.Millisecond
 func NewTracer(ctx context.Context, w io.Writer) *Tracer {
 	t := &Tracer{
 		w:     w,
+		pid:   1,
 		start: time.Now(),
 		next:  1,
 		wake:  make(chan struct{}, 1),
@@ -87,6 +90,25 @@ func NewTracer(ctx context.Context, w io.Writer) *Tracer {
 	}
 	go t.flushLoop(ctx)
 	return t
+}
+
+// SetProcess tags all later events with a node-derived pid and queues
+// Chrome process_name plus trace_start (wall-clock epoch) metadata, so that
+// per-node trace files merge into one track-per-node cluster timeline.
+// Call it right after NewTracer: events already queued keep their old pid.
+func (t *Tracer) SetProcess(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.pid = nodePid(node)
+	t.pending = append(t.pending,
+		event{Name: "process_name", Ph: "M", Pid: t.pid,
+			Args: map[string]string{"name": processName(node)}},
+		event{Name: "trace_start", Ph: "M", Pid: t.pid,
+			Args: map[string]string{"unix_us": strconv.FormatInt(t.start.UnixMicro(), 10)}},
+	)
 }
 
 func (t *Tracer) flushLoop(ctx context.Context) {
@@ -259,8 +281,8 @@ func (s *Span) End() {
 	t.mu.Lock()
 	if !t.closed {
 		t.pending = append(t.pending,
-			event{Name: s.name, Cat: s.cat, Ph: "B", Ts: micros(s.startTs), Pid: 1, Tid: s.tid, Args: s.args},
-			event{Name: s.name, Cat: s.cat, Ph: "E", Ts: micros(end), Pid: 1, Tid: s.tid},
+			event{Name: s.name, Cat: s.cat, Ph: "B", Ts: micros(s.startTs), Pid: t.pid, Tid: s.tid, Args: s.args},
+			event{Name: s.name, Cat: s.cat, Ph: "E", Ts: micros(end), Pid: t.pid, Tid: s.tid},
 		)
 	}
 	t.mu.Unlock()
@@ -288,25 +310,63 @@ func TracerFrom(ctx context.Context) *Tracer {
 	return t
 }
 
+// WithTraceContext installs a distributed trace position: spans started
+// under the returned context stamp trace_id/span_id/parent_span_id args and
+// advance the position, so nested spans chain into one parent/child tree
+// that survives file merges (see ValidateClusterTraces).
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the current trace position, or the zero context.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
 // StartSpan begins a span on the current span's track (serial nesting) and
 // returns a context carrying it as the parent of further spans. With no
 // tracer installed it returns ctx unchanged and a nil span.
 func StartSpan(ctx context.Context, cat, name string, kv ...string) (context.Context, *Span) {
-	return startSpan(ctx, cat, name, false, kv)
+	return startSpan(ctx, cat, name, "", false, kv)
 }
 
 // StartSpanTrack is StartSpan on a dedicated track, for spans that run
 // concurrently with their siblings (matrix cells).
 func StartSpanTrack(ctx context.Context, cat, name string, kv ...string) (context.Context, *Span) {
-	return startSpan(ctx, cat, name, true, kv)
+	return startSpan(ctx, cat, name, "", true, kv)
 }
 
-func startSpan(ctx context.Context, cat, name string, newTrack bool, kv []string) (context.Context, *Span) {
+// StartSpanWithID is StartSpanTrack with a caller-chosen span ID — for job
+// root spans whose span_id was minted at submit and persisted in the
+// journal, so the span emitted at execution time (possibly on another node,
+// after crash replay or adoption) matches the identity peers already
+// linked against.
+func StartSpanWithID(ctx context.Context, cat, name, spanID string, kv ...string) (context.Context, *Span) {
+	return startSpan(ctx, cat, name, spanID, true, kv)
+}
+
+func startSpan(ctx context.Context, cat, name, spanID string, newTrack bool, kv []string) (context.Context, *Span) {
 	t := TracerFrom(ctx)
 	if t == nil {
 		return ctx, nil
 	}
 	parent, _ := ctx.Value(spanKey{}).(*Span)
 	s := t.span(parent, cat, name, newTrack, kv)
-	return context.WithValue(ctx, spanKey{}, s), s
+	ctx = context.WithValue(ctx, spanKey{}, s)
+	if tc := TraceContextFrom(ctx); tc.TraceID != "" {
+		if spanID == "" {
+			spanID = NewSpanID()
+		}
+		if s.args == nil {
+			s.args = make(map[string]string, 3)
+		}
+		s.args["trace_id"] = tc.TraceID
+		s.args["span_id"] = spanID
+		if tc.SpanID != "" {
+			s.args["parent_span_id"] = tc.SpanID
+		}
+		ctx = WithTraceContext(ctx, TraceContext{TraceID: tc.TraceID, SpanID: spanID})
+	}
+	return ctx, s
 }

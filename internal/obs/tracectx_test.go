@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("id lengths: trace=%d span=%d", len(tc.TraceID), len(tc.SpanID))
+	}
+	got, ok := ParseTraceparent(tc.Traceparent())
+	if !ok || got != tc {
+		t.Fatalf("roundtrip: %q -> %+v ok=%v, want %+v", tc.Traceparent(), got, ok, tc)
+	}
+
+	// Rootless context: zero span id parses back to "".
+	root := TraceContext{TraceID: tc.TraceID}
+	got, ok = ParseTraceparent(root.Traceparent())
+	if !ok || got.SpanID != "" || got.TraceID != tc.TraceID {
+		t.Fatalf("rootless roundtrip: got %+v ok=%v", got, ok)
+	}
+
+	if (TraceContext{}).Traceparent() != "" {
+		t.Error("zero context should render empty traceparent")
+	}
+	for _, bad := range []string{
+		"", "garbage", "00-short-span-01",
+		"00-" + strings.Repeat("0", 32) + "-" + tc.SpanID + "-01", // zero trace id
+		"00-" + strings.ToUpper(tc.TraceID) + "-" + tc.SpanID + "-01",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewJobTrace(t *testing.T) {
+	// Fresh trace when no parent.
+	ti := NewJobTrace(TraceContext{})
+	if ti.TraceID == "" || ti.SpanID == "" || ti.ParentSpanID != "" {
+		t.Fatalf("root job trace = %+v", ti)
+	}
+	// Continues the parent's trace and records the parent span.
+	child := NewJobTrace(ti.Context())
+	if child.TraceID != ti.TraceID || child.ParentSpanID != ti.SpanID || child.SpanID == ti.SpanID {
+		t.Fatalf("child job trace = %+v under parent %+v", child, ti)
+	}
+}
+
+// TestSpanTraceChaining: spans under WithTraceContext stamp
+// trace_id/span_id/parent_span_id and each nested span chains off the one
+// above, with StartSpanWithID pinning the root's identity.
+func TestSpanTraceChaining(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(context.Background(), &buf)
+	tr.SetProcess("n1")
+	ti := NewJobTrace(TraceContext{SpanID: "feedfacefeedface", TraceID: NewTraceID()})
+
+	ctx := WithTracer(context.Background(), tr)
+	ctx = WithTraceContext(ctx, TraceContext{TraceID: ti.TraceID, SpanID: ti.ParentSpanID})
+	jctx, job := StartSpanWithID(ctx, CatJob, "job-1", ti.SpanID, "hash", "abc")
+	fctx, fig := StartSpan(jctx, CatFigure, "fig8")
+	_, cell := StartSpanTrack(fctx, CatCell, "cell-0")
+	cell.End()
+	fig.End()
+	job.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	spanIDByName, parentByName := map[string]string{}, map[string]string{}
+	pids := map[int]bool{}
+	for _, e := range events {
+		if e.Ph != "B" {
+			continue
+		}
+		pids[e.Pid] = true
+		if e.Args["trace_id"] != ti.TraceID {
+			t.Errorf("span %q trace_id = %q, want %q", e.Name, e.Args["trace_id"], ti.TraceID)
+		}
+		spanIDByName[e.Name] = e.Args["span_id"]
+		parentByName[e.Name] = e.Args["parent_span_id"]
+	}
+	if spanIDByName["job-1"] != ti.SpanID || parentByName["job-1"] != "feedfacefeedface" {
+		t.Errorf("job span identity = %q parent %q, want %q parent feedfacefeedface",
+			spanIDByName["job-1"], parentByName["job-1"], ti.SpanID)
+	}
+	if parentByName["fig8"] != ti.SpanID {
+		t.Errorf("figure parent = %q, want job span %q", parentByName["fig8"], ti.SpanID)
+	}
+	if parentByName["cell-0"] != spanIDByName["fig8"] || spanIDByName["cell-0"] == "" {
+		t.Errorf("cell parent = %q, want figure span %q", parentByName["cell-0"], spanIDByName["fig8"])
+	}
+	if want := nodePid("n1"); !pids[want] || pids[1] {
+		t.Errorf("pids seen = %v, want node pid %d only", pids, want)
+	}
+	// SetProcess metadata must be present for cluster merge alignment.
+	var meta []string
+	for _, e := range events {
+		if e.Ph == "M" {
+			meta = append(meta, e.Name)
+		}
+	}
+	if len(meta) != 2 || meta[0] != "process_name" || meta[1] != "trace_start" {
+		t.Errorf("metadata events = %v", meta)
+	}
+	if _, err := ValidateTrace(buf.Bytes(), CatJob, CatFigure, CatCell); err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+}
+
+// TestSpanNoTraceContext: without WithTraceContext, spans carry no identity
+// args (the single-node fast path is unchanged).
+func TestSpanNoTraceContext(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(context.Background(), &buf)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, CatJob, "plain")
+	s.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Args["trace_id"] != "" || e.Args["span_id"] != "" {
+			t.Errorf("unexpected trace identity on %q: %v", e.Name, e.Args)
+		}
+	}
+}
+
+func TestWriteStaticTrace(t *testing.T) {
+	base := time.Now()
+	ti := NewJobTrace(TraceContext{})
+	var buf bytes.Buffer
+	err := WriteStaticTrace(&buf, "n2", ti.TraceID, []StaticSpan{
+		{Cat: CatJob, Name: "job-x", Start: base, End: base.Add(2 * time.Second),
+			SpanID: ti.SpanID, Args: map[string]string{"hash": "h"}},
+		{Cat: CatPhase, Name: "remote-exec", Start: base.Add(10 * time.Millisecond),
+			End:    base.Add(10 * time.Millisecond), // zero-length: clamped
+			SpanID: NewSpanID(), ParentSpanID: ti.SpanID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes(), CatJob); err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, buf.String())
+	}
+	sum, err := ValidateClusterTraces(map[string][]byte{"n2.json": buf.Bytes()})
+	if err != nil {
+		t.Fatalf("ValidateClusterTraces: %v", err)
+	}
+	if len(sum.Traces) != 1 || sum.Traces[0].Spans != 2 || sum.Traces[0].Roots != 1 {
+		t.Fatalf("summary = %+v", sum.Traces)
+	}
+	if sum.Traces[0].Nodes[0] != "gpsd-n2" {
+		t.Errorf("node = %q, want gpsd-n2 from process_name", sum.Traces[0].Nodes[0])
+	}
+}
+
+// twoNodeFixture builds two per-node files sharing one trace: the job span
+// on node a, a child job span (a steal) on node b.
+func twoNodeFixture(t *testing.T, breakParent bool) (TraceInfo, map[string][]byte) {
+	t.Helper()
+	base := time.Now()
+	ti := NewJobTrace(TraceContext{})
+	thief := NewJobTrace(ti.Context())
+	if breakParent {
+		thief.ParentSpanID = "dead00000000beef" // resolves nowhere
+	}
+	var a, b bytes.Buffer
+	if err := WriteStaticTrace(&a, "a", ti.TraceID, []StaticSpan{
+		{Cat: CatJob, Name: "job", Start: base, End: base.Add(time.Second), SpanID: ti.SpanID},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStaticTrace(&b, "b", ti.TraceID, []StaticSpan{
+		{Cat: CatJob, Name: "job", Start: base.Add(100 * time.Millisecond),
+			End: base.Add(900 * time.Millisecond), SpanID: thief.SpanID, ParentSpanID: thief.ParentSpanID},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ti, map[string][]byte{"a.trace.json": a.Bytes(), "b.trace.json": b.Bytes()}
+}
+
+func TestValidateClusterTracesConnected(t *testing.T) {
+	ti, files := twoNodeFixture(t, false)
+	sum, err := ValidateClusterTraces(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CrossNode != 1 || len(sum.Traces) != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	ct := sum.Traces[0]
+	if ct.TraceID != ti.TraceID || !ct.CrossNode() || ct.Spans != 2 || ct.Roots != 1 {
+		t.Fatalf("trace = %+v", ct)
+	}
+	if len(ct.Nodes) != 2 || ct.Nodes[0] != "gpsd-a" || ct.Nodes[1] != "gpsd-b" {
+		t.Fatalf("nodes = %v", ct.Nodes)
+	}
+}
+
+func TestValidateClusterTracesBrokenLink(t *testing.T) {
+	_, files := twoNodeFixture(t, true)
+	if _, err := ValidateClusterTraces(files); err == nil ||
+		!strings.Contains(err.Error(), "parent_span_id") {
+		t.Fatalf("want broken-parent error, got %v", err)
+	}
+}
+
+// TestValidateClusterTracesDuplicateSpan: adoption re-emits the job span
+// under the same span_id on a second node — legal.
+func TestValidateClusterTracesDuplicateSpan(t *testing.T) {
+	base := time.Now()
+	ti := NewJobTrace(TraceContext{})
+	var a, b bytes.Buffer
+	for i, w := range []*bytes.Buffer{&a, &b} {
+		node := string(rune('a' + i))
+		if err := WriteStaticTrace(w, node, ti.TraceID, []StaticSpan{
+			{Cat: CatJob, Name: "job", Start: base, End: base.Add(time.Second), SpanID: ti.SpanID},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := ValidateClusterTraces(map[string][]byte{"a.json": a.Bytes(), "b.json": b.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CrossNode != 1 || sum.Traces[0].Spans != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	_, files := twoNodeFixture(t, false)
+	out, err := MergeTraces(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []event
+	if err := json.Unmarshal(out, &events); err != nil {
+		t.Fatalf("merged output not JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, e := range events {
+		pids[e.Pid] = true
+	}
+	if len(pids) != 2 {
+		t.Fatalf("merged pids = %v, want 2 distinct node pids", pids)
+	}
+	// Merged output is still a structurally valid single trace file as far
+	// as B/E balance goes (containment across processes isn't checked).
+	if _, err := ValidateClusterTraces(map[string][]byte{"merged.json": out}); err != nil {
+		t.Fatalf("merged file fails validation: %v", err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.1, 0.5, 1, 5})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(2.0) // (1,5] bucket
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want within first bucket (0,0.1]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 1 || p99 > 5 {
+		t.Errorf("p99 = %v, want within (1,5]", p99)
+	}
+	if got := h.Quantile(1.0); got != 5.0 && (got <= 1 || got > 5) {
+		t.Errorf("p100 = %v", got)
+	}
+
+	empty := newHistogram([]float64{1})
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", empty.Quantile(0.5))
+	}
+
+	sum := h.Summary()
+	if sum.Count != 100 || sum.P50 <= 0 || sum.P99 <= sum.P50 {
+		t.Errorf("summary = %+v", sum)
+	}
+}

@@ -19,6 +19,12 @@ type Section struct {
 	Seconds        float64 `json:"seconds"`
 	MaxCellSeconds float64 `json:"max_cell_seconds,omitempty"`
 	SlowestCell    string  `json:"slowest_cell,omitempty"`
+	// Cell-duration distribution (exact order statistics over every
+	// completed cell): how heavy the section's tail is relative to its
+	// typical cell. The perf regression gate reads these.
+	CellCount      int     `json:"cell_count,omitempty"`
+	P50CellSeconds float64 `json:"p50_cell_seconds,omitempty"`
+	P99CellSeconds float64 `json:"p99_cell_seconds,omitempty"`
 }
 
 // Table is one rendered table or figure, plus any derived claim lines.

@@ -3,6 +3,8 @@ package service
 import (
 	"sort"
 	"time"
+
+	"gps/internal/obs"
 )
 
 // Takeover, successor side. When a cluster peer dies permanently, the ring
@@ -34,10 +36,12 @@ const (
 )
 
 // Adopt promotes one replicated journal record from the dead node origin.
-// The job keeps its original ID. Fresh adoptions are journaled locally, so
-// if this successor also dies its own journal (and replication stream)
-// carry the job onward.
-func (s *Server) Adopt(origin, id string, spec Spec) (AdoptOutcome, error) {
+// The job keeps its original ID and its original trace identity (trace
+// rides on the replicated submit record), so the adopted execution still
+// renders in the same cross-node trace the dead node started. Fresh
+// adoptions are journaled locally, so if this successor also dies its own
+// journal (and replication stream) carry the job onward.
+func (s *Server) Adopt(origin, id string, spec Spec, trace obs.TraceInfo) (AdoptOutcome, error) {
 	canon, err := spec.Canonicalize()
 	if err != nil {
 		return "", err
@@ -54,11 +58,16 @@ func (s *Server) Adopt(origin, id string, spec Spec) (AdoptOutcome, error) {
 		return AdoptExists, nil
 	}
 
+	if trace.TraceID == "" {
+		// Replicas from before trace identity existed: mint one.
+		trace = obs.NewJobTrace(obs.TraceContext{})
+	}
 	job := &Job{
 		ID:          id,
 		Hash:        hash,
 		Node:        s.cfg.NodeID,
 		Spec:        canon,
+		Trace:       trace,
 		State:       StateQueued,
 		AdoptedFrom: origin,
 		SubmittedAt: now,
@@ -76,6 +85,13 @@ func (s *Server) Adopt(origin, id string, spec Spec) (AdoptOutcome, error) {
 		s.retireLocked(job)
 		s.jobsAdopted.Add(1)
 		s.jobsDone.Add(1)
+		// No execution anywhere on this node: flush the adopted identity as a
+		// static span so the trace keeps its root.
+		s.writeHandoffTrace(handoffTrace{
+			id: id, hash: hash, kind: "adopted-cached", peer: origin,
+			trace: job.Trace, state: job.State,
+			submitted: now, started: now, finished: now,
+		})
 		s.logger.Info("adopted job served from cache", "job_id", id, "origin", origin, "hash", hash)
 		return AdoptCached, nil
 	}
@@ -100,7 +116,7 @@ func (s *Server) Adopt(origin, id string, spec Spec) (AdoptOutcome, error) {
 	// journaled still proceeds: the origin is dead, so refusing would strand
 	// the job entirely. The replicated copy on our own successor is the
 	// remaining safety net.
-	if jerr := s.cfg.Journal.record(OpSubmit, id, &job.Spec, ""); jerr != nil {
+	if jerr := s.cfg.Journal.record(OpSubmit, id, &job.Spec, &job.Trace, ""); jerr != nil {
 		s.logger.Warn("adopted job not journaled", "job_id", id, "err", jerr)
 	}
 	select {
@@ -134,17 +150,24 @@ func (s *Server) finishAdoptedRider(job, leader *Job) {
 	switch leader.State {
 	case StateDone:
 		s.jobsDone.Add(1)
-		s.cfg.Journal.record(OpDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpDone, job.ID, nil, nil, "") //nolint:errcheck // terminal close-out
 	case StateCanceled:
 		s.jobsCancd.Add(1)
-		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpCancel, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 	default:
 		job.State = StateFailed
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 	}
 	close(job.done)
 	s.retireLocked(job)
+	// The rider never executes; its identity is flushed as a static span
+	// pointing at the leader that actually ran.
+	s.writeHandoffTrace(handoffTrace{
+		id: job.ID, hash: job.Hash, kind: "adopted-rider", peer: leader.ID,
+		trace: job.Trace, state: job.State, errMsg: job.Err,
+		submitted: job.SubmittedAt, started: job.StartedAt, finished: job.FinishedAt,
+	})
 	s.logger.Info("adopted rider finished", "job_id", job.ID, "leader", leader.ID, "state", string(job.State))
 }
 
@@ -159,7 +182,7 @@ func (s *Server) PendingJobs() []PendingJob {
 		if job.State.Terminal() {
 			continue
 		}
-		out = append(out, PendingJob{ID: job.ID, Spec: job.Spec, Started: job.State == StateRunning})
+		out = append(out, PendingJob{ID: job.ID, Spec: job.Spec, Trace: job.Trace, Started: job.State == StateRunning})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -45,6 +45,10 @@ func Execute(ctx context.Context, spec Spec) (*report.Report, error) {
 		if d, slowest := tail.Max(); d > 0 {
 			sec.MaxCellSeconds = d.Seconds()
 			sec.SlowestCell = slowest
+			p50, p99 := tail.Quantiles()
+			sec.CellCount = tail.Count()
+			sec.P50CellSeconds = p50.Seconds()
+			sec.P99CellSeconds = p99.Seconds()
 		}
 		out.Sections = append(out.Sections, sec)
 		return nil

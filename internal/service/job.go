@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gps/internal/obs"
 	"gps/internal/report"
 )
 
@@ -32,10 +33,11 @@ func (s State) Terminal() bool {
 // Server's mutex except cellsDone, which workers bump lock-free as matrix
 // cells complete.
 type Job struct {
-	ID   string
-	Hash string
-	Node string // owning node ID; empty on a single-node daemon
-	Spec Spec
+	ID    string
+	Hash  string
+	Node  string // owning node ID; empty on a single-node daemon
+	Spec  Spec
+	Trace obs.TraceInfo // distributed trace identity, minted at submit
 
 	State       State
 	Err         string
@@ -59,23 +61,24 @@ type Job struct {
 
 // Status is the JSON snapshot the API returns when polling a job.
 type Status struct {
-	ID          string  `json:"id"`
-	Hash        string  `json:"hash"`
-	NodeID      string  `json:"node_id,omitempty"` // node that owns the execution
-	State       State   `json:"state"`
-	Spec        Spec    `json:"spec"`
-	CellsDone   uint64  `json:"cells_done"`
-	Attempts    uint64  `json:"attempts,omitempty"` // executions incl. retries
-	CacheHit    bool    `json:"cache_hit,omitempty"`
-	Coalesced   uint64  `json:"coalesced,omitempty"`
-	Replayed    bool    `json:"replayed,omitempty"`     // recovered from the journal
-	StolenBy    string  `json:"stolen_by,omitempty"`    // peer executing this job after a steal
-	AdoptedFrom string  `json:"adopted_from,omitempty"` // dead peer this job was taken over from
-	PeerFetched bool    `json:"peer_fetched,omitempty"` // result served from a peer's cache
-	Error       string  `json:"error,omitempty"`
-	SubmittedAt string  `json:"submitted_at"`
-	WaitSeconds float64 `json:"wait_seconds"`           // queued -> started (or now)
-	WallSeconds float64 `json:"wall_seconds,omitempty"` // started -> finished (or now)
+	ID          string         `json:"id"`
+	Hash        string         `json:"hash"`
+	NodeID      string         `json:"node_id,omitempty"` // node that owns the execution
+	State       State          `json:"state"`
+	Spec        Spec           `json:"spec"`
+	CellsDone   uint64         `json:"cells_done"`
+	Attempts    uint64         `json:"attempts,omitempty"` // executions incl. retries
+	CacheHit    bool           `json:"cache_hit,omitempty"`
+	Coalesced   uint64         `json:"coalesced,omitempty"`
+	Replayed    bool           `json:"replayed,omitempty"`     // recovered from the journal
+	StolenBy    string         `json:"stolen_by,omitempty"`    // peer executing this job after a steal
+	AdoptedFrom string         `json:"adopted_from,omitempty"` // dead peer this job was taken over from
+	PeerFetched bool           `json:"peer_fetched,omitempty"` // result served from a peer's cache
+	Trace       *obs.TraceInfo `json:"trace,omitempty"`        // distributed trace identity
+	Error       string         `json:"error,omitempty"`
+	SubmittedAt string         `json:"submitted_at"`
+	WaitSeconds float64        `json:"wait_seconds"`           // queued -> started (or now)
+	WallSeconds float64        `json:"wall_seconds,omitempty"` // started -> finished (or now)
 }
 
 // snapshot renders the job under the server lock.
@@ -96,6 +99,10 @@ func (j *Job) snapshot(now time.Time) Status {
 		PeerFetched: j.PeerFetched,
 		Error:       j.Err,
 		SubmittedAt: j.SubmittedAt.UTC().Format(time.RFC3339Nano),
+	}
+	if j.Trace.TraceID != "" {
+		tr := j.Trace
+		st.Trace = &tr
 	}
 	switch {
 	case j.StartedAt.IsZero():

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"gps/internal/obs"
 )
 
 // The job journal is gpsd's write-ahead log: an append-only file of JSON
@@ -36,11 +38,12 @@ const (
 
 // journalRecord is one JSON line of the journal.
 type journalRecord struct {
-	Op   string `json:"op"`
-	ID   string `json:"id"`
-	Spec *Spec  `json:"spec,omitempty"` // on submit
-	Err  string `json:"error,omitempty"`
-	Time string `json:"time,omitempty"` // RFC3339Nano, informational
+	Op    string         `json:"op"`
+	ID    string         `json:"id"`
+	Spec  *Spec          `json:"spec,omitempty"`  // on submit
+	Trace *obs.TraceInfo `json:"trace,omitempty"` // on submit: distributed trace identity
+	Err   string         `json:"error,omitempty"`
+	Time  string         `json:"time,omitempty"` // RFC3339Nano, informational
 }
 
 // PendingJob is one journaled job that had not reached a terminal state
@@ -49,7 +52,8 @@ type journalRecord struct {
 type PendingJob struct {
 	ID      string
 	Spec    Spec
-	Started bool // it was mid-execution, not just queued
+	Trace   obs.TraceInfo // original trace identity, kept across replay/adoption
+	Started bool          // it was mid-execution, not just queued
 }
 
 // JournalSink receives every record committed to the journal, after its
@@ -60,7 +64,7 @@ type PendingJob struct {
 // record) still holds because a job only becomes visible to workers after
 // its submit record — sink call included — returns.
 type JournalSink interface {
-	JournalRecord(op, id string, spec *Spec, errStr string)
+	JournalRecord(op, id string, spec *Spec, trace *obs.TraceInfo, errStr string)
 }
 
 // Journal is the durable job log. All methods are safe for concurrent use.
@@ -96,7 +100,11 @@ func OpenJournal(path string) (*Journal, error) {
 	now := time.Now().UTC().Format(time.RFC3339Nano)
 	for i := range pending {
 		p := &pending[i]
-		if err := writeRecord(w, journalRecord{Op: OpSubmit, ID: p.ID, Spec: &p.Spec, Time: now}); err != nil {
+		var tr *obs.TraceInfo
+		if p.Trace.TraceID != "" {
+			tr = &p.Trace
+		}
+		if err := writeRecord(w, journalRecord{Op: OpSubmit, ID: p.ID, Spec: &p.Spec, Trace: tr, Time: now}); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -136,6 +144,7 @@ func OpenJournal(path string) (*Journal, error) {
 func replayJournal(data []byte) []PendingJob {
 	type state struct {
 		spec     Spec
+		trace    obs.TraceInfo
 		started  bool
 		terminal bool
 	}
@@ -157,7 +166,11 @@ func replayJournal(data []byte) []PendingJob {
 			if _, ok := states[rec.ID]; ok {
 				continue // duplicate submit for one ID: keep the first
 			}
-			states[rec.ID] = &state{spec: *rec.Spec}
+			st := &state{spec: *rec.Spec}
+			if rec.Trace != nil {
+				st.trace = *rec.Trace
+			}
+			states[rec.ID] = st
 			order = append(order, rec.ID)
 		case OpStart:
 			if st, ok := states[rec.ID]; ok {
@@ -175,7 +188,7 @@ func replayJournal(data []byte) []PendingJob {
 		if st.terminal {
 			continue
 		}
-		pending = append(pending, PendingJob{ID: id, Spec: st.spec, Started: st.started})
+		pending = append(pending, PendingJob{ID: id, Spec: st.spec, Trace: st.trace, Started: st.started})
 	}
 	return pending
 }
@@ -228,13 +241,14 @@ func (j *Journal) TakePending() []PendingJob {
 
 // record appends one transition and fsyncs it — the commit point. Every
 // record that matters for recovery (submit and the terminal ops) goes
-// through here before the caller acts on it.
-func (j *Journal) record(op, id string, spec *Spec, errStr string) error {
+// through here before the caller acts on it. trace rides on submit records
+// so replayed and adopted jobs keep their distributed trace identity.
+func (j *Journal) record(op, id string, spec *Spec, trace *obs.TraceInfo, errStr string) error {
 	if j == nil {
 		return nil
 	}
 	rec := journalRecord{
-		Op: op, ID: id, Spec: spec, Err: errStr,
+		Op: op, ID: id, Spec: spec, Trace: trace, Err: errStr,
 		Time: time.Now().UTC().Format(time.RFC3339Nano),
 	}
 	data, err := json.Marshal(rec)
@@ -262,7 +276,7 @@ func (j *Journal) record(op, id string, spec *Spec, errStr string) error {
 	// a slow successor throttles the job that caused the record, not every
 	// concurrent journal append. Sink failures never undo a local commit.
 	if sink != nil {
-		sink.JournalRecord(op, id, spec, errStr)
+		sink.JournalRecord(op, id, spec, trace, errStr)
 	}
 	return nil
 }

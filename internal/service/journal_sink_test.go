@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"gps/internal/obs"
 )
 
 // captureSink records every journal record it receives, in order.
@@ -16,7 +18,7 @@ type captureSink struct {
 	}
 }
 
-func (c *captureSink) JournalRecord(op, id string, spec *Spec, errStr string) {
+func (c *captureSink) JournalRecord(op, id string, spec *Spec, trace *obs.TraceInfo, errStr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.recs = append(c.recs, struct {

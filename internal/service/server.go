@@ -201,7 +201,16 @@ type Metrics struct {
 	ResultCacheMisses  uint64 `json:"result_cache_misses"`
 	ResultCacheEntries int    `json:"result_cache_entries"`
 
+	// JobsInFlight counts queued+running (non-terminal) jobs.
+	JobsInFlight int `json:"jobs_in_flight"`
+
 	ExecSecondsTotal float64 `json:"exec_seconds_total"`
+
+	// Latency summaries from the RED histograms: end-to-end submit→terminal,
+	// queue wait, and execution wall time. Nil until the first observation.
+	JobE2E  *obs.HistSummary `json:"job_e2e,omitempty"`
+	JobWait *obs.HistSummary `json:"job_wait,omitempty"`
+	JobExec *obs.HistSummary `json:"job_exec,omitempty"`
 
 	// RunnerCache exposes the memoization counters of the underlying
 	// experiments runner (traces, structural replays, baselines).
@@ -231,6 +240,10 @@ type Server struct {
 	// obs.Registry nil semantics), so the observe path never branches.
 	jobWait *obs.Histogram
 	jobExec *obs.Histogram
+	// jobE2E measures submit→terminal for every job retiring on this node,
+	// whichever path got it there (executed, cached, stolen, adopted,
+	// canceled) — the cluster-wide RED latency signal.
+	jobE2E *obs.Histogram
 
 	mu       sync.Mutex
 	closed   bool
@@ -270,6 +283,7 @@ func New(cfg Config) *Server {
 		logger:     cfg.Logger,
 		jobWait:    cfg.Registry.Histogram("gpsd_job_wait_seconds", "Time jobs spend queued before a worker picks them up.", nil),
 		jobExec:    cfg.Registry.Histogram("gpsd_job_exec_seconds", "Wall-clock execution time of finished jobs.", nil),
+		jobE2E:     cfg.Registry.Histogram("gpsd_job_e2e_seconds", "End-to-end submit to terminal-state latency of jobs retiring on this node.", nil),
 		// Replayed jobs ride on extra capacity so recovery can never be
 		// rejected by admission control.
 		queue:    make(chan *Job, cfg.QueueDepth+len(pending)),
@@ -409,12 +423,12 @@ func (s *Server) replayPending(pending []PendingJob) {
 		if err != nil {
 			// The journaled spec no longer validates (e.g. a workload was
 			// removed). Close it out so compaction drops it next boot.
-			s.cfg.Journal.record(OpFail, p.ID, nil, "replay: "+err.Error()) //nolint:errcheck // best-effort close-out
+			s.cfg.Journal.record(OpFail, p.ID, nil, nil, "replay: "+err.Error()) //nolint:errcheck // best-effort close-out
 			continue
 		}
 		hash := canon.Hash()
 		if _, ok := s.inflight[hash]; ok {
-			s.cfg.Journal.record(OpCancel, p.ID, nil, "replay: duplicate of recovered spec") //nolint:errcheck // best-effort close-out
+			s.cfg.Journal.record(OpCancel, p.ID, nil, nil, "replay: duplicate of recovered spec") //nolint:errcheck // best-effort close-out
 			continue
 		}
 		if n := jobSeq(p.ID); n > s.seq {
@@ -425,10 +439,16 @@ func (s *Server) replayPending(pending []PendingJob) {
 			Hash:        hash,
 			Node:        s.cfg.NodeID,
 			Spec:        canon,
+			Trace:       p.Trace,
 			State:       StateQueued,
 			Replayed:    true,
 			SubmittedAt: now,
 			done:        make(chan struct{}),
+		}
+		if job.Trace.TraceID == "" {
+			// Journals written before trace identity existed: mint one so the
+			// replayed execution still traces end to end.
+			job.Trace = obs.NewJobTrace(obs.TraceContext{})
 		}
 		if s.cfg.Reconcile != nil {
 			if delegate := s.cfg.Reconcile(p); delegate != "" {
@@ -487,6 +507,14 @@ func JobNode(id string) string {
 // already in flight — the same job serves both), or cached (the canonical
 // hash hit the result cache and the job is born done, no execution).
 func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
+	return s.SubmitTraced(spec, obs.TraceContext{})
+}
+
+// SubmitTraced is Submit under a distributed trace parent: the job's trace
+// identity continues parent's trace (minting a fresh one when parent is
+// zero). Coalesced and cached submissions keep the identity of the job that
+// serves them — the caller can link via the snapshot's trace field.
+func (s *Server) SubmitTraced(spec Spec, parent obs.TraceContext) (Status, Outcome, error) {
 	canon, err := spec.Canonicalize()
 	if err != nil {
 		return Status{}, OutcomeAccepted, err
@@ -503,7 +531,7 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 	if res, ok := s.cache.get(hash); ok {
 		s.cacheHits.Add(1)
 		s.submitted.Add(1)
-		job := s.newJobLocked(canon, hash, now)
+		job := s.newJobLocked(canon, hash, now, parent)
 		job.State = StateDone
 		job.CacheHit = true
 		job.StartedAt, job.FinishedAt = now, now
@@ -522,7 +550,7 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 		return leader.snapshot(now), OutcomeCoalesced, nil
 	}
 
-	job := s.newJobLocked(canon, hash, now)
+	job := s.newJobLocked(canon, hash, now, parent)
 	select {
 	case s.queue <- job:
 	default:
@@ -532,7 +560,7 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 		return Status{}, OutcomeAccepted, ErrQueueFull
 	}
 	s.inflight[hash] = job
-	if jerr := s.cfg.Journal.record(OpSubmit, job.ID, &job.Spec, ""); jerr != nil {
+	if jerr := s.cfg.Journal.record(OpSubmit, job.ID, &job.Spec, &job.Trace, ""); jerr != nil {
 		// Durability is the contract: a submission we cannot journal is
 		// refused. The job is voided under the lock before any worker can
 		// run it (workers skip non-queued jobs).
@@ -548,8 +576,9 @@ func (s *Server) Submit(spec Spec) (Status, Outcome, error) {
 	return job.snapshot(now), OutcomeAccepted, nil
 }
 
-// newJobLocked allocates and registers a queued job. Callers hold s.mu.
-func (s *Server) newJobLocked(spec Spec, hash string, now time.Time) *Job {
+// newJobLocked allocates and registers a queued job with a trace identity
+// minted under parent. Callers hold s.mu.
+func (s *Server) newJobLocked(spec Spec, hash string, now time.Time, parent obs.TraceContext) *Job {
 	s.seq++
 	id := fmt.Sprintf("j-%06d", s.seq)
 	if s.cfg.NodeID != "" {
@@ -560,6 +589,7 @@ func (s *Server) newJobLocked(spec Spec, hash string, now time.Time) *Job {
 		Hash:        hash,
 		Node:        s.cfg.NodeID,
 		Spec:        spec,
+		Trace:       obs.NewJobTrace(parent),
 		State:       StateQueued,
 		SubmittedAt: now,
 		done:        make(chan struct{}),
@@ -626,7 +656,7 @@ func (s *Server) Cancel(id string) (Status, error) {
 			delete(s.inflight, job.Hash)
 		}
 		s.jobsCancd.Add(1)
-		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out; replay would just re-cancel
+		s.cfg.Journal.record(OpCancel, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out; replay would just re-cancel
 		close(job.done)
 		s.retireLocked(job)
 		s.logger.Info("job canceled while queued", "job_id", job.ID)
@@ -642,7 +672,7 @@ func (s *Server) Cancel(id string) (Status, error) {
 				delete(s.inflight, job.Hash)
 			}
 			s.jobsCancd.Add(1)
-			s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+			s.cfg.Journal.record(OpCancel, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 			close(job.done)
 			s.retireLocked(job)
 			s.logger.Info("stolen job canceled", "job_id", job.ID, "thief", job.StolenBy)
@@ -692,7 +722,7 @@ func (s *Server) failPanickedJob(job *Job, cause error) {
 		job.Err = cause.Error()
 		job.FinishedAt = time.Now()
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 		s.retireLocked(job)
 	}
 	select {
@@ -729,7 +759,7 @@ func (s *Server) runJob(job *Job) {
 
 	// Recovery treats queued and started jobs alike, so the start record
 	// is informational; its loss is harmless.
-	s.cfg.Journal.record(OpStart, job.ID, nil, "") //nolint:errcheck
+	s.cfg.Journal.record(OpStart, job.ID, nil, nil, "") //nolint:errcheck
 
 	runCtx := ctx
 	if s.cfg.JobTimeout > 0 {
@@ -759,13 +789,20 @@ func (s *Server) runJob(job *Job) {
 			s.logger.Warn("job trace disabled", "job_id", job.ID, "err", err)
 		} else {
 			tracer := obs.NewTracer(runCtx, f)
+			tracer.SetProcess(s.cfg.NodeID)
 			runCtx = obs.WithTracer(runCtx, tracer)
 			kv := []string{"hash", job.Hash}
 			if s.cfg.NodeID != "" {
 				kv = append(kv, "node_id", s.cfg.NodeID)
 			}
+			// The job span is emitted under the identity minted at submit —
+			// possibly on another node, before a steal or adoption — so the
+			// per-node files link into one cross-node trace.
+			runCtx = obs.WithTraceContext(runCtx, obs.TraceContext{
+				TraceID: job.Trace.TraceID, SpanID: job.Trace.ParentSpanID,
+			})
 			var jobSpan *obs.Span
-			runCtx, jobSpan = obs.StartSpan(runCtx, obs.CatJob, job.ID, kv...)
+			runCtx, jobSpan = obs.StartSpanWithID(runCtx, obs.CatJob, job.ID, job.Trace.SpanID, kv...)
 			defer func() {
 				jobSpan.End()
 				if err := tracer.Close(); err != nil {
@@ -847,7 +884,7 @@ func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report,
 		job.State = StateCanceled
 		job.Err = errJobCanceled.Error()
 		s.jobsCancd.Add(1)
-		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpCancel, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 	case err == nil:
 		job.State = StateDone
 		job.Result = res
@@ -857,23 +894,23 @@ func (s *Server) finishJob(job *Job, runCtx context.Context, res *report.Report,
 			s.cacheWriteErrs.Add(1)
 		}
 		s.jobsDone.Add(1)
-		s.cfg.Journal.record(OpDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpDone, job.ID, nil, nil, "") //nolint:errcheck // terminal close-out
 	case errors.Is(err, context.DeadlineExceeded):
 		job.State = StateFailed
 		job.Err = fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout)
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 	case errors.Is(err, context.Canceled):
 		// Server drain deadline forced the abort.
 		job.State = StateCanceled
 		job.Err = "canceled: " + cause.Error()
 		s.jobsCancd.Add(1)
-		s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpCancel, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 	default:
 		job.State = StateFailed
 		job.Err = err.Error()
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 	}
 	switch job.State {
 	case StateDone:
@@ -911,8 +948,13 @@ func (s *Server) cachePutFenced(hash string, res *report.Report) (err error) {
 }
 
 // retireLocked records a terminal job and prunes the oldest ones beyond the
-// retention bound. Callers hold s.mu.
+// retention bound. Every terminal transition funnels through here exactly
+// once, which makes it the single observation point for the end-to-end
+// latency histogram. Callers hold s.mu.
 func (s *Server) retireLocked(job *Job) {
+	if e2e := job.FinishedAt.Sub(job.SubmittedAt); e2e >= 0 {
+		s.jobE2E.Observe(e2e.Seconds())
+	}
 	s.terminal = append(s.terminal, job.ID)
 	for len(s.terminal) > s.cfg.RetainJobs {
 		delete(s.jobs, s.terminal[0])
@@ -925,8 +967,9 @@ func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	execSeconds := s.execSeconds
 	cacheEntries := s.cache.len()
+	inflight := len(s.inflight)
 	s.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.cfg.Workers,
 		BusyWorkers:   int(s.busy.Load()),
@@ -956,10 +999,22 @@ func (s *Server) Metrics() Metrics {
 		ResultCacheMisses:  s.cacheMisses.Load(),
 		ResultCacheEntries: cacheEntries,
 
+		JobsInFlight: inflight,
+
 		ExecSecondsTotal: execSeconds,
 		RunnerCache:      experiments.Default.CacheStats(),
 		RunnerResilience: experiments.Default.ResilienceStats(),
 	}
+	if sum := s.jobE2E.Summary(); sum.Count > 0 {
+		m.JobE2E = &sum
+	}
+	if sum := s.jobWait.Summary(); sum.Count > 0 {
+		m.JobWait = &sum
+	}
+	if sum := s.jobExec.Summary(); sum.Count > 0 {
+		m.JobExec = &sum
+	}
+	return m
 }
 
 // RetryAfterSeconds estimates when a rejected submission is worth retrying:
@@ -1007,7 +1062,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 						delete(s.inflight, job.Hash)
 					}
 					s.jobsCancd.Add(1)
-					s.cfg.Journal.record(OpCancel, job.ID, nil, job.Err) //nolint:errcheck // drain close-out
+					s.cfg.Journal.record(OpCancel, job.ID, nil, nil, job.Err) //nolint:errcheck // drain close-out
 					close(job.done)
 					s.retireLocked(job)
 				}

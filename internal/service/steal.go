@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"gps/internal/obs"
 	"gps/internal/report"
 )
 
@@ -17,11 +18,15 @@ import (
 // the thief dies before completing it.
 
 // StolenJob is the work handed to a thief: enough to execute the spec
-// elsewhere and address the completion back.
+// elsewhere and address the completion back. Trace carries the victim
+// job's trace position (trace_id + the victim job span as parent), so the
+// thief's local execution chains under it and the two nodes' trace files
+// merge into one timeline.
 type StolenJob struct {
-	ID   string `json:"id"`
-	Hash string `json:"hash"`
-	Spec Spec   `json:"spec"`
+	ID    string           `json:"id"`
+	Hash  string           `json:"hash"`
+	Spec  Spec             `json:"spec"`
+	Trace obs.TraceContext `json:"trace,omitempty"`
 }
 
 // Steal checks one queued job out to the named thief node. It reports false
@@ -50,9 +55,9 @@ func (s *Server) Steal(thief string) (StolenJob, bool) {
 		job.StartedAt = time.Now()
 		job.stealTimer = time.AfterFunc(s.cfg.StealTimeout, func() { s.reclaimStolen(job) })
 		s.jobsStolen.Add(1)
-		s.cfg.Journal.record(OpStart, job.ID, nil, "") //nolint:errcheck // informational; replay re-runs either way
+		s.cfg.Journal.record(OpStart, job.ID, nil, nil, "") //nolint:errcheck // informational; replay re-runs either way
 		s.logger.Info("job stolen", "job_id", job.ID, "thief", thief)
-		out := StolenJob{ID: job.ID, Hash: job.Hash, Spec: job.Spec}
+		out := StolenJob{ID: job.ID, Hash: job.Hash, Spec: job.Spec, Trace: job.Trace.Context()}
 		s.mu.Unlock()
 		return out, true
 	}
@@ -90,7 +95,7 @@ func (s *Server) CompleteStolen(id string, res *report.Report, errMsg string) er
 		}
 		s.jobsDone.Add(1)
 		s.stealsCompleted.Add(1)
-		s.cfg.Journal.record(OpDone, job.ID, nil, "") //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpDone, job.ID, nil, nil, "") //nolint:errcheck // terminal close-out
 		s.logger.Info("stolen job done", "job_id", job.ID, "thief", job.StolenBy,
 			"exec_seconds", exec.Seconds())
 	default:
@@ -100,11 +105,18 @@ func (s *Server) CompleteStolen(id string, res *report.Report, errMsg string) er
 		job.State = StateFailed
 		job.Err = errMsg
 		s.jobsFailed.Add(1)
-		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 		s.logger.Error("stolen job failed", "job_id", job.ID, "thief", job.StolenBy, "err", errMsg)
 	}
 	close(job.done)
 	s.retireLocked(job)
+	// The engine ran on the thief; flush the victim-side span of the trace
+	// so this node's file still roots the job's identity.
+	s.writeHandoffTrace(handoffTrace{
+		id: job.ID, hash: job.Hash, kind: "stolen-remote-exec", peer: job.StolenBy,
+		trace: job.Trace, state: job.State, errMsg: job.Err,
+		submitted: job.SubmittedAt, started: job.StartedAt, finished: job.FinishedAt,
+	})
 	return nil
 }
 
@@ -144,7 +156,7 @@ func (s *Server) reclaimStolen(job *Job) {
 		if s.inflight[job.Hash] == job {
 			delete(s.inflight, job.Hash)
 		}
-		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 		close(job.done)
 		s.retireLocked(job)
 		return
@@ -164,7 +176,7 @@ func (s *Server) reclaimStolen(job *Job) {
 		if s.inflight[job.Hash] == job {
 			delete(s.inflight, job.Hash)
 		}
-		s.cfg.Journal.record(OpFail, job.ID, nil, job.Err) //nolint:errcheck // terminal close-out
+		s.cfg.Journal.record(OpFail, job.ID, nil, nil, job.Err) //nolint:errcheck // terminal close-out
 		close(job.done)
 		s.retireLocked(job)
 	}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"path/filepath"
+	"time"
+
+	"gps/internal/obs"
+)
+
+// handoffTrace describes a job that reached a terminal state on this node
+// without a local execution: stolen and completed by a peer, adopted
+// straight from the result cache, or an adopted rider mirroring a local
+// leader. runJob never saw these jobs, so without an explicit flush their
+// trace identity would have no span on the node that owns them and the
+// cross-node trace would lose its root.
+type handoffTrace struct {
+	id, hash, kind, peer         string
+	trace                        obs.TraceInfo
+	state                        State
+	errMsg                       string
+	submitted, started, finished time.Time
+}
+
+// writeHandoffTrace flushes a static span trace for a handed-off job:
+// the job span under its original identity plus a phase span naming the
+// handoff kind and peer. File IO runs on its own goroutine, so callers may
+// hold s.mu.
+func (s *Server) writeHandoffTrace(h handoffTrace) {
+	if s.cfg.TraceDir == "" || h.trace.TraceID == "" {
+		return
+	}
+	dir, node, logger := s.cfg.TraceDir, s.cfg.NodeID, s.logger
+	go func() {
+		if h.started.IsZero() {
+			h.started = h.submitted
+		}
+		if h.finished.IsZero() {
+			h.finished = h.started
+		}
+		args := map[string]string{"hash": h.hash, "state": string(h.state), "handoff": h.kind}
+		if node != "" {
+			args["node_id"] = node
+		}
+		if h.peer != "" {
+			args["peer"] = h.peer
+		}
+		if h.errMsg != "" {
+			args["error"] = h.errMsg
+		}
+		spans := []obs.StaticSpan{
+			{
+				Cat: obs.CatJob, Name: h.id,
+				Start: h.submitted, End: h.finished,
+				SpanID: h.trace.SpanID, ParentSpanID: h.trace.ParentSpanID,
+				Args: args,
+			},
+			{
+				Cat: obs.CatPhase, Name: h.kind,
+				Start: h.started, End: h.finished,
+				SpanID: obs.NewSpanID(), ParentSpanID: h.trace.SpanID,
+			},
+		}
+		path := filepath.Join(dir, h.id+".trace.json")
+		if err := obs.WriteStaticTraceFile(path, node, h.trace.TraceID, spans); err != nil {
+			logger.Warn("handoff trace write failed", "job_id", h.id, "err", err)
+		}
+	}()
+}
